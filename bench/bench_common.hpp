@@ -1,0 +1,57 @@
+// bench_common.hpp — shared plumbing for the figure/table reproduction
+// benches: run-scale control, CSV export, and consistent headers.
+//
+// Environment knobs:
+//   SSS_BENCH_SCALE    duration scale in (0, 1]; default 1.0 (full Table-2
+//                      runs).  Set e.g. 0.2 for quick smoke runs.
+//   SSS_BENCH_CSV_DIR  when set, benches also write their rows as CSV files
+//                      into this directory.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/csv.hpp"
+
+namespace sss::bench {
+
+inline double run_scale() {
+  if (const char* env = std::getenv("SSS_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0 && v <= 1.0) return v;
+    std::fprintf(stderr, "ignoring SSS_BENCH_SCALE=%s (need 0 < s <= 1)\n", env);
+  }
+  return 1.0;
+}
+
+inline std::optional<std::string> csv_dir() {
+  if (const char* env = std::getenv("SSS_BENCH_CSV_DIR")) {
+    if (env[0] != '\0') return std::string(env);
+  }
+  return std::nullopt;
+}
+
+// Opens <dir>/<name>.csv when SSS_BENCH_CSV_DIR is set; otherwise nullptr.
+inline std::unique_ptr<trace::CsvWriter> open_csv(const std::string& name) {
+  const auto dir = csv_dir();
+  if (!dir.has_value()) return nullptr;
+  try {
+    return std::make_unique<trace::CsvWriter>(*dir + "/" + name + ".csv");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "CSV export disabled: %s\n", e.what());
+    return nullptr;
+  }
+}
+
+inline void print_banner(const char* experiment, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("sss reproduction | %s\n", experiment);
+  std::printf("paper reference  | %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace sss::bench

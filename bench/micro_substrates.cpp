@@ -1,0 +1,153 @@
+// micro_substrates — google-benchmark microbenchmarks for the hot paths of
+// every substrate: event queue, packet link, full TCP transfers, the fluid
+// model, statistics (P2, checksum), and model evaluation.  These document
+// the simulator's capacity (events/second) that makes the full Table-2
+// sweep tractable.
+#include <benchmark/benchmark.h>
+
+#include "core/completion.hpp"
+#include "core/decision.hpp"
+#include "detector/frame.hpp"
+#include "pipeline/spsc_queue.hpp"
+#include "simnet/fluid.hpp"
+#include "simnet/link.hpp"
+#include "simnet/workload.hpp"
+#include "stats/percentile.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace sss;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  struct Noop : simnet::EventHandler {
+    void on_event(simnet::Simulation&, int, std::uint64_t, std::uint64_t) override {}
+  } handler;
+  simnet::EventQueue queue;
+  stats::Random rng(1);
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      queue.schedule(static_cast<simnet::SimTime>(rng.uniform_index(1'000'000)), handler, 0);
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * 2);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void BM_LinkTransmit(benchmark::State& state) {
+  struct Sink : simnet::PacketSink {
+    void on_packet(simnet::Simulation&, const simnet::Packet&) override {}
+  } sink;
+  simnet::Simulation sim;
+  simnet::LinkConfig cfg;
+  cfg.buffer = units::Bytes::gigabytes(1.0);  // never drop in the microbench
+  simnet::Link link(cfg);
+  simnet::Packet p;
+  p.size_bytes = 9000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(link.transmit(sim, p, sink));
+    if (sim.events_scheduled() > 1'000'000) {
+      state.PauseTiming();
+      sim.run();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinkTransmit);
+
+void BM_TcpTransfer(benchmark::State& state) {
+  // Full 8 MB transfer on an idle 25 Gbps link; items = packets moved.
+  const double mb = static_cast<double>(state.range(0));
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    simnet::Simulation sim;
+    simnet::Link fwd{simnet::LinkConfig{}}, rev{simnet::LinkConfig{}};
+    simnet::TcpFlow flow(1, units::Bytes::megabytes(mb), simnet::TcpConfig{}, fwd, rev);
+    flow.start(sim);
+    sim.run();
+    packets += flow.total_packets();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+}
+BENCHMARK(BM_TcpTransfer)->Arg(8)->Arg(64);
+
+void BM_WorkloadExperiment(benchmark::State& state) {
+  // One scaled congestion cell per iteration; items = simulation events.
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    simnet::WorkloadConfig cfg;
+    cfg.duration = units::Seconds::of(1.0);
+    cfg.concurrency = 4;
+    cfg.parallel_flows = 2;
+    cfg.transfer_size = units::Bytes::megabytes(20.0);
+    cfg.link.capacity = units::DataRate::gigabits_per_second(2.5);
+    const auto result = simnet::run_experiment(cfg);
+    events += result.events_processed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_WorkloadExperiment);
+
+void BM_FluidExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    simnet::WorkloadConfig cfg = simnet::WorkloadConfig::paper_table2(
+        8, 8, simnet::SpawnMode::kSimultaneousBatches);
+    benchmark::DoNotOptimize(simnet::run_fluid_experiment(cfg));
+  }
+}
+BENCHMARK(BM_FluidExperiment);
+
+void BM_SpscQueueThroughput(benchmark::State& state) {
+  pipeline::SpscQueue<std::uint64_t> queue(4096);
+  std::uint64_t value = 0;
+  for (auto _ : state) {
+    while (!queue.try_push(value)) {
+      benchmark::DoNotOptimize(queue.try_pop());
+    }
+    ++value;
+    benchmark::DoNotOptimize(queue.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscQueueThroughput);
+
+void BM_P2QuantileAdd(benchmark::State& state) {
+  stats::P2Quantile p99(0.99);
+  stats::Random rng(7);
+  for (auto _ : state) {
+    p99.add(rng.lognormal(0.0, 1.0));
+  }
+  benchmark::DoNotOptimize(p99.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_P2QuantileAdd);
+
+void BM_FrameChecksum(benchmark::State& state) {
+  const auto payload = detector::make_payload(detector::PayloadPattern::kNoise, 1, 0,
+                                              static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector::checksum(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FrameChecksum)->Arg(64 * 1024)->Arg(8 * 1024 * 1024);
+
+void BM_ModelEvaluation(benchmark::State& state) {
+  core::DecisionInput in;
+  in.params.s_unit = units::Bytes::gigabytes(2.0);
+  in.params.complexity = units::Complexity::flop_per_byte(17000.0);
+  in.params.r_local = units::FlopsRate::teraflops(5.0);
+  in.params.r_remote = units::FlopsRate::teraflops(50.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate(in));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+#include "core/calibration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sss::core {
+
+CongestionProfile::CongestionProfile(std::vector<CongestionPoint> points)
+    : points_(std::move(points)) {
+  std::sort(points_.begin(), points_.end(),
+            [](const CongestionPoint& x, const CongestionPoint& y) {
+              return x.utilization < y.utilization;
+            });
+}
+
+double CongestionProfile::sss_at(double utilization) const {
+  if (points_.empty()) throw std::logic_error("CongestionProfile: no points");
+  if (utilization <= points_.front().utilization) return points_.front().sss;
+  if (utilization >= points_.back().utilization) return points_.back().sss;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (utilization <= points_[i].utilization) {
+      const auto& lo = points_[i - 1];
+      const auto& hi = points_[i];
+      const double span = hi.utilization - lo.utilization;
+      if (span <= 0.0) return hi.sss;
+      const double w = (utilization - lo.utilization) / span;
+      return lo.sss + w * (hi.sss - lo.sss);
+    }
+  }
+  return points_.back().sss;
+}
+
+units::Seconds CongestionProfile::worst_transfer_time(units::Bytes size,
+                                                      units::DataRate link,
+                                                      double utilization) const {
+  const units::Seconds theoretical = size / link;
+  return theoretical * sss_at(utilization);
+}
+
+CongestionProfile build_congestion_profile(
+    const std::vector<simnet::ExperimentResult>& results) {
+  std::vector<CongestionPoint> points;
+  points.reserve(results.size());
+  for (const auto& r : results) {
+    CongestionPoint p;
+    p.utilization = r.offered_load;
+    p.measured_utilization = r.metrics.mean_utilization;
+    p.t_worst_s = r.t_worst_s();
+    p.t_theoretical_s = r.t_theoretical_s();
+    p.t_mean_s = r.metrics.mean_client_fct_s();
+    p.sss = p.t_theoretical_s > 0.0 ? p.t_worst_s / p.t_theoretical_s : 0.0;
+    p.concurrency = r.config.concurrency;
+    p.parallel_flows = r.config.parallel_flows;
+    p.loss_rate = r.metrics.loss_rate;
+    points.push_back(p);
+  }
+  return CongestionProfile(std::move(points));
+}
+
+double estimate_alpha(const simnet::ExperimentResult& result) {
+  const double mean = result.metrics.mean_client_fct_s();
+  if (mean <= 0.0) throw std::invalid_argument("estimate_alpha: no client records");
+  return std::min(1.0, result.t_theoretical_s() / mean);
+}
+
+double estimate_alpha_worst_case(const simnet::ExperimentResult& result) {
+  const double worst = result.t_worst_s();
+  if (worst <= 0.0) {
+    throw std::invalid_argument("estimate_alpha_worst_case: no client records");
+  }
+  return std::min(1.0, result.t_theoretical_s() / worst);
+}
+
+CalibrationResult calibrate(const CalibrationInputs& inputs) {
+  if (inputs.sweep == nullptr || inputs.sweep->empty()) {
+    throw std::invalid_argument("calibrate: a congestion sweep is required");
+  }
+
+  CalibrationResult out;
+  out.profile = build_congestion_profile(*inputs.sweep);
+
+  // alpha at the operating point: efficiency implied by the worst-case
+  // inflation there (tail-driven, per the paper's argument).
+  const double sss = out.profile.sss_at(inputs.operating_utilization);
+  const double alpha = std::min(1.0, sss > 0.0 ? 1.0 / sss : 1.0);
+
+  out.params.s_unit = inputs.s_unit;
+  out.params.complexity = inputs.complexity;
+  out.params.r_local = inputs.r_local;
+  out.params.r_remote = inputs.r_remote;
+  out.params.bandwidth = inputs.bandwidth;
+  out.params.alpha = std::max(alpha, 1e-6);
+  out.params.theta = 1.0;  // streaming
+  out.params.validate();
+
+  out.predicted_worst_transfer = out.profile.worst_transfer_time(
+      inputs.s_unit, inputs.bandwidth, inputs.operating_utilization);
+  return out;
+}
+
+}  // namespace sss::core

@@ -1,0 +1,96 @@
+// calibration.hpp — turning measurements into model parameters.
+//
+// The paper's methodology (Section 4) parameterizes the model from
+// controlled congestion experiments: run the orchestrator at several load
+// levels, take the maximum client transfer time per level as T_worst, and
+// form the Streaming Speed Score against the theoretical minimum.  This
+// module packages those steps:
+//
+//   sweep results --> CongestionProfile (utilization -> SSS curve)
+//                 --> worst-case transfer predictions for other unit sizes
+//                 --> alpha / theta estimates --> ModelParameters
+//
+// The case study (Section 5) extrapolates exactly this way: measured SSS at
+// 64 % / 96 % utilization scales the 2 GB and 3 GB windows to 1.2 s and 6 s
+// worst-case transfer times.
+#pragma once
+
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/sss_score.hpp"
+#include "simnet/workload.hpp"
+#include "storage/staged_transfer.hpp"
+#include "units/units.hpp"
+
+namespace sss::core {
+
+struct CongestionPoint {
+  double utilization = 0.0;     // offered load as a fraction of capacity
+  double measured_utilization = 0.0;
+  double t_worst_s = 0.0;
+  double t_theoretical_s = 0.0;
+  double t_mean_s = 0.0;
+  double sss = 0.0;
+  int concurrency = 0;
+  int parallel_flows = 0;
+  double loss_rate = 0.0;
+};
+
+// SSS as a function of utilization, assembled from experiment results.
+class CongestionProfile {
+ public:
+  CongestionProfile() = default;
+  explicit CongestionProfile(std::vector<CongestionPoint> points);
+
+  // Linear interpolation of SSS at `utilization`, clamped to the measured
+  // range (no extrapolation beyond the worst measured point).
+  [[nodiscard]] double sss_at(double utilization) const;
+  // Predicted worst-case transfer time for a unit of `size` on `link` at
+  // `utilization`: SSS(u) * size / link  (the Section 5 extrapolation).
+  [[nodiscard]] units::Seconds worst_transfer_time(units::Bytes size,
+                                                   units::DataRate link,
+                                                   double utilization) const;
+
+  [[nodiscard]] const std::vector<CongestionPoint>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+ private:
+  std::vector<CongestionPoint> points_;  // sorted by utilization
+};
+
+// One profile point per experiment (keyed by offered load).
+[[nodiscard]] CongestionProfile build_congestion_profile(
+    const std::vector<simnet::ExperimentResult>& results);
+
+// alpha estimate from one uncongested experiment: theoretical transfer time
+// over the MEAN measured client time (efficiency of the happy path).
+[[nodiscard]] double estimate_alpha(const simnet::ExperimentResult& result);
+
+// Worst-case-oriented alpha: theoretical over the MAX measured client time.
+// This is the value a tail-driven design should plug into Eq. 10.
+[[nodiscard]] double estimate_alpha_worst_case(const simnet::ExperimentResult& result);
+
+// Assemble ModelParameters from measurement artifacts: a congestion sweep
+// (for alpha at the operating utilization), a staged-transfer calibration
+// (for the file-based theta), and explicit compute/workload figures.
+struct CalibrationInputs {
+  const std::vector<simnet::ExperimentResult>* sweep = nullptr;  // required
+  double operating_utilization = 0.5;
+  units::Bytes s_unit = units::Bytes::gigabytes(1.0);
+  units::Complexity complexity = units::Complexity::flop_per_byte(1.0);
+  units::FlopsRate r_local = units::FlopsRate::teraflops(1.0);
+  units::FlopsRate r_remote = units::FlopsRate::teraflops(10.0);
+  units::DataRate bandwidth = units::DataRate::gigabits_per_second(25.0);
+};
+
+struct CalibrationResult {
+  ModelParameters params;        // theta = 1 (streaming)
+  double theta_file = 1.0;       // from storage calibration when requested
+  CongestionProfile profile;
+  units::Seconds predicted_worst_transfer;  // at operating utilization
+};
+
+[[nodiscard]] CalibrationResult calibrate(const CalibrationInputs& inputs);
+
+}  // namespace sss::core

@@ -1,0 +1,100 @@
+#include "core/concurrency.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/completion.hpp"
+
+namespace sss::core {
+
+SustainedAnalysis analyze_sustained(const SustainedWorkload& workload) {
+  if (!(workload.window.seconds() > 0.0)) {
+    throw std::invalid_argument("analyze_sustained: window must be > 0");
+  }
+  if (!(workload.mean_service.seconds() >= 0.0)) {
+    throw std::invalid_argument("analyze_sustained: mean_service must be >= 0");
+  }
+  if (workload.service_cv < 0.0) {
+    throw std::invalid_argument("analyze_sustained: service_cv must be >= 0");
+  }
+
+  SustainedAnalysis out;
+  const double s = workload.mean_service.seconds();
+  const double w = workload.window.seconds();
+  out.utilization = s / w;
+  out.stable = out.utilization < 1.0;
+
+  if (out.stable && out.utilization > 0.0) {
+    // Kingman / Marchal approximation for G/G/1 with deterministic
+    // arrivals (ca^2 = 0): Wq ~= rho/(1-rho) * (cs^2)/2 * E[S].
+    const double cs2 = workload.service_cv * workload.service_cv;
+    const double wait =
+        out.utilization / (1.0 - out.utilization) * cs2 / 2.0 * s;
+    out.mean_queue_wait = units::Seconds::of(wait);
+    out.mean_latency = units::Seconds::of(wait + s);
+    out.backlog_growth_per_second = 0.0;
+  } else if (!out.stable) {
+    out.mean_queue_wait = units::Seconds::infinity();
+    out.mean_latency = units::Seconds::infinity();
+    // Each window produces one unit; the pipeline completes 1/s units per
+    // second, so backlog grows at (1/w - 1/s) units per second.
+    out.backlog_growth_per_second = 1.0 / w - 1.0 / s;
+  } else {
+    // Zero service time: trivially stable and latency-free.
+    out.mean_queue_wait = units::Seconds::of(0.0);
+    out.mean_latency = units::Seconds::of(0.0);
+  }
+  return out;
+}
+
+units::Seconds pipelined_service_time(const ModelParameters& params) {
+  params.validate();
+  // Streaming overlaps the (theta-weighted) transfer of unit k+1 with the
+  // remote compute of unit k; the pipeline cadence is set by the slower
+  // stage.
+  const double transfer = params.theta * t_transfer(params).seconds();
+  const double compute = t_remote(params).seconds();
+  return units::Seconds::of(std::max(transfer, compute));
+}
+
+double max_sustainable_rate(units::Seconds mean_service, double service_cv,
+                            units::Seconds deadline) {
+  if (!(mean_service.seconds() > 0.0)) {
+    throw std::invalid_argument("max_sustainable_rate: mean_service must be > 0");
+  }
+  if (!(deadline.seconds() > 0.0)) {
+    throw std::invalid_argument("max_sustainable_rate: deadline must be > 0");
+  }
+  // Even an idle pipeline takes mean_service per unit.
+  if (mean_service.seconds() > deadline.seconds()) return 0.0;
+
+  // Mean latency is monotone in the rate (shorter window => higher rho =>
+  // longer wait), so bisect on the window length in
+  // (mean_service, huge]: rate = 1/window.
+  double lo_window = mean_service.seconds() * (1.0 + 1e-9);  // rho just < 1
+  double hi_window = std::max(deadline.seconds(), mean_service.seconds()) * 1e3;
+
+  auto latency_at = [&](double window_s) {
+    SustainedWorkload w;
+    w.window = units::Seconds::of(window_s);
+    w.mean_service = mean_service;
+    w.service_cv = service_cv;
+    return analyze_sustained(w).mean_latency.seconds();
+  };
+
+  if (latency_at(lo_window) <= deadline.seconds()) {
+    // Deadline met even arbitrarily close to saturation.
+    return 1.0 / lo_window;
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = (lo_window + hi_window) / 2.0;
+    if (latency_at(mid) <= deadline.seconds()) {
+      hi_window = mid;
+    } else {
+      lo_window = mid;
+    }
+  }
+  return 1.0 / hi_window;
+}
+
+}  // namespace sss::core

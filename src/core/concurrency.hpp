@@ -1,0 +1,64 @@
+// concurrency.hpp — queuing extension for sustained streaming operation.
+//
+// The paper's conclusion lists "concurrency and queuing effects" as future
+// work.  The base model answers "how long does ONE data unit take?"; a
+// running instrument produces a unit every window (e.g. one 2 GB
+// aggregation window per second), so the operative question is whether the
+// remote path can keep up *sustainably* and what latency the backlog adds.
+//
+// Model: units arrive deterministically every `window` seconds (detectors
+// are metronomes), the service time is the unit's transfer+compute pipeline
+// stage with mean and variability taken from measurement.  Treating the
+// bottleneck stage as a D/G/1 queue gives
+//
+//   rho  = E[S] / window                      (utilization; >1 = divergent)
+//   Wq  ~= rho * (1 + cv^2) / (2 * (1 - rho)) * E[S]   (Kingman bound,
+//          deterministic arrivals: ca^2 = 0)
+//
+// which exposes the operational cliff the paper's Fig. 2(a) shows
+// empirically: latency is flat at low rho and explodes as rho -> 1.
+#pragma once
+
+#include "core/params.hpp"
+#include "units/units.hpp"
+
+namespace sss::core {
+
+struct SustainedWorkload {
+  // One data unit produced every `window` (S_unit bytes each).
+  units::Seconds window = units::Seconds::of(1.0);
+  // Mean service time of the bottleneck stage for one unit.  For a fully
+  // pipelined remote path this is max(T_transfer, T_remote); for a
+  // store-and-forward path it is T_pct.
+  units::Seconds mean_service = units::Seconds::of(0.5);
+  // Coefficient of variation of the service time (stddev/mean), from
+  // measurement (e.g. the FCT logs of the congestion sweep).
+  double service_cv = 0.0;
+};
+
+struct SustainedAnalysis {
+  double utilization = 0.0;       // rho
+  bool stable = false;            // rho < 1
+  units::Seconds mean_queue_wait; // Kingman approximation (0 when unstable)
+  units::Seconds mean_latency;    // wait + service
+  // When unstable: backlog growth in units per second (how fast the
+  // instrument outruns the pipeline).
+  double backlog_growth_per_second = 0.0;
+  // Largest window utilization that keeps mean latency within `deadline`
+  // is exposed via max_sustainable_* helpers below.
+};
+
+[[nodiscard]] SustainedAnalysis analyze_sustained(const SustainedWorkload& workload);
+
+// The pipelined service time for one unit under the model: the slowest of
+// the overlapped transfer and compute stages (streaming overlaps them; a
+// unit is "done" at the pipeline output cadence).
+[[nodiscard]] units::Seconds pipelined_service_time(const ModelParameters& params);
+
+// Maximum unit production rate (units/second) the remote path sustains with
+// mean latency <= deadline, found by bisection on the window length.
+// Returns 0 when even an idle pipeline cannot meet the deadline.
+[[nodiscard]] double max_sustainable_rate(units::Seconds mean_service, double service_cv,
+                                          units::Seconds deadline);
+
+}  // namespace sss::core

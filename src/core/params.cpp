@@ -1,0 +1,31 @@
+#include "core/params.hpp"
+
+#include <stdexcept>
+
+namespace sss::core {
+
+void ModelParameters::validate() const {
+  if (!(s_unit.bytes() > 0.0)) {
+    throw std::invalid_argument("ModelParameters: S_unit must be > 0");
+  }
+  if (!(complexity.flop_per_byte() >= 0.0)) {
+    throw std::invalid_argument("ModelParameters: C must be >= 0");
+  }
+  if (!r_local.is_positive()) {
+    throw std::invalid_argument("ModelParameters: R_local must be > 0");
+  }
+  if (!r_remote.is_positive()) {
+    throw std::invalid_argument("ModelParameters: R_remote must be > 0");
+  }
+  if (!bandwidth.is_positive()) {
+    throw std::invalid_argument("ModelParameters: Bw must be > 0");
+  }
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("ModelParameters: alpha must be in (0, 1]");
+  }
+  if (!(theta >= 1.0)) {
+    throw std::invalid_argument("ModelParameters: theta must be >= 1");
+  }
+}
+
+}  // namespace sss::core

@@ -1,0 +1,47 @@
+// params.hpp — the model parameters of Section 3.1.
+//
+// One struct holds every symbol the paper defines so the equations in
+// completion.hpp can be read against the text:
+//
+//   S_unit  data unit size                     -> s_unit
+//   C       computation complexity (FLOP/GB)   -> complexity
+//   R_local local processing rate              -> r_local
+//   R_remote remote processing rate            -> r_remote
+//   Bw      bandwidth                          -> bandwidth
+//   alpha   R_transfer / Bw                    -> alpha
+//   r       R_remote / R_local                 -> r() (derived)
+//   theta   I/O overhead coefficient           -> theta
+#pragma once
+
+#include "units/units.hpp"
+
+namespace sss::core {
+
+struct ModelParameters {
+  // Data unit: the volume processed per decision (a frame batch, a 1-second
+  // aggregation window, a scan).
+  units::Bytes s_unit = units::Bytes::gigabytes(1.0);
+  // Work per byte of data.
+  units::Complexity complexity = units::Complexity::flop_per_byte(1.0);
+  units::FlopsRate r_local = units::FlopsRate::teraflops(1.0);
+  units::FlopsRate r_remote = units::FlopsRate::teraflops(10.0);
+  // Raw link bandwidth between instrument and HPC facility.
+  units::DataRate bandwidth = units::DataRate::gigabits_per_second(25.0);
+  // Transfer efficiency: effective transfer rate over bandwidth, in (0, 1].
+  double alpha = 0.9;
+  // I/O overhead coefficient (Eq. 7); >= 1, and exactly 1 for pure
+  // streaming with no file system in the path.
+  double theta = 1.0;
+
+  // r = R_remote / R_local (Section 3.1).
+  [[nodiscard]] double r() const { return r_remote / r_local; }
+  // Effective transfer rate R_transfer = alpha * Bw.
+  [[nodiscard]] units::DataRate r_transfer() const { return bandwidth * alpha; }
+  // Total work for one data unit: C * S_unit.
+  [[nodiscard]] units::Flops work() const { return complexity * s_unit; }
+
+  // Throws std::invalid_argument when any parameter is out of range.
+  void validate() const;
+};
+
+}  // namespace sss::core

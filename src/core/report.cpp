@@ -1,0 +1,107 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "core/completion.hpp"
+#include "core/sensitivity.hpp"
+#include "core/sss_score.hpp"
+
+namespace sss::core {
+
+namespace {
+
+std::string fmt_seconds(units::Seconds s) { return units::to_string(s); }
+
+std::string fmt_num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_verdict(const Evaluation& evaluation) {
+  std::ostringstream out;
+  out << "best option: " << to_string(evaluation.best);
+  if (evaluation.link_saturated) {
+    out << " (link saturated: generation rate exceeds effective bandwidth)";
+  } else {
+    out << " | T_local=" << fmt_seconds(evaluation.t_local)
+        << " T_pct(stream)=" << fmt_seconds(evaluation.t_pct_streaming)
+        << " T_pct(file)=" << fmt_seconds(evaluation.t_pct_file)
+        << " | gain(stream)=" << fmt_num(evaluation.gain_streaming);
+  }
+  return out.str();
+}
+
+std::string render_report(const WorkflowReportInput& input) {
+  const ModelParameters& p = input.decision.params;
+  const Evaluation ev = evaluate(input.decision);
+  const auto tiers = tier_analysis(input.decision);
+
+  std::ostringstream out;
+  out << "=== Feasibility report: " << input.workflow_name << " ===\n";
+  out << "parameters:\n";
+  out << "  S_unit   = " << units::to_string(p.s_unit) << "\n";
+  out << "  C        = " << units::to_string(p.complexity.per_gb()) << "/GB\n";
+  out << "  R_local  = " << units::to_string(p.r_local) << "\n";
+  out << "  R_remote = " << units::to_string(p.r_remote) << " (r = " << p.r() << ")\n";
+  out << "  Bw       = " << p.bandwidth.gbit_per_s() << " Gbps, alpha = " << p.alpha
+      << ", theta = " << p.theta << " (file theta = " << input.decision.theta_file << ")\n";
+  if (input.decision.t_worst_transfer.has_value()) {
+    out << "  T_worst(transfer) = " << fmt_seconds(*input.decision.t_worst_transfer)
+        << " (measured)\n";
+  }
+  if (input.decision.generation_rate.has_value()) {
+    out << "  generation rate = " << units::to_string(*input.decision.generation_rate)
+        << (ev.link_saturated ? "  ** exceeds effective link rate **" : "") << "\n";
+  }
+
+  out << "completion times:\n";
+  out << "  T_local          = " << fmt_seconds(ev.t_local) << "\n";
+  const RemoteBreakdown br = remote_breakdown(p);
+  out << "  T_pct(streaming) = " << fmt_seconds(ev.t_pct_streaming) << "  (transfer "
+      << fmt_seconds(br.transfer) << " + io " << fmt_seconds(br.io) << " + remote "
+      << fmt_seconds(br.remote) << ")\n";
+  out << "  T_pct(file)      = " << fmt_seconds(ev.t_pct_file) << "\n";
+  out << "  gain: streaming " << fmt_num(ev.gain_streaming) << "x, file "
+      << fmt_num(ev.gain_file) << "x\n";
+  out << "recommendation: " << to_string(ev.best) << "\n";
+
+  out << "tier analysis (transfer basis " << fmt_seconds(ev.transfer_basis) << "):\n";
+  for (const auto& tf : tiers) {
+    out << "  " << tf.tier.name << " (<" << fmt_seconds(tf.tier.deadline) << "): local "
+        << (tf.local_feasible ? "yes" : "no ") << " | streaming "
+        << (tf.streaming_feasible ? "yes" : "no ");
+    if (tf.streaming_compute_budget.seconds() > 0.0 &&
+        tf.required_remote_rate.is_finite()) {
+      out << " (compute budget " << fmt_seconds(tf.streaming_compute_budget) << ", needs "
+          << units::to_string(tf.required_remote_rate) << ")";
+    }
+    out << " | file " << (tf.file_feasible ? "yes" : "no ") << "\n";
+  }
+
+  const auto a_star = critical_alpha(p);
+  const auto th_star = critical_theta(p);
+  const auto r_star = critical_r(p);
+  out << "break-even:";
+  out << " alpha*=" << (a_star ? fmt_num(*a_star) : std::string("n/a"));
+  out << " theta*=" << (th_star ? fmt_num(*th_star) : std::string("n/a"));
+  out << " r*=" << (r_star ? fmt_num(*r_star) : std::string("n/a"));
+  out << "\n";
+  return out.str();
+}
+
+std::string render_profile(const CongestionProfile& profile) {
+  std::ostringstream out;
+  out << "utilization  T_worst      SSS     regime\n";
+  for (const auto& pt : profile.points()) {
+    const CongestionRegime regime = classify_regime(pt.sss);
+    out << "  " << fmt_num(pt.utilization * 100.0) << "%\t"
+        << fmt_num(pt.t_worst_s) << " s\t" << fmt_num(pt.sss) << "\t"
+        << to_string(regime) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sss::core

@@ -1,0 +1,31 @@
+// report.hpp — human-readable feasibility reports.
+//
+// Renders the output a facility operator acts on: the parameters, the
+// completion-time comparison, the recommendation, and the tier-by-tier
+// feasibility table (the Section 5 case-study narrative, generated instead
+// of hand-written).
+#pragma once
+
+#include <string>
+
+#include "core/calibration.hpp"
+#include "core/decision.hpp"
+
+namespace sss::core {
+
+struct WorkflowReportInput {
+  std::string workflow_name;
+  DecisionInput decision;
+};
+
+// Full text report: parameters, evaluation, tier analysis.
+[[nodiscard]] std::string render_report(const WorkflowReportInput& input);
+
+// One-line verdict, e.g. used by the quickstart example.
+[[nodiscard]] std::string render_verdict(const Evaluation& evaluation);
+
+// Render the congestion profile as a table (utilization, T_worst, SSS,
+// regime).
+[[nodiscard]] std::string render_profile(const CongestionProfile& profile);
+
+}  // namespace sss::core

@@ -1,0 +1,43 @@
+#include "core/sss_score.hpp"
+
+#include <stdexcept>
+
+namespace sss::core {
+
+StreamingSpeedScore compute_sss(units::Seconds t_worst, units::Bytes size,
+                                units::DataRate link_bandwidth) {
+  if (!(t_worst.seconds() >= 0.0)) {
+    throw std::invalid_argument("compute_sss: t_worst must be >= 0");
+  }
+  if (!(size.bytes() > 0.0)) throw std::invalid_argument("compute_sss: size must be > 0");
+  if (!link_bandwidth.is_positive()) {
+    throw std::invalid_argument("compute_sss: bandwidth must be > 0");
+  }
+  StreamingSpeedScore score;
+  score.t_worst_s = t_worst.seconds();
+  score.t_theoretical_s = (size / link_bandwidth).seconds();
+  return score;
+}
+
+const char* to_string(CongestionRegime regime) {
+  switch (regime) {
+    case CongestionRegime::kLow:
+      return "low";
+    case CongestionRegime::kModerate:
+      return "moderate";
+    case CongestionRegime::kSevere:
+      return "severe";
+  }
+  return "unknown";
+}
+
+CongestionRegime classify_regime(double sss_value, const RegimeThresholds& thresholds) {
+  if (!(thresholds.moderate > 0.0) || !(thresholds.severe > thresholds.moderate)) {
+    throw std::invalid_argument("classify_regime: need 0 < moderate < severe");
+  }
+  if (sss_value >= thresholds.severe) return CongestionRegime::kSevere;
+  if (sss_value >= thresholds.moderate) return CongestionRegime::kModerate;
+  return CongestionRegime::kLow;
+}
+
+}  // namespace sss::core

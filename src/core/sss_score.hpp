@@ -1,0 +1,53 @@
+// sss_score.hpp — the Streaming Speed Score (Section 4.1, Eq. 11).
+//
+//   SSS = T_worst / T_theoretical
+//
+// where T_worst is the maximum observed transfer time under congestion and
+// T_theoretical is size / link bandwidth (transmission delay only).  A score
+// of 1 means the network behaves ideally even in the worst case; Fig. 2(a)
+// shows scores beyond 30 at high utilization (>5 s observed vs 0.16 s
+// theoretical).
+//
+// The regime classification mirrors Fig. 2(a)'s narrative: low congestion
+// (suitable for real-time), moderate (2-3 s transfers for the paper's
+// 0.5 GB unit, i.e. roughly 6-19x theoretical), and severe (unsuitable for
+// time-sensitive analysis).
+#pragma once
+
+#include "units/units.hpp"
+
+namespace sss::core {
+
+struct StreamingSpeedScore {
+  double t_worst_s = 0.0;
+  double t_theoretical_s = 0.0;
+
+  [[nodiscard]] double value() const {
+    return t_theoretical_s > 0.0 ? t_worst_s / t_theoretical_s : 0.0;
+  }
+};
+
+// Eq. 11 with T_theoretical computed from size and raw link bandwidth.
+[[nodiscard]] StreamingSpeedScore compute_sss(units::Seconds t_worst, units::Bytes size,
+                                              units::DataRate link_bandwidth);
+
+enum class CongestionRegime {
+  kLow,       // worst case near theoretical: real-time suitable
+  kModerate,  // noticeable inflation: near-real-time only
+  kSevere,    // order-of-magnitude inflation: offline only
+};
+
+[[nodiscard]] const char* to_string(CongestionRegime regime);
+
+struct RegimeThresholds {
+  // SSS value at or above which congestion is "moderate" / "severe".  The
+  // defaults translate Fig. 2(a)'s 2-3 s moderate band for 0.5 GB at
+  // 25 Gbps (T_theoretical = 0.16 s) into score space.
+  double moderate = 6.0;
+  double severe = 19.0;
+};
+
+[[nodiscard]] CongestionRegime classify_regime(double sss_value,
+                                               const RegimeThresholds& thresholds = {});
+
+}  // namespace sss::core

@@ -1,0 +1,128 @@
+#include "core/variability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sss::core {
+
+ParameterDistribution ParameterDistribution::point(double value) {
+  ParameterDistribution d;
+  d.kind_ = Kind::kPoint;
+  d.a_ = value;
+  d.lo_ = value;
+  d.hi_ = value;
+  d.center_ = value;
+  return d;
+}
+
+ParameterDistribution ParameterDistribution::uniform(double lo, double hi) {
+  if (!(hi >= lo)) throw std::invalid_argument("ParameterDistribution: hi < lo");
+  ParameterDistribution d;
+  d.kind_ = Kind::kUniform;
+  d.a_ = lo;
+  d.b_ = hi;
+  d.lo_ = lo;
+  d.hi_ = hi;
+  d.center_ = (lo + hi) / 2.0;
+  return d;
+}
+
+ParameterDistribution ParameterDistribution::normal(double mean, double stddev, double lo,
+                                                    double hi) {
+  if (!(stddev >= 0.0)) throw std::invalid_argument("ParameterDistribution: stddev < 0");
+  if (!(hi >= lo)) throw std::invalid_argument("ParameterDistribution: hi < lo");
+  ParameterDistribution d;
+  d.kind_ = Kind::kNormal;
+  d.a_ = mean;
+  d.b_ = stddev;
+  d.lo_ = lo;
+  d.hi_ = hi;
+  d.center_ = std::clamp(mean, lo, hi);
+  return d;
+}
+
+ParameterDistribution ParameterDistribution::lognormal(double median, double sigma,
+                                                       double lo, double hi) {
+  if (!(median > 0.0)) throw std::invalid_argument("ParameterDistribution: median <= 0");
+  if (!(sigma >= 0.0)) throw std::invalid_argument("ParameterDistribution: sigma < 0");
+  if (!(hi >= lo)) throw std::invalid_argument("ParameterDistribution: hi < lo");
+  ParameterDistribution d;
+  d.kind_ = Kind::kLognormal;
+  d.a_ = std::log(median);
+  d.b_ = sigma;
+  d.lo_ = lo;
+  d.hi_ = hi;
+  d.center_ = std::clamp(median, lo, hi);
+  return d;
+}
+
+double ParameterDistribution::sample(stats::Random& rng) const {
+  double x = 0.0;
+  switch (kind_) {
+    case Kind::kPoint:
+      return a_;
+    case Kind::kUniform:
+      x = rng.uniform(a_, b_);
+      break;
+    case Kind::kNormal:
+      x = rng.normal(a_, b_);
+      break;
+    case Kind::kLognormal:
+      x = rng.lognormal(a_, b_);
+      break;
+  }
+  return std::clamp(x, lo_, hi_);
+}
+
+StochasticModel StochasticModel::from(const ModelParameters& params) {
+  params.validate();
+  StochasticModel m;
+  m.base = params;
+  m.alpha = ParameterDistribution::point(params.alpha);
+  m.r = ParameterDistribution::point(params.r());
+  m.theta = ParameterDistribution::point(params.theta);
+  return m;
+}
+
+MonteCarloResult monte_carlo_t_pct(const StochasticModel& model, std::size_t samples,
+                                   std::uint64_t seed) {
+  if (samples == 0) throw std::invalid_argument("monte_carlo_t_pct: samples must be > 0");
+  model.base.validate();
+
+  stats::Random rng(seed);
+  std::vector<double> draws;
+  draws.reserve(samples);
+  std::size_t remote_wins = 0;
+
+  MonteCarloResult out;
+  out.t_local_s = t_local(model.base).seconds();
+
+  for (std::size_t i = 0; i < samples; ++i) {
+    ModelParameters p = model.base;
+    p.alpha = std::clamp(model.alpha.sample(rng), 1e-6, 1.0);
+    const double r_draw = std::max(model.r.sample(rng), 1e-6);
+    p.r_remote = units::FlopsRate::flops(p.r_local.flop_per_s() * r_draw);
+    p.theta = std::max(model.theta.sample(rng), 1.0);
+    const double t = t_pct(p).seconds();
+    draws.push_back(t);
+    if (t < out.t_local_s) ++remote_wins;
+  }
+
+  out.samples = samples;
+  out.probability_remote_wins =
+      static_cast<double>(remote_wins) / static_cast<double>(samples);
+  out.t_pct = stats::EmpiricalCdf(std::move(draws));
+  return out;
+}
+
+double variability_penalty_s(const MonteCarloResult& result, const StochasticModel& model) {
+  ModelParameters central = model.base;
+  central.alpha = std::clamp(model.alpha.center(), 1e-6, 1.0);
+  central.r_remote = units::FlopsRate::flops(central.r_local.flop_per_s() *
+                                             std::max(model.r.center(), 1e-6));
+  central.theta = std::max(model.theta.center(), 1.0);
+  return result.t_pct.mean() - t_pct(central).seconds();
+}
+
+}  // namespace sss::core

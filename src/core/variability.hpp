@@ -1,0 +1,97 @@
+// variability.hpp — stochastic extension of the completion-time model.
+//
+// The paper's conclusion lists "variability in network and compute
+// performance" as future work.  This module implements it: instead of point
+// estimates for alpha, r and theta, the caller provides distributions, and
+// a Monte Carlo sweep yields the full T_pct distribution — so feasibility
+// can be judged at a chosen percentile (P99 by default), which is the
+// tail-aware decision rule the paper argues for.
+//
+// Distributions are deliberately simple (point / uniform / normal-clamped /
+// lognormal): they cover what facility operators can realistically estimate
+// from measurement logs, and every draw is clamped to the parameter's valid
+// domain so the model never sees an out-of-range value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/completion.hpp"
+#include "core/params.hpp"
+#include "stats/cdf.hpp"
+#include "stats/rng.hpp"
+
+namespace sss::core {
+
+// A one-dimensional random parameter with domain clamping.
+class ParameterDistribution {
+ public:
+  // Degenerate distribution (always `value`).
+  [[nodiscard]] static ParameterDistribution point(double value);
+  // Uniform on [lo, hi].
+  [[nodiscard]] static ParameterDistribution uniform(double lo, double hi);
+  // Normal(mean, stddev), redrawn into [lo, hi] by clamping.
+  [[nodiscard]] static ParameterDistribution normal(double mean, double stddev, double lo,
+                                                    double hi);
+  // Lognormal with given median and sigma (of the underlying normal),
+  // clamped to [lo, hi].  Natural for heavy-tailed efficiency degradation.
+  [[nodiscard]] static ParameterDistribution lognormal(double median, double sigma,
+                                                       double lo, double hi);
+
+  [[nodiscard]] double sample(stats::Random& rng) const;
+  // The distribution's central value (used for reporting).
+  [[nodiscard]] double center() const { return center_; }
+
+ private:
+  enum class Kind { kPoint, kUniform, kNormal, kLognormal };
+  Kind kind_ = Kind::kPoint;
+  double a_ = 0.0;  // point value / lo / mean / log(median)
+  double b_ = 0.0;  // hi / stddev / sigma
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  double center_ = 0.0;
+};
+
+struct StochasticModel {
+  // Deterministic base: S_unit, C, R_local, bandwidth come from here.
+  ModelParameters base;
+  // Random coefficients; defaults are degenerate at the base values, so an
+  // all-default StochasticModel reproduces the deterministic model exactly.
+  ParameterDistribution alpha = ParameterDistribution::point(0.9);
+  ParameterDistribution r = ParameterDistribution::point(10.0);
+  ParameterDistribution theta = ParameterDistribution::point(1.0);
+
+  [[nodiscard]] static StochasticModel from(const ModelParameters& params);
+};
+
+struct MonteCarloResult {
+  stats::EmpiricalCdf t_pct;    // distribution of remote completion time
+  double t_local_s = 0.0;       // deterministic local time for comparison
+  std::size_t samples = 0;
+
+  // Fraction of draws where remote streaming beats local.
+  double probability_remote_wins = 0.0;
+  // Fraction of draws meeting a deadline is available via the CDF:
+  [[nodiscard]] double probability_within(units::Seconds deadline) const {
+    return t_pct.probability_at_or_below(deadline.seconds());
+  }
+  // Tail-aware feasibility: T_pct at quantile q vs the deadline.
+  [[nodiscard]] bool feasible_at(double q, units::Seconds deadline) const {
+    return t_pct.quantile(q) <= deadline.seconds();
+  }
+};
+
+// Run `samples` Monte Carlo draws of (alpha, r, theta) and evaluate Eq. 10
+// on each.  Deterministic for a given seed.
+[[nodiscard]] MonteCarloResult monte_carlo_t_pct(const StochasticModel& model,
+                                                 std::size_t samples = 10000,
+                                                 std::uint64_t seed = 42);
+
+// Convenience: deterministic-equivalent check — the gap between the mean
+// T_pct under variability and the T_pct at the central parameter values.
+// Positive values mean variability makes things worse on average (Jensen
+// gap of the 1/alpha and 1/r terms).
+[[nodiscard]] double variability_penalty_s(const MonteCarloResult& result,
+                                           const StochasticModel& model);
+
+}  // namespace sss::core

@@ -1,0 +1,70 @@
+#include "detector/frame.hpp"
+
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace sss::detector {
+
+void ScanWorkload::validate() const {
+  if (frame_count == 0) throw std::invalid_argument("ScanWorkload: frame_count must be > 0");
+  if (!(frame_size.bytes() > 0.0)) {
+    throw std::invalid_argument("ScanWorkload: frame_size must be > 0");
+  }
+  if (!(frame_interval.seconds() > 0.0)) {
+    throw std::invalid_argument("ScanWorkload: frame_interval must be > 0");
+  }
+}
+
+std::vector<std::byte> make_payload(PayloadPattern pattern, std::uint64_t seed,
+                                    std::uint64_t frame_index, std::size_t size_bytes) {
+  std::vector<std::byte> out(size_bytes);
+  switch (pattern) {
+    case PayloadPattern::kGradient: {
+      // Value ramps along the frame, offset per frame index so consecutive
+      // frames differ.
+      for (std::size_t i = 0; i < size_bytes; ++i) {
+        out[i] = static_cast<std::byte>((i + frame_index * 7 + seed) & 0xff);
+      }
+      break;
+    }
+    case PayloadPattern::kCheckerboard: {
+      // 2-byte-pixel checkerboard: alternating blocks of 0x00 and 0xff.
+      constexpr std::size_t kBlock = 64;
+      for (std::size_t i = 0; i < size_bytes; ++i) {
+        const bool on = (((i / kBlock) + frame_index) % 2) == 0;
+        out[i] = on ? std::byte{0xff} : std::byte{0x00};
+      }
+      break;
+    }
+    case PayloadPattern::kNoise: {
+      stats::Xoshiro256 rng(seed ^ (frame_index * 0x9e3779b97f4a7c15ULL + 1));
+      std::size_t i = 0;
+      for (; i + 8 <= size_bytes; i += 8) {
+        const std::uint64_t word = rng.next();
+        for (std::size_t b = 0; b < 8; ++b) {
+          out[i + b] = static_cast<std::byte>((word >> (8 * b)) & 0xff);
+        }
+      }
+      if (i < size_bytes) {
+        const std::uint64_t word = rng.next();
+        for (std::size_t b = 0; i < size_bytes; ++i, ++b) {
+          out[i] = static_cast<std::byte>((word >> (8 * b)) & 0xff);
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::uint64_t checksum(std::span<const std::byte> data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::byte b : data) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace sss::detector

@@ -1,0 +1,77 @@
+// frame.hpp — detector frames and synthetic payloads.
+//
+// A Frame is the unit every subsystem agrees on: the detector emits frames,
+// pipelines move them, storage models persist them.  Payload generation is
+// deterministic (seeded) and checksummable so end-to-end tests can verify
+// that streaming and file-based paths deliver byte-identical data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "units/units.hpp"
+
+namespace sss::detector {
+
+// Metadata-only descriptor used by analytical models (no payload attached).
+struct FrameDescriptor {
+  std::uint64_t index = 0;
+  units::Bytes size;
+  // Generation timestamp relative to scan start.
+  units::Seconds generated_at;
+};
+
+// A frame with its payload, used by the real (threaded) pipelines.
+struct Frame {
+  FrameDescriptor descriptor;
+  std::vector<std::byte> payload;
+
+  [[nodiscard]] std::size_t size_bytes() const { return payload.size(); }
+};
+
+// A scan: `frame_count` frames of `frame_size` emitted every
+// `frame_interval`.  Fig. 4's workload is 1,440 frames of 2048 x 2048
+// 2-byte pixels (~12.6 GB) at 0.033 s/frame or 0.33 s/frame.
+struct ScanWorkload {
+  std::uint64_t frame_count = 0;
+  units::Bytes frame_size;
+  units::Seconds frame_interval;  // seconds per frame (1 / rate)
+
+  [[nodiscard]] units::Bytes total_bytes() const {
+    return frame_size * static_cast<double>(frame_count);
+  }
+  [[nodiscard]] units::Seconds generation_time() const {
+    return frame_interval * static_cast<double>(frame_count);
+  }
+  [[nodiscard]] units::DataRate generation_rate() const {
+    return frame_size / frame_interval;
+  }
+  // Generation completion timestamp of frame `index` (0-based); the frame
+  // becomes available one full interval after its exposure starts.
+  [[nodiscard]] units::Seconds frame_ready_at(std::uint64_t index) const {
+    return frame_interval * static_cast<double>(index + 1);
+  }
+  void validate() const;
+};
+
+// Payload patterns.  kGradient and kCheckerboard are compressible and
+// visually checkable; kNoise defeats compression (worst case for reduction
+// stages).
+enum class PayloadPattern {
+  kGradient,
+  kCheckerboard,
+  kNoise,
+};
+
+// Deterministic payload: same (pattern, seed, index, size) always produces
+// identical bytes.
+[[nodiscard]] std::vector<std::byte> make_payload(PayloadPattern pattern, std::uint64_t seed,
+                                                  std::uint64_t frame_index,
+                                                  std::size_t size_bytes);
+
+// FNV-1a 64-bit checksum used to compare payloads across transport paths.
+[[nodiscard]] std::uint64_t checksum(std::span<const std::byte> data);
+
+}  // namespace sss::detector

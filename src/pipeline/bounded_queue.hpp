@@ -1,0 +1,96 @@
+// bounded_queue.hpp — blocking bounded MPMC queue with close semantics.
+//
+// The pipeline's backpressure primitive: a full queue blocks the producer
+// (the detector "stalls", exactly the failure mode a too-slow transfer path
+// causes in a real DAQ chain), and close() lets producers signal
+// end-of-stream so consumers drain and exit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace sss::pipeline {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while full.  Returns false if the queue was closed (item
+  // dropped).
+  bool push(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push; false when full or closed.
+  bool try_push(T value) {
+    std::lock_guard lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty.  Returns nullopt once the queue is closed AND
+  // drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  // Non-blocking pop; nullopt when empty.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  // Ends the stream: blocked producers return false, consumers drain the
+  // remaining items then receive nullopt.
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace sss::pipeline

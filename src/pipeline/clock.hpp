@@ -1,0 +1,67 @@
+// clock.hpp — injectable time source for the threaded pipelines.
+//
+// SystemClock wraps steady_clock for real runs; VirtualClock advances
+// instantly on sleep so tests exercise the pipeline logic (ordering,
+// backpressure, completeness) without wall-clock delays.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "units/units.hpp"
+
+namespace sss::pipeline {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Monotonic seconds since an arbitrary origin.
+  virtual units::Seconds now() = 0;
+  virtual void sleep_for(units::Seconds duration) = 0;
+};
+
+class SystemClock final : public Clock {
+ public:
+  SystemClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  units::Seconds now() override {
+    const auto elapsed = std::chrono::steady_clock::now() - origin_;
+    return units::Seconds::of(std::chrono::duration<double>(elapsed).count());
+  }
+
+  void sleep_for(units::Seconds duration) override {
+    if (duration.seconds() <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(duration.seconds()));
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+// Virtual time: sleep_for advances a shared atomic clock instead of
+// blocking.  With several threads the ordering is approximate (time moves
+// monotonically but interleavings differ from real time), which the tests
+// that use it account for.
+class VirtualClock final : public Clock {
+ public:
+  units::Seconds now() override {
+    return units::Seconds::of(now_ns_.load(std::memory_order_acquire) / 1e9);
+  }
+
+  void sleep_for(units::Seconds duration) override {
+    if (duration.seconds() <= 0.0) return;
+    // Round up to at least one tick so every positive sleep makes progress
+    // (sub-nanosecond waits would otherwise truncate to zero and allow
+    // callers polling the clock to spin forever).
+    const auto ticks =
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(duration.seconds() * 1e9));
+    now_ns_.fetch_add(ticks, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<std::int64_t> now_ns_{0};
+};
+
+}  // namespace sss::pipeline

@@ -1,0 +1,152 @@
+#include "pipeline/file_pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <thread>
+
+#include "pipeline/bounded_queue.hpp"
+#include "pipeline/rate_limiter.hpp"
+#include "pipeline/thread_pool.hpp"
+
+namespace sss::pipeline {
+
+namespace {
+
+struct FileBlob {
+  std::uint64_t file_index = 0;
+  std::uint64_t frame_begin = 0;
+  std::uint64_t frame_count = 0;
+  std::vector<std::byte> data;
+};
+
+void note_item(StageTiming& timing, double now_s, std::uint64_t bytes) {
+  if (timing.items == 0) timing.first_item_s = now_s;
+  timing.last_item_s = now_s;
+  ++timing.items;
+  timing.bytes += bytes;
+}
+
+}  // namespace
+
+FileRunReport run_file_pipeline(const FilePipelineConfig& config, Clock& clock) {
+  config.scan.validate();
+  if (config.file_count == 0 || config.file_count > config.scan.frame_count) {
+    throw std::invalid_argument("run_file_pipeline: file_count must be in [1, frame_count]");
+  }
+
+  const storage::PfsModel source(config.source_pfs);
+  const storage::PfsModel dest(config.dest_pfs);
+
+  FileRunReport report;
+  std::mutex report_mutex;
+  std::atomic<std::uint64_t> consumer_checksum{0};
+  std::atomic<std::uint64_t> frames_processed{0};
+
+  BoundedQueue<FileBlob> staged(4);
+  BoundedQueue<FileBlob> landed(4);
+  TokenBucket wan(config.wan_bandwidth, config.wan_burst, clock);
+
+  const double start_s = clock.now().seconds();
+  const std::uint64_t frames = config.scan.frame_count;
+  const std::uint64_t base = frames / config.file_count;
+  const std::uint64_t remainder = frames % config.file_count;
+  const std::size_t frame_bytes = static_cast<std::size_t>(config.scan.frame_size.bytes());
+
+  // --- stage A: generate + stage into source "files" ----------------------
+  std::thread stager([&] {
+    detector::FrameSource src(config.scan, config.pattern, config.seed);
+    std::uint64_t xor_sum = 0;
+    const double interval = config.scan.frame_interval.seconds();
+    const double frame_write_s =
+        frame_bytes / source.effective_write_bandwidth(config.scan.frame_size).bps();
+    double next_due = clock.now().seconds();
+
+    std::uint64_t frame_cursor = 0;
+    for (std::uint64_t k = 0; k < config.file_count; ++k) {
+      const std::uint64_t in_file = base + (k < remainder ? 1 : 0);
+      FileBlob blob;
+      blob.file_index = k;
+      blob.frame_begin = frame_cursor;
+      blob.frame_count = in_file;
+      blob.data.reserve(in_file * frame_bytes);
+
+      // File create cost on the source PFS.
+      clock.sleep_for(source.create_time(1));
+      for (std::uint64_t i = 0; i < in_file; ++i, ++frame_cursor) {
+        auto frame = src.next_frame();
+        if (!frame.has_value()) break;
+        if (config.pace_producer) {
+          next_due += interval;
+          const double wait = next_due - clock.now().seconds();
+          if (wait > 0.0) clock.sleep_for(units::Seconds::of(wait));
+        }
+        xor_sum ^= detector::checksum(frame->payload);
+        // PFS write of this frame.
+        clock.sleep_for(units::Seconds::of(frame_write_s));
+        blob.data.insert(blob.data.end(), frame->payload.begin(), frame->payload.end());
+      }
+      {
+        std::lock_guard lock(report_mutex);
+        note_item(report.staging, clock.now().seconds() - start_s, blob.data.size());
+        ++report.files_written;
+      }
+      if (!staged.push(std::move(blob))) break;
+    }
+    staged.close();
+    std::lock_guard lock(report_mutex);
+    report.producer_checksum = xor_sum;
+  });
+
+  // --- stage B: WAN transfer of completed files ---------------------------
+  std::thread transfer([&] {
+    while (auto blob = staged.pop()) {
+      // Per-file transfer-tool overhead + destination create.
+      clock.sleep_for(config.per_file_wan_overhead);
+      clock.sleep_for(dest.create_time(1));
+      wan.acquire(units::Bytes::of(static_cast<double>(blob->data.size())));
+      {
+        std::lock_guard lock(report_mutex);
+        note_item(report.transfer, clock.now().seconds() - start_s, blob->data.size());
+        ++report.files_transferred;
+      }
+      if (!landed.push(std::move(*blob))) break;
+    }
+    landed.close();
+  });
+
+  // --- stage C: destination read + compute --------------------------------
+  {
+    ThreadPool pool(config.compute_threads,
+                    std::max<std::size_t>(4, config.compute_threads * 4));
+    while (auto blob = landed.pop()) {
+      // Destination read of the whole file before processing.
+      clock.sleep_for(
+          dest.read_time(1, units::Bytes::of(static_cast<double>(blob->data.size()))));
+      auto shared = std::make_shared<FileBlob>(std::move(*blob));
+      for (std::uint64_t f = 0; f < shared->frame_count; ++f) {
+        (void)pool.submit([&, shared, f] {
+          const std::size_t offset = static_cast<std::size_t>(f) * frame_bytes;
+          const std::span<const std::byte> view(shared->data.data() + offset, frame_bytes);
+          consumer_checksum.fetch_xor(detector::checksum(view), std::memory_order_relaxed);
+          frames_processed.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard lock(report_mutex);
+          note_item(report.compute, clock.now().seconds() - start_s, frame_bytes);
+        });
+      }
+    }
+    pool.shutdown();
+  }
+
+  stager.join();
+  transfer.join();
+
+  report.total_wall_s = clock.now().seconds() - start_s;
+  report.consumer_checksum = consumer_checksum.load();
+  report.frames_processed = frames_processed.load();
+  return report;
+}
+
+}  // namespace sss::pipeline

@@ -1,0 +1,75 @@
+// spsc_queue.hpp — lock-free single-producer/single-consumer ring buffer.
+//
+// The hot path between the pipeline's producer and sender threads: one
+// cache-line-separated head/tail pair, acquire/release ordering, no locks,
+// no allocation after construction.  Capacity is rounded up to a power of
+// two so index wrapping is a mask.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace sss::pipeline {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity)
+      : capacity_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)),
+        mask_(capacity_ - 1),
+        slots_(capacity_) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Producer side.  Returns false when full.
+  [[nodiscard]] bool try_push(T value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_cache_;
+    if (tail - head >= capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side.  Returns nullopt when empty.
+  [[nodiscard]] std::optional<T> try_pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_cache_;
+    if (head >= tail) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head >= tail_cache_) return std::nullopt;
+    }
+    T value = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return value;
+  }
+
+  // Approximate size (exact when called from either endpoint thread).
+  [[nodiscard]] std::size_t size_approx() const {
+    return tail_.load(std::memory_order_acquire) - head_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::vector<T> slots_;
+
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::size_t tail_cache_ = 0;  // consumer-local
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+  alignas(kCacheLine) std::size_t head_cache_ = 0;  // producer-local
+};
+
+}  // namespace sss::pipeline

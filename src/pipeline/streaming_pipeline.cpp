@@ -1,0 +1,121 @@
+#include "pipeline/streaming_pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "pipeline/thread_pool.hpp"
+
+namespace sss::pipeline {
+
+namespace {
+
+void note_item(StageTiming& timing, double now_s, std::uint64_t bytes) {
+  if (timing.items == 0) timing.first_item_s = now_s;
+  timing.last_item_s = now_s;
+  ++timing.items;
+  timing.bytes += bytes;
+}
+
+// The "analysis" kernel: fold the payload into a 64-bit digest.  Reads every
+// byte (so data really moves through caches) and is deterministic.
+std::uint64_t reduce_payload(const detector::Frame& frame) {
+  return detector::checksum(frame.payload);
+}
+
+}  // namespace
+
+double StreamingRunReport::max_frame_latency_s() const {
+  double worst = 0.0;
+  for (double v : frame_latency_s) worst = std::max(worst, v);
+  return worst;
+}
+
+StreamingRunReport run_streaming_pipeline(const StreamingPipelineConfig& config,
+                                          Clock& clock) {
+  config.scan.validate();
+
+  StreamingRunReport report;
+  report.frame_latency_s.assign(config.scan.frame_count, 0.0);
+  FrameChannel channel(config.channel, clock);
+
+  std::mutex report_mutex;  // guards compute-side aggregates
+  std::atomic<std::uint64_t> consumer_checksum{0};
+  std::atomic<std::uint64_t> frames_processed{0};
+
+  const double start_s = clock.now().seconds();
+
+  // --- producer: paced frame generation ---------------------------------
+  std::thread producer([&] {
+    detector::FrameSource source(config.scan, config.pattern, config.seed);
+    std::uint64_t xor_sum = 0;
+    const double interval = config.scan.frame_interval.seconds();
+    double next_due = clock.now().seconds();
+    while (auto frame = source.next_frame()) {
+      if (config.pace_producer) {
+        next_due += interval;
+        const double wait = next_due - clock.now().seconds();
+        if (wait > 0.0) clock.sleep_for(units::Seconds::of(wait));
+      }
+      xor_sum ^= reduce_payload(*frame);
+      // Stamp actual generation time for latency accounting.
+      frame->descriptor.generated_at =
+          units::Seconds::of(clock.now().seconds() - start_s);
+      note_item(report.producer, clock.now().seconds() - start_s, frame->size_bytes());
+      if (!channel.send(std::move(*frame))) break;
+    }
+    channel.close();
+    std::lock_guard lock(report_mutex);
+    report.producer_checksum = xor_sum;
+  });
+
+  // --- consumers: channel -> compute pool --------------------------------
+  {
+    ThreadPool pool(config.compute_threads,
+                    /*queue_capacity=*/std::max<std::size_t>(4, config.compute_threads * 4));
+    std::mutex recv_mutex;  // single logical receiver feeding the pool
+    std::vector<std::thread> receivers;
+    receivers.emplace_back([&] {
+      while (true) {
+        std::optional<detector::Frame> frame;
+        {
+          std::lock_guard lock(recv_mutex);
+          frame = channel.recv();
+        }
+        if (!frame.has_value()) break;
+        const double received_s = clock.now().seconds() - start_s;
+        {
+          std::lock_guard lock(report_mutex);
+          note_item(report.transfer, received_s, frame->size_bytes());
+        }
+        auto shared = std::make_shared<detector::Frame>(std::move(*frame));
+        // Fire-and-forget into the pool; its bounded task queue blocks this
+        // receiver when compute falls behind (backpressure), and shutdown()
+        // below drains everything before the report is read.
+        (void)pool.submit([&, shared] {
+          const std::uint64_t digest = reduce_payload(*shared);
+          consumer_checksum.fetch_xor(digest, std::memory_order_relaxed);
+          frames_processed.fetch_add(1, std::memory_order_relaxed);
+          const double done_s = clock.now().seconds() - start_s;
+          std::lock_guard lock(report_mutex);
+          note_item(report.compute, done_s, shared->size_bytes());
+          const std::uint64_t idx = shared->descriptor.index;
+          if (idx < report.frame_latency_s.size()) {
+            report.frame_latency_s[idx] = done_s - shared->descriptor.generated_at.seconds();
+          }
+        });
+      }
+    });
+    for (auto& r : receivers) r.join();
+    pool.shutdown();
+  }
+  producer.join();
+
+  report.total_wall_s = clock.now().seconds() - start_s;
+  report.consumer_checksum = consumer_checksum.load();
+  report.frames_processed = frames_processed.load();
+  return report;
+}
+
+}  // namespace sss::pipeline

@@ -1,0 +1,70 @@
+// streaming_pipeline.hpp — the real (threaded) streaming path.
+//
+// Three overlapped stages connected by channels, moving actual bytes:
+//
+//   producer (detector thread, paced at the scan's frame rate)
+//     --> FrameChannel (token-bucket = WAN capacity)
+//       --> consumer pool ("remote compute": checksum + reduction)
+//
+// This is the executable counterpart of storage/stream_transfer.hpp's
+// analytical timeline — examples run both and compare.  Every frame is
+// checksummed on both sides so tests can assert loss-free, in-order
+// completeness (the paper's "strict real-time completeness" requirement).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detector/frame.hpp"
+#include "detector/source.hpp"
+#include "pipeline/channel.hpp"
+#include "pipeline/clock.hpp"
+#include "units/units.hpp"
+
+namespace sss::pipeline {
+
+struct StreamingPipelineConfig {
+  detector::ScanWorkload scan;
+  detector::PayloadPattern pattern = detector::PayloadPattern::kGradient;
+  std::uint64_t seed = 42;
+  ChannelConfig channel;
+  // Worker threads in the compute stage.
+  std::size_t compute_threads = 2;
+  // When false the producer emits frames back-to-back (maximum offered
+  // rate) instead of pacing at scan.frame_interval.
+  bool pace_producer = true;
+};
+
+struct StageTiming {
+  double first_item_s = 0.0;
+  double last_item_s = 0.0;
+  std::uint64_t items = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct StreamingRunReport {
+  StageTiming producer;
+  StageTiming transfer;
+  StageTiming compute;
+  double total_wall_s = 0.0;
+  // XOR of per-frame checksums on the producer and consumer sides; equal
+  // iff every frame arrived intact (order-independent).
+  std::uint64_t producer_checksum = 0;
+  std::uint64_t consumer_checksum = 0;
+  std::uint64_t frames_processed = 0;
+  // Per-frame end-to-end latency (processed time - generated time).
+  std::vector<double> frame_latency_s;
+
+  [[nodiscard]] bool complete_and_intact(std::uint64_t expected_frames) const {
+    return frames_processed == expected_frames &&
+           producer_checksum == consumer_checksum;
+  }
+  [[nodiscard]] double max_frame_latency_s() const;
+};
+
+// Runs the pipeline to completion on `clock` (SystemClock for real timing,
+// VirtualClock for instant logical runs).
+[[nodiscard]] StreamingRunReport run_streaming_pipeline(const StreamingPipelineConfig& config,
+                                                        Clock& clock);
+
+}  // namespace sss::pipeline

@@ -1,0 +1,60 @@
+#include "pipeline/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace sss::pipeline {
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : tasks_(queue_capacity) {
+  if (threads == 0) throw std::invalid_argument("ThreadPool: threads must be >= 1");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::optional<std::function<void()>> task = tasks_.pop();
+    if (!task.has_value()) return;  // closed and drained
+    (*task)();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  // Chunk the range so each worker gets a contiguous block; a shared atomic
+  // cursor balances uneven task costs.
+  const std::size_t total = end - begin;
+  const std::size_t chunk = std::max<std::size_t>(1, total / (workers_.size() * 4));
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    futures.push_back(submit([cursor, end, chunk, &fn] {
+      for (;;) {
+        const std::size_t start = cursor->fetch_add(chunk);
+        if (start >= end) return;
+        const std::size_t stop = std::min(end, start + chunk);
+        for (std::size_t i = start; i < stop; ++i) fn(i);
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+void ThreadPool::shutdown() {
+  tasks_.close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace sss::pipeline

@@ -1,0 +1,61 @@
+#include "simnet/background.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sss::simnet {
+
+BackgroundTraffic::BackgroundTraffic(BackgroundTrafficConfig config, Link& forward,
+                                     Link& reverse)
+    : config_(std::move(config)), forward_(forward), reverse_(reverse) {
+  if (config_.target_load < 0.0) {
+    throw std::invalid_argument("BackgroundTraffic: target_load must be >= 0");
+  }
+  if (!(config_.mean_flow_size.bytes() > 0.0)) {
+    throw std::invalid_argument("BackgroundTraffic: mean_flow_size must be > 0");
+  }
+  if (!(config_.until.seconds() > 0.0)) {
+    throw std::invalid_argument("BackgroundTraffic: until must be > 0");
+  }
+}
+
+void BackgroundTraffic::schedule(Simulation& sim) {
+  if (config_.target_load == 0.0) return;
+  stats::Random rng(config_.seed);
+
+  const double capacity = forward_.config().capacity.bps();
+  const double lambda =
+      config_.target_load * capacity / config_.mean_flow_size.bytes();  // flows/s
+
+  // Pareto scale for the requested mean: mean = shape * x_m / (shape - 1).
+  const bool heavy = config_.pareto_shape > 1.0;
+  const double x_m = heavy ? config_.mean_flow_size.bytes() *
+                                 (config_.pareto_shape - 1.0) / config_.pareto_shape
+                           : 0.0;
+
+  double t = 0.0;
+  // Background flows get IDs in a high range to avoid confusing them with
+  // foreground clients in logs.
+  std::uint32_t id = 1u << 30;
+  for (;;) {
+    t += rng.exponential(lambda);
+    if (t >= config_.until.seconds()) break;
+    const double size = heavy ? rng.pareto(x_m, config_.pareto_shape)
+                              : config_.mean_flow_size.bytes() * rng.exponential(1.0);
+    const double clamped = std::max(size, 1500.0);  // at least one packet
+    bytes_offered_ += clamped;
+
+    auto flow = std::make_unique<TcpFlow>(id++, units::Bytes::of(clamped), config_.tcp,
+                                          forward_, reverse_, this);
+    TcpFlow* raw = flow.get();
+    flows_.push_back(std::move(flow));
+    sim.call_at(to_simtime(units::Seconds::of(t)),
+                [raw](Simulation& s) { raw->start(s); });
+  }
+}
+
+void BackgroundTraffic::on_flow_complete(Simulation& /*sim*/, const TcpFlow& /*flow*/) {
+  ++completed_;
+}
+
+}  // namespace sss::simnet

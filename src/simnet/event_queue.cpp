@@ -1,0 +1,20 @@
+#include "simnet/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace sss::simnet {
+
+void EventQueue::schedule(SimTime at, EventHandler& handler, int kind, std::uint64_t a,
+                          std::uint64_t b) {
+  if (at < 0) throw std::invalid_argument("EventQueue: negative event time");
+  heap_.push(Event{at, next_seq_++, &handler, kind, a, b});
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace sss::simnet

@@ -1,0 +1,63 @@
+// event_queue.hpp — the discrete-event scheduler.
+//
+// A binary heap of (time, sequence) keyed events.  The sequence number makes
+// ordering of simultaneous events deterministic (FIFO in scheduling order),
+// which in turn makes every experiment reproducible bit-for-bit from its
+// seed — a property the test suite relies on.
+//
+// Events target an EventHandler with an integer kind and two integer
+// arguments rather than a std::function: the hot path of the TCP simulator
+// schedules tens of millions of events per run and must not allocate.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "simnet/time.hpp"
+
+namespace sss::simnet {
+
+class Simulation;
+
+// Implemented by anything that receives scheduled events (links, flows,
+// workload orchestrators).
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+  virtual void on_event(Simulation& sim, int kind, std::uint64_t a, std::uint64_t b) = 0;
+};
+
+struct Event {
+  SimTime at;
+  std::uint64_t seq;  // tie-breaker: schedule order
+  EventHandler* handler;
+  int kind;
+  std::uint64_t a;
+  std::uint64_t b;
+};
+
+class EventQueue {
+ public:
+  void schedule(SimTime at, EventHandler& handler, int kind, std::uint64_t a = 0,
+                std::uint64_t b = 0);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] SimTime next_time() const { return heap_.top().at; }
+  // Pop the earliest event.  Precondition: !empty().
+  [[nodiscard]] Event pop();
+  [[nodiscard]] std::uint64_t scheduled_total() const { return next_seq_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& x, const Event& y) const {
+      if (x.at != y.at) return x.at > y.at;
+      return x.seq > y.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sss::simnet

@@ -1,0 +1,82 @@
+#include "simnet/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sss::simnet {
+
+namespace {
+constexpr int kDeliverEvent = 1;
+}  // namespace
+
+Link::Link(LinkConfig config, units::Seconds utilization_bucket)
+    : config_(std::move(config)), bytes_series_(utilization_bucket) {
+  if (!config_.capacity.is_positive()) {
+    throw std::invalid_argument("Link capacity must be positive");
+  }
+  if (config_.propagation_delay.seconds() < 0.0) {
+    throw std::invalid_argument("Link propagation delay must be >= 0");
+  }
+  if (!config_.buffer.is_non_negative()) {
+    throw std::invalid_argument("Link buffer must be >= 0");
+  }
+  buffer_capacity_ns_ = transmission_time(config_.buffer.bytes(), config_.capacity);
+}
+
+double Link::backlog_bytes(SimTime now) const {
+  if (busy_until_ <= now) return 0.0;
+  const double backlog_seconds = static_cast<double>(busy_until_ - now) / 1e9;
+  return backlog_seconds * config_.capacity.bps();
+}
+
+bool Link::transmit(Simulation& sim, const Packet& packet, PacketSink& destination) {
+  ++counters_.packets_offered;
+  counters_.bytes_offered += packet.size_bytes;
+
+  const SimTime now = sim.now();
+  // Queue occupancy measured in serialization time: everything scheduled
+  // after `now` is backlog awaiting the wire.
+  const SimTime backlog_ns = busy_until_ > now ? busy_until_ - now : 0;
+  if (backlog_ns > buffer_capacity_ns_) {
+    ++counters_.packets_dropped;
+    counters_.bytes_dropped += packet.size_bytes;
+    return false;
+  }
+
+  const SimTime start = std::max(now, busy_until_);
+  const SimTime tx = transmission_time(packet.size_bytes, config_.capacity);
+  busy_until_ = start + tx;
+
+  ++counters_.packets_forwarded;
+  counters_.bytes_forwarded += packet.size_bytes;
+  bytes_series_.record(to_seconds(start), static_cast<double>(packet.size_bytes));
+
+  in_flight_.emplace_back(packet, &destination);
+  const SimTime arrival = busy_until_ + to_simtime(config_.propagation_delay);
+  sim.schedule_at(arrival, *this, kDeliverEvent);
+  return true;
+}
+
+void Link::on_event(Simulation& sim, int kind, std::uint64_t /*a*/, std::uint64_t /*b*/) {
+  if (kind != kDeliverEvent) throw std::logic_error("Link: unexpected event kind");
+  if (in_flight_.empty()) throw std::logic_error("Link: delivery with empty in-flight queue");
+  auto [packet, sink] = in_flight_.front();
+  in_flight_.pop_front();
+  sink->on_packet(sim, packet);
+}
+
+double Link::peak_utilization() const {
+  return bytes_series_.peak_rate() / config_.capacity.bps();
+}
+
+double Link::mean_utilization() const {
+  return bytes_series_.mean_rate() / config_.capacity.bps();
+}
+
+double Link::loss_rate() const {
+  if (counters_.packets_offered == 0) return 0.0;
+  return static_cast<double>(counters_.packets_dropped) /
+         static_cast<double>(counters_.packets_offered);
+}
+
+}  // namespace sss::simnet

@@ -1,0 +1,101 @@
+// link.hpp — bottleneck link with a drop-tail queue.
+//
+// The link is modeled as a FIFO serializer: a packet arriving at time t
+// starts transmission at max(t, busy_until) and the backlog
+// (busy_until - t) * capacity is the queue occupancy in bytes.  Because the
+// queue is FIFO and the propagation delay constant, deliveries complete in
+// enqueue order, so a single pending-delivery deque replaces per-queue-slot
+// events — this is what lets the packet-level TCP simulator run Table-2
+// scale sweeps (tens of millions of packets) in seconds.
+//
+// Drop-tail semantics: a packet whose acceptance would push the backlog
+// above `buffer` is dropped at arrival, exactly like a switch output queue.
+// TCP loss, and therefore the paper's congestion regimes, emerge from this
+// mechanism rather than from a random loss probability.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "simnet/simulation.hpp"
+#include "simnet/time.hpp"
+#include "stats/timeseries.hpp"
+#include "units/units.hpp"
+
+namespace sss::simnet {
+
+struct Packet {
+  std::uint32_t flow_id = 0;
+  // Data packets: packet index within the flow.  ACKs: cumulative index of
+  // the next expected packet.
+  std::uint64_t seq = 0;
+  std::uint32_t size_bytes = 0;
+  bool is_ack = false;
+  // Set on retransmitted data packets and echoed on the ACKs they trigger,
+  // so the sender can apply Karn's rule (skip RTT samples for retransmits).
+  bool retransmit = false;
+  // Original transmission timestamp, echoed by ACKs for RTT sampling.
+  SimTime sent_at = 0;
+};
+
+// Endpoint interface: flows implement this to receive packets.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void on_packet(Simulation& sim, const Packet& packet) = 0;
+};
+
+struct LinkConfig {
+  std::string name = "link";
+  units::DataRate capacity = units::DataRate::gigabits_per_second(25.0);
+  units::Seconds propagation_delay = units::Seconds::millis(8.0);  // one way
+  // Drop-tail buffer.  Default is one bandwidth-delay product at 16 ms RTT,
+  // a common switch sizing rule.
+  units::Bytes buffer = units::Bytes::megabytes(50.0);
+};
+
+struct LinkCounters {
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_forwarded = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t bytes_offered = 0;
+  std::uint64_t bytes_forwarded = 0;
+  std::uint64_t bytes_dropped = 0;
+};
+
+class Link : public EventHandler {
+ public:
+  // `utilization_bucket` controls the granularity of the interface byte
+  // counters (Fig. 2's x-axis is derived from these).
+  explicit Link(LinkConfig config,
+                units::Seconds utilization_bucket = units::Seconds::of(1.0));
+
+  // Offer a packet for transmission toward `destination`.  Returns false if
+  // the drop-tail queue rejected it (the packet is silently lost, as on a
+  // real switch; senders learn via duplicate ACKs or RTO).
+  bool transmit(Simulation& sim, const Packet& packet, PacketSink& destination);
+
+  void on_event(Simulation& sim, int kind, std::uint64_t a, std::uint64_t b) override;
+
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+  [[nodiscard]] const LinkCounters& counters() const { return counters_; }
+  // Queue occupancy in bytes if a packet arrived at time `now`.
+  [[nodiscard]] double backlog_bytes(SimTime now) const;
+  // Fraction of capacity used over the busiest counting bucket.
+  [[nodiscard]] double peak_utilization() const;
+  // Fraction of capacity used averaged over all buckets.
+  [[nodiscard]] double mean_utilization() const;
+  [[nodiscard]] const stats::TimeSeries& bytes_series() const { return bytes_series_; }
+  [[nodiscard]] double loss_rate() const;
+
+ private:
+  LinkConfig config_;
+  LinkCounters counters_;
+  SimTime busy_until_ = 0;
+  SimTime buffer_capacity_ns_;  // buffer expressed as serialization time
+  std::deque<std::pair<Packet, PacketSink*>> in_flight_;
+  stats::TimeSeries bytes_series_;
+};
+
+}  // namespace sss::simnet

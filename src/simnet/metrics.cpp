@@ -1,0 +1,36 @@
+#include "simnet/metrics.hpp"
+
+#include <algorithm>
+
+namespace sss::simnet {
+
+double ExperimentMetrics::max_client_fct_s() const {
+  double worst = 0.0;
+  for (const auto& c : clients) worst = std::max(worst, c.fct_s());
+  return worst;
+}
+
+double ExperimentMetrics::mean_client_fct_s() const {
+  if (clients.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& c : clients) sum += c.fct_s();
+  return sum / static_cast<double>(clients.size());
+}
+
+std::vector<double> ExperimentMetrics::client_fct_samples() const {
+  std::vector<double> out;
+  out.reserve(clients.size());
+  for (const auto& c : clients) out.push_back(c.fct_s());
+  return out;
+}
+
+stats::EmpiricalCdf ExperimentMetrics::client_fct_cdf() const {
+  return stats::EmpiricalCdf(client_fct_samples());
+}
+
+bool ExperimentMetrics::any_censored() const {
+  return std::any_of(clients.begin(), clients.end(),
+                     [](const ClientRecord& c) { return c.censored; });
+}
+
+}  // namespace sss::simnet

@@ -1,0 +1,77 @@
+// metrics.hpp — experiment measurement records.
+//
+// Mirrors what the paper's orchestrator collects (Section 4): network-level
+// counters from the link and application-level transfer-time logs per
+// client.  The maximum client completion time within an experiment is the
+// paper's worst-case heuristic (T_worst); quantile helpers feed Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/cdf.hpp"
+#include "stats/percentile.hpp"
+#include "units/units.hpp"
+
+namespace sss::simnet {
+
+struct FlowRecord {
+  std::uint32_t flow_id = 0;
+  std::uint32_t client_id = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double bytes = 0.0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t rto_events = 0;
+  // True when the flow had not finished by the experiment drain deadline;
+  // end_s then holds the deadline (a right-censored observation).
+  bool censored = false;
+
+  [[nodiscard]] double fct_s() const { return end_s - start_s; }
+};
+
+struct ClientRecord {
+  std::uint32_t client_id = 0;
+  // When the client wanted to start (its spawn instant or reserved slot).
+  double requested_s = 0.0;
+  // When its transfer actually began.  Equal to requested_s except in
+  // scheduled-with-reservation mode, where admission waits for the previous
+  // reservation to finish.
+  double start_s = 0.0;
+  double end_s = 0.0;  // completion of the last parallel flow
+  double bytes = 0.0;  // total across parallel flows
+  std::uint32_t flow_count = 0;
+  bool censored = false;
+
+  // The per-client transfer time the paper logs ("detailed transfer time
+  // logs per client"): measured from actual transfer start, as an iperf3
+  // client reports it.
+  [[nodiscard]] double fct_s() const { return end_s - start_s; }
+  // Reservation queue wait (0 for simultaneous spawning).
+  [[nodiscard]] double queue_wait_s() const { return start_s - requested_s; }
+  // End-to-end latency including the wait for a slot.
+  [[nodiscard]] double total_latency_s() const { return end_s - requested_s; }
+};
+
+struct ExperimentMetrics {
+  std::vector<FlowRecord> flows;
+  std::vector<ClientRecord> clients;
+
+  // Link-level measurements over the spawn window.
+  double mean_utilization = 0.0;
+  double peak_utilization = 0.0;
+  double loss_rate = 0.0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_forwarded = 0;
+  std::uint64_t total_retransmits = 0;
+  std::uint64_t total_rto_events = 0;
+
+  // T_worst: maximum client transfer time (Section 4.1).  0 when empty.
+  [[nodiscard]] double max_client_fct_s() const;
+  [[nodiscard]] double mean_client_fct_s() const;
+  [[nodiscard]] std::vector<double> client_fct_samples() const;
+  [[nodiscard]] stats::EmpiricalCdf client_fct_cdf() const;
+  [[nodiscard]] bool any_censored() const;
+};
+
+}  // namespace sss::simnet

@@ -1,0 +1,70 @@
+#include "simnet/simulation.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sss::simnet {
+
+Simulation::Simulation()
+    : function_dispatcher_(std::make_unique<FunctionDispatcher>(*this)) {}
+
+void Simulation::schedule_at(SimTime at, EventHandler& handler, int kind, std::uint64_t a,
+                             std::uint64_t b) {
+  if (at < now_) throw std::invalid_argument("Simulation: cannot schedule in the past");
+  queue_.schedule(at, handler, kind, a, b);
+}
+
+void Simulation::schedule_in(SimTime delay, EventHandler& handler, int kind, std::uint64_t a,
+                             std::uint64_t b) {
+  schedule_at(now_ + delay, handler, kind, a, b);
+}
+
+void Simulation::call_at(SimTime at, std::function<void(Simulation&)> fn) {
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    pending_functions_[slot] = std::move(fn);
+  } else {
+    slot = pending_functions_.size();
+    pending_functions_.push_back(std::move(fn));
+  }
+  schedule_at(at, *function_dispatcher_, /*kind=*/0, /*a=*/slot);
+}
+
+void Simulation::FunctionDispatcher::on_event(Simulation& sim, int /*kind*/, std::uint64_t a,
+                                              std::uint64_t /*b*/) {
+  sim.dispatch_function(a);
+}
+
+void Simulation::dispatch_function(std::uint64_t slot) {
+  // Move out first: the callable may schedule more functions and grow the
+  // vector, invalidating references.
+  std::function<void(Simulation&)> fn = std::move(pending_functions_[slot]);
+  pending_functions_[slot] = nullptr;
+  free_slots_.push_back(slot);
+  fn(*this);
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  Event e = queue_.pop();
+  now_ = e.at;
+  ++processed_;
+  e.handler->on_event(*this, e.kind, e.a, e.b);
+  return true;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+void Simulation::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace sss::simnet

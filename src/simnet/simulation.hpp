@@ -1,0 +1,74 @@
+// simulation.hpp — the simulation kernel.
+//
+// Owns the virtual clock and the event queue, and drives handlers until the
+// queue drains or a stop condition fires.  Also provides a convenience
+// `call_at` for scheduling arbitrary callables (used by orchestrators and
+// tests; the packet hot path uses typed EventHandler events instead).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "simnet/event_queue.hpp"
+#include "simnet/time.hpp"
+
+namespace sss::simnet {
+
+class Simulation {
+ public:
+  Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] units::Seconds now_seconds() const { return to_seconds(now_); }
+
+  void schedule_at(SimTime at, EventHandler& handler, int kind, std::uint64_t a = 0,
+                   std::uint64_t b = 0);
+  void schedule_in(SimTime delay, EventHandler& handler, int kind, std::uint64_t a = 0,
+                   std::uint64_t b = 0);
+
+  // Schedule an arbitrary callable.  Allocates; intended for control-plane
+  // work (client spawning, experiment teardown), not per-packet events.
+  void call_at(SimTime at, std::function<void(Simulation&)> fn);
+  void call_in(SimTime delay, std::function<void(Simulation&)> fn) {
+    call_at(now_ + delay, std::move(fn));
+  }
+
+  // Run one event.  Returns false when the queue is empty.
+  bool step();
+  // Run until the queue drains.
+  void run();
+  // Run all events with time <= deadline; the clock is advanced to at least
+  // `deadline` even if the queue drains earlier.
+  void run_until(SimTime deadline);
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::uint64_t events_scheduled() const { return queue_.scheduled_total(); }
+
+ private:
+  // Adapter letting std::function callables ride the typed event queue: the
+  // callable is parked in a slot and the event carries the slot index.
+  class FunctionDispatcher : public EventHandler {
+   public:
+    explicit FunctionDispatcher(Simulation& sim) : sim_(sim) {}
+    void on_event(Simulation& sim, int kind, std::uint64_t a, std::uint64_t b) override;
+
+   private:
+    Simulation& sim_;
+  };
+
+  void dispatch_function(std::uint64_t slot);
+
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t processed_ = 0;
+  std::vector<std::function<void(Simulation&)>> pending_functions_;
+  std::vector<std::size_t> free_slots_;
+  std::unique_ptr<FunctionDispatcher> function_dispatcher_;
+};
+
+}  // namespace sss::simnet

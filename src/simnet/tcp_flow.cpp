@@ -1,0 +1,304 @@
+#include "simnet/tcp_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace sss::simnet {
+
+namespace {
+constexpr int kRtoEvent = 1;
+}  // namespace
+
+TcpFlow::TcpFlow(std::uint32_t id, units::Bytes total, const TcpConfig& config, Link& forward,
+                 Link& reverse, FlowObserver* observer)
+    : id_(id),
+      config_(config),
+      forward_(forward),
+      reverse_(reverse),
+      observer_(observer),
+      total_bytes_(total),
+      cwnd_(config.initial_cwnd),
+      rto_(to_simtime(config.initial_rto)) {
+  if (!(total.bytes() > 0.0)) throw std::invalid_argument("TcpFlow: total bytes must be > 0");
+  if (config_.mss_bytes == 0) throw std::invalid_argument("TcpFlow: MSS must be > 0");
+
+  total_packets_ = static_cast<std::uint64_t>(
+      std::ceil(total.bytes() / static_cast<double>(config_.mss_bytes)));
+  retransmitted_.assign(total_packets_, false);
+  received_.assign(total_packets_, false);
+
+  if (config_.max_cwnd_packets <= 0.0) {
+    // Auto receiver window: 2 x bandwidth-delay product of the forward path.
+    const double rtt_s = 2.0 * forward_.config().propagation_delay.seconds();
+    const double bdp_bytes = forward_.config().capacity.bps() * rtt_s;
+    config_.max_cwnd_packets =
+        std::max(4.0, 2.0 * bdp_bytes / static_cast<double>(config_.mss_bytes));
+  }
+  ssthresh_ = config_.max_cwnd_packets;
+}
+
+std::uint32_t TcpFlow::payload_of(std::uint64_t seq) const {
+  if (seq + 1 < total_packets_) return config_.mss_bytes;
+  const double whole = static_cast<double>(total_packets_ - 1) *
+                       static_cast<double>(config_.mss_bytes);
+  const double last = total_bytes_.bytes() - whole;
+  return static_cast<std::uint32_t>(std::max(1.0, last));
+}
+
+double TcpFlow::effective_window() const {
+  return std::min(cwnd_, config_.max_cwnd_packets);
+}
+
+void TcpFlow::start(Simulation& sim) {
+  if (started_) throw std::logic_error("TcpFlow::start called twice");
+  started_ = true;
+  start_time_ = sim.now();
+  maybe_send(sim);
+}
+
+void TcpFlow::send_packet(Simulation& sim, std::uint64_t seq, bool is_retransmit) {
+  Packet p;
+  p.flow_id = id_;
+  p.seq = seq;
+  p.size_bytes = payload_of(seq) + config_.header_bytes;
+  p.is_ack = false;
+  p.retransmit = is_retransmit;
+  p.sent_at = sim.now();
+  if (is_retransmit) {
+    ++retransmits_;
+    ++retx_unconfirmed_;
+    retransmitted_[seq] = true;
+    p.retransmit = true;
+  } else {
+    // Karn's rule also applies to segments that were ever retransmitted.
+    p.retransmit = retransmitted_[seq];
+  }
+  // Drop result intentionally ignored: a real sender cannot observe a
+  // drop-tail loss; it discovers it through dupacks or RTO.
+  (void)forward_.transmit(sim, p, *this);
+  arm_timer(sim);
+}
+
+void TcpFlow::maybe_send(Simulation& sim) {
+  if (in_fast_recovery_) {
+    // SACK-style recovery: pipe-limited; repair scoreboard holes first,
+    // then keep the window full with new data.  Each retransmit bumps
+    // retx_unconfirmed_ (inside send_packet), growing pipe() until the
+    // window is full.
+    while (pipe() < effective_window()) {
+      // Advance the cursor past everything the receiver already holds.
+      while (recovery_cursor_ < recover_seq_ &&
+             (recovery_cursor_ < highest_acked_ || received_[recovery_cursor_])) {
+        ++recovery_cursor_;
+      }
+      // SACK loss rule (RFC 6675-style): a hole is retransmittable only
+      // when dupack_threshold packets above it have been delivered —
+      // merely being in flight does not make a packet lost.
+      const bool hole_is_lost =
+          recovery_cursor_ < recover_seq_ &&
+          recovery_cursor_ + static_cast<std::uint64_t>(config_.dupack_threshold) <
+              highest_received_end_;
+      if (hole_is_lost) {
+        send_packet(sim, recovery_cursor_, /*is_retransmit=*/true);
+        ++recovery_cursor_;
+        continue;
+      }
+      if (next_seq_ >= total_packets_) break;
+      const bool is_retx = next_seq_ < highest_sent_;
+      send_packet(sim, next_seq_, is_retx);
+      ++next_seq_;
+      highest_sent_ = std::max(highest_sent_, next_seq_);
+    }
+    return;
+  }
+  while (next_seq_ < total_packets_ && in_flight() < effective_window()) {
+    // Anything below the high-water mark is a go-back-N resend.
+    const bool is_retx = next_seq_ < highest_sent_;
+    send_packet(sim, next_seq_, is_retx);
+    ++next_seq_;
+    highest_sent_ = std::max(highest_sent_, next_seq_);
+  }
+}
+
+void TcpFlow::on_packet(Simulation& sim, const Packet& packet) {
+  if (packet.is_ack) {
+    handle_ack(sim, packet);
+  } else {
+    handle_data(sim, packet);
+  }
+}
+
+void TcpFlow::handle_data(Simulation& sim, const Packet& packet) {
+  if (packet.seq < total_packets_ && !received_[packet.seq]) {
+    received_[packet.seq] = true;
+    highest_received_end_ = std::max(highest_received_end_, packet.seq + 1);
+    if (packet.retransmit && retx_unconfirmed_ > 0) --retx_unconfirmed_;
+    if (packet.seq == rcv_next_) {
+      ++rcv_next_;
+      // Drain the out-of-order buffer behind the new edge.
+      while (rcv_next_ < total_packets_ && received_[rcv_next_]) {
+        ++rcv_next_;
+        if (receiver_buffered_ > 0) --receiver_buffered_;
+      }
+    } else {
+      ++receiver_buffered_;
+    }
+  }
+  Packet ack;
+  ack.flow_id = id_;
+  ack.seq = rcv_next_;
+  ack.size_bytes = config_.ack_bytes;
+  ack.is_ack = true;
+  ack.retransmit = packet.retransmit;
+  ack.sent_at = packet.sent_at;
+  (void)reverse_.transmit(sim, ack, *this);
+}
+
+void TcpFlow::handle_ack(Simulation& sim, const Packet& packet) {
+  if (complete_) return;
+
+  if (packet.seq > highest_acked_) {
+    const auto newly_acked = static_cast<double>(packet.seq - highest_acked_);
+    highest_acked_ = packet.seq;
+    if (next_seq_ < highest_acked_) next_seq_ = highest_acked_;
+    dupacks_ = 0;
+
+    if (!packet.retransmit) sample_rtt(sim.now() - packet.sent_at);
+
+    if (in_fast_recovery_) {
+      recovery_cursor_ = std::max(recovery_cursor_, highest_acked_);
+      if (highest_acked_ >= recover_seq_) {
+        // Full ACK: leave recovery, deflate to ssthresh.
+        in_fast_recovery_ = false;
+        retx_unconfirmed_ = 0;
+        cwnd_ = ssthresh_;
+      }
+      // Partial ACK: stay in recovery; maybe_send below walks the
+      // scoreboard and repairs the remaining holes pipe-limited.
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ = std::min(cwnd_ + newly_acked, config_.max_cwnd_packets);
+    } else {
+      cwnd_ = std::min(cwnd_ + newly_acked / cwnd_, config_.max_cwnd_packets);
+    }
+
+    if (highest_acked_ >= total_packets_) {
+      finish(sim);
+      return;
+    }
+    arm_timer(sim);
+    maybe_send(sim);
+    return;
+  }
+
+  // Duplicate ACK.
+  if (packet.seq == highest_acked_ && highest_acked_ < next_seq_) {
+    ++dupacks_;
+    if (in_fast_recovery_) {
+      maybe_send(sim);  // window inflation may open a slot
+    } else if (dupacks_ == config_.dupack_threshold) {
+      enter_fast_retransmit(sim);
+    }
+  }
+}
+
+void TcpFlow::enter_fast_retransmit(Simulation& sim) {
+  // Halve against the SACK pipe (what is genuinely still in the network),
+  // not the raw in-flight count which includes the lost burst.
+  ssthresh_ = std::max(pipe() / 2.0, 2.0);
+  cwnd_ = ssthresh_;
+  in_fast_recovery_ = true;
+  recover_seq_ = highest_sent_;
+  recovery_cursor_ = highest_acked_;
+  retx_unconfirmed_ = 0;
+  maybe_send(sim);
+}
+
+void TcpFlow::handle_rto(Simulation& sim) {
+  if (complete_) return;
+  ++rto_events_;
+  ssthresh_ = std::max(pipe() / 2.0, 2.0);
+  cwnd_ = 1.0;
+  dupacks_ = 0;
+  in_fast_recovery_ = false;
+  retx_unconfirmed_ = 0;
+  // Exponential backoff, capped.
+  rto_ = std::min(rto_ * 2, to_simtime(config_.max_rto));
+  // Go-back-N: rewind the send pointer; cumulative ACKs from the receiver's
+  // buffer fast-forward past anything it already holds, and maybe_send tags
+  // the resends as retransmissions via the high-water mark.
+  next_seq_ = highest_acked_;
+  maybe_send(sim);
+}
+
+void TcpFlow::sample_rtt(SimTime sample) {
+  if (sample <= 0) return;
+  rtt_stats_.add(static_cast<double>(sample) / 1e9);
+  if (min_rtt_ == 0 || sample < min_rtt_) min_rtt_ = sample;
+
+  // HyStart: leave slow start when queuing delay builds, before the buffer
+  // overflows (what a modern CUBIC sender does).
+  if (config_.hystart && cwnd_ < ssthresh_) {
+    const SimTime threshold =
+        std::clamp(min_rtt_ / 8, to_simtime(config_.hystart_delay_min),
+                   to_simtime(config_.hystart_delay_max));
+    if (sample >= min_rtt_ + threshold) ssthresh_ = cwnd_;
+  }
+
+  if (!have_rtt_sample_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    have_rtt_sample_ = true;
+  } else {
+    const SimTime err = std::abs(srtt_ - sample);
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + sample) / 8;
+  }
+  SimTime rto = srtt_ + std::max<SimTime>(4 * rttvar_, 1);
+  rto = std::max(rto, to_simtime(config_.min_rto));
+  rto = std::min(rto, to_simtime(config_.max_rto));
+  rto_ = rto;
+}
+
+void TcpFlow::arm_timer(Simulation& sim) {
+  timer_armed_ = true;
+  // Deterministic per-flow jitter of up to RTO/8, standing in for kernel
+  // timer granularity.  Without it, exponential backoff in a simulator with
+  // second-aligned batch arrivals resonates: every retransmission of an
+  // unlucky flow lands exactly when the queue refills, locking the flow out
+  // for hundreds of seconds.
+  stats::SplitMix64 hash((static_cast<std::uint64_t>(id_) << 32) ^ ++timer_arm_count_);
+  const SimTime jitter = static_cast<SimTime>(hash.next() % (rto_ / 8 + 1));
+  timer_deadline_ = sim.now() + rto_ + jitter;
+  if (!timer_event_outstanding_) {
+    timer_event_outstanding_ = true;
+    sim.schedule_at(timer_deadline_, *this, kRtoEvent);
+  }
+}
+
+void TcpFlow::cancel_timer() { timer_armed_ = false; }
+
+void TcpFlow::on_event(Simulation& sim, int kind, std::uint64_t /*a*/, std::uint64_t /*b*/) {
+  if (kind != kRtoEvent) throw std::logic_error("TcpFlow: unexpected event kind");
+  timer_event_outstanding_ = false;
+  if (!timer_armed_) return;
+  if (sim.now() < timer_deadline_) {
+    // Deadline moved forward since this event was scheduled; chase it.
+    timer_event_outstanding_ = true;
+    sim.schedule_at(timer_deadline_, *this, kRtoEvent);
+    return;
+  }
+  handle_rto(sim);
+}
+
+void TcpFlow::finish(Simulation& sim) {
+  complete_ = true;
+  end_time_ = sim.now();
+  cancel_timer();
+  if (observer_ != nullptr) observer_->on_flow_complete(sim, *this);
+}
+
+}  // namespace sss::simnet

@@ -1,0 +1,185 @@
+// tcp_flow.hpp — packet-level TCP Reno/NewReno flow.
+//
+// The paper argues (Section 3) that replacing flow completion time with
+// propagation delay assumes away queuing and loss — precisely the effects
+// that dominate worst-case behaviour.  This class models the mechanisms that
+// produce those effects:
+//   - slow start and congestion avoidance (AIMD) on a per-packet basis,
+//   - fast retransmit / fast recovery on three duplicate ACKs with
+//     SACK-style loss recovery: during recovery the sender walks the
+//     receiver scoreboard and repairs every hole in the lost burst under a
+//     pipe (unsacked-in-flight) limit, like a modern Linux sender — plain
+//     NewReno would repair one loss per RTT and grossly overstate recovery
+//     times (the sender and receiver are one object here, so the scoreboard
+//     is exact rather than carried in SACK blocks; recovery entry is still
+//     gated on three duplicate ACKs),
+//   - retransmission timeout with exponential backoff and go-back-N resend,
+//   - RTT estimation (Jacobson/Karels) with Karn's rule (no samples from
+//     retransmitted segments).
+//
+// One TcpFlow object plays both endpoints: data packets delivered by the
+// forward link hit the receiver half, which ACKs over the reverse link back
+// into the sender half.  Sequence numbers are packet indices (1 MSS each);
+// byte counts are tracked separately so partial final segments are exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/link.hpp"
+#include "simnet/simulation.hpp"
+#include "stats/summary.hpp"
+#include "units/units.hpp"
+
+namespace sss::simnet {
+
+struct TcpConfig {
+  // Payload bytes per segment.  Default: 9000-byte jumbo MTU minus 52 bytes
+  // of IP+TCP headers (Table 1 uses jumbo frames).
+  std::uint32_t mss_bytes = 8948;
+  std::uint32_t header_bytes = 52;
+  std::uint32_t ack_bytes = 64;
+  double initial_cwnd = 10.0;  // RFC 6928 initial window
+  // Cap on cwnd in packets (receiver window / socket buffer).  0 = derive
+  // 2 x BDP from the forward link at construction.
+  double max_cwnd_packets = 0.0;
+  int dupack_threshold = 3;
+  units::Seconds initial_rto = units::Seconds::of(1.0);   // RFC 6298
+  units::Seconds min_rto = units::Seconds::millis(200.0); // Linux default
+  units::Seconds max_rto = units::Seconds::of(60.0);
+  // HyStart-style delay-based slow-start exit (Linux CUBIC default): leave
+  // slow start once the smoothed RTT rises a clamped fraction of the base
+  // RTT above it, instead of blasting until the buffer overflows.
+  bool hystart = true;
+  units::Seconds hystart_delay_min = units::Seconds::millis(4.0);
+  units::Seconds hystart_delay_max = units::Seconds::millis(16.0);
+};
+
+class TcpFlow;
+
+// Completion callback; the workload orchestrator implements this to log
+// flow-completion times.
+class FlowObserver {
+ public:
+  virtual ~FlowObserver() = default;
+  virtual void on_flow_complete(Simulation& sim, const TcpFlow& flow) = 0;
+};
+
+class TcpFlow : public PacketSink, public EventHandler {
+ public:
+  // `forward` carries data from sender to receiver; `reverse` carries ACKs.
+  TcpFlow(std::uint32_t id, units::Bytes total, const TcpConfig& config, Link& forward,
+          Link& reverse, FlowObserver* observer = nullptr);
+
+  // Begin transmitting.  May only be called once.
+  void start(Simulation& sim);
+
+  // PacketSink: receives data packets (receiver half) and ACKs (sender half).
+  void on_packet(Simulation& sim, const Packet& packet) override;
+  // EventHandler: RTO timer.
+  void on_event(Simulation& sim, int kind, std::uint64_t a, std::uint64_t b) override;
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] bool complete() const { return complete_; }
+  [[nodiscard]] SimTime start_time() const { return start_time_; }
+  [[nodiscard]] SimTime end_time() const { return end_time_; }
+  [[nodiscard]] units::Seconds completion_time() const {
+    return to_seconds(end_time_ - start_time_);
+  }
+  [[nodiscard]] units::Bytes total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_packets() const { return total_packets_; }
+  [[nodiscard]] std::uint64_t retransmit_count() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t rto_count() const { return rto_events_; }
+  [[nodiscard]] double cwnd() const { return cwnd_; }
+  [[nodiscard]] double ssthresh() const { return ssthresh_; }
+  [[nodiscard]] const stats::Summary& rtt_samples() const { return rtt_stats_; }
+  // Smoothed RTT estimate; initial_rto-derived before the first sample.
+  [[nodiscard]] units::Seconds current_rto() const { return to_seconds(rto_); }
+
+ private:
+  // --- identity & wiring ---
+  std::uint32_t id_;
+  TcpConfig config_;
+  Link& forward_;
+  Link& reverse_;
+  FlowObserver* observer_;
+
+  // --- sender state ---
+  units::Bytes total_bytes_;
+  std::uint64_t total_packets_;
+  std::uint64_t next_seq_ = 0;       // next packet index to send
+  std::uint64_t highest_sent_ = 0;   // one past the highest index ever sent
+  std::uint64_t highest_acked_ = 0;  // all packets < this are acked
+  double cwnd_;
+  double ssthresh_;
+  int dupacks_ = 0;
+  bool in_fast_recovery_ = false;
+  std::uint64_t recover_seq_ = 0;     // recovery point: highest sent at loss
+  std::uint64_t recovery_cursor_ = 0; // next scoreboard hole candidate
+  // Retransmissions sent but not yet observed at the receiver; occupies
+  // pipe so recovery bursts stay window-limited.
+  std::uint64_t retx_unconfirmed_ = 0;
+  std::vector<bool> retransmitted_;
+
+  // --- RTO state ---
+  // Lazy timer: at most one outstanding timer event; when it fires early
+  // (the deadline moved forward), it reschedules itself instead of acting.
+  // This keeps timer maintenance O(1) events per RTO interval instead of
+  // one event per transmitted packet.
+  SimTime rto_;
+  SimTime srtt_ = 0;
+  SimTime rttvar_ = 0;
+  bool have_rtt_sample_ = false;
+  SimTime timer_deadline_ = 0;
+  bool timer_armed_ = false;
+  bool timer_event_outstanding_ = false;
+  std::uint64_t timer_arm_count_ = 0;  // feeds deterministic RTO jitter
+
+  // --- receiver state ---
+  std::uint64_t rcv_next_ = 0;
+  std::vector<bool> received_;
+  // Packets buffered out of order (> rcv_next_); the sender's SACK view.
+  std::uint64_t receiver_buffered_ = 0;
+  // One past the highest sequence ever received; drives the SACK loss rule
+  // (a packet counts as lost only when dupack_threshold packets above it
+  // have been delivered, RFC 6675-style).
+  std::uint64_t highest_received_end_ = 0;
+  // Base RTT estimate for the HyStart exit.
+  SimTime min_rtt_ = 0;
+
+  // --- lifecycle & stats ---
+  bool started_ = false;
+  bool complete_ = false;
+  SimTime start_time_ = 0;
+  SimTime end_time_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t rto_events_ = 0;
+  stats::Summary rtt_stats_;
+
+  [[nodiscard]] std::uint32_t payload_of(std::uint64_t seq) const;
+  [[nodiscard]] double in_flight() const {
+    return static_cast<double>(next_seq_ - highest_acked_);
+  }
+  // SACK pipe: in-flight minus what the receiver already buffered, plus
+  // retransmissions that have not yet landed (sent but unconfirmed).
+  [[nodiscard]] double pipe() const {
+    const double raw = in_flight() - static_cast<double>(receiver_buffered_) +
+                       static_cast<double>(retx_unconfirmed_);
+    return raw > 0.0 ? raw : 0.0;
+  }
+  [[nodiscard]] double effective_window() const;
+
+  void send_packet(Simulation& sim, std::uint64_t seq, bool is_retransmit);
+  void maybe_send(Simulation& sim);
+  void handle_data(Simulation& sim, const Packet& packet);
+  void handle_ack(Simulation& sim, const Packet& packet);
+  void enter_fast_retransmit(Simulation& sim);
+  void handle_rto(Simulation& sim);
+  void sample_rtt(SimTime sample);
+  void arm_timer(Simulation& sim);
+  void cancel_timer();
+  void finish(Simulation& sim);
+};
+
+}  // namespace sss::simnet

@@ -1,0 +1,36 @@
+// time.hpp — simulation time base.
+//
+// The simulator runs on integer nanoseconds: event ordering is exact, there
+// is no floating-point drift over 10-second experiments, and conversions to
+// the model's units::Seconds are explicit at the boundary.
+#pragma once
+
+#include <cstdint>
+
+#include "units/units.hpp"
+
+namespace sss::simnet {
+
+// Nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosPerSecond = 1'000'000'000;
+
+[[nodiscard]] constexpr SimTime to_simtime(units::Seconds s) {
+  return static_cast<SimTime>(s.seconds() * 1e9 + 0.5);
+}
+
+[[nodiscard]] constexpr units::Seconds to_seconds(SimTime t) {
+  return units::Seconds::of(static_cast<double>(t) / 1e9);
+}
+
+// Duration of serializing `bytes` onto a link of the given capacity, rounded
+// up so back-to-back packets never overlap.
+[[nodiscard]] constexpr SimTime transmission_time(double bytes, units::DataRate capacity) {
+  const double seconds = bytes / capacity.bps();
+  const double nanos = seconds * 1e9;
+  const auto whole = static_cast<SimTime>(nanos);
+  return (static_cast<double>(whole) < nanos) ? whole + 1 : whole;
+}
+
+}  // namespace sss::simnet

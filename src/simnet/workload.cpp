@@ -1,0 +1,306 @@
+#include "simnet/workload.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "simnet/background.hpp"
+
+namespace sss::simnet {
+
+const char* to_string(SpawnMode mode) {
+  switch (mode) {
+    case SpawnMode::kSimultaneousBatches:
+      return "simultaneous";
+    case SpawnMode::kScheduled:
+      return "scheduled";
+  }
+  return "unknown";
+}
+
+WorkloadConfig WorkloadConfig::paper_table2(int concurrency, int parallel_flows,
+                                            SpawnMode mode) {
+  WorkloadConfig cfg;
+  cfg.duration = units::Seconds::of(10.0);
+  cfg.concurrency = concurrency;
+  cfg.parallel_flows = parallel_flows;
+  cfg.transfer_size = units::Bytes::gigabytes(0.5);
+  cfg.mode = mode;
+  cfg.link.name = "fabric-25g";
+  cfg.link.capacity = units::DataRate::gigabits_per_second(25.0);
+  cfg.link.propagation_delay = units::Seconds::millis(8.0);  // 16 ms RTT
+  cfg.link.buffer = units::Bytes::megabytes(50.0);           // ~1 BDP
+  cfg.tcp = TcpConfig{};
+  cfg.seed = 42;
+  return cfg;
+}
+
+double WorkloadConfig::offered_load() const {
+  const double bytes_per_second = static_cast<double>(concurrency) * transfer_size.bytes();
+  return bytes_per_second / link.capacity.bps();
+}
+
+units::Seconds WorkloadConfig::theoretical_transfer_time() const {
+  return transfer_size / link.capacity;
+}
+
+void WorkloadConfig::validate() const {
+  if (!(duration.seconds() > 0.0)) throw std::invalid_argument("duration must be > 0");
+  if (concurrency < 1) throw std::invalid_argument("concurrency must be >= 1");
+  if (parallel_flows < 1) throw std::invalid_argument("parallel_flows must be >= 1");
+  if (!(transfer_size.bytes() > 0.0)) {
+    throw std::invalid_argument("transfer_size must be > 0");
+  }
+  if (!(drain_timeout.seconds() > 0.0)) {
+    throw std::invalid_argument("drain_timeout must be > 0");
+  }
+  if (background_load < 0.0) {
+    throw std::invalid_argument("background_load must be >= 0");
+  }
+}
+
+namespace {
+
+// Book-keeping that maps completed flows back to their client records, and
+// — in scheduled mode — the reservation calendar: a client is admitted at
+// max(its slot, completion of the previous reservation), modeling the
+// paper's "scheduled to a specific time slot with network bandwidth
+// reserved" setup where scheduled transfers never contend with each other.
+class Orchestrator : public FlowObserver {
+ public:
+  Orchestrator(const WorkloadConfig& config, Link& forward, Link& reverse,
+               stats::Random& rng)
+      : config_(config), forward_(forward), reverse_(reverse), rng_(rng) {}
+
+  void spawn_all(Simulation& sim) {
+    const auto whole_seconds = static_cast<int>(config_.duration.seconds());
+    const double frac = config_.duration.seconds() - whole_seconds;
+    std::uint32_t client_id = 0;
+    for (int second = 0; second < whole_seconds || (second == whole_seconds && frac > 0.0);
+         ++second) {
+      // A fractional trailing second spawns a proportional share of clients
+      // (used by scaled-down quick runs).
+      const bool partial = second == whole_seconds;
+      const int clients_this_second =
+          partial ? static_cast<int>(config_.concurrency * frac + 0.5) : config_.concurrency;
+      for (int i = 0; i < clients_this_second; ++i) {
+        const double base = static_cast<double>(second);
+        if (config_.mode == SpawnMode::kScheduled) {
+          const double slot =
+              base + static_cast<double>(i) / static_cast<double>(config_.concurrency);
+          reservations_.push_back(Reservation{client_id++, slot});
+        } else {
+          spawn_client(sim, client_id++, units::Seconds::of(base), base);
+        }
+      }
+      if (partial) break;
+    }
+    if (config_.mode == SpawnMode::kScheduled) {
+      for (const Reservation& r : reservations_) {
+        sim.call_at(to_simtime(units::Seconds::of(r.slot_s)),
+                    [this](Simulation& s) { try_admit(s); });
+      }
+    }
+  }
+
+  // Admit the next reserved client when its slot has arrived and the link
+  // reservation is free.
+  void try_admit(Simulation& sim) {
+    if (reservation_active_ || next_reservation_ >= reservations_.size()) return;
+    const Reservation& next = reservations_[next_reservation_];
+    if (to_simtime(units::Seconds::of(next.slot_s)) > sim.now()) return;
+    ++next_reservation_;
+    reservation_active_ = true;
+    active_reserved_client_ = next.client_id;
+    spawn_client(sim, next.client_id, sim.now_seconds(), next.slot_s);
+  }
+
+  void spawn_client(Simulation& sim, std::uint32_t client_id, units::Seconds at,
+                    double requested_s) {
+    ClientState state;
+    state.record.client_id = client_id;
+    state.record.requested_s = requested_s;
+    state.record.start_s = at.seconds();
+    state.record.bytes = config_.transfer_size.bytes();
+    state.record.flow_count = static_cast<std::uint32_t>(config_.parallel_flows);
+    state.remaining = config_.parallel_flows;
+    clients_.emplace(client_id, state);
+
+    const units::Bytes per_flow =
+        config_.transfer_size / static_cast<double>(config_.parallel_flows);
+    for (int f = 0; f < config_.parallel_flows; ++f) {
+      const auto flow_id = static_cast<std::uint32_t>(flows_.size());
+      flow_client_[flow_id] = client_id;
+      auto flow = std::make_unique<TcpFlow>(flow_id, per_flow, config_.tcp, forward_,
+                                            reverse_, this);
+      TcpFlow* raw = flow.get();
+      flows_.push_back(std::move(flow));
+      const double jitter = rng_.uniform(0.0, config_.start_jitter.seconds());
+      const SimTime start_at = to_simtime(at + units::Seconds::of(jitter));
+      sim.call_at(std::max<SimTime>(start_at, sim.now()),
+                  [raw](Simulation& s) { raw->start(s); });
+    }
+  }
+
+  void on_flow_complete(Simulation& sim, const TcpFlow& flow) override {
+    const std::uint32_t client_id = flow_client_.at(flow.id());
+    auto& state = clients_.at(client_id);
+    state.record.end_s =
+        std::max(state.record.end_s, to_seconds(flow.end_time()).seconds());
+    --state.remaining;
+    if (state.remaining == 0 && reservation_active_ &&
+        client_id == active_reserved_client_) {
+      reservation_active_ = false;
+      try_admit(sim);
+    }
+  }
+
+  // Called after the simulation drains (or hits the deadline): writes flow
+  // and client records, censoring incomplete ones at `deadline`.
+  ExperimentMetrics collect(SimTime deadline, const Link& forward) const {
+    ExperimentMetrics m;
+    m.flows.reserve(flows_.size());
+    for (const auto& flow : flows_) {
+      FlowRecord r;
+      r.flow_id = flow->id();
+      r.client_id = flow_client_.at(flow->id());
+      r.start_s = to_seconds(flow->start_time()).seconds();
+      r.bytes = flow->total_bytes().bytes();
+      r.retransmits = flow->retransmit_count();
+      r.rto_events = flow->rto_count();
+      if (flow->complete()) {
+        r.end_s = to_seconds(flow->end_time()).seconds();
+      } else {
+        r.end_s = to_seconds(deadline).seconds();
+        r.censored = true;
+      }
+      m.total_retransmits += r.retransmits;
+      m.total_rto_events += r.rto_events;
+      m.flows.push_back(r);
+    }
+    m.clients.reserve(clients_.size() + (reservations_.size() - next_reservation_));
+    for (const auto& [id, state] : clients_) {
+      ClientRecord r = state.record;
+      if (state.remaining > 0) {
+        r.censored = true;
+        r.end_s = to_seconds(deadline).seconds();
+      }
+      m.clients.push_back(r);
+    }
+    // Reserved clients never admitted before the drain deadline are
+    // censored at the deadline with zero transfer progress.
+    for (std::size_t i = next_reservation_; i < reservations_.size(); ++i) {
+      ClientRecord r;
+      r.client_id = reservations_[i].client_id;
+      r.requested_s = reservations_[i].slot_s;
+      r.start_s = to_seconds(deadline).seconds();
+      r.end_s = to_seconds(deadline).seconds();
+      r.bytes = config_.transfer_size.bytes();
+      r.flow_count = static_cast<std::uint32_t>(config_.parallel_flows);
+      r.censored = true;
+      m.clients.push_back(r);
+    }
+    std::sort(m.clients.begin(), m.clients.end(),
+              [](const ClientRecord& x, const ClientRecord& y) {
+                return x.client_id < y.client_id;
+              });
+
+    m.mean_utilization = forward.mean_utilization();
+    m.peak_utilization = forward.peak_utilization();
+    m.loss_rate = forward.loss_rate();
+    m.packets_dropped = forward.counters().packets_dropped;
+    m.packets_forwarded = forward.counters().packets_forwarded;
+    return m;
+  }
+
+  [[nodiscard]] bool all_complete() const {
+    return std::all_of(clients_.begin(), clients_.end(),
+                       [](const auto& kv) { return kv.second.remaining == 0; });
+  }
+
+ private:
+  struct ClientState {
+    ClientRecord record;
+    int remaining = 0;
+  };
+  struct Reservation {
+    std::uint32_t client_id;
+    double slot_s;
+  };
+
+  const WorkloadConfig& config_;
+  Link& forward_;
+  Link& reverse_;
+  stats::Random& rng_;
+  std::vector<std::unique_ptr<TcpFlow>> flows_;
+  std::map<std::uint32_t, std::uint32_t> flow_client_;
+  std::map<std::uint32_t, ClientState> clients_;
+  std::vector<Reservation> reservations_;
+  std::size_t next_reservation_ = 0;
+  bool reservation_active_ = false;
+  std::uint32_t active_reserved_client_ = 0;
+};
+
+}  // namespace
+
+ExperimentResult run_experiment(const WorkloadConfig& config) {
+  config.validate();
+
+  Simulation sim;
+  Link forward(config.link);
+  // ACK path: same capacity, effectively uncontended.  Generous buffer so
+  // ACK loss never originates here (matching the paper's uncontended server
+  // side).
+  LinkConfig reverse_cfg = config.link;
+  reverse_cfg.name = config.link.name + "-reverse";
+  reverse_cfg.buffer = units::Bytes::megabytes(256.0);
+  Link reverse(reverse_cfg);
+
+  stats::Random rng(config.seed);
+  Orchestrator orchestrator(config, forward, reverse, rng);
+  orchestrator.spawn_all(sim);
+
+  std::unique_ptr<BackgroundTraffic> background;
+  if (config.background_load > 0.0) {
+    BackgroundTrafficConfig bg;
+    bg.target_load = config.background_load;
+    bg.until = config.duration;
+    bg.tcp = config.tcp;
+    bg.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+    background = std::make_unique<BackgroundTraffic>(bg, forward, reverse);
+    background->schedule(sim);
+  }
+
+  const SimTime deadline = to_simtime(config.duration) + to_simtime(config.drain_timeout);
+  while (!sim.empty() && sim.now() <= deadline) {
+    sim.step();
+  }
+
+  ExperimentResult result;
+  result.config = config;
+  result.offered_load = config.offered_load();
+  result.metrics = orchestrator.collect(deadline, forward);
+  result.events_processed = sim.events_processed();
+  result.sim_duration_s = sim.now_seconds().seconds();
+  return result;
+}
+
+std::vector<ExperimentResult> run_table2_sweep(SpawnMode mode,
+                                               const std::vector<int>& parallel_flow_values,
+                                               int max_concurrency, double duration_scale) {
+  if (duration_scale <= 0.0 || duration_scale > 1.0) {
+    throw std::invalid_argument("duration_scale must be in (0, 1]");
+  }
+  std::vector<ExperimentResult> results;
+  for (int p : parallel_flow_values) {
+    for (int c = 1; c <= max_concurrency; ++c) {
+      WorkloadConfig cfg = WorkloadConfig::paper_table2(c, p, mode);
+      cfg.duration = cfg.duration * duration_scale;
+      results.push_back(run_experiment(cfg));
+    }
+  }
+  return results;
+}
+
+}  // namespace sss::simnet

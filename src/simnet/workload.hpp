@@ -1,0 +1,98 @@
+// workload.hpp — the iperf3-style experiment orchestrator.
+//
+// Reproduces the measurement methodology of Section 4: an orchestrator
+// spawns `concurrency` clients per second for `duration` seconds, each
+// client moving `transfer_size` bytes over `parallel_flows` TCP flows
+// toward an uncontended server, while the bottleneck link records interface
+// counters.  Two spawning strategies are implemented, matching the paper:
+//
+//   kSimultaneousBatches — all clients of a given second start at the same
+//     instant, creating the instantaneous congestion spikes of Fig. 2(a);
+//   kScheduled — clients are assigned evenly spaced slots within their
+//     second, modeling reserved/scheduled transfers as in Fig. 2(b).
+//
+// `WorkloadConfig::paper_table2` transcribes Table 2 (duration 10 s,
+// concurrency 1-8, parallel flows {2,4,8}, 0.5 GB per client, 25 Gbps link,
+// 16 ms RTT).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simnet/link.hpp"
+#include "simnet/metrics.hpp"
+#include "simnet/simulation.hpp"
+#include "simnet/tcp_flow.hpp"
+#include "stats/rng.hpp"
+#include "units/units.hpp"
+
+namespace sss::simnet {
+
+enum class SpawnMode {
+  kSimultaneousBatches,
+  kScheduled,
+};
+
+[[nodiscard]] const char* to_string(SpawnMode mode);
+
+struct WorkloadConfig {
+  units::Seconds duration = units::Seconds::of(10.0);
+  int concurrency = 4;       // clients spawned per second
+  int parallel_flows = 2;    // P: TCP flows per client
+  units::Bytes transfer_size = units::Bytes::gigabytes(0.5);  // per client
+  SpawnMode mode = SpawnMode::kSimultaneousBatches;
+  LinkConfig link;           // forward (data) direction
+  TcpConfig tcp;
+  std::uint64_t seed = 42;
+  // Small uniform start offset per flow; breaks pathological phase locking
+  // among simultaneously spawned flows, as NIC/kernel scheduling does on a
+  // real host.
+  units::Seconds start_jitter = units::Seconds::micros(200.0);
+  // Safety cap: flows still incomplete this long after the last spawn are
+  // recorded as censored.
+  units::Seconds drain_timeout = units::Seconds::of(600.0);
+  // Background cross-traffic injected on the same bottleneck for the spawn
+  // window, as a fraction of link capacity (0 = pristine link, the Table-2
+  // setup).  Models shared-path variability; see simnet/background.hpp.
+  double background_load = 0.0;
+
+  // Table 2 configuration for a given (concurrency, parallel flows) cell.
+  [[nodiscard]] static WorkloadConfig paper_table2(int concurrency, int parallel_flows,
+                                                   SpawnMode mode);
+
+  // Offered load as a fraction of link capacity (concurrency x size per
+  // second over capacity).
+  [[nodiscard]] double offered_load() const;
+  // Ideal transfer time for one client at full link rate — the paper's
+  // T_theoretical (0.16 s for 0.5 GB at 25 Gbps).
+  [[nodiscard]] units::Seconds theoretical_transfer_time() const;
+  void validate() const;
+};
+
+struct ExperimentResult {
+  WorkloadConfig config;
+  ExperimentMetrics metrics;
+  double offered_load = 0.0;
+  std::uint64_t events_processed = 0;
+  double sim_duration_s = 0.0;  // virtual time at drain
+
+  // Streaming Speed Score inputs (Section 4.1).
+  [[nodiscard]] double t_worst_s() const { return metrics.max_client_fct_s(); }
+  [[nodiscard]] double t_theoretical_s() const {
+    return config.theoretical_transfer_time().seconds();
+  }
+};
+
+// Run one experiment cell.  Deterministic for a given config (including
+// seed).
+[[nodiscard]] ExperimentResult run_experiment(const WorkloadConfig& config);
+
+// The full Table-2 sweep for one spawn mode: concurrency 1..8 for each
+// parallel-flow count in `parallel_flow_values`.  `duration_scale` in (0, 1]
+// shrinks experiment duration proportionally for quick runs.
+[[nodiscard]] std::vector<ExperimentResult> run_table2_sweep(
+    SpawnMode mode, const std::vector<int>& parallel_flow_values = {2, 4, 8},
+    int max_concurrency = 8, double duration_scale = 1.0);
+
+}  // namespace sss::simnet

@@ -1,0 +1,100 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sss::stats {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("LinearHistogram requires hi > lo");
+  if (bins == 0) throw std::invalid_argument("LinearHistogram requires bins > 0");
+}
+
+void LinearHistogram::add(double x) { add(x, 1); }
+
+void LinearHistogram::add(double x, std::size_t weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  counts_[bin_index(x)] += weight;
+}
+
+double LinearHistogram::bin_lo(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+double LinearHistogram::bin_hi(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin + 1) * width_;
+}
+
+std::size_t LinearHistogram::bin_index(double x) const {
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  return std::min(idx, counts_.size() - 1);
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins_per_decade)
+    : log_lo_(std::log10(lo)),
+      log_width_(1.0 / static_cast<double>(bins_per_decade)),
+      lo_(lo) {
+  if (!(lo > 0.0)) throw std::invalid_argument("LogHistogram requires lo > 0");
+  if (!(hi > lo)) throw std::invalid_argument("LogHistogram requires hi > lo");
+  if (bins_per_decade == 0) {
+    throw std::invalid_argument("LogHistogram requires bins_per_decade > 0");
+  }
+  const double decades = std::log10(hi) - log_lo_;
+  const auto bins = static_cast<std::size_t>(
+      std::ceil(decades * static_cast<double>(bins_per_decade)));
+  counts_.assign(std::max<std::size_t>(bins, 1), 0);
+}
+
+void LogHistogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((std::log10(x) - log_lo_) / log_width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+double LogHistogram::bin_lo(std::size_t bin) const {
+  return std::pow(10.0, log_lo_ + static_cast<double>(bin) * log_width_);
+}
+
+double LogHistogram::bin_hi(std::size_t bin) const {
+  return std::pow(10.0, log_lo_ + static_cast<double>(bin + 1) * log_width_);
+}
+
+std::string LogHistogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char label[64];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) * static_cast<double>(width) /
+        static_cast<double>(peak));
+    std::snprintf(label, sizeof(label), "[%9.3g, %9.3g) %8zu |", bin_lo(i), bin_hi(i),
+                  counts_[i]);
+    out += label;
+    out.append(std::max<std::size_t>(bar, 1), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sss::stats

@@ -1,0 +1,51 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sss::stats {
+
+void Summary::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::population_variance() const {
+  if (n_ == 0) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double Summary::cv() const {
+  if (mean_ == 0.0) return 0.0;
+  return stddev() / mean_;
+}
+
+}  // namespace sss::stats

@@ -1,0 +1,43 @@
+// summary.hpp — streaming summary statistics (Welford's algorithm).
+//
+// Used by the simulator's metric collectors: numerically stable mean and
+// variance over millions of samples without storing them, with support for
+// merging partial summaries computed by parallel components.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace sss::stats {
+
+class Summary {
+ public:
+  void add(double x);
+
+  // Merge another summary into this one (Chan et al. parallel variant).
+  void merge(const Summary& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  // Mean of samples; 0 for an empty summary.
+  [[nodiscard]] double mean() const { return mean_; }
+  // Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  // Population variance (divide by n); 0 when empty.
+  [[nodiscard]] double population_variance() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+  // Coefficient of variation (stddev / mean); 0 when mean is 0.
+  [[nodiscard]] double cv() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace sss::stats

@@ -1,0 +1,52 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sss::stats {
+
+TimeSeries::TimeSeries(units::Seconds bucket) : bucket_(bucket) {
+  if (!(bucket.seconds() > 0.0)) {
+    throw std::invalid_argument("TimeSeries bucket width must be positive");
+  }
+}
+
+void TimeSeries::record(units::Seconds t, double amount) {
+  if (t.seconds() < 0.0) throw std::invalid_argument("TimeSeries timestamps must be >= 0");
+  const auto idx = static_cast<std::size_t>(t.seconds() / bucket_.seconds());
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+  buckets_[idx] += amount;
+}
+
+double TimeSeries::total_in_bucket(std::size_t i) const { return buckets_.at(i); }
+
+double TimeSeries::rate_in_bucket(std::size_t i) const {
+  return buckets_.at(i) / bucket_.seconds();
+}
+
+double TimeSeries::utilization(std::size_t i, double capacity_per_second) const {
+  if (capacity_per_second <= 0.0) {
+    throw std::invalid_argument("utilization requires positive capacity");
+  }
+  return rate_in_bucket(i) / capacity_per_second;
+}
+
+double TimeSeries::peak_rate() const {
+  if (buckets_.empty()) return 0.0;
+  return *std::max_element(buckets_.begin(), buckets_.end()) / bucket_.seconds();
+}
+
+double TimeSeries::mean_rate() const {
+  if (buckets_.empty()) return 0.0;
+  const double total = grand_total();
+  const double span = static_cast<double>(buckets_.size()) * bucket_.seconds();
+  return total / span;
+}
+
+double TimeSeries::grand_total() const {
+  return std::accumulate(buckets_.begin(), buckets_.end(), 0.0);
+}
+
+}  // namespace sss::stats

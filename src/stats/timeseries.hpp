@@ -1,0 +1,43 @@
+// timeseries.hpp — time-bucketed counters.
+//
+// Models the "interface byte/packet counters" the paper's orchestrator
+// collects: accumulate (timestamp, amount) events into fixed-width time
+// buckets, then read back per-bucket rates and utilization against a
+// reference capacity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "units/units.hpp"
+
+namespace sss::stats {
+
+class TimeSeries {
+ public:
+  // `bucket` is the sampling interval (e.g. 1 s interface counters).
+  explicit TimeSeries(units::Seconds bucket);
+
+  // Record `amount` at time `t` (t >= 0).  Buckets grow on demand.
+  void record(units::Seconds t, double amount);
+
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  [[nodiscard]] units::Seconds bucket_width() const { return bucket_; }
+  // Total recorded in bucket i.
+  [[nodiscard]] double total_in_bucket(std::size_t i) const;
+  // Average rate in bucket i (total / width).
+  [[nodiscard]] double rate_in_bucket(std::size_t i) const;
+  // Utilization of bucket i against a capacity expressed in amount/second.
+  [[nodiscard]] double utilization(std::size_t i, double capacity_per_second) const;
+  // Peak bucket rate across the series; 0 when empty.
+  [[nodiscard]] double peak_rate() const;
+  // Mean rate over [0, last bucket end].
+  [[nodiscard]] double mean_rate() const;
+  [[nodiscard]] double grand_total() const;
+
+ private:
+  units::Seconds bucket_;
+  std::vector<double> buckets_;
+};
+
+}  // namespace sss::stats

@@ -1,0 +1,70 @@
+#include "storage/pfs_model.hpp"
+
+#include <stdexcept>
+
+namespace sss::storage {
+
+void PfsConfig::validate() const {
+  if (!(metadata_latency.seconds() >= 0.0)) {
+    throw std::invalid_argument("PfsConfig: metadata_latency must be >= 0");
+  }
+  if (!(open_close_latency.seconds() >= 0.0)) {
+    throw std::invalid_argument("PfsConfig: open_close_latency must be >= 0");
+  }
+  if (!write_bandwidth.is_positive()) {
+    throw std::invalid_argument("PfsConfig: write_bandwidth must be > 0");
+  }
+  if (!read_bandwidth.is_positive()) {
+    throw std::invalid_argument("PfsConfig: read_bandwidth must be > 0");
+  }
+  if (metadata_parallelism < 1) {
+    throw std::invalid_argument("PfsConfig: metadata_parallelism must be >= 1");
+  }
+  if (!bandwidth_ramp.is_non_negative()) {
+    throw std::invalid_argument("PfsConfig: bandwidth_ramp must be >= 0");
+  }
+}
+
+PfsModel::PfsModel(PfsConfig config) : config_(std::move(config)) { config_.validate(); }
+
+units::Seconds PfsModel::per_file_cost() const {
+  const double serial =
+      config_.metadata_latency.seconds() + config_.open_close_latency.seconds();
+  return units::Seconds::of(serial / static_cast<double>(config_.metadata_parallelism));
+}
+
+units::Seconds PfsModel::create_time(std::uint64_t file_count) const {
+  return per_file_cost() * static_cast<double>(file_count);
+}
+
+units::Seconds PfsModel::io_time(std::uint64_t file_count, units::Bytes total,
+                                 units::DataRate bandwidth) const {
+  if (file_count == 0) {
+    throw std::invalid_argument("PfsModel: file_count must be > 0");
+  }
+  if (!(total.bytes() >= 0.0)) {
+    throw std::invalid_argument("PfsModel: total bytes must be >= 0");
+  }
+  const units::Bytes per_file = total / static_cast<double>(file_count);
+  const units::DataRate eff = units::DataRate::bytes_per_second(
+      bandwidth.bps() * per_file.bytes() / (per_file.bytes() + config_.bandwidth_ramp.bytes()));
+  const units::Seconds stream_time =
+      eff.is_positive() ? total / eff : units::Seconds::of(0.0);
+  return create_time(file_count) + stream_time;
+}
+
+units::Seconds PfsModel::write_time(std::uint64_t file_count, units::Bytes total) const {
+  return io_time(file_count, total, config_.write_bandwidth);
+}
+
+units::Seconds PfsModel::read_time(std::uint64_t file_count, units::Bytes total) const {
+  return io_time(file_count, total, config_.read_bandwidth);
+}
+
+units::DataRate PfsModel::effective_write_bandwidth(units::Bytes file_size) const {
+  return units::DataRate::bytes_per_second(
+      config_.write_bandwidth.bps() * file_size.bytes() /
+      (file_size.bytes() + config_.bandwidth_ramp.bytes()));
+}
+
+}  // namespace sss::storage

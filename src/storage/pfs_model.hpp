@@ -1,0 +1,66 @@
+// pfs_model.hpp — analytical parallel-file-system model.
+//
+// Captures the two effects that shape Fig. 4's file-based results:
+//   1. per-file costs (metadata create/open/close round-trips) that scale
+//      with file COUNT, and
+//   2. streaming bandwidth that scales with file VOLUME.
+// A write of N files totaling S bytes costs
+//     N * per_file_cost / metadata_parallelism  +  S / write_bandwidth,
+// so 1,440 small files pay ~1,440 metadata round-trips while one aggregated
+// file pays one — the "severe penalties from aggregation and metadata
+// overhead" of Section 4.2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "units/units.hpp"
+
+namespace sss::storage {
+
+struct PfsConfig {
+  std::string name = "pfs";
+  // Metadata server latency for a create/stat round-trip.
+  units::Seconds metadata_latency = units::Seconds::millis(5.0);
+  // Client-side open+close pair cost.
+  units::Seconds open_close_latency = units::Seconds::millis(1.0);
+  // Aggregate streaming bandwidth for large sequential I/O.
+  units::DataRate write_bandwidth = units::DataRate::gigabytes_per_second(10.0);
+  units::DataRate read_bandwidth = units::DataRate::gigabytes_per_second(12.0);
+  // Effective concurrency of metadata operations (batching/parallel
+  // clients); divides the per-file cost.
+  int metadata_parallelism = 1;
+  // Bytes each file must reach before streaming bandwidth applies; models
+  // the per-file ramp (allocation, first-stripe placement).  Small files
+  // never amortize it.
+  units::Bytes bandwidth_ramp = units::Bytes::megabytes(4.0);
+
+  void validate() const;
+};
+
+class PfsModel {
+ public:
+  explicit PfsModel(PfsConfig config);
+
+  // Time to create N empty files (metadata only).
+  [[nodiscard]] units::Seconds create_time(std::uint64_t file_count) const;
+  // Time to write `total` bytes spread evenly across `file_count` files,
+  // including per-file metadata and ramp effects.
+  [[nodiscard]] units::Seconds write_time(std::uint64_t file_count, units::Bytes total) const;
+  // Same for reads.
+  [[nodiscard]] units::Seconds read_time(std::uint64_t file_count, units::Bytes total) const;
+  // Effective bandwidth achieved when writing files of `file_size` (< write
+  // bandwidth for small files; asymptotically the configured bandwidth).
+  [[nodiscard]] units::DataRate effective_write_bandwidth(units::Bytes file_size) const;
+
+  [[nodiscard]] const PfsConfig& config() const { return config_; }
+
+ private:
+  PfsConfig config_;
+
+  [[nodiscard]] units::Seconds per_file_cost() const;
+  [[nodiscard]] units::Seconds io_time(std::uint64_t file_count, units::Bytes total,
+                                       units::DataRate bandwidth) const;
+};
+
+}  // namespace sss::storage

@@ -1,0 +1,122 @@
+#include "trace/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sss::trace {
+
+CsvWriter::CsvWriter(const std::string& path)
+    : out_(new std::ofstream(path)), owns_stream_(true) {
+  if (!static_cast<std::ofstream*>(out_)->is_open()) {
+    delete out_;
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(&out), owns_stream_(false) {}
+
+CsvWriter::~CsvWriter() {
+  if (owns_stream_) delete out_;
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << escape(fields[i]);
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+std::size_t CsvTable::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::out_of_range("CsvTable: no column named " + std::string(name));
+}
+
+CsvTable parse_csv(std::string_view text) {
+  CsvTable table;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&] {
+    end_field();
+    if (table.header.empty()) {
+      table.header = std::move(row);
+    } else {
+      table.rows.push_back(std::move(row));
+    }
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (row_has_content || !field.empty() || !row.empty()) end_row();
+        break;
+      default:
+        field += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (row_has_content || !field.empty() || !row.empty()) end_row();
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) throw std::runtime_error("read_csv_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+}  // namespace sss::trace

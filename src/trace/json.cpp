@@ -1,0 +1,110 @@
+#include "trace/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sss::trace {
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  if (!is_object()) throw std::logic_error("JsonValue::operator[] on non-object");
+  auto& obj = std::get<Object>(value_);
+  auto it = obj.find(key);
+  if (it == obj.end()) {
+    it = obj.emplace(std::string(key), JsonValue()).first;
+  }
+  return it->second;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (!is_array()) throw std::logic_error("JsonValue::push_back on non-array");
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+std::string JsonValue::escape(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no Inf/NaN; null is the conventional stand-in.
+    return;
+  }
+  char buf[32];
+  // %.17g round-trips doubles; trim to shortest via %g heuristics.
+  std::snprintf(buf, sizeof(buf), "%.12g", d);
+  out += buf;
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    append_number(out, *d);
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    out += escape(*s);
+  } else if (const Array* a = std::get_if<Array>(&value_)) {
+    out += '[';
+    bool first = true;
+    for (const auto& v : *a) {
+      if (!first) out += ',';
+      first = false;
+      append_indent(out, indent, depth + 1);
+      v.dump_to(out, indent, depth + 1);
+    }
+    if (!a->empty()) append_indent(out, indent, depth);
+    out += ']';
+  } else if (const Object* o = std::get_if<Object>(&value_)) {
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : *o) {
+      if (!first) out += ',';
+      first = false;
+      append_indent(out, indent, depth + 1);
+      out += escape(k);
+      out += indent < 0 ? ":" : ": ";
+      v.dump_to(out, indent, depth + 1);
+    }
+    if (!o->empty()) append_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace sss::trace

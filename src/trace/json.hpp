@@ -1,0 +1,58 @@
+// json.hpp — minimal JSON writer.
+//
+// Bench binaries emit machine-readable result blobs alongside their console
+// tables; this writer builds those objects without pulling in a JSON
+// dependency.  Write-only by design — the repository never parses JSON.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace sss::trace {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue, std::less<>>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::int64_t i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::size_t i) : value_(static_cast<double>(i)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(Array a) : value_(std::move(a)) {}
+  JsonValue(Object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] static JsonValue object() { return JsonValue(Object{}); }
+  [[nodiscard]] static JsonValue array() { return JsonValue(Array{}); }
+
+  // Object field access (creates the field; requires object type).
+  JsonValue& operator[](std::string_view key);
+  // Array append (requires array type).
+  void push_back(JsonValue v);
+
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(value_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(value_); }
+
+  // Serialize; `indent` < 0 means compact single-line output.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace sss::trace

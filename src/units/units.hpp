@@ -1,0 +1,327 @@
+// units.hpp — strong quantity types for the sss library.
+//
+// The paper's model (Section 3.1) mixes GB, GB/s, Gbps, TFLOPS and FLOP/GB;
+// unit slips (bits vs bytes, giga vs tera) are the classic failure mode when
+// transcribing such formulas.  Every model-facing API in this repository
+// therefore takes strong types from this header instead of raw doubles, so
+// the formulas in core/completion.hpp read like Eqs. 3-10 and unit errors
+// are compile errors.
+//
+// All quantities store double in SI base units (bytes, seconds, FLOP) and
+// are trivially copyable.  Cross-type arithmetic is defined only where it is
+// physically meaningful, e.g. Bytes / DataRate = Seconds.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+namespace sss::units {
+
+namespace detail {
+
+// CRTP base providing the shared arithmetic for a scalar physical quantity.
+// Derived types gain +, -, scalar *, scalar /, ratio, comparisons.
+template <typename Derived>
+struct QuantityOps {
+  double value{0.0};
+
+  constexpr QuantityOps() = default;
+  explicit constexpr QuantityOps(double v) : value(v) {}
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.value + b.value};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.value - b.value};
+  }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.value * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{a.value * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.value / s};
+  }
+  // Dimensionless ratio of two like quantities.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value / b.value;
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.value <=> b.value;
+  }
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.value == b.value;
+  }
+  constexpr Derived& operator+=(Derived other) {
+    value += other.value;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived other) {
+    value -= other.value;
+    return static_cast<Derived&>(*this);
+  }
+  [[nodiscard]] constexpr bool is_finite() const { return std::isfinite(value); }
+  [[nodiscard]] constexpr bool is_positive() const { return value > 0.0; }
+  [[nodiscard]] constexpr bool is_non_negative() const { return value >= 0.0; }
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Data volume.  Stored in bytes.  Decimal prefixes follow the paper's usage
+// (GB = 1e9 B); binary prefixes are provided for the APS scan arithmetic
+// (2048 x 2048 x 2 B frames).
+// ---------------------------------------------------------------------------
+struct Bytes : detail::QuantityOps<Bytes> {
+  using detail::QuantityOps<Bytes>::QuantityOps;
+
+  [[nodiscard]] static constexpr Bytes of(double b) { return Bytes{b}; }
+  [[nodiscard]] static constexpr Bytes kilobytes(double v) { return Bytes{v * 1e3}; }
+  [[nodiscard]] static constexpr Bytes megabytes(double v) { return Bytes{v * 1e6}; }
+  [[nodiscard]] static constexpr Bytes gigabytes(double v) { return Bytes{v * 1e9}; }
+  [[nodiscard]] static constexpr Bytes terabytes(double v) { return Bytes{v * 1e12}; }
+  [[nodiscard]] static constexpr Bytes kibibytes(double v) { return Bytes{v * 1024.0}; }
+  [[nodiscard]] static constexpr Bytes mebibytes(double v) { return Bytes{v * 1024.0 * 1024.0}; }
+  [[nodiscard]] static constexpr Bytes gibibytes(double v) {
+    return Bytes{v * 1024.0 * 1024.0 * 1024.0};
+  }
+
+  [[nodiscard]] constexpr double bytes() const { return value; }
+  [[nodiscard]] constexpr double kb() const { return value / 1e3; }
+  [[nodiscard]] constexpr double mb() const { return value / 1e6; }
+  [[nodiscard]] constexpr double gb() const { return value / 1e9; }
+  [[nodiscard]] constexpr double tb() const { return value / 1e12; }
+  [[nodiscard]] constexpr double gib() const { return value / (1024.0 * 1024.0 * 1024.0); }
+};
+
+// ---------------------------------------------------------------------------
+// Time.  Stored in seconds.
+// ---------------------------------------------------------------------------
+struct Seconds : detail::QuantityOps<Seconds> {
+  using detail::QuantityOps<Seconds>::QuantityOps;
+
+  [[nodiscard]] static constexpr Seconds of(double s) { return Seconds{s}; }
+  [[nodiscard]] static constexpr Seconds millis(double v) { return Seconds{v * 1e-3}; }
+  [[nodiscard]] static constexpr Seconds micros(double v) { return Seconds{v * 1e-6}; }
+  [[nodiscard]] static constexpr Seconds nanos(double v) { return Seconds{v * 1e-9}; }
+  [[nodiscard]] static constexpr Seconds minutes(double v) { return Seconds{v * 60.0}; }
+  [[nodiscard]] static constexpr Seconds infinity() {
+    return Seconds{std::numeric_limits<double>::infinity()};
+  }
+
+  [[nodiscard]] constexpr double seconds() const { return value; }
+  [[nodiscard]] constexpr double ms() const { return value * 1e3; }
+  [[nodiscard]] constexpr double us() const { return value * 1e6; }
+  [[nodiscard]] constexpr double ns() const { return value * 1e9; }
+};
+
+// ---------------------------------------------------------------------------
+// Data rate.  Stored in bytes/second.  The paper quotes both GB/s (storage
+// and model math) and Gbps (links); both constructors are provided so each
+// number can be transcribed in its native unit.
+// ---------------------------------------------------------------------------
+struct DataRate : detail::QuantityOps<DataRate> {
+  using detail::QuantityOps<DataRate>::QuantityOps;
+
+  [[nodiscard]] static constexpr DataRate bytes_per_second(double v) { return DataRate{v}; }
+  [[nodiscard]] static constexpr DataRate megabytes_per_second(double v) {
+    return DataRate{v * 1e6};
+  }
+  [[nodiscard]] static constexpr DataRate gigabytes_per_second(double v) {
+    return DataRate{v * 1e9};
+  }
+  [[nodiscard]] static constexpr DataRate terabytes_per_second(double v) {
+    return DataRate{v * 1e12};
+  }
+  [[nodiscard]] static constexpr DataRate megabits_per_second(double v) {
+    return DataRate{v * 1e6 / 8.0};
+  }
+  [[nodiscard]] static constexpr DataRate gigabits_per_second(double v) {
+    return DataRate{v * 1e9 / 8.0};
+  }
+  [[nodiscard]] static constexpr DataRate terabits_per_second(double v) {
+    return DataRate{v * 1e12 / 8.0};
+  }
+
+  [[nodiscard]] constexpr double bps() const { return value; }
+  [[nodiscard]] constexpr double mbps() const { return value / 1e6; }
+  [[nodiscard]] constexpr double gBps() const { return value / 1e9; }
+  [[nodiscard]] constexpr double gbit_per_s() const { return value * 8.0 / 1e9; }
+  [[nodiscard]] constexpr double tbit_per_s() const { return value * 8.0 / 1e12; }
+};
+
+// ---------------------------------------------------------------------------
+// Compute work.  Stored in FLOP.  Table 3 quotes "TF" meaning the total
+// offline-analysis work per data unit, so Flops is work, FlopsRate is speed.
+// ---------------------------------------------------------------------------
+struct Flops : detail::QuantityOps<Flops> {
+  using detail::QuantityOps<Flops>::QuantityOps;
+
+  [[nodiscard]] static constexpr Flops of(double f) { return Flops{f}; }
+  [[nodiscard]] static constexpr Flops mega(double v) { return Flops{v * 1e6}; }
+  [[nodiscard]] static constexpr Flops giga(double v) { return Flops{v * 1e9}; }
+  [[nodiscard]] static constexpr Flops tera(double v) { return Flops{v * 1e12}; }
+  [[nodiscard]] static constexpr Flops peta(double v) { return Flops{v * 1e15}; }
+
+  [[nodiscard]] constexpr double flop() const { return value; }
+  [[nodiscard]] constexpr double gflop() const { return value / 1e9; }
+  [[nodiscard]] constexpr double tflop() const { return value / 1e12; }
+};
+
+struct FlopsRate : detail::QuantityOps<FlopsRate> {
+  using detail::QuantityOps<FlopsRate>::QuantityOps;
+
+  [[nodiscard]] static constexpr FlopsRate flops(double v) { return FlopsRate{v}; }
+  [[nodiscard]] static constexpr FlopsRate gigaflops(double v) { return FlopsRate{v * 1e9}; }
+  [[nodiscard]] static constexpr FlopsRate teraflops(double v) { return FlopsRate{v * 1e12}; }
+  [[nodiscard]] static constexpr FlopsRate petaflops(double v) { return FlopsRate{v * 1e15}; }
+
+  [[nodiscard]] constexpr double flop_per_s() const { return value; }
+  [[nodiscard]] constexpr double gflops() const { return value / 1e9; }
+  [[nodiscard]] constexpr double tflops() const { return value / 1e12; }
+};
+
+// ---------------------------------------------------------------------------
+// Computational complexity coefficient C: FLOP per byte of input.  The paper
+// states C in FLOP/GB; `per_gb` transcribes that directly.
+// ---------------------------------------------------------------------------
+struct Complexity : detail::QuantityOps<Complexity> {
+  using detail::QuantityOps<Complexity>::QuantityOps;
+
+  [[nodiscard]] static constexpr Complexity flop_per_byte(double v) { return Complexity{v}; }
+  // v FLOP of work for every GB of data, as in Section 3.1.
+  [[nodiscard]] static constexpr Complexity per_gb(Flops work_per_gb) {
+    return Complexity{work_per_gb.flop() / 1e9};
+  }
+
+  [[nodiscard]] constexpr double flop_per_byte() const { return value; }
+  [[nodiscard]] constexpr Flops per_gb() const { return Flops{value * 1e9}; }
+};
+
+// ------------------------------ cross-type ops ------------------------------
+
+// Transfer time: volume / rate  (Eq. 5 numerator/denominator).
+[[nodiscard]] constexpr Seconds operator/(Bytes b, DataRate r) {
+  return Seconds{b.value / r.value};
+}
+// Volume moved in a time window.
+[[nodiscard]] constexpr Bytes operator*(DataRate r, Seconds t) {
+  return Bytes{r.value * t.value};
+}
+[[nodiscard]] constexpr Bytes operator*(Seconds t, DataRate r) { return r * t; }
+// Rate needed to move a volume within a deadline.
+[[nodiscard]] constexpr DataRate operator/(Bytes b, Seconds t) {
+  return DataRate{b.value / t.value};
+}
+// Compute time: work / speed  (Eqs. 3 and 6).
+[[nodiscard]] constexpr Seconds operator/(Flops w, FlopsRate r) {
+  return Seconds{w.value / r.value};
+}
+[[nodiscard]] constexpr Flops operator*(FlopsRate r, Seconds t) {
+  return Flops{r.value * t.value};
+}
+// Work implied by a data volume at complexity C  (the C * S_unit terms).
+[[nodiscard]] constexpr Flops operator*(Complexity c, Bytes b) {
+  return Flops{c.value * b.value};
+}
+[[nodiscard]] constexpr Flops operator*(Bytes b, Complexity c) { return c * b; }
+// Compute speed needed to keep up with a data rate at complexity C.
+[[nodiscard]] constexpr FlopsRate operator*(Complexity c, DataRate r) {
+  return FlopsRate{c.value * r.value};
+}
+[[nodiscard]] constexpr FlopsRate operator*(DataRate r, Complexity c) { return c * r; }
+// Required FLOP rate to finish `w` of work within `t`.
+[[nodiscard]] constexpr FlopsRate operator/(Flops w, Seconds t) {
+  return FlopsRate{w.value / t.value};
+}
+
+// ------------------------------- formatting --------------------------------
+
+// Human-readable renderings used by tables and reports.  Chooses a sensible
+// prefix; not locale-aware by design (output is consumed by scripts too).
+namespace detail {
+[[nodiscard]] inline std::string format_scaled(double v, const char* const* suffixes,
+                                               const double* thresholds, int n) {
+  char buf[64];
+  for (int i = 0; i < n; ++i) {
+    if (std::fabs(v) >= thresholds[i] || i == n - 1) {
+      std::snprintf(buf, sizeof(buf), "%.3g %s", v / thresholds[i], suffixes[i]);
+      return buf;
+    }
+  }
+  return "0";
+}
+}  // namespace detail
+
+[[nodiscard]] inline std::string to_string(Bytes b) {
+  static constexpr const char* kSuffix[] = {"TB", "GB", "MB", "KB", "B"};
+  static constexpr double kThresh[] = {1e12, 1e9, 1e6, 1e3, 1.0};
+  return detail::format_scaled(b.bytes(), kSuffix, kThresh, 5);
+}
+[[nodiscard]] inline std::string to_string(Seconds s) {
+  static constexpr const char* kSuffix[] = {"s", "ms", "us", "ns"};
+  static constexpr double kThresh[] = {1.0, 1e-3, 1e-6, 1e-9};
+  if (!s.is_finite()) return s.value > 0 ? "inf" : "-inf";
+  return detail::format_scaled(s.seconds(), kSuffix, kThresh, 4);
+}
+[[nodiscard]] inline std::string to_string(DataRate r) {
+  static constexpr const char* kSuffix[] = {"TB/s", "GB/s", "MB/s", "KB/s", "B/s"};
+  static constexpr double kThresh[] = {1e12, 1e9, 1e6, 1e3, 1.0};
+  return detail::format_scaled(r.bps(), kSuffix, kThresh, 5);
+}
+[[nodiscard]] inline std::string to_string(Flops f) {
+  static constexpr const char* kSuffix[] = {"PF", "TF", "GF", "MF", "FLOP"};
+  static constexpr double kThresh[] = {1e15, 1e12, 1e9, 1e6, 1.0};
+  return detail::format_scaled(f.flop(), kSuffix, kThresh, 5);
+}
+[[nodiscard]] inline std::string to_string(FlopsRate f) {
+  static constexpr const char* kSuffix[] = {"PFLOPS", "TFLOPS", "GFLOPS", "MFLOPS", "FLOPS"};
+  static constexpr double kThresh[] = {1e15, 1e12, 1e9, 1e6, 1.0};
+  return detail::format_scaled(f.flop_per_s(), kSuffix, kThresh, 5);
+}
+
+namespace literals {
+constexpr Bytes operator""_GB(long double v) { return Bytes::gigabytes(static_cast<double>(v)); }
+constexpr Bytes operator""_GB(unsigned long long v) {
+  return Bytes::gigabytes(static_cast<double>(v));
+}
+constexpr Bytes operator""_MB(long double v) { return Bytes::megabytes(static_cast<double>(v)); }
+constexpr Bytes operator""_MB(unsigned long long v) {
+  return Bytes::megabytes(static_cast<double>(v));
+}
+constexpr Seconds operator""_s(long double v) { return Seconds::of(static_cast<double>(v)); }
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds::of(static_cast<double>(v));
+}
+constexpr Seconds operator""_ms(long double v) { return Seconds::millis(static_cast<double>(v)); }
+constexpr Seconds operator""_ms(unsigned long long v) {
+  return Seconds::millis(static_cast<double>(v));
+}
+constexpr DataRate operator""_Gbps(long double v) {
+  return DataRate::gigabits_per_second(static_cast<double>(v));
+}
+constexpr DataRate operator""_Gbps(unsigned long long v) {
+  return DataRate::gigabits_per_second(static_cast<double>(v));
+}
+constexpr DataRate operator""_GBps(long double v) {
+  return DataRate::gigabytes_per_second(static_cast<double>(v));
+}
+constexpr DataRate operator""_GBps(unsigned long long v) {
+  return DataRate::gigabytes_per_second(static_cast<double>(v));
+}
+constexpr FlopsRate operator""_TFLOPS(long double v) {
+  return FlopsRate::teraflops(static_cast<double>(v));
+}
+constexpr FlopsRate operator""_TFLOPS(unsigned long long v) {
+  return FlopsRate::teraflops(static_cast<double>(v));
+}
+constexpr Flops operator""_TF(long double v) { return Flops::tera(static_cast<double>(v)); }
+constexpr Flops operator""_TF(unsigned long long v) { return Flops::tera(static_cast<double>(v)); }
+}  // namespace literals
+
+}  // namespace sss::units

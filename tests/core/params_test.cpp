@@ -1,0 +1,66 @@
+// Tests for ModelParameters: derived coefficients and validation.
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sss::core {
+namespace {
+
+ModelParameters valid_params() {
+  ModelParameters p;
+  p.s_unit = units::Bytes::gigabytes(2.0);
+  p.complexity = units::Complexity::flop_per_byte(17000.0);
+  p.r_local = units::FlopsRate::teraflops(2.0);
+  p.r_remote = units::FlopsRate::teraflops(20.0);
+  p.bandwidth = units::DataRate::gigabits_per_second(25.0);
+  p.alpha = 0.8;
+  p.theta = 1.5;
+  return p;
+}
+
+TEST(ModelParameters, DerivedCoefficients) {
+  const ModelParameters p = valid_params();
+  EXPECT_DOUBLE_EQ(p.r(), 10.0);
+  EXPECT_DOUBLE_EQ(p.r_transfer().gBps(), 3.125 * 0.8);
+  // Work = C * S_unit = 17 kFLOP/B * 2 GB = 34 TF (Table 3 row 1).
+  EXPECT_DOUBLE_EQ(p.work().tflop(), 34.0);
+}
+
+TEST(ModelParameters, ValidAcceptsDefaults) {
+  EXPECT_NO_THROW(ModelParameters{}.validate());
+  EXPECT_NO_THROW(valid_params().validate());
+}
+
+TEST(ModelParameters, RejectsOutOfRange) {
+  auto expect_invalid = [](auto mutate) {
+    ModelParameters p = valid_params();
+    mutate(p);
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  };
+  expect_invalid([](ModelParameters& p) { p.s_unit = units::Bytes::of(0.0); });
+  expect_invalid([](ModelParameters& p) { p.complexity = units::Complexity::flop_per_byte(-1.0); });
+  expect_invalid([](ModelParameters& p) { p.r_local = units::FlopsRate::flops(0.0); });
+  expect_invalid([](ModelParameters& p) { p.r_remote = units::FlopsRate::flops(0.0); });
+  expect_invalid([](ModelParameters& p) { p.bandwidth = units::DataRate::bytes_per_second(0.0); });
+  expect_invalid([](ModelParameters& p) { p.alpha = 0.0; });
+  expect_invalid([](ModelParameters& p) { p.alpha = 1.01; });
+  expect_invalid([](ModelParameters& p) { p.theta = 0.99; });
+}
+
+TEST(ModelParameters, AlphaExactlyOneAndThetaExactlyOneAreValid) {
+  ModelParameters p = valid_params();
+  p.alpha = 1.0;
+  p.theta = 1.0;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ModelParameters, ZeroComplexityAllowed) {
+  // Pure data movement (no compute) is a legitimate corner: C = 0.
+  ModelParameters p = valid_params();
+  p.complexity = units::Complexity::flop_per_byte(0.0);
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_DOUBLE_EQ(p.work().flop(), 0.0);
+}
+
+}  // namespace
+}  // namespace sss::core

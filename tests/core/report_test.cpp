@@ -1,0 +1,86 @@
+// Tests for report rendering (content presence, not exact formatting).
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sss::core {
+namespace {
+
+DecisionInput sample_input() {
+  DecisionInput in;
+  in.params.s_unit = units::Bytes::gigabytes(2.0);
+  in.params.complexity = units::Complexity::flop_per_byte(17000.0);
+  in.params.r_local = units::FlopsRate::teraflops(5.0);
+  in.params.r_remote = units::FlopsRate::teraflops(50.0);
+  in.params.bandwidth = units::DataRate::gigabits_per_second(25.0);
+  in.params.alpha = 0.8;
+  in.params.theta = 1.0;
+  in.theta_file = 2.0;
+  in.t_worst_transfer = units::Seconds::of(1.2);
+  in.generation_rate = units::DataRate::gigabytes_per_second(2.0);
+  return in;
+}
+
+TEST(RenderVerdict, MentionsBestModeAndTimes) {
+  const Evaluation ev = evaluate(sample_input());
+  const std::string verdict = render_verdict(ev);
+  EXPECT_NE(verdict.find("remote-streaming"), std::string::npos);
+  EXPECT_NE(verdict.find("T_local"), std::string::npos);
+  EXPECT_NE(verdict.find("gain"), std::string::npos);
+}
+
+TEST(RenderVerdict, SaturatedLinkMessage) {
+  DecisionInput in = sample_input();
+  in.generation_rate = units::DataRate::gigabytes_per_second(4.0);
+  const std::string verdict = render_verdict(evaluate(in));
+  EXPECT_NE(verdict.find("saturated"), std::string::npos);
+  EXPECT_NE(verdict.find("local"), std::string::npos);
+}
+
+TEST(RenderReport, ContainsAllSections) {
+  WorkflowReportInput in;
+  in.workflow_name = "Coherent Scattering (XPCS, XSVS)";
+  in.decision = sample_input();
+  const std::string report = render_report(in);
+  EXPECT_NE(report.find("Coherent Scattering"), std::string::npos);
+  EXPECT_NE(report.find("parameters:"), std::string::npos);
+  EXPECT_NE(report.find("S_unit"), std::string::npos);
+  EXPECT_NE(report.find("completion times:"), std::string::npos);
+  EXPECT_NE(report.find("T_local"), std::string::npos);
+  EXPECT_NE(report.find("recommendation:"), std::string::npos);
+  EXPECT_NE(report.find("tier analysis"), std::string::npos);
+  EXPECT_NE(report.find("Tier 1"), std::string::npos);
+  EXPECT_NE(report.find("Tier 2"), std::string::npos);
+  EXPECT_NE(report.find("Tier 3"), std::string::npos);
+  EXPECT_NE(report.find("break-even"), std::string::npos);
+  EXPECT_NE(report.find("T_worst(transfer)"), std::string::npos);
+}
+
+TEST(RenderReport, TierBudgetsVisible) {
+  WorkflowReportInput in;
+  in.workflow_name = "x";
+  in.decision = sample_input();
+  const std::string report = render_report(in);
+  // Tier 2 compute budget (8.8 s) should surface.
+  EXPECT_NE(report.find("compute budget"), std::string::npos);
+}
+
+TEST(RenderProfile, TabulatesPoints) {
+  CongestionPoint a;
+  a.utilization = 0.64;
+  a.t_worst_s = 1.2;
+  a.sss = 1.875;
+  CongestionPoint b;
+  b.utilization = 0.96;
+  b.t_worst_s = 6.0;
+  b.sss = 6.25;
+  CongestionProfile profile({a, b});
+  const std::string out = render_profile(profile);
+  EXPECT_NE(out.find("utilization"), std::string::npos);
+  EXPECT_NE(out.find("64"), std::string::npos);
+  EXPECT_NE(out.find("moderate"), std::string::npos);  // SSS 6.25 -> moderate
+  EXPECT_NE(out.find("low"), std::string::npos);       // SSS 1.875 -> low
+}
+
+}  // namespace
+}  // namespace sss::core

@@ -1,0 +1,81 @@
+// Tests that facility presets transcribe the paper's numbers faithfully.
+#include "detector/facility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sss::detector {
+namespace {
+
+TEST(Facilities, LhcNumbers) {
+  const FacilityProfile p = lhc();
+  EXPECT_DOUBLE_EQ(p.raw_rate.tbit_per_s() / 8.0 * 8.0, p.raw_rate.tbit_per_s());
+  EXPECT_DOUBLE_EQ(p.raw_rate.bps(), 40e12);        // 40 TB/s
+  EXPECT_DOUBLE_EQ(p.reduced_rate.bps(), 1e9);      // ~1 GB/s to storage
+  EXPECT_NEAR(p.reduction_factor(), 40000.0, 1.0);  // aggressive triggers
+}
+
+TEST(Facilities, Lcls2Numbers) {
+  EXPECT_DOUBLE_EQ(lcls2_2023().raw_rate.bps(), 200e9);   // 200 GB/s in 2023
+  EXPECT_DOUBLE_EQ(lcls2_2029().raw_rate.bps(), 1e12);    // 1 TB/s by 2029
+  // DRP reduces "by an order of magnitude".
+  EXPECT_NEAR(lcls2_2023().reduction_factor(), 10.0, 1e-9);
+  EXPECT_NEAR(lcls2_2029().reduction_factor(), 10.0, 1e-9);
+}
+
+TEST(Facilities, ApsNumbers) {
+  EXPECT_DOUBLE_EQ(aps().raw_rate.gbit_per_s(), 480.0);  // 480 Gb/s detectors
+}
+
+TEST(Facilities, FribDeleriaNumbers) {
+  const FacilityProfile p = frib_deleria();
+  EXPECT_DOUBLE_EQ(p.raw_rate.gbit_per_s(), 40.0);
+  EXPECT_DOUBLE_EQ(p.reduced_rate.mbps(), 240.0);
+  const DeleriaProfile d = deleria_profile();
+  EXPECT_EQ(d.process_count, 100);
+  // ~2 MB/s per compute process (Section 2.2.4).
+  EXPECT_NEAR(d.per_process_rate().mbps(), 2.4, 0.5);
+  EXPECT_DOUBLE_EQ(d.reduction, 0.975);
+}
+
+TEST(Facilities, AllFacilitiesEnumerated) {
+  const auto all = all_facilities();
+  EXPECT_EQ(all.size(), 5u);
+  for (const auto& f : all) {
+    EXPECT_FALSE(f.name.empty());
+    EXPECT_TRUE(f.raw_rate.is_positive());
+  }
+}
+
+TEST(Table3Workflows, CoherentScattering) {
+  const WorkflowProfile w = coherent_scattering();
+  EXPECT_DOUBLE_EQ(w.throughput.gBps(), 2.0);
+  EXPECT_DOUBLE_EQ(w.offline_analysis.tflop(), 34.0);
+  // 1-second window accumulates 2 GB.
+  EXPECT_DOUBLE_EQ(w.bytes_per_window(units::Seconds::of(1.0)).gb(), 2.0);
+  // C = 34 TF / 2 GB = 17,000 FLOP/byte.
+  EXPECT_DOUBLE_EQ(w.complexity().flop_per_byte(), 17000.0);
+}
+
+TEST(Table3Workflows, LiquidScattering) {
+  const WorkflowProfile w = liquid_scattering();
+  EXPECT_DOUBLE_EQ(w.throughput.gBps(), 4.0);
+  // 4 GB/s = 32 Gbps: more than the 25 Gbps testbed link (the case study's
+  // infeasibility).
+  EXPECT_GT(w.throughput.gbit_per_s(), 25.0);
+  EXPECT_DOUBLE_EQ(w.offline_analysis.tflop(), 20.0);
+  EXPECT_DOUBLE_EQ(w.complexity().flop_per_byte(), 5000.0);
+}
+
+TEST(ApsScan, MatchesSection42) {
+  const ScanWorkload scan = aps_scan(units::Seconds::of(0.033));
+  EXPECT_EQ(scan.frame_count, 1440u);
+  EXPECT_DOUBLE_EQ(scan.frame_size.bytes(), 2048.0 * 2048.0 * 2.0);
+  // Exact: 12.08 GB; the paper rounds to "approximately 12.6 GB".
+  EXPECT_NEAR(scan.total_bytes().gb(), 12.08, 0.01);
+  EXPECT_NEAR(scan.generation_time().seconds(), 47.5, 0.1);
+  const ScanWorkload slow = aps_scan(units::Seconds::of(0.33));
+  EXPECT_NEAR(slow.generation_time().seconds(), 475.2, 0.1);
+}
+
+}  // namespace
+}  // namespace sss::detector

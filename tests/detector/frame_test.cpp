@@ -1,0 +1,95 @@
+// Tests for frames, scans, payload generation and checksums.
+#include "detector/frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sss::detector {
+namespace {
+
+TEST(ScanWorkload, ValidationCatchesBadValues) {
+  ScanWorkload scan;
+  scan.frame_count = 0;
+  scan.frame_size = units::Bytes::megabytes(1.0);
+  scan.frame_interval = units::Seconds::of(0.1);
+  EXPECT_THROW(scan.validate(), std::invalid_argument);
+  scan.frame_count = 10;
+  scan.frame_size = units::Bytes::of(0.0);
+  EXPECT_THROW(scan.validate(), std::invalid_argument);
+  scan.frame_size = units::Bytes::megabytes(1.0);
+  scan.frame_interval = units::Seconds::of(0.0);
+  EXPECT_THROW(scan.validate(), std::invalid_argument);
+}
+
+TEST(ScanWorkload, DerivedQuantities) {
+  ScanWorkload scan;
+  scan.frame_count = 100;
+  scan.frame_size = units::Bytes::megabytes(8.0);
+  scan.frame_interval = units::Seconds::of(0.1);
+  EXPECT_DOUBLE_EQ(scan.total_bytes().mb(), 800.0);
+  EXPECT_DOUBLE_EQ(scan.generation_time().seconds(), 10.0);
+  EXPECT_DOUBLE_EQ(scan.generation_rate().mbps(), 80.0);
+  EXPECT_DOUBLE_EQ(scan.frame_ready_at(0).seconds(), 0.1);
+  EXPECT_DOUBLE_EQ(scan.frame_ready_at(99).seconds(), 10.0);
+}
+
+TEST(MakePayload, DeterministicPerPatternSeedAndIndex) {
+  for (auto pattern :
+       {PayloadPattern::kGradient, PayloadPattern::kCheckerboard, PayloadPattern::kNoise}) {
+    const auto a = make_payload(pattern, 42, 7, 4096);
+    const auto b = make_payload(pattern, 42, 7, 4096);
+    EXPECT_EQ(a, b) << "pattern " << static_cast<int>(pattern);
+  }
+}
+
+TEST(MakePayload, DifferentFramesDiffer) {
+  for (auto pattern :
+       {PayloadPattern::kGradient, PayloadPattern::kCheckerboard, PayloadPattern::kNoise}) {
+    const auto a = make_payload(pattern, 42, 0, 4096);
+    const auto b = make_payload(pattern, 42, 1, 4096);
+    EXPECT_NE(a, b) << "pattern " << static_cast<int>(pattern);
+  }
+}
+
+TEST(MakePayload, NoiseSeedMatters) {
+  const auto a = make_payload(PayloadPattern::kNoise, 1, 0, 1024);
+  const auto b = make_payload(PayloadPattern::kNoise, 2, 0, 1024);
+  EXPECT_NE(a, b);
+}
+
+TEST(MakePayload, ExactSizeIncludingOddLengths) {
+  for (std::size_t size : {0u, 1u, 7u, 8u, 9u, 1023u}) {
+    EXPECT_EQ(make_payload(PayloadPattern::kNoise, 3, 0, size).size(), size);
+    EXPECT_EQ(make_payload(PayloadPattern::kGradient, 3, 0, size).size(), size);
+  }
+}
+
+TEST(MakePayload, NoiseLooksUniform) {
+  // Sanity: a noise payload should use most byte values.
+  const auto payload = make_payload(PayloadPattern::kNoise, 9, 0, 64 * 1024);
+  std::array<int, 256> counts{};
+  for (std::byte b : payload) ++counts[static_cast<unsigned char>(b)];
+  int nonzero = 0;
+  for (int c : counts) {
+    if (c > 0) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 256);
+}
+
+TEST(Checksum, KnownProperties) {
+  const auto a = make_payload(PayloadPattern::kGradient, 42, 0, 1024);
+  const auto b = make_payload(PayloadPattern::kGradient, 42, 1, 1024);
+  EXPECT_EQ(checksum(a), checksum(a));
+  EXPECT_NE(checksum(a), checksum(b));
+  // Empty input yields the FNV offset basis.
+  EXPECT_EQ(checksum({}), 0xcbf29ce484222325ULL);
+}
+
+TEST(Checksum, SensitiveToSingleByteFlip) {
+  auto payload = make_payload(PayloadPattern::kGradient, 42, 0, 1024);
+  const auto original = checksum(payload);
+  payload[512] ^= std::byte{0x01};
+  EXPECT_NE(checksum(payload), original);
+}
+
+}  // namespace
+}  // namespace sss::detector

@@ -1,0 +1,103 @@
+// Integration: analytical stream/staged models against the live threaded
+// pipelines on the same workload — the two views of Fig. 4 must agree on
+// ordering, and the pipelines must agree on data.
+#include <gtest/gtest.h>
+
+#include "pipeline/file_pipeline.hpp"
+#include "pipeline/streaming_pipeline.hpp"
+#include "storage/staged_transfer.hpp"
+#include "storage/stream_transfer.hpp"
+
+namespace sss {
+namespace {
+
+detector::ScanWorkload test_scan() {
+  detector::ScanWorkload scan;
+  scan.frame_count = 48;
+  scan.frame_size = units::Bytes::of(64.0 * 1024.0);
+  scan.frame_interval = units::Seconds::millis(2.0);
+  return scan;
+}
+
+TEST(StreamVsFileIntegration, AnalyticalOrderingMatchesLivePipelines) {
+  const auto scan = test_scan();
+
+  // Analytical: streaming vs 48-file staged path on a 1 Gbps WAN.
+  storage::StreamTransferConfig stream_cfg;
+  stream_cfg.wan_bandwidth = units::DataRate::gigabits_per_second(1.0);
+  stream_cfg.efficiency = 1.0;
+  stream_cfg.connection_setup = units::Seconds::of(0.0);
+  storage::StagedTransferConfig staged_cfg;
+  staged_cfg.wan.bandwidth = units::DataRate::gigabits_per_second(1.0);
+  staged_cfg.wan.efficiency = 1.0;
+  staged_cfg.wan.per_file_overhead = units::Seconds::millis(10.0);
+  staged_cfg.source_pfs.metadata_latency = units::Seconds::millis(2.0);
+
+  const double model_stream = storage::simulate_stream(stream_cfg, scan).total_s;
+  const double model_file = storage::simulate_staged(staged_cfg, scan, 48).total_s;
+  ASSERT_LT(model_stream, model_file);
+
+  // Live: same scan through the threaded pipelines.
+  pipeline::SystemClock clock;
+  pipeline::StreamingPipelineConfig live_stream;
+  live_stream.scan = scan;
+  live_stream.channel.bandwidth = units::DataRate::gigabits_per_second(1.0);
+  live_stream.pace_producer = true;
+
+  pipeline::FilePipelineConfig live_file;
+  live_file.scan = scan;
+  live_file.file_count = 48;
+  live_file.wan_bandwidth = units::DataRate::gigabits_per_second(1.0);
+  live_file.per_file_wan_overhead = units::Seconds::millis(10.0);
+  live_file.source_pfs.metadata_latency = units::Seconds::millis(2.0);
+  live_file.pace_producer = true;
+
+  const auto stream_report = pipeline::run_streaming_pipeline(live_stream, clock);
+  const auto file_report = pipeline::run_file_pipeline(live_file, clock);
+  ASSERT_TRUE(stream_report.complete_and_intact(scan.frame_count));
+  ASSERT_TRUE(file_report.complete_and_intact(scan.frame_count));
+
+  // Same ordering as the analytical model.
+  EXPECT_LT(stream_report.total_wall_s, file_report.total_wall_s);
+  // Both transports carried identical data.
+  EXPECT_EQ(stream_report.producer_checksum, file_report.producer_checksum);
+  EXPECT_EQ(stream_report.consumer_checksum, file_report.consumer_checksum);
+}
+
+TEST(StreamVsFileIntegration, AggregationSweepOrderingConsistent) {
+  // Analytical ordering across aggregation levels must be monotone in file
+  // count once generation is fast (file effects isolated).
+  detector::ScanWorkload scan = test_scan();
+  scan.frame_interval = units::Seconds::micros(100.0);
+  storage::StagedTransferConfig cfg;
+  double prev = 0.0;
+  for (std::uint64_t files : {1u, 4u, 16u, 48u}) {
+    const double total = storage::simulate_staged(cfg, scan, files).total_s;
+    EXPECT_GT(total, prev) << files << " files";
+    prev = total;
+  }
+}
+
+TEST(StreamVsFileIntegration, LiveLatencyBoundedByModelPlusSlack) {
+  // The live streaming pipeline on a paced scan should complete within a
+  // generous envelope of the analytical prediction (same rate, same scan).
+  const auto scan = test_scan();
+  storage::StreamTransferConfig model_cfg;
+  model_cfg.wan_bandwidth = units::DataRate::gigabits_per_second(1.0);
+  model_cfg.efficiency = 1.0;
+  model_cfg.connection_setup = units::Seconds::of(0.0);
+  const double predicted = storage::simulate_stream(model_cfg, scan).total_s;
+
+  pipeline::SystemClock clock;
+  pipeline::StreamingPipelineConfig live;
+  live.scan = scan;
+  live.channel.bandwidth = units::DataRate::gigabits_per_second(1.0);
+  live.pace_producer = true;
+  const auto report = pipeline::run_streaming_pipeline(live, clock);
+  ASSERT_TRUE(report.complete_and_intact(scan.frame_count));
+  EXPECT_GT(report.total_wall_s, predicted * 0.5);
+  EXPECT_LT(report.total_wall_s, predicted * 3.0 + 0.5);
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,123 @@
+// Tests for the blocking bounded queue: backpressure, close semantics, and
+// multi-producer/multi-consumer completeness.
+#include "pipeline/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace sss::pipeline {
+namespace {
+
+TEST(BoundedQueue, BasicPushPop) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.size(), 2u);
+  auto a = q.pop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 1);
+}
+
+TEST(BoundedQueue, TryVariantsNonBlocking) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(2));  // full
+  auto v = q.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(q.try_pop().has_value());  // empty
+}
+
+TEST(BoundedQueue, CapacityFloorOfOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+}
+
+TEST(BoundedQueue, CloseWakesConsumersAfterDrain) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());  // drained first
+  EXPECT_EQ(*v, 1);
+  EXPECT_FALSE(q.pop().has_value());  // then end-of-stream
+}
+
+TEST(BoundedQueue, CloseRejectsFurtherPushes) {
+  BoundedQueue<int> q(4);
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  EXPECT_FALSE(q.try_push(1));
+}
+
+TEST(BoundedQueue, BlockedProducerReleasedByClose) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    const bool ok = q.push(2);  // blocks: queue full
+    EXPECT_FALSE(ok);           // released by close, not by space
+    returned = true;
+  });
+  // Give the producer time to block, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(returned.load());
+  q.close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueue, BlockedConsumerReleasedByPush) {
+  BoundedQueue<int> q(1);
+  std::atomic<int> got{-1};
+  std::thread consumer([&] {
+    auto v = q.pop();
+    got = v.value_or(-2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(q.push(42));
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(BoundedQueue, MpmcStressDeliversEverythingExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 25'000;
+  BoundedQueue<int> q(64);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += static_cast<std::uint64_t>(*v);
+        ++count;
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  const std::uint64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), static_cast<int>(n));
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace sss::pipeline

@@ -1,0 +1,94 @@
+// Tests for the lock-free SPSC ring buffer, including a two-thread stress
+// run checking ordering and completeness.
+#include "pipeline/spsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace sss::pipeline {
+namespace {
+
+TEST(SpscQueue, CapacityRoundedToPowerOfTwo) {
+  SpscQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+  SpscQueue<int> q2(8);
+  EXPECT_EQ(q2.capacity(), 8u);
+  SpscQueue<int> q3(0);
+  EXPECT_GE(q3.capacity(), 2u);
+}
+
+TEST(SpscQueue, PushPopSingleThread) {
+  SpscQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  auto a = q.try_pop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 1);
+  auto b = q.try_pop();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(SpscQueue, FullQueueRejectsPush) {
+  SpscQueue<int> q(2);  // capacity 2
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  (void)q.try_pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(SpscQueue, WrapsAroundManyTimes) {
+  SpscQueue<int> q(4);
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(q.try_push(round));
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, round);
+  }
+  EXPECT_EQ(q.size_approx(), 0u);
+}
+
+TEST(SpscQueue, MoveOnlyTypes) {
+  SpscQueue<std::unique_ptr<int>> q(4);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(7)));
+  auto v = q.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+TEST(SpscQueue, TwoThreadStressPreservesOrderAndCompleteness) {
+  constexpr std::uint64_t kCount = 1'000'000;
+  SpscQueue<std::uint64_t> q(1024);
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      while (!q.try_push(i)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::uint64_t expected = 0;
+  std::uint64_t sum = 0;
+  while (expected < kCount) {
+    auto v = q.try_pop();
+    if (!v.has_value()) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(*v, expected) << "SPSC order violated";
+    sum += *v;
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+}  // namespace
+}  // namespace sss::pipeline

@@ -1,0 +1,112 @@
+// End-to-end tests for the threaded streaming pipeline: completeness,
+// integrity, overlap, and latency accounting.
+#include "pipeline/streaming_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sss::pipeline {
+namespace {
+
+StreamingPipelineConfig small_config(std::uint64_t frames = 32,
+                                     std::size_t frame_bytes = 64 * 1024) {
+  StreamingPipelineConfig cfg;
+  cfg.scan.frame_count = frames;
+  cfg.scan.frame_size = units::Bytes::of(static_cast<double>(frame_bytes));
+  cfg.scan.frame_interval = units::Seconds::millis(1.0);
+  cfg.channel.bandwidth = units::DataRate::gigabytes_per_second(1.0);
+  cfg.channel.burst = units::Bytes::megabytes(4.0);
+  cfg.channel.queue_frames = 8;
+  cfg.compute_threads = 2;
+  cfg.pace_producer = false;  // run at full speed in tests
+  return cfg;
+}
+
+TEST(StreamingPipeline, AllFramesArriveIntact) {
+  SystemClock clock;
+  const auto cfg = small_config();
+  const auto report = run_streaming_pipeline(cfg, clock);
+  EXPECT_TRUE(report.complete_and_intact(cfg.scan.frame_count));
+  EXPECT_EQ(report.frames_processed, 32u);
+  EXPECT_EQ(report.producer.items, 32u);
+  EXPECT_EQ(report.transfer.items, 32u);
+  EXPECT_EQ(report.compute.items, 32u);
+}
+
+TEST(StreamingPipeline, ChecksumsDetectPayloadAgreement) {
+  SystemClock clock;
+  const auto report = run_streaming_pipeline(small_config(16), clock);
+  EXPECT_EQ(report.producer_checksum, report.consumer_checksum);
+  EXPECT_NE(report.producer_checksum, 0u);
+}
+
+TEST(StreamingPipeline, ByteCountsMatchAcrossStages) {
+  SystemClock clock;
+  const auto cfg = small_config(20, 32 * 1024);
+  const auto report = run_streaming_pipeline(cfg, clock);
+  const std::uint64_t expected = 20ull * 32 * 1024;
+  EXPECT_EQ(report.producer.bytes, expected);
+  EXPECT_EQ(report.transfer.bytes, expected);
+  EXPECT_EQ(report.compute.bytes, expected);
+}
+
+TEST(StreamingPipeline, LatenciesRecordedPerFrame) {
+  SystemClock clock;
+  const auto cfg = small_config(16);
+  const auto report = run_streaming_pipeline(cfg, clock);
+  ASSERT_EQ(report.frame_latency_s.size(), 16u);
+  for (double lag : report.frame_latency_s) EXPECT_GE(lag, 0.0);
+  EXPECT_GT(report.max_frame_latency_s(), 0.0);
+}
+
+TEST(StreamingPipeline, StagesOverlapInTime) {
+  // Transfer must begin before production ends — the defining property of
+  // streaming (Fig. 1(b)).
+  SystemClock clock;
+  auto cfg = small_config(64, 128 * 1024);
+  cfg.pace_producer = true;
+  cfg.scan.frame_interval = units::Seconds::millis(2.0);
+  const auto report = run_streaming_pipeline(cfg, clock);
+  EXPECT_TRUE(report.complete_and_intact(cfg.scan.frame_count));
+  EXPECT_LT(report.transfer.first_item_s, report.producer.last_item_s);
+  EXPECT_LT(report.compute.first_item_s, report.producer.last_item_s);
+}
+
+TEST(StreamingPipeline, PacedProducerHonorsFrameInterval) {
+  SystemClock clock;
+  auto cfg = small_config(10, 8 * 1024);
+  cfg.pace_producer = true;
+  cfg.scan.frame_interval = units::Seconds::millis(5.0);
+  const auto report = run_streaming_pipeline(cfg, clock);
+  // 10 frames at 5 ms spacing: at least ~45 ms of wall time.
+  EXPECT_GE(report.total_wall_s, 0.045);
+}
+
+TEST(StreamingPipeline, ThroughputBoundedByChannelRate) {
+  SystemClock clock;
+  auto cfg = small_config(40, 256 * 1024);  // 10 MB total
+  cfg.channel.bandwidth = units::DataRate::megabytes_per_second(100.0);
+  cfg.channel.burst = units::Bytes::megabytes(1.0);
+  const auto report = run_streaming_pipeline(cfg, clock);
+  EXPECT_TRUE(report.complete_and_intact(cfg.scan.frame_count));
+  // ~9 MB beyond the burst at 100 MB/s: at least ~80 ms.
+  EXPECT_GE(report.total_wall_s, 0.08);
+}
+
+TEST(StreamingPipeline, ManyComputeThreads) {
+  SystemClock clock;
+  auto cfg = small_config(64);
+  cfg.compute_threads = 8;
+  const auto report = run_streaming_pipeline(cfg, clock);
+  EXPECT_TRUE(report.complete_and_intact(cfg.scan.frame_count));
+}
+
+TEST(StreamingPipeline, NoisePayloadsSurviveTransport) {
+  SystemClock clock;
+  auto cfg = small_config(16);
+  cfg.pattern = detector::PayloadPattern::kNoise;
+  const auto report = run_streaming_pipeline(cfg, clock);
+  EXPECT_TRUE(report.complete_and_intact(cfg.scan.frame_count));
+}
+
+}  // namespace
+}  // namespace sss::pipeline

@@ -1,0 +1,153 @@
+// Property tests for the analytical model: algebraic identities and
+// monotonicity across randomized parameter sweeps (parameterized gtest).
+#include <gtest/gtest.h>
+
+#include "core/completion.hpp"
+#include "core/decision.hpp"
+#include "core/sensitivity.hpp"
+#include "stats/rng.hpp"
+
+namespace sss::core {
+namespace {
+
+// Deterministic random parameter sets spanning several orders of magnitude.
+ModelParameters random_params(std::uint64_t seed) {
+  stats::Random rng(seed);
+  ModelParameters p;
+  p.s_unit = units::Bytes::gigabytes(rng.uniform(0.01, 100.0));
+  p.complexity = units::Complexity::flop_per_byte(rng.uniform(1.0, 1e5));
+  p.r_local = units::FlopsRate::gigaflops(rng.uniform(10.0, 1e4));
+  p.r_remote = units::FlopsRate::gigaflops(rng.uniform(10.0, 1e5));
+  p.bandwidth = units::DataRate::gigabits_per_second(rng.uniform(1.0, 400.0));
+  p.alpha = rng.uniform(0.05, 1.0);
+  p.theta = rng.uniform(1.0, 10.0);
+  return p;
+}
+
+class ModelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelProperty, AllTimesNonNegativeAndFinite) {
+  const ModelParameters p = random_params(GetParam());
+  for (units::Seconds t : {t_local(p), t_transfer(p), t_remote(p), t_io(p), t_pct(p)}) {
+    EXPECT_TRUE(t.is_finite());
+    EXPECT_GE(t.seconds(), 0.0);
+  }
+}
+
+TEST_P(ModelProperty, Eq9EqualsEq10Expansion) {
+  // theta*T_transfer + T_remote must equal the fully expanded Eq. 10.
+  const ModelParameters p = random_params(GetParam());
+  const double eq9 = p.theta * t_transfer(p).seconds() + t_remote(p).seconds();
+  const double eq10 = p.theta * p.s_unit.bytes() / (p.alpha * p.bandwidth.bps()) +
+                      p.complexity.flop_per_byte() * p.s_unit.bytes() /
+                          (p.r() * p.r_local.flop_per_s());
+  EXPECT_NEAR(t_pct(p).seconds(), eq9, 1e-9 * eq9);
+  EXPECT_NEAR(eq9, eq10, 1e-9 * eq9);
+}
+
+TEST_P(ModelProperty, ThetaIdentityHolds) {
+  // Eq. 7: theta == (T_IO + T_transfer)/T_transfer.
+  const ModelParameters p = random_params(GetParam());
+  const double lhs = (t_io(p).seconds() + t_transfer(p).seconds()) / t_transfer(p).seconds();
+  EXPECT_NEAR(lhs, p.theta, 1e-9 * p.theta);
+}
+
+TEST_P(ModelProperty, BreakdownSumsToPct) {
+  const ModelParameters p = random_params(GetParam());
+  EXPECT_NEAR(remote_breakdown(p).total().seconds(), t_pct(p).seconds(),
+              1e-9 * t_pct(p).seconds());
+}
+
+TEST_P(ModelProperty, MonotoneInEachParameter) {
+  const ModelParameters p = random_params(GetParam());
+  const double base_pct = t_pct(p).seconds();
+
+  ModelParameters better = p;
+  better.alpha = std::min(1.0, p.alpha * 1.1);
+  EXPECT_LE(t_pct(better).seconds(), base_pct + 1e-12);
+
+  better = p;
+  better.theta = p.theta * 1.1;
+  EXPECT_GE(t_pct(better).seconds(), base_pct - 1e-12);
+
+  better = p;
+  better.r_remote = p.r_remote * 2.0;
+  EXPECT_LE(t_pct(better).seconds(), base_pct + 1e-12);
+
+  better = p;
+  better.bandwidth = p.bandwidth * 2.0;
+  EXPECT_LE(t_pct(better).seconds(), base_pct + 1e-12);
+
+  better = p;
+  better.s_unit = p.s_unit * 2.0;
+  EXPECT_GE(t_pct(better).seconds(), base_pct - 1e-12);
+}
+
+TEST_P(ModelProperty, TLocalIndependentOfNetworkParameters) {
+  ModelParameters p = random_params(GetParam());
+  const double base = t_local(p).seconds();
+  p.alpha = 0.123;
+  p.theta = 7.7;
+  p.bandwidth = units::DataRate::gigabits_per_second(1.0);
+  EXPECT_DOUBLE_EQ(t_local(p).seconds(), base);
+}
+
+TEST_P(ModelProperty, GainAboveOneIffStreamingFaster) {
+  const ModelParameters p = random_params(GetParam());
+  DecisionInput in;
+  in.params = p;
+  const Evaluation ev = evaluate(in);
+  if (ev.gain_streaming > 1.0) {
+    EXPECT_LT(ev.t_pct_streaming.seconds(), ev.t_local.seconds());
+  } else if (ev.gain_streaming < 1.0) {
+    EXPECT_GT(ev.t_pct_streaming.seconds(), ev.t_local.seconds());
+  }
+}
+
+TEST_P(ModelProperty, CriticalValuesAreConsistentCrossovers) {
+  const ModelParameters p = random_params(GetParam());
+  // If alpha* exists and is attainable (<= 1), then at alpha slightly above
+  // it streaming strictly beats local, slightly below it loses.
+  const auto a_star = critical_alpha(p);
+  if (a_star.has_value() && *a_star > 0.01 && *a_star < 0.95) {
+    ModelParameters hi = p;
+    hi.alpha = *a_star * 1.02;
+    EXPECT_LT(t_pct(hi).seconds(), t_local(hi).seconds());
+    ModelParameters lo = p;
+    lo.alpha = *a_star * 0.98;
+    EXPECT_GT(t_pct(lo).seconds(), t_local(lo).seconds());
+  }
+  const auto th_star = critical_theta(p);
+  if (th_star.has_value() && *th_star > 1.1) {
+    ModelParameters lo = p;
+    lo.theta = std::max(1.0, *th_star * 0.98);
+    EXPECT_LT(t_pct(lo).seconds(), t_local(lo).seconds());
+  }
+}
+
+TEST_P(ModelProperty, BestChoiceIsArgmin) {
+  const ModelParameters p = random_params(GetParam());
+  DecisionInput in;
+  in.params = p;
+  in.theta_file = p.theta + 1.0;
+  const Evaluation ev = evaluate(in);
+  const double best_time = std::min(
+      {ev.t_local.seconds(), ev.t_pct_streaming.seconds(), ev.t_pct_file.seconds()});
+  switch (ev.best) {
+    case ProcessingMode::kLocal:
+      EXPECT_DOUBLE_EQ(ev.t_local.seconds(), best_time);
+      break;
+    case ProcessingMode::kRemoteStreaming:
+      EXPECT_DOUBLE_EQ(ev.t_pct_streaming.seconds(), best_time);
+      break;
+    case ProcessingMode::kRemoteFileBased:
+      EXPECT_DOUBLE_EQ(ev.t_pct_file.seconds(), best_time);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomParameterSets, ModelProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace sss::core

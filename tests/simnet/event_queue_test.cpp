@@ -1,0 +1,91 @@
+// Tests for the event queue: ordering, FIFO tie-breaking, error paths.
+#include "simnet/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace sss::simnet {
+namespace {
+
+class RecordingHandler : public EventHandler {
+ public:
+  void on_event(Simulation&, int, std::uint64_t, std::uint64_t) override {}
+};
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  RecordingHandler h;
+  q.schedule(300, h, 3);
+  q.schedule(100, h, 1);
+  q.schedule(200, h, 2);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().kind, 1);
+  EXPECT_EQ(q.pop().kind, 2);
+  EXPECT_EQ(q.pop().kind, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  RecordingHandler h;
+  for (int i = 0; i < 100; ++i) q.schedule(500, h, i);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(q.pop().kind, i) << "tie-break must preserve scheduling order";
+  }
+}
+
+TEST(EventQueue, InterleavedTimesAndTies) {
+  EventQueue q;
+  RecordingHandler h;
+  q.schedule(10, h, 0);
+  q.schedule(5, h, 1);
+  q.schedule(10, h, 2);
+  q.schedule(5, h, 3);
+  std::vector<int> order;
+  while (!q.empty()) order.push_back(q.pop().kind);
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 0, 2}));
+}
+
+TEST(EventQueue, NextTimePeeksEarliest) {
+  EventQueue q;
+  RecordingHandler h;
+  q.schedule(42, h, 0);
+  q.schedule(7, h, 0);
+  EXPECT_EQ(q.next_time(), 7);
+}
+
+TEST(EventQueue, RejectsNegativeTime) {
+  EventQueue q;
+  RecordingHandler h;
+  EXPECT_THROW(q.schedule(-1, h, 0), std::invalid_argument);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, ArgumentsCarriedThrough) {
+  EventQueue q;
+  RecordingHandler h;
+  q.schedule(1, h, 9, 111, 222);
+  const Event e = q.pop();
+  EXPECT_EQ(e.kind, 9);
+  EXPECT_EQ(e.a, 111u);
+  EXPECT_EQ(e.b, 222u);
+  EXPECT_EQ(e.handler, &h);
+}
+
+TEST(EventQueue, ScheduledTotalCounts) {
+  EventQueue q;
+  RecordingHandler h;
+  EXPECT_EQ(q.scheduled_total(), 0u);
+  q.schedule(1, h, 0);
+  q.schedule(2, h, 0);
+  EXPECT_EQ(q.scheduled_total(), 2u);
+}
+
+}  // namespace
+}  // namespace sss::simnet

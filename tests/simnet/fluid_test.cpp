@@ -1,0 +1,132 @@
+// Tests for the fluid (processor-sharing) model: closed-form checks and the
+// optimism property versus the packet-level simulator.
+#include "simnet/fluid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sss::simnet {
+namespace {
+
+FluidConfig test_fluid(double gbps = 8.0) {
+  FluidConfig cfg;
+  cfg.capacity = units::DataRate::gigabits_per_second(gbps);
+  cfg.propagation_delay = units::Seconds::of(0.0);
+  return cfg;
+}
+
+TEST(FluidSimulator, RejectsBadInput) {
+  EXPECT_THROW(FluidSimulator(FluidConfig{units::DataRate::bytes_per_second(0.0)}),
+               std::invalid_argument);
+  FluidSimulator sim(test_fluid());
+  EXPECT_THROW(sim.add_flow(0, 0, units::Seconds::of(0.0), units::Bytes::of(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(sim.add_flow(0, 0, units::Seconds::of(-1.0), units::Bytes::megabytes(1.0)),
+               std::invalid_argument);
+}
+
+TEST(FluidSimulator, SingleFlowRunsAtCapacity) {
+  FluidSimulator sim(test_fluid(8.0));  // 1 GB/s
+  sim.add_flow(0, 0, units::Seconds::of(0.0), units::Bytes::gigabytes(2.0));
+  const auto records = sim.run();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_NEAR(records[0].fct_s(), 2.0, 1e-6);
+}
+
+TEST(FluidSimulator, TwoSimultaneousFlowsShareEqually) {
+  FluidSimulator sim(test_fluid(8.0));
+  sim.add_flow(0, 0, units::Seconds::of(0.0), units::Bytes::gigabytes(1.0));
+  sim.add_flow(1, 1, units::Seconds::of(0.0), units::Bytes::gigabytes(1.0));
+  const auto records = sim.run();
+  ASSERT_EQ(records.size(), 2u);
+  // Equal shares: both finish at 2 s (1 GB each at 0.5 GB/s).
+  EXPECT_NEAR(records[0].fct_s(), 2.0, 1e-6);
+  EXPECT_NEAR(records[1].fct_s(), 2.0, 1e-6);
+}
+
+TEST(FluidSimulator, ShortFlowExitsAndLongFlowSpeedsUp) {
+  // Flow A: 1.5 GB, flow B: 0.5 GB, both at t=0 on 1 GB/s.
+  // Shared phase: each at 0.5 GB/s until B finishes at t=1.
+  // Then A has 1.0 GB left at full 1 GB/s: finishes at t=2.
+  FluidSimulator sim(test_fluid(8.0));
+  sim.add_flow(0, 0, units::Seconds::of(0.0), units::Bytes::gigabytes(1.5));
+  sim.add_flow(1, 1, units::Seconds::of(0.0), units::Bytes::gigabytes(0.5));
+  const auto records = sim.run();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NEAR(records[1].end_s, 1.0, 1e-6);
+  EXPECT_NEAR(records[0].end_s, 2.0, 1e-6);
+}
+
+TEST(FluidSimulator, StaggeredArrival) {
+  // A (1 GB) starts at 0 alone; B (1 GB) arrives at 0.5.
+  // A runs 0.5 s at 1 GB/s (0.5 GB done), then both share.
+  // Remaining A: 0.5 GB at 0.5 GB/s -> A ends at 1.5; B: 1 GB, gets 0.5 GB
+  // by 1.5, then full rate: ends at 2.0.
+  FluidSimulator sim(test_fluid(8.0));
+  sim.add_flow(0, 0, units::Seconds::of(0.0), units::Bytes::gigabytes(1.0));
+  sim.add_flow(1, 1, units::Seconds::of(0.5), units::Bytes::gigabytes(1.0));
+  const auto records = sim.run();
+  EXPECT_NEAR(records[0].end_s, 1.5, 1e-6);
+  EXPECT_NEAR(records[1].end_s, 2.0, 1e-6);
+}
+
+TEST(FluidSimulator, PerFlowCapHonored) {
+  FluidConfig cfg = test_fluid(8.0);
+  cfg.per_flow_cap = units::DataRate::gigabytes_per_second(0.25);
+  FluidSimulator sim(cfg);
+  sim.add_flow(0, 0, units::Seconds::of(0.0), units::Bytes::gigabytes(1.0));
+  const auto records = sim.run();
+  EXPECT_NEAR(records[0].fct_s(), 4.0, 1e-6);  // capped at 0.25 GB/s
+}
+
+TEST(FluidSimulator, PropagationDelayAddedToCompletion) {
+  FluidConfig cfg = test_fluid(8.0);
+  cfg.propagation_delay = units::Seconds::millis(8.0);
+  FluidSimulator sim(cfg);
+  sim.add_flow(0, 0, units::Seconds::of(0.0), units::Bytes::gigabytes(1.0));
+  const auto records = sim.run();
+  EXPECT_NEAR(records[0].fct_s(), 1.008, 1e-6);
+}
+
+TEST(FluidSimulator, IdleGapBetweenArrivals) {
+  FluidSimulator sim(test_fluid(8.0));
+  sim.add_flow(0, 0, units::Seconds::of(0.0), units::Bytes::gigabytes(0.5));
+  sim.add_flow(1, 1, units::Seconds::of(10.0), units::Bytes::gigabytes(0.5));
+  const auto records = sim.run();
+  EXPECT_NEAR(records[0].end_s, 0.5, 1e-6);
+  EXPECT_NEAR(records[1].end_s, 10.5, 1e-6);
+}
+
+TEST(RunFluidExperiment, MatchesWorkloadShape) {
+  WorkloadConfig cfg;
+  cfg.duration = units::Seconds::of(2.0);
+  cfg.concurrency = 3;
+  cfg.parallel_flows = 2;
+  cfg.transfer_size = units::Bytes::megabytes(50.0);
+  cfg.mode = SpawnMode::kScheduled;
+  cfg.link.capacity = units::DataRate::gigabits_per_second(2.5);
+  const auto result = run_fluid_experiment(cfg);
+  EXPECT_EQ(result.metrics.clients.size(), 6u);
+  EXPECT_EQ(result.metrics.flows.size(), 12u);
+  EXPECT_DOUBLE_EQ(result.metrics.loss_rate, 0.0);
+  for (const auto& c : result.metrics.clients) EXPECT_GT(c.fct_s(), 0.0);
+}
+
+TEST(RunFluidExperiment, FluidIsOptimisticVersusPacketModel) {
+  // The ablation claim in miniature: under bursty load the fluid model's
+  // worst case underestimates the packet-level (TCP, drop-tail) worst case.
+  WorkloadConfig cfg;
+  cfg.duration = units::Seconds::of(2.0);
+  cfg.concurrency = 5;
+  cfg.parallel_flows = 2;
+  cfg.transfer_size = units::Bytes::megabytes(50.0);
+  cfg.mode = SpawnMode::kSimultaneousBatches;
+  cfg.link.capacity = units::DataRate::gigabits_per_second(2.5);
+  cfg.link.buffer = units::Bytes::megabytes(2.0);
+
+  const auto fluid = run_fluid_experiment(cfg);
+  const auto packet = run_experiment(cfg);
+  EXPECT_LT(fluid.t_worst_s(), packet.t_worst_s());
+}
+
+}  // namespace
+}  // namespace sss::simnet

@@ -1,0 +1,130 @@
+// Tests for the simulation kernel: clock advance, run modes, callable
+// scheduling, and reentrant scheduling from handlers.
+#include "simnet/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace sss::simnet {
+namespace {
+
+TEST(Simulation, ClockStartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_DOUBLE_EQ(sim.now_seconds().seconds(), 0.0);
+}
+
+TEST(Simulation, CallAtAdvancesClock) {
+  Simulation sim;
+  std::vector<SimTime> seen;
+  sim.call_at(100, [&](Simulation& s) { seen.push_back(s.now()); });
+  sim.call_at(50, [&](Simulation& s) { seen.push_back(s.now()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{50, 100}));
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(Simulation, CallInIsRelative) {
+  Simulation sim;
+  SimTime fired_at = -1;
+  sim.call_at(10, [&](Simulation& s) {
+    s.call_in(5, [&](Simulation& inner) { fired_at = inner.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 15);
+}
+
+TEST(Simulation, CannotScheduleInThePast) {
+  Simulation sim;
+  sim.call_at(100, [](Simulation& s) {
+    EXPECT_THROW(s.call_at(50, [](Simulation&) {}), std::invalid_argument);
+  });
+  sim.run();
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  std::vector<SimTime> seen;
+  for (SimTime t : {10, 20, 30, 40}) {
+    sim.call_at(t, [&](Simulation& s) { seen.push_back(s.now()); });
+  }
+  sim.run_until(25);
+  EXPECT_EQ(seen, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.now(), 25);  // clock lands on the deadline
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{10, 20, 30, 40}));
+}
+
+TEST(Simulation, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulation sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulation, StepReturnsFalseWhenDrained) {
+  Simulation sim;
+  sim.call_at(1, [](Simulation&) {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, ReentrantSchedulingFromCallback) {
+  // A callback scheduling more callbacks (the function-slot vector grows
+  // while dispatching) must be safe.
+  Simulation sim;
+  int fired = 0;
+  std::function<void(Simulation&)> chain = [&](Simulation& s) {
+    ++fired;
+    if (fired < 100) s.call_in(1, chain);
+  };
+  sim.call_at(0, chain);
+  sim.run();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(Simulation, FunctionSlotsAreRecycled) {
+  Simulation sim;
+  // Schedule and run many one-shot callables; slot reuse keeps the pending
+  // vector small (regression guard against unbounded growth).
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      sim.call_at(sim.now() + i + 1, [](Simulation&) {});
+    }
+    sim.run();
+  }
+  EXPECT_EQ(sim.events_processed(), 1000u);
+}
+
+TEST(Simulation, TypedEventsDispatchToHandler) {
+  struct Recorder : EventHandler {
+    std::vector<std::tuple<int, std::uint64_t, std::uint64_t>> events;
+    void on_event(Simulation&, int kind, std::uint64_t a, std::uint64_t b) override {
+      events.emplace_back(kind, a, b);
+    }
+  };
+  Simulation sim;
+  Recorder rec;
+  sim.schedule_at(5, rec, 1, 10, 20);
+  sim.schedule_in(3, rec, 2, 30, 40);
+  sim.run();
+  ASSERT_EQ(rec.events.size(), 2u);
+  EXPECT_EQ(rec.events[0], std::make_tuple(2, std::uint64_t{30}, std::uint64_t{40}));
+  EXPECT_EQ(rec.events[1], std::make_tuple(1, std::uint64_t{10}, std::uint64_t{20}));
+}
+
+TEST(SimTimeConversions, RoundTripAndRounding) {
+  EXPECT_EQ(to_simtime(units::Seconds::of(1.0)), kNanosPerSecond);
+  EXPECT_EQ(to_simtime(units::Seconds::millis(16.0)), 16'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(kNanosPerSecond).seconds(), 1.0);
+  // transmission_time rounds up so packets never overlap.
+  const SimTime t =
+      transmission_time(9000.0, units::DataRate::gigabits_per_second(25.0));
+  EXPECT_GE(static_cast<double>(t) / 1e9, 9000.0 / (25e9 / 8.0) - 1e-12);
+}
+
+}  // namespace
+}  // namespace sss::simnet

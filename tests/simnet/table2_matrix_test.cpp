@@ -1,0 +1,96 @@
+// Parameterized matrix over scaled Table-2 cells: every (concurrency,
+// parallel-flows, spawn-mode) combination must satisfy the experiment
+// invariants.  This is the sweep the figure benches rely on, pinned at test
+// scale so regressions surface in seconds rather than in bench output.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "simnet/workload.hpp"
+
+namespace sss::simnet {
+namespace {
+
+using Cell = std::tuple<int, int, SpawnMode>;
+
+class Table2Matrix : public ::testing::TestWithParam<Cell> {
+ protected:
+  static WorkloadConfig config_for(const Cell& cell) {
+    WorkloadConfig cfg;
+    cfg.duration = units::Seconds::of(1.0);
+    cfg.concurrency = std::get<0>(cell);
+    cfg.parallel_flows = std::get<1>(cell);
+    cfg.mode = std::get<2>(cell);
+    // 1/10th byte scale of the paper cell on a 1/10th link: same offered
+    // loads (16 % per concurrency step), millisecond-class runtimes.
+    cfg.transfer_size = units::Bytes::megabytes(50.0);
+    cfg.link.capacity = units::DataRate::gigabits_per_second(2.5);
+    cfg.link.propagation_delay = units::Seconds::millis(8.0);
+    cfg.link.buffer = units::Bytes::megabytes(5.0);
+    return cfg;
+  }
+};
+
+TEST_P(Table2Matrix, ExperimentInvariantsHold) {
+  const WorkloadConfig cfg = config_for(GetParam());
+  const auto result = run_experiment(cfg);
+
+  // Client and flow counts match the spawn schedule.
+  const std::size_t expected_clients = static_cast<std::size_t>(cfg.concurrency);
+  ASSERT_EQ(result.metrics.clients.size(), expected_clients);
+  ASSERT_EQ(result.metrics.flows.size(),
+            expected_clients * static_cast<std::size_t>(cfg.parallel_flows));
+
+  const double theoretical = cfg.theoretical_transfer_time().seconds();
+  for (const auto& client : result.metrics.clients) {
+    if (client.censored) continue;
+    // No client beats the serialization bound, none outlives the drain cap.
+    EXPECT_GE(client.fct_s(), theoretical * 0.999) << client.client_id;
+    EXPECT_LE(client.end_s,
+              cfg.duration.seconds() + cfg.drain_timeout.seconds() + 1e-6);
+    EXPECT_GE(client.queue_wait_s(), -1e-9);
+  }
+
+  // T_worst is the max over clients, by definition.
+  double worst = 0.0;
+  for (const auto& c : result.metrics.clients) worst = std::max(worst, c.fct_s());
+  EXPECT_DOUBLE_EQ(result.t_worst_s(), worst);
+
+  // Conservation: forwarded payload bytes cover every completed flow.
+  double completed_payload = 0.0;
+  for (const auto& f : result.metrics.flows) {
+    if (!f.censored) completed_payload += f.bytes;
+  }
+  EXPECT_GE(static_cast<double>(result.metrics.packets_forwarded) * 9000.0,
+            completed_payload);
+
+  // Offered load reflects the cell's position in the sweep.
+  EXPECT_NEAR(result.offered_load, 0.16 * cfg.concurrency, 1e-9);
+}
+
+TEST_P(Table2Matrix, ScheduledModeNeverContendsAcrossClients) {
+  const Cell cell = GetParam();
+  if (std::get<2>(cell) != SpawnMode::kScheduled) GTEST_SKIP();
+  const auto result = run_experiment(config_for(cell));
+  // Reservation semantics: client k starts only after client k-1 finished.
+  for (std::size_t i = 1; i < result.metrics.clients.size(); ++i) {
+    const auto& prev = result.metrics.clients[i - 1];
+    const auto& cur = result.metrics.clients[i];
+    if (prev.censored || cur.censored) continue;
+    EXPECT_GE(cur.start_s, prev.end_s - 1e-9) << "client " << cur.client_id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, Table2Matrix,
+    ::testing::Combine(::testing::Values(1, 2, 4, 6, 8), ::testing::Values(2, 4, 8),
+                       ::testing::Values(SpawnMode::kSimultaneousBatches,
+                                         SpawnMode::kScheduled)),
+    [](const ::testing::TestParamInfo<Cell>& info) {
+      return "c" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace sss::simnet

@@ -1,0 +1,187 @@
+// Tests for the workload orchestrator: spawn schedules, metric collection,
+// determinism, and the qualitative congestion behaviour the paper measures.
+#include "simnet/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sss::simnet {
+namespace {
+
+// A scaled-down Table-2 cell that runs fast in unit tests: 2 seconds of
+// spawning, smaller transfers, 2.5 Gbps link (same 16 ms RTT).
+WorkloadConfig small_config(int concurrency, int parallel_flows, SpawnMode mode) {
+  WorkloadConfig cfg;
+  cfg.duration = units::Seconds::of(2.0);
+  cfg.concurrency = concurrency;
+  cfg.parallel_flows = parallel_flows;
+  cfg.transfer_size = units::Bytes::megabytes(50.0);
+  cfg.mode = mode;
+  cfg.link.capacity = units::DataRate::gigabits_per_second(2.5);
+  cfg.link.propagation_delay = units::Seconds::millis(8.0);
+  cfg.link.buffer = units::Bytes::megabytes(5.0);
+  return cfg;
+}
+
+TEST(WorkloadConfig, ValidationCatchesBadValues) {
+  WorkloadConfig cfg = small_config(1, 2, SpawnMode::kScheduled);
+  cfg.concurrency = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_config(1, 2, SpawnMode::kScheduled);
+  cfg.parallel_flows = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_config(1, 2, SpawnMode::kScheduled);
+  cfg.duration = units::Seconds::of(0.0);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_config(1, 2, SpawnMode::kScheduled);
+  cfg.transfer_size = units::Bytes::of(0.0);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadConfig, PaperTable2Transcription) {
+  const WorkloadConfig cfg = WorkloadConfig::paper_table2(4, 8, SpawnMode::kScheduled);
+  EXPECT_DOUBLE_EQ(cfg.duration.seconds(), 10.0);
+  EXPECT_EQ(cfg.concurrency, 4);
+  EXPECT_EQ(cfg.parallel_flows, 8);
+  EXPECT_DOUBLE_EQ(cfg.transfer_size.gb(), 0.5);
+  EXPECT_DOUBLE_EQ(cfg.link.capacity.gbit_per_s(), 25.0);
+  EXPECT_DOUBLE_EQ(cfg.link.propagation_delay.ms(), 8.0);  // 16 ms RTT
+  // T_theoretical = 0.16 s (Section 4.1).
+  EXPECT_NEAR(cfg.theoretical_transfer_time().seconds(), 0.16, 1e-9);
+  // Offered load at concurrency 4: 2 GB/s over 3.125 GB/s = 64 % — the
+  // case study's coherent-scattering operating point.
+  EXPECT_NEAR(cfg.offered_load(), 0.64, 1e-9);
+}
+
+TEST(RunExperiment, SpawnsExpectedClientCount) {
+  const auto result = run_experiment(small_config(3, 2, SpawnMode::kScheduled));
+  EXPECT_EQ(result.metrics.clients.size(), 6u);  // 3 clients/s x 2 s
+  EXPECT_EQ(result.metrics.flows.size(), 12u);   // x 2 parallel flows
+}
+
+TEST(RunExperiment, AllClientsCompleteAtLowLoad) {
+  const auto result = run_experiment(small_config(1, 2, SpawnMode::kScheduled));
+  EXPECT_FALSE(result.metrics.any_censored());
+  for (const auto& c : result.metrics.clients) {
+    EXPECT_GT(c.fct_s(), 0.0);
+    EXPECT_EQ(c.flow_count, 2u);
+  }
+}
+
+TEST(RunExperiment, ClientFctCoversItsFlows) {
+  const auto result = run_experiment(small_config(2, 4, SpawnMode::kScheduled));
+  for (const auto& client : result.metrics.clients) {
+    double latest_flow_end = 0.0;
+    for (const auto& flow : result.metrics.flows) {
+      if (flow.client_id == client.client_id) {
+        latest_flow_end = std::max(latest_flow_end, flow.end_s);
+      }
+    }
+    EXPECT_NEAR(client.end_s, latest_flow_end, 1e-9);
+  }
+}
+
+TEST(RunExperiment, DeterministicForSameSeed) {
+  const auto a = run_experiment(small_config(2, 2, SpawnMode::kSimultaneousBatches));
+  const auto b = run_experiment(small_config(2, 2, SpawnMode::kSimultaneousBatches));
+  ASSERT_EQ(a.metrics.clients.size(), b.metrics.clients.size());
+  for (std::size_t i = 0; i < a.metrics.clients.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.metrics.clients[i].fct_s(), b.metrics.clients[i].fct_s());
+  }
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+TEST(RunExperiment, SeedChangesJitterButNotScale) {
+  WorkloadConfig cfg = small_config(2, 2, SpawnMode::kSimultaneousBatches);
+  const auto a = run_experiment(cfg);
+  cfg.seed = 1234;
+  const auto b = run_experiment(cfg);
+  // Different jitter, same workload scale.
+  ASSERT_EQ(a.metrics.clients.size(), b.metrics.clients.size());
+  ASSERT_EQ(a.metrics.flows.size(), b.metrics.flows.size());
+  // The start jitter differs, so at least one flow's timing must differ.
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.metrics.flows.size(); ++i) {
+    if (a.metrics.flows[i].start_s != b.metrics.flows[i].start_s ||
+        a.metrics.flows[i].end_s != b.metrics.flows[i].end_s) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RunExperiment, ScheduledSpawningSpreadsStarts) {
+  const auto result = run_experiment(small_config(4, 2, SpawnMode::kScheduled));
+  // Clients within a second request slots at k + i/4; admission honors the
+  // reservation calendar, so actual starts never precede the slot and never
+  // precede the previous client's completion.
+  const auto& clients = result.metrics.clients;
+  ASSERT_GE(clients.size(), 4u);
+  EXPECT_NEAR(clients[1].requested_s - clients[0].requested_s, 0.25, 1e-9);
+  EXPECT_NEAR(clients[2].requested_s - clients[1].requested_s, 0.25, 1e-9);
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    EXPECT_GE(clients[i].start_s, clients[i].requested_s - 1e-9);
+    EXPECT_GE(clients[i].queue_wait_s(), 0.0);
+    if (i > 0) EXPECT_GE(clients[i].start_s, clients[i - 1].end_s - 1e-9);
+  }
+}
+
+TEST(RunExperiment, SimultaneousSpawningSharesStart) {
+  const auto result = run_experiment(small_config(4, 2, SpawnMode::kSimultaneousBatches));
+  const auto& clients = result.metrics.clients;
+  ASSERT_GE(clients.size(), 4u);
+  EXPECT_DOUBLE_EQ(clients[0].start_s, clients[1].start_s);
+  EXPECT_DOUBLE_EQ(clients[2].start_s, clients[3].start_s);
+}
+
+TEST(RunExperiment, WorstCaseGrowsWithLoad) {
+  // The core Fig. 2(a) behaviour at test scale: higher concurrency => worse
+  // maximum client FCT.
+  const auto low = run_experiment(small_config(1, 2, SpawnMode::kSimultaneousBatches));
+  const auto high = run_experiment(small_config(6, 2, SpawnMode::kSimultaneousBatches));
+  EXPECT_GT(high.t_worst_s(), low.t_worst_s() * 1.5);
+}
+
+TEST(RunExperiment, ScheduledBeatsSimultaneousUnderLoad) {
+  // Fig. 2(b) vs Fig. 2(a): scheduling smooths the spikes.
+  const auto sim = run_experiment(small_config(5, 2, SpawnMode::kSimultaneousBatches));
+  const auto sched = run_experiment(small_config(5, 2, SpawnMode::kScheduled));
+  EXPECT_LT(sched.t_worst_s(), sim.t_worst_s());
+}
+
+TEST(RunExperiment, UtilizationMeasuredOnLink) {
+  const auto result = run_experiment(small_config(2, 2, SpawnMode::kScheduled));
+  // Offered: 2 x 50 MB/s over 312.5 MB/s = 32 %.  Measured mean utilization
+  // should be in that ballpark (payload + headers, finite drain window).
+  EXPECT_GT(result.metrics.mean_utilization, 0.1);
+  EXPECT_LT(result.metrics.mean_utilization, 0.6);
+}
+
+TEST(RunExperiment, OverloadReportsSaturationAndBacklog) {
+  // Offered load > 1: transfers pile up; the experiment still terminates
+  // (drain phase) and the worst-case FCT reflects the backlog.
+  WorkloadConfig cfg = small_config(8, 2, SpawnMode::kSimultaneousBatches);
+  ASSERT_GT(cfg.offered_load(), 1.0);
+  const auto result = run_experiment(cfg);
+  EXPECT_GT(result.t_worst_s(), 1.0);
+  EXPECT_FALSE(result.metrics.clients.empty());
+}
+
+TEST(RunTable2Sweep, ProducesAllCells) {
+  const auto results = run_table2_sweep(SpawnMode::kScheduled, {2}, 2, 0.1);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].config.concurrency, 1);
+  EXPECT_EQ(results[1].config.concurrency, 2);
+  EXPECT_THROW(run_table2_sweep(SpawnMode::kScheduled, {2}, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(run_table2_sweep(SpawnMode::kScheduled, {2}, 2, 1.5), std::invalid_argument);
+}
+
+TEST(SpawnModeNames, Render) {
+  EXPECT_STREQ(to_string(SpawnMode::kSimultaneousBatches), "simultaneous");
+  EXPECT_STREQ(to_string(SpawnMode::kScheduled), "scheduled");
+}
+
+}  // namespace
+}  // namespace sss::simnet

@@ -1,0 +1,74 @@
+// Tests for the empirical CDF used by the Fig. 3 reproduction.
+#include "stats/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sss::stats {
+namespace {
+
+TEST(EmpiricalCdf, EmptyBehaviour) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.probability_at_or_below(1.0), 0.0);
+  EXPECT_THROW((void)cdf.quantile(0.5), std::invalid_argument);
+  EXPECT_THROW((void)cdf.min(), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 0.0);
+}
+
+TEST(EmpiricalCdf, ForwardLookup) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.probability_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.probability_at_or_below(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.probability_at_or_below(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.probability_at_or_below(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.probability_at_or_below(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, InverseLookup) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.26), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+}
+
+TEST(EmpiricalCdf, ForwardInverseConsistency) {
+  EmpiricalCdf cdf({5.0, 1.0, 9.0, 3.0, 7.0});
+  for (double q : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    EXPECT_GE(cdf.probability_at_or_below(cdf.quantile(q)), q - 1e-12);
+  }
+}
+
+TEST(EmpiricalCdf, MomentsAndExtremes) {
+  EmpiricalCdf cdf({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(cdf.min(), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 6.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 4.0);
+}
+
+TEST(EmpiricalCdf, TailRatioCapturesLongTail) {
+  // 99 fast transfers and one 10x outlier — the long-tail shape of Fig. 3.
+  std::vector<double> sample(99, 1.0);
+  sample.push_back(10.0);
+  EmpiricalCdf cdf(std::move(sample));
+  EXPECT_DOUBLE_EQ(cdf.tail_ratio(0.99, 0.5), 1.0);   // P99 still 1.0 (99th of 100)
+  EXPECT_DOUBLE_EQ(cdf.tail_ratio(1.0, 0.5), 10.0);   // max / median
+}
+
+TEST(EmpiricalCdf, CurveIsMonotone) {
+  EmpiricalCdf cdf({0.16, 0.18, 0.2, 0.5, 2.5, 5.0});
+  const auto curve = cdf.curve(11);
+  ASSERT_EQ(curve.size(), 11u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  EXPECT_THROW(cdf.curve(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sss::stats

@@ -1,0 +1,99 @@
+// Tests for the Welford summary accumulator including the parallel merge.
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sss::stats {
+namespace {
+
+TEST(Summary, EmptyDefaults) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.population_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // undefined -> 0 by contract
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 5.0);
+}
+
+TEST(Summary, KnownValues) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.population_variance(), 4.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.cv(), std::sqrt(32.0 / 7.0) / 5.0, 1e-12);
+}
+
+TEST(Summary, NumericallyStableWithLargeOffset) {
+  // Classic catastrophic-cancellation case: large mean, small variance.
+  Summary s;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(std::sin(i) * 10.0 + i * 0.01);
+
+  Summary all;
+  for (double x : data) all.add(x);
+
+  Summary left, right;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    (i < 400 ? left : right).add(data[i]);
+  }
+  left.merge(right);
+
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmptySides) {
+  Summary a;
+  a.add(1.0);
+  a.add(3.0);
+  Summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  Summary b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+  EXPECT_DOUBLE_EQ(b.max(), 3.0);
+}
+
+TEST(Summary, NegativeValues) {
+  Summary s;
+  for (double x : {-5.0, -1.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), -1.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+}  // namespace
+}  // namespace sss::stats

@@ -1,0 +1,66 @@
+// Tests for the time-bucketed counters (interface byte counters).
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sss::stats {
+namespace {
+
+using units::Seconds;
+
+TEST(TimeSeries, RejectsBadConstructionAndInput) {
+  EXPECT_THROW(TimeSeries(Seconds::of(0.0)), std::invalid_argument);
+  TimeSeries ts(Seconds::of(1.0));
+  EXPECT_THROW(ts.record(Seconds::of(-1.0), 1.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, BucketsGrowOnDemand) {
+  TimeSeries ts(Seconds::of(1.0));
+  EXPECT_EQ(ts.bucket_count(), 0u);
+  ts.record(Seconds::of(0.5), 10.0);
+  EXPECT_EQ(ts.bucket_count(), 1u);
+  ts.record(Seconds::of(4.2), 5.0);
+  EXPECT_EQ(ts.bucket_count(), 5u);
+  EXPECT_DOUBLE_EQ(ts.total_in_bucket(0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.total_in_bucket(4), 5.0);
+  EXPECT_DOUBLE_EQ(ts.total_in_bucket(2), 0.0);
+}
+
+TEST(TimeSeries, RatesAndUtilization) {
+  TimeSeries ts(Seconds::of(0.5));
+  ts.record(Seconds::of(0.1), 100.0);
+  ts.record(Seconds::of(0.2), 100.0);
+  EXPECT_DOUBLE_EQ(ts.rate_in_bucket(0), 400.0);  // 200 per 0.5 s
+  EXPECT_DOUBLE_EQ(ts.utilization(0, 800.0), 0.5);
+  EXPECT_THROW((void)ts.utilization(0, 0.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, PeakAndMeanRates) {
+  TimeSeries ts(Seconds::of(1.0));
+  ts.record(Seconds::of(0.0), 10.0);
+  ts.record(Seconds::of(1.0), 30.0);
+  ts.record(Seconds::of(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(ts.peak_rate(), 30.0);
+  EXPECT_DOUBLE_EQ(ts.mean_rate(), 20.0);
+  EXPECT_DOUBLE_EQ(ts.grand_total(), 60.0);
+}
+
+TEST(TimeSeries, EmptySeriesRates) {
+  TimeSeries ts(Seconds::of(1.0));
+  EXPECT_DOUBLE_EQ(ts.peak_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.mean_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.grand_total(), 0.0);
+}
+
+TEST(TimeSeries, BucketBoundaryAssignment) {
+  TimeSeries ts(Seconds::of(1.0));
+  ts.record(Seconds::of(0.999999), 1.0);
+  ts.record(Seconds::of(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(ts.total_in_bucket(0), 1.0);
+  EXPECT_DOUBLE_EQ(ts.total_in_bucket(1), 2.0);
+}
+
+}  // namespace
+}  // namespace sss::stats

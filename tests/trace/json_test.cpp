@@ -1,0 +1,72 @@
+// Tests for the minimal JSON writer.
+#include "trace/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sss::trace {
+namespace {
+
+TEST(JsonValue, Scalars) {
+  EXPECT_EQ(JsonValue(nullptr).dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(0.5).dump(), "0.5");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonValue, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(JsonValue, StringEscaping) {
+  EXPECT_EQ(JsonValue::escape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonValue::escape("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonValue::escape("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(JsonValue::escape(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonValue, ObjectConstruction) {
+  JsonValue obj = JsonValue::object();
+  obj["t_worst"] = 1.2;
+  obj["regime"] = "moderate";
+  obj["feasible"] = true;
+  EXPECT_EQ(obj.dump(), "{\"feasible\":true,\"regime\":\"moderate\",\"t_worst\":1.2}");
+}
+
+TEST(JsonValue, ArrayConstruction) {
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(JsonValue::object());
+  EXPECT_EQ(arr.dump(), "[1,\"two\",{}]");
+}
+
+TEST(JsonValue, NestedWithIndent) {
+  JsonValue obj = JsonValue::object();
+  obj["xs"] = JsonValue::array();
+  obj["xs"].push_back(1);
+  const std::string pretty = obj.dump(2);
+  EXPECT_NE(pretty.find("\n  \"xs\": [\n    1\n  ]"), std::string::npos);
+}
+
+TEST(JsonValue, TypeErrors) {
+  JsonValue scalar(1.0);
+  EXPECT_THROW(scalar["x"], std::logic_error);
+  EXPECT_THROW(scalar.push_back(1), std::logic_error);
+  JsonValue obj = JsonValue::object();
+  EXPECT_THROW(obj.push_back(1), std::logic_error);
+}
+
+TEST(JsonValue, ObjectOverwriteField) {
+  JsonValue obj = JsonValue::object();
+  obj["k"] = 1;
+  obj["k"] = 2;
+  EXPECT_EQ(obj.dump(), "{\"k\":2}");
+}
+
+}  // namespace
+}  // namespace sss::trace

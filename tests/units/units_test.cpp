@@ -1,0 +1,170 @@
+// Tests for the strong unit types: constructors, conversions, cross-type
+// arithmetic, and the formatting helpers.
+#include "units/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sss::units {
+namespace {
+
+using namespace sss::units::literals;
+
+TEST(Bytes, DecimalConstructorsRoundTrip) {
+  EXPECT_DOUBLE_EQ(Bytes::kilobytes(1.0).bytes(), 1e3);
+  EXPECT_DOUBLE_EQ(Bytes::megabytes(1.0).bytes(), 1e6);
+  EXPECT_DOUBLE_EQ(Bytes::gigabytes(1.0).bytes(), 1e9);
+  EXPECT_DOUBLE_EQ(Bytes::terabytes(1.0).bytes(), 1e12);
+  EXPECT_DOUBLE_EQ(Bytes::gigabytes(0.5).gb(), 0.5);
+  EXPECT_DOUBLE_EQ(Bytes::terabytes(2.0).tb(), 2.0);
+}
+
+TEST(Bytes, BinaryConstructorsRoundTrip) {
+  EXPECT_DOUBLE_EQ(Bytes::kibibytes(1.0).bytes(), 1024.0);
+  EXPECT_DOUBLE_EQ(Bytes::mebibytes(1.0).bytes(), 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(Bytes::gibibytes(1.0).bytes(), 1024.0 * 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(Bytes::gibibytes(3.0).gib(), 3.0);
+}
+
+TEST(Bytes, ApsFramesMatchPaperArithmetic) {
+  // 1,440 frames of 2048 x 2048 2-byte pixels.  Exact arithmetic gives
+  // 12.08 GB; the paper rounds this to "approximately 12.6 GB"
+  // (Section 4.2).  We assert the exact value and note the paper's
+  // rounding in EXPERIMENTS.md.
+  const Bytes frame = Bytes::of(2048.0 * 2048.0 * 2.0);
+  const Bytes scan = frame * 1440.0;
+  EXPECT_NEAR(scan.gb(), 12.08, 0.01);
+}
+
+TEST(Seconds, ConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(Seconds::millis(250.0).seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(Seconds::micros(10.0).seconds(), 1e-5);
+  EXPECT_DOUBLE_EQ(Seconds::nanos(1.0).seconds(), 1e-9);
+  EXPECT_DOUBLE_EQ(Seconds::minutes(1.0).seconds(), 60.0);
+  EXPECT_DOUBLE_EQ(Seconds::of(1.5).ms(), 1500.0);
+  EXPECT_DOUBLE_EQ(Seconds::of(2.0).us(), 2e6);
+}
+
+TEST(Seconds, InfinityIsNotFinite) {
+  EXPECT_FALSE(Seconds::infinity().is_finite());
+  EXPECT_TRUE(Seconds::of(1.0).is_finite());
+}
+
+TEST(DataRate, BitsVsBytes) {
+  // 25 Gbps = 3.125 GB/s — the Table 1 link.
+  const DataRate link = DataRate::gigabits_per_second(25.0);
+  EXPECT_DOUBLE_EQ(link.gBps(), 3.125);
+  EXPECT_DOUBLE_EQ(link.gbit_per_s(), 25.0);
+  EXPECT_DOUBLE_EQ(DataRate::gigabytes_per_second(1.0).gbit_per_s(), 8.0);
+  EXPECT_DOUBLE_EQ(DataRate::terabits_per_second(1.0).gbit_per_s(), 1000.0);
+  EXPECT_DOUBLE_EQ(DataRate::megabits_per_second(8.0).bps(), 1e6);
+  EXPECT_DOUBLE_EQ(DataRate::megabytes_per_second(1.0).bps(), 1e6);
+}
+
+TEST(Flops, Conversions) {
+  EXPECT_DOUBLE_EQ(Flops::tera(34.0).flop(), 34e12);
+  EXPECT_DOUBLE_EQ(Flops::giga(1.0).gflop(), 1.0);
+  EXPECT_DOUBLE_EQ(Flops::peta(1.0).tflop(), 1000.0);
+  EXPECT_DOUBLE_EQ(FlopsRate::teraflops(2.0).tflops(), 2.0);
+  EXPECT_DOUBLE_EQ(FlopsRate::petaflops(1.0).tflops(), 1000.0);
+}
+
+TEST(Complexity, PerGbTranscription) {
+  // C stated as FLOP per GB (Section 3.1): 1 TF per GB = 1000 FLOP/byte.
+  const Complexity c = Complexity::per_gb(Flops::tera(1.0));
+  EXPECT_DOUBLE_EQ(c.flop_per_byte(), 1000.0);
+  EXPECT_DOUBLE_EQ(c.per_gb().tflop(), 1.0);
+}
+
+TEST(CrossType, TransferTimeMatchesEq5Shape) {
+  // 0.5 GB at 25 Gbps = 0.16 s — the paper's T_theoretical.
+  const Seconds t = Bytes::gigabytes(0.5) / DataRate::gigabits_per_second(25.0);
+  EXPECT_NEAR(t.seconds(), 0.16, 1e-12);
+}
+
+TEST(CrossType, RateTimesTimeIsVolume) {
+  const Bytes moved = DataRate::gigabytes_per_second(2.0) * Seconds::of(3.0);
+  EXPECT_DOUBLE_EQ(moved.gb(), 6.0);
+  const Bytes moved2 = Seconds::of(3.0) * DataRate::gigabytes_per_second(2.0);
+  EXPECT_DOUBLE_EQ(moved2.gb(), 6.0);
+}
+
+TEST(CrossType, RequiredRateForDeadline) {
+  const DataRate needed = Bytes::gigabytes(10.0) / Seconds::of(2.0);
+  EXPECT_DOUBLE_EQ(needed.gBps(), 5.0);
+}
+
+TEST(CrossType, ComputeTimeMatchesEq3Shape) {
+  // 34 TF of work at 4 TFLOPS -> 8.5 s.
+  const Seconds t = Flops::tera(34.0) / FlopsRate::teraflops(4.0);
+  EXPECT_DOUBLE_EQ(t.seconds(), 8.5);
+}
+
+TEST(CrossType, ComplexityTimesBytesIsWork) {
+  const Flops work = Complexity::flop_per_byte(2.0) * Bytes::gigabytes(1.0);
+  EXPECT_DOUBLE_EQ(work.gflop(), 2.0);
+}
+
+TEST(CrossType, ComplexityTimesRateIsRequiredCompute) {
+  // Keeping up with 2 GB/s at 17 kFLOP/byte needs 34 TFLOPS (Table 3 row).
+  const FlopsRate needed =
+      Complexity::flop_per_byte(17000.0) * DataRate::gigabytes_per_second(2.0);
+  EXPECT_DOUBLE_EQ(needed.tflops(), 34.0);
+}
+
+TEST(CrossType, WorkOverTimeIsRate) {
+  const FlopsRate r = Flops::tera(20.0) / Seconds::of(4.0);
+  EXPECT_DOUBLE_EQ(r.tflops(), 5.0);
+}
+
+TEST(Arithmetic, AdditionSubtractionScaling) {
+  const Bytes a = Bytes::gigabytes(1.0) + Bytes::gigabytes(2.0);
+  EXPECT_DOUBLE_EQ(a.gb(), 3.0);
+  const Bytes b = Bytes::gigabytes(5.0) - Bytes::gigabytes(2.0);
+  EXPECT_DOUBLE_EQ(b.gb(), 3.0);
+  EXPECT_DOUBLE_EQ((Bytes::gigabytes(2.0) * 3.0).gb(), 6.0);
+  EXPECT_DOUBLE_EQ((3.0 * Bytes::gigabytes(2.0)).gb(), 6.0);
+  EXPECT_DOUBLE_EQ((Bytes::gigabytes(6.0) / 3.0).gb(), 2.0);
+  EXPECT_DOUBLE_EQ(Bytes::gigabytes(6.0) / Bytes::gigabytes(3.0), 2.0);
+}
+
+TEST(Arithmetic, ComparisonsAndCompoundAssign) {
+  EXPECT_LT(Seconds::of(1.0), Seconds::of(2.0));
+  EXPECT_GT(Bytes::gigabytes(2.0), Bytes::megabytes(2.0));
+  EXPECT_EQ(Seconds::millis(1000.0), Seconds::of(1.0));
+  Seconds t = Seconds::of(1.0);
+  t += Seconds::of(0.5);
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5);
+  t -= Seconds::of(1.0);
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.5);
+}
+
+TEST(Literals, ReadableConstruction) {
+  EXPECT_DOUBLE_EQ((0.5_GB).bytes(), 0.5e9);
+  EXPECT_DOUBLE_EQ((12_MB).bytes(), 12e6);
+  EXPECT_DOUBLE_EQ((10_s).seconds(), 10.0);
+  EXPECT_DOUBLE_EQ((16_ms).seconds(), 0.016);
+  EXPECT_DOUBLE_EQ((25_Gbps).gBps(), 3.125);
+  EXPECT_DOUBLE_EQ((2_GBps).gbit_per_s(), 16.0);
+  EXPECT_DOUBLE_EQ((4_TFLOPS).tflops(), 4.0);
+  EXPECT_DOUBLE_EQ((34_TF).tflop(), 34.0);
+}
+
+TEST(Formatting, PicksSensiblePrefixes) {
+  EXPECT_EQ(to_string(Bytes::gigabytes(12.6)), "12.6 GB");
+  EXPECT_EQ(to_string(Seconds::of(0.16)), "160 ms");
+  EXPECT_EQ(to_string(Seconds::infinity()), "inf");
+  EXPECT_EQ(to_string(DataRate::gigabytes_per_second(3.125)), "3.12 GB/s");
+  EXPECT_EQ(to_string(Flops::tera(34.0)), "34 TF");
+  EXPECT_EQ(to_string(FlopsRate::teraflops(4.0)), "4 TFLOPS");
+}
+
+TEST(Validity, FiniteAndSignPredicates) {
+  EXPECT_TRUE(Bytes::gigabytes(1.0).is_positive());
+  EXPECT_FALSE(Bytes::of(0.0).is_positive());
+  EXPECT_TRUE(Bytes::of(0.0).is_non_negative());
+  EXPECT_FALSE(Bytes::of(-1.0).is_non_negative());
+  EXPECT_TRUE(Seconds::of(1.0).is_finite());
+}
+
+}  // namespace
+}  // namespace sss::units
