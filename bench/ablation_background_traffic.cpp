@@ -1,59 +1,6 @@
-// ablation_background_traffic — the paper's future-work "variability in
-// network performance", measured: the same Table-2 foreground workload
-// (concurrency 4 = 64 % offered, the coherent-scattering operating point)
-// shares its bottleneck with increasing Poisson/Pareto cross-traffic, and
-// the Streaming Speed Score degrades accordingly.
-//
-// Expected shape: SSS roughly flat while total load stays below the knee,
-// then the same super-linear blow-up as Fig. 2(a) once foreground +
-// background pushes past ~90 % — showing that a facility cannot assess
-// streaming feasibility from its OWN load alone.
-#include <cstdio>
+// ablation_background_traffic — thin driver over the scenario registry; the experiment itself
+// lives in src/scenario/ as the "ablation_background_traffic" scenario.  Honors SSS_BENCH_SCALE,
+// SSS_BENCH_CSV_DIR, SSS_SWEEP_THREADS, SSS_SWEEP_SEED.
+#include "scenario/runner.hpp"
 
-#include "bench_common.hpp"
-#include "core/sss_score.hpp"
-#include "simnet/workload.hpp"
-#include "trace/table.hpp"
-
-int main() {
-  using namespace sss;
-  bench::print_banner("Ablation: background cross-traffic vs Streaming Speed Score",
-                      "Section 6 future work: variability in network performance");
-
-  trace::ConsoleTable table({"bg load", "total offered", "T_worst(s)", "SSS", "regime",
-                             "loss", "foreground retx"});
-  auto csv = bench::open_csv("ablation_background_traffic");
-  if (csv) {
-    csv->write_header({"background_load", "total_offered", "t_worst_s", "sss", "regime",
-                       "loss_rate", "retransmits"});
-  }
-
-  const double scale = bench::run_scale();
-  for (double bg : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
-    simnet::WorkloadConfig cfg = simnet::WorkloadConfig::paper_table2(
-        4, 4, simnet::SpawnMode::kSimultaneousBatches);  // 64 % foreground
-    cfg.duration = cfg.duration * scale;
-    cfg.background_load = bg;
-    const auto r = simnet::run_experiment(cfg);
-    const auto score = core::compute_sss(units::Seconds::of(r.t_worst_s()),
-                                         cfg.transfer_size, cfg.link.capacity);
-    const auto regime = core::classify_regime(score.value());
-    table.add_row({trace::ConsoleTable::pct(bg, 0),
-                   trace::ConsoleTable::pct(cfg.offered_load() + bg, 0),
-                   trace::ConsoleTable::num(r.t_worst_s()),
-                   trace::ConsoleTable::num(score.value()), core::to_string(regime),
-                   trace::ConsoleTable::pct(r.metrics.loss_rate, 2),
-                   trace::ConsoleTable::num(r.metrics.total_retransmits)});
-    if (csv) {
-      csv->write_row({std::to_string(bg), std::to_string(cfg.offered_load() + bg),
-                      std::to_string(r.t_worst_s()), std::to_string(score.value()),
-                      core::to_string(regime), std::to_string(r.metrics.loss_rate),
-                      std::to_string(r.metrics.total_retransmits)});
-    }
-  }
-  std::printf("%s\n", table.render().c_str());
-  std::printf("reading: the feasibility verdict depends on TOTAL path load; a facility "
-              "must measure (or reserve) the shared path, exactly the paper's argument "
-              "for continuous worst-case measurement.\n");
-  return 0;
-}
+int main() { return sss::scenario::run_named("ablation_background_traffic"); }

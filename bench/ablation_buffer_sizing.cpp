@@ -1,58 +1,6 @@
-// ablation_buffer_sizing — sensitivity of worst-case transfer time to the
-// bottleneck's drop-tail buffer, a design choice DESIGN.md fixes at 1 BDP
-// (50 MB for the 25 Gbps / 16 ms testbed).
-//
-// Expected shape: sub-BDP buffers force loss-driven inflation even at
-// moderate load (retransmission storms, RTO events); at >= 1 BDP losses
-// vanish and worst-case FCT plateaus — window caps (2 x BDP receiver
-// window + HyStart) bound queue occupancy, so oversizing the buffer buys
-// nothing.  This is why Table 1-class DTN paths are tuned to ~1 BDP.
-#include <cstdio>
+// ablation_buffer_sizing — thin driver over the scenario registry; the experiment itself
+// lives in src/scenario/ as the "ablation_buffer_sizing" scenario.  Honors SSS_BENCH_SCALE,
+// SSS_BENCH_CSV_DIR, SSS_SWEEP_THREADS, SSS_SWEEP_SEED.
+#include "scenario/runner.hpp"
 
-#include "bench_common.hpp"
-#include "simnet/workload.hpp"
-#include "trace/table.hpp"
-
-int main() {
-  using namespace sss;
-  bench::print_banner("Ablation: drop-tail buffer sizing vs worst-case FCT",
-                      "DESIGN.md design-choice ablation (Table 1 testbed, 80% load)");
-
-  trace::ConsoleTable table({"buffer (BDP)", "buffer (MB)", "T_worst(s)", "mean(s)",
-                             "loss", "retransmits", "rto events"});
-  auto csv = bench::open_csv("ablation_buffer_sizing");
-  if (csv) {
-    csv->write_header({"buffer_bdp", "buffer_mb", "t_worst_s", "t_mean_s", "loss_rate",
-                       "retransmits", "rto_events"});
-  }
-
-  const double scale = bench::run_scale();
-  const double bdp_mb = 50.0;  // 25 Gbps x 16 ms
-  for (double bdp_fraction : {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-    simnet::WorkloadConfig cfg = simnet::WorkloadConfig::paper_table2(
-        5, 4, simnet::SpawnMode::kSimultaneousBatches);  // 80 % offered load
-    cfg.duration = cfg.duration * scale;
-    cfg.link.buffer = units::Bytes::megabytes(bdp_mb * bdp_fraction);
-    const auto r = simnet::run_experiment(cfg);
-    table.add_row({trace::ConsoleTable::num(bdp_fraction),
-                   trace::ConsoleTable::num(bdp_mb * bdp_fraction),
-                   trace::ConsoleTable::num(r.t_worst_s()),
-                   trace::ConsoleTable::num(r.metrics.mean_client_fct_s()),
-                   trace::ConsoleTable::pct(r.metrics.loss_rate, 2),
-                   trace::ConsoleTable::num(r.metrics.total_retransmits),
-                   trace::ConsoleTable::num(r.metrics.total_rto_events)});
-    if (csv) {
-      csv->write_row({std::to_string(bdp_fraction), std::to_string(bdp_mb * bdp_fraction),
-                      std::to_string(r.t_worst_s()),
-                      std::to_string(r.metrics.mean_client_fct_s()),
-                      std::to_string(r.metrics.loss_rate),
-                      std::to_string(r.metrics.total_retransmits),
-                      std::to_string(r.metrics.total_rto_events)});
-    }
-  }
-  std::printf("%s\n", table.render().c_str());
-  std::printf("reading: loss-driven inflation below ~1 BDP; at and above 1 BDP losses "
-              "vanish and the worst case plateaus (window caps bound the queue), so the "
-              "1 BDP default sits at the start of the stable band.\n");
-  return 0;
-}
+int main() { return sss::scenario::run_named("ablation_buffer_sizing"); }

@@ -1,61 +1,6 @@
-// ablation_fluid_vs_packet — quantifies the paper's Section 3 critique of
-// the "computing continuum" simplification (Eq. 2): an average-oriented
-// fluid model (no queues, no loss, no retransmission) versus the
-// packet-level TCP simulator on identical workloads.
-//
-// Expected shape: the two models agree at low load; as load approaches and
-// exceeds saturation, the fluid model's worst case stays polite while the
-// packet model's explodes — the gap IS the tail the paper says decisions
-// must be driven by.
-#include <cstdio>
+// ablation_fluid_vs_packet — thin driver over the scenario registry; the experiment itself
+// lives in src/scenario/ as the "ablation_fluid_vs_packet" scenario.  Honors SSS_BENCH_SCALE,
+// SSS_BENCH_CSV_DIR, SSS_SWEEP_THREADS, SSS_SWEEP_SEED.
+#include "scenario/runner.hpp"
 
-#include "bench_common.hpp"
-#include "simnet/fluid.hpp"
-#include "simnet/workload.hpp"
-#include "trace/table.hpp"
-
-int main() {
-  using namespace sss;
-  bench::print_banner("Ablation: fluid (average-case) vs packet-level (worst-case) model",
-                      "Section 3 critique of d_continuum ~ d_prop (Eq. 2)");
-
-  trace::ConsoleTable table({"conc", "offered", "fluid T_worst", "packet T_worst",
-                             "gap (x)", "fluid mean", "packet mean", "mean gap"});
-  auto csv = bench::open_csv("ablation_fluid_vs_packet");
-  if (csv) {
-    csv->write_header({"concurrency", "offered_load", "fluid_worst_s", "packet_worst_s",
-                       "worst_gap", "fluid_mean_s", "packet_mean_s", "mean_gap"});
-  }
-
-  const double scale = bench::run_scale();
-  for (int c = 1; c <= 8; ++c) {
-    simnet::WorkloadConfig cfg = simnet::WorkloadConfig::paper_table2(
-        c, 4, simnet::SpawnMode::kSimultaneousBatches);
-    cfg.duration = cfg.duration * scale;
-    const auto fluid = simnet::run_fluid_experiment(cfg);
-    const auto packet = simnet::run_experiment(cfg);
-    const double worst_gap = packet.t_worst_s() / fluid.t_worst_s();
-    const double mean_gap =
-        packet.metrics.mean_client_fct_s() / fluid.metrics.mean_client_fct_s();
-    table.add_row({trace::ConsoleTable::num(c), trace::ConsoleTable::pct(cfg.offered_load()),
-                   trace::ConsoleTable::num(fluid.t_worst_s()),
-                   trace::ConsoleTable::num(packet.t_worst_s()),
-                   trace::ConsoleTable::num(worst_gap, 3),
-                   trace::ConsoleTable::num(fluid.metrics.mean_client_fct_s()),
-                   trace::ConsoleTable::num(packet.metrics.mean_client_fct_s()),
-                   trace::ConsoleTable::num(mean_gap, 3)});
-    if (csv) {
-      csv->write_row({std::to_string(c), std::to_string(cfg.offered_load()),
-                      std::to_string(fluid.t_worst_s()), std::to_string(packet.t_worst_s()),
-                      std::to_string(worst_gap),
-                      std::to_string(fluid.metrics.mean_client_fct_s()),
-                      std::to_string(packet.metrics.mean_client_fct_s()),
-                      std::to_string(mean_gap)});
-    }
-  }
-  std::printf("%s\n", table.render().c_str());
-  std::printf("reading: a worst-case gap that grows with load means average-oriented "
-              "models (Eq. 2) systematically understate exactly the regime where the "
-              "streaming decision is hardest — the paper's core argument.\n");
-  return 0;
-}
+int main() { return sss::scenario::run_named("ablation_fluid_vs_packet"); }

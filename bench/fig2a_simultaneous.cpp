@@ -1,76 +1,6 @@
-// fig2a_simultaneous — reproduces Figure 2(a): maximum transfer time vs
-// load for 0.5 GB client transfers with P = 2, 4, 8 parallel TCP flows,
-// SIMULTANEOUS batch spawning.  Expected shape: near-theoretical worst
-// cases at low utilization, non-linear growth above ~90 %, multi-second
-// worst cases (>10x the 0.16 s theoretical) at and beyond saturation.
-#include <cstdio>
+// fig2a_simultaneous — thin driver over the scenario registry; the experiment itself
+// lives in src/scenario/ as the "fig2a_simultaneous" scenario.  Honors SSS_BENCH_SCALE,
+// SSS_BENCH_CSV_DIR, SSS_SWEEP_THREADS, SSS_SWEEP_SEED.
+#include "scenario/runner.hpp"
 
-#include "bench_common.hpp"
-#include "core/sss_score.hpp"
-#include "simnet/workload.hpp"
-#include "trace/table.hpp"
-
-int main() {
-  using namespace sss;
-  bench::print_banner("Figure 2(a): max transfer time vs load, simultaneous batches",
-                      "Section 4.1, Table 1 + Table 2 configuration");
-
-  const auto cfg_echo = simnet::WorkloadConfig::paper_table2(
-      1, 2, simnet::SpawnMode::kSimultaneousBatches);
-  std::printf("testbed: %.0f Gbps link, %.0f ms RTT, %.0f MB drop-tail buffer, "
-              "0.5 GB per client, duration %.1f s x scale %.2f\n",
-              cfg_echo.link.capacity.gbit_per_s(),
-              cfg_echo.link.propagation_delay.ms() * 2.0, cfg_echo.link.buffer.mb(),
-              cfg_echo.duration.seconds(), bench::run_scale());
-  std::printf("theoretical transfer time (0.5 GB @ 25 Gbps): %.3f s\n\n",
-              cfg_echo.theoretical_transfer_time().seconds());
-
-  const auto results = simnet::run_table2_sweep(simnet::SpawnMode::kSimultaneousBatches,
-                                                {2, 4, 8}, 8, bench::run_scale());
-
-  trace::ConsoleTable table({"P", "conc", "offered", "measured", "T_worst(s)", "mean(s)",
-                             "SSS", "regime", "loss", "retx"});
-  auto csv = bench::open_csv("fig2a_simultaneous");
-  if (csv) {
-    csv->write_header({"parallel_flows", "concurrency", "offered_load",
-                       "measured_utilization", "t_worst_s", "t_mean_s", "sss", "regime",
-                       "loss_rate", "retransmits"});
-  }
-
-  for (const auto& r : results) {
-    const auto score = core::compute_sss(units::Seconds::of(r.t_worst_s()),
-                                         r.config.transfer_size, r.config.link.capacity);
-    const auto regime = core::classify_regime(score.value());
-    table.add_row({trace::ConsoleTable::num(r.config.parallel_flows),
-                   trace::ConsoleTable::num(r.config.concurrency),
-                   trace::ConsoleTable::pct(r.offered_load),
-                   trace::ConsoleTable::pct(r.metrics.mean_utilization),
-                   trace::ConsoleTable::num(r.t_worst_s()),
-                   trace::ConsoleTable::num(r.metrics.mean_client_fct_s()),
-                   trace::ConsoleTable::num(score.value()), core::to_string(regime),
-                   trace::ConsoleTable::pct(r.metrics.loss_rate, 2),
-                   trace::ConsoleTable::num(r.metrics.total_retransmits)});
-    if (csv) {
-      csv->write_row({std::to_string(r.config.parallel_flows),
-                      std::to_string(r.config.concurrency), std::to_string(r.offered_load),
-                      std::to_string(r.metrics.mean_utilization),
-                      std::to_string(r.t_worst_s()),
-                      std::to_string(r.metrics.mean_client_fct_s()),
-                      std::to_string(score.value()), core::to_string(regime),
-                      std::to_string(r.metrics.loss_rate),
-                      std::to_string(r.metrics.total_retransmits)});
-    }
-  }
-  std::printf("%s\n", table.render().c_str());
-
-  // Shape check the paper's narrative: knee above ~90 % utilization.
-  double worst_low = 0.0, worst_high = 0.0;
-  for (const auto& r : results) {
-    if (r.offered_load <= 0.5) worst_low = std::max(worst_low, r.t_worst_s());
-    if (r.offered_load >= 0.9) worst_high = std::max(worst_high, r.t_worst_s());
-  }
-  std::printf("shape check: worst case at <=50%% load %.3f s; at >=90%% load %.3f s "
-              "(inflation %.1fx)\n",
-              worst_low, worst_high, worst_high / worst_low);
-  return 0;
-}
+int main() { return sss::scenario::run_named("fig2a_simultaneous"); }

@@ -1,58 +1,6 @@
-// fig2b_scheduled — reproduces Figure 2(b): maximum transfer time vs load
-// with SCHEDULED (evenly slotted) client spawning.  Expected shape: steady
-// worst-case transfer times close to the 0.16 s theoretical value (the
-// paper measures ~0.2 s), staying within a 1-second budget at every load
-// the link can sustain.
-#include <cstdio>
+// fig2b_scheduled — thin driver over the scenario registry; the experiment itself
+// lives in src/scenario/ as the "fig2b_scheduled" scenario.  Honors SSS_BENCH_SCALE,
+// SSS_BENCH_CSV_DIR, SSS_SWEEP_THREADS, SSS_SWEEP_SEED.
+#include "scenario/runner.hpp"
 
-#include "bench_common.hpp"
-#include "core/sss_score.hpp"
-#include "simnet/workload.hpp"
-#include "trace/table.hpp"
-
-int main() {
-  using namespace sss;
-  bench::print_banner("Figure 2(b): max transfer time vs load, scheduled batches",
-                      "Section 4.1 (reserved/scheduled transfer slots)");
-
-  const auto results = simnet::run_table2_sweep(simnet::SpawnMode::kScheduled, {2, 4, 8}, 8,
-                                                bench::run_scale());
-
-  trace::ConsoleTable table(
-      {"P", "conc", "offered", "T_worst(s)", "mean(s)", "SSS", "within 1s budget"});
-  auto csv = bench::open_csv("fig2b_scheduled");
-  if (csv) {
-    csv->write_header({"parallel_flows", "concurrency", "offered_load", "t_worst_s",
-                       "t_mean_s", "sss", "within_budget"});
-  }
-
-  int sustainable_cells = 0;
-  int within_budget = 0;
-  for (const auto& r : results) {
-    const auto score = core::compute_sss(units::Seconds::of(r.t_worst_s()),
-                                         r.config.transfer_size, r.config.link.capacity);
-    const bool budget_ok = r.t_worst_s() <= 1.0;
-    if (r.offered_load <= 0.97) {
-      ++sustainable_cells;
-      if (budget_ok) ++within_budget;
-    }
-    table.add_row({trace::ConsoleTable::num(r.config.parallel_flows),
-                   trace::ConsoleTable::num(r.config.concurrency),
-                   trace::ConsoleTable::pct(r.offered_load),
-                   trace::ConsoleTable::num(r.t_worst_s()),
-                   trace::ConsoleTable::num(r.metrics.mean_client_fct_s()),
-                   trace::ConsoleTable::num(score.value()), budget_ok ? "yes" : "NO"});
-    if (csv) {
-      csv->write_row({std::to_string(r.config.parallel_flows),
-                      std::to_string(r.config.concurrency), std::to_string(r.offered_load),
-                      std::to_string(r.t_worst_s()),
-                      std::to_string(r.metrics.mean_client_fct_s()),
-                      std::to_string(score.value()), budget_ok ? "yes" : "no"});
-    }
-  }
-  std::printf("%s\n", table.render().c_str());
-  std::printf("shape check: %d/%d sustainable-load cells within the 1 s budget "
-              "(paper: all; measured 0.2 s vs 0.16 s theoretical)\n",
-              within_budget, sustainable_cells);
-  return 0;
-}
+int main() { return sss::scenario::run_named("fig2b_scheduled"); }

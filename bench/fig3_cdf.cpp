@@ -1,55 +1,6 @@
-// fig3_cdf — reproduces Figure 3: cumulative probability distribution of
-// total transfer time over every client transfer in the congestion sweep.
-// Expected shape: long-tailed distribution with non-linear increases at the
-// P90 and P99 levels.
-#include <cstdio>
+// fig3_cdf — thin driver over the scenario registry; the experiment itself
+// lives in src/scenario/ as the "fig3_cdf" scenario.  Honors SSS_BENCH_SCALE,
+// SSS_BENCH_CSV_DIR, SSS_SWEEP_THREADS, SSS_SWEEP_SEED.
+#include "scenario/runner.hpp"
 
-#include "bench_common.hpp"
-#include "simnet/workload.hpp"
-#include "stats/cdf.hpp"
-#include "stats/histogram.hpp"
-#include "trace/table.hpp"
-
-int main() {
-  using namespace sss;
-  bench::print_banner("Figure 3: CDF of total transfer time (all transfers)",
-                      "Section 4.1 (long-tail behaviour, P90/P99 blow-up)");
-
-  // Pool client FCTs across the simultaneous-batch sweep (all loads, all
-  // parallel-flow counts), exactly like the paper's per-client logs.
-  const auto results = simnet::run_table2_sweep(simnet::SpawnMode::kSimultaneousBatches,
-                                                {2, 4, 8}, 8, bench::run_scale());
-  std::vector<double> fct;
-  for (const auto& r : results) {
-    for (const auto& c : r.metrics.clients) fct.push_back(c.fct_s());
-  }
-  stats::EmpiricalCdf cdf(std::move(fct));
-  std::printf("pooled transfers: %zu\n\n", cdf.size());
-
-  trace::ConsoleTable table({"percentile", "transfer time (s)", "vs median"});
-  auto csv = bench::open_csv("fig3_cdf");
-  if (csv) csv->write_header({"percentile", "t_s", "ratio_to_median"});
-  const double median = cdf.quantile(0.5);
-  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00}) {
-    const double v = cdf.quantile(q);
-    table.add_row({trace::ConsoleTable::pct(q, 0), trace::ConsoleTable::num(v),
-                   trace::ConsoleTable::num(v / median, 3) + "x"});
-    if (csv) {
-      csv->write_row({std::to_string(q), std::to_string(v), std::to_string(v / median)});
-    }
-  }
-  std::printf("%s\n", table.render().c_str());
-
-  std::printf("tail ratios: P90/P50 = %.2f, P99/P50 = %.2f, max/P50 = %.2f\n\n",
-              cdf.tail_ratio(0.90, 0.5), cdf.tail_ratio(0.99, 0.5),
-              cdf.tail_ratio(1.0, 0.5));
-
-  stats::LogHistogram hist(0.05, std::max(10.0, cdf.max() * 1.1), 6);
-  for (double v : cdf.sorted()) hist.add(v);
-  std::printf("distribution (log-spaced bins):\n%s\n", hist.render(48).c_str());
-
-  std::printf("shape check: P99 inflation over median should be non-linear "
-              "(>2x) — measured %.2fx\n",
-              cdf.tail_ratio(0.99, 0.5));
-  return 0;
-}
+int main() { return sss::scenario::run_named("fig3_cdf"); }

@@ -1,79 +1,6 @@
-// fig4_file_vs_stream — reproduces Figure 4: memory-based streaming vs
-// file-based transfers between APS Voyager (GPFS) and ALCF Eagle (Lustre)
-// for the 1,440-frame / 12.6 GB scan at two frame rates (0.033 s and
-// 0.33 s per frame) and four aggregation levels (1440 / 144 / 10 / 1
-// files).  Expected shape: streaming wins decisively at the high frame
-// rate; many small files suffer severe metadata/per-file penalties; large
-// aggregated files become competitive only at the low rate.
-#include <cstdio>
+// fig4_file_vs_stream — thin driver over the scenario registry; the experiment itself
+// lives in src/scenario/ as the "fig4_file_vs_stream" scenario.  Honors SSS_BENCH_SCALE,
+// SSS_BENCH_CSV_DIR, SSS_SWEEP_THREADS, SSS_SWEEP_SEED.
+#include "scenario/runner.hpp"
 
-#include "bench_common.hpp"
-#include "detector/facility.hpp"
-#include "storage/staged_transfer.hpp"
-#include "storage/stream_transfer.hpp"
-#include "trace/table.hpp"
-
-int main() {
-  using namespace sss;
-  bench::print_banner(
-      "Figure 4: streaming vs file-based transfer, APS Voyager -> ALCF Eagle",
-      "Section 4.2 (1,440 x 2048x2048x2B frames ~ 12.6 GB)");
-
-  storage::StagedTransferConfig staged_cfg;  // GPFS -> WAN -> Lustre presets
-  storage::StreamTransferConfig stream_cfg;
-  stream_cfg.wan_bandwidth = staged_cfg.wan.bandwidth;
-  stream_cfg.efficiency = staged_cfg.wan.efficiency;
-
-  trace::ConsoleTable table({"s/frame", "method", "files", "total (s)", "vs stream",
-                             "theta", "note"});
-  auto csv = bench::open_csv("fig4_file_vs_stream");
-  if (csv) {
-    csv->write_header(
-        {"seconds_per_frame", "method", "file_count", "total_s", "ratio_to_stream",
-         "theta"});
-  }
-
-  for (double spf : {0.033, 0.33}) {
-    const auto scan = detector::aps_scan(units::Seconds::of(spf));
-    const auto stream = storage::simulate_stream(stream_cfg, scan);
-
-    table.add_row({trace::ConsoleTable::num(spf), "streaming", "-",
-                   trace::ConsoleTable::num(stream.total_s), "1.00x",
-                   trace::ConsoleTable::num(stream.theta(), 3),
-                   "overlap " + trace::ConsoleTable::pct(stream.overlap_fraction(), 0)});
-    if (csv) {
-      csv->write_row({std::to_string(spf), "streaming", "0",
-                      std::to_string(stream.total_s), "1.0",
-                      std::to_string(stream.theta())});
-    }
-
-    for (std::uint64_t files : {1440ull, 144ull, 10ull, 1ull}) {
-      const auto staged = storage::simulate_staged(staged_cfg, scan, files);
-      const double ratio = staged.total_s / stream.total_s;
-      const char* note = files == 1      ? "waits for full scan"
-                         : files == 1440 ? "per-file penalty"
-                                         : "partial aggregation";
-      table.add_row({trace::ConsoleTable::num(spf), "file-based",
-                     trace::ConsoleTable::num(files),
-                     trace::ConsoleTable::num(staged.total_s),
-                     trace::ConsoleTable::num(ratio, 3) + "x",
-                     trace::ConsoleTable::num(staged.theta(), 3), note});
-      if (csv) {
-        csv->write_row({std::to_string(spf), "file-based", std::to_string(files),
-                        std::to_string(staged.total_s), std::to_string(ratio),
-                        std::to_string(staged.theta())});
-      }
-    }
-  }
-  std::printf("%s\n", table.render().c_str());
-
-  // Headline shape: reduction of streaming vs the worst file-based case at
-  // the high rate.
-  const auto fast_scan = detector::aps_scan(units::Seconds::of(0.033));
-  const double stream_fast = storage::simulate_stream(stream_cfg, fast_scan).total_s;
-  const double file_worst = storage::simulate_staged(staged_cfg, fast_scan, 1440).total_s;
-  std::printf("shape check: at 0.033 s/frame streaming cuts completion by %.1f%% vs the "
-              "1,440-file case (paper: up to 97%%)\n",
-              (1.0 - stream_fast / file_worst) * 100.0);
-  return 0;
-}
+int main() { return sss::scenario::run_named("fig4_file_vs_stream"); }

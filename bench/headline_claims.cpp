@@ -1,71 +1,6 @@
-// headline_claims — checks the paper's two headline numbers against this
-// reproduction:
-//   (1) "streaming can achieve up to 97% lower end-to-end completion time
-//        than file-based methods under high data rates" (Abstract, Section 6)
-//   (2) "worst-case congestion can increase transfer times by over an order
-//        of magnitude" (Abstract; Fig. 2(a): >5 s vs 0.16 s theoretical)
-#include <cstdio>
+// headline_claims — thin driver over the scenario registry; the experiment itself
+// lives in src/scenario/ as the "headline_claims" scenario.  Honors SSS_BENCH_SCALE,
+// SSS_BENCH_CSV_DIR, SSS_SWEEP_THREADS, SSS_SWEEP_SEED.
+#include "scenario/runner.hpp"
 
-#include "bench_common.hpp"
-#include "core/sss_score.hpp"
-#include "detector/facility.hpp"
-#include "simnet/workload.hpp"
-#include "storage/staged_transfer.hpp"
-#include "storage/stream_transfer.hpp"
-#include "trace/table.hpp"
-
-int main() {
-  using namespace sss;
-  bench::print_banner("Headline claims: 97% reduction; >10x congestion inflation",
-                      "Abstract, Sections 1 and 6");
-
-  trace::ConsoleTable table({"claim", "paper", "measured", "holds"});
-  auto csv = bench::open_csv("headline_claims");
-  if (csv) csv->write_header({"claim", "paper", "measured", "holds"});
-
-  // --- Claim 1: completion-time reduction at high data rates -------------
-  storage::StagedTransferConfig staged_cfg;
-  storage::StreamTransferConfig stream_cfg;
-  stream_cfg.wan_bandwidth = staged_cfg.wan.bandwidth;
-  stream_cfg.efficiency = staged_cfg.wan.efficiency;
-  const auto scan = detector::aps_scan(units::Seconds::of(0.033));
-  const double stream_s = storage::simulate_stream(stream_cfg, scan).total_s;
-  const double file_s = storage::simulate_staged(staged_cfg, scan, 1440).total_s;
-  const double reduction = (1.0 - stream_s / file_s) * 100.0;
-  char measured1[64];
-  std::snprintf(measured1, sizeof(measured1), "%.1f%% (%.1f s vs %.1f s)", reduction,
-                stream_s, file_s);
-  table.add_row({"streaming reduction @ high rate", "up to 97%", measured1,
-                 reduction >= 90.0 ? "yes" : "NO"});
-  if (csv) {
-    csv->write_row({"reduction_pct", "97", std::to_string(reduction),
-                    reduction >= 90.0 ? "yes" : "no"});
-  }
-
-  // --- Claim 2: worst-case congestion inflation ---------------------------
-  std::printf("measuring congestion inflation (simultaneous sweep, P=8, scale %.2f)...\n",
-              bench::run_scale());
-  const auto sweep = simnet::run_table2_sweep(simnet::SpawnMode::kSimultaneousBatches, {8},
-                                              8, bench::run_scale());
-  double max_sss = 0.0;
-  double worst_s = 0.0;
-  for (const auto& r : sweep) {
-    const auto score = core::compute_sss(units::Seconds::of(r.t_worst_s()),
-                                         r.config.transfer_size, r.config.link.capacity);
-    if (score.value() > max_sss) {
-      max_sss = score.value();
-      worst_s = r.t_worst_s();
-    }
-  }
-  char measured2[64];
-  std::snprintf(measured2, sizeof(measured2), "%.1fx (%.2f s vs 0.16 s)", max_sss, worst_s);
-  table.add_row({"worst-case transfer inflation", ">10x (>5 s vs 0.16 s)", measured2,
-                 max_sss > 10.0 ? "yes" : "NO"});
-  if (csv) {
-    csv->write_row({"inflation_x", "10", std::to_string(max_sss),
-                    max_sss > 10.0 ? "yes" : "no"});
-  }
-
-  std::printf("\n%s\n", table.render().c_str());
-  return 0;
-}
+int main() { return sss::scenario::run_named("headline_claims"); }

@@ -1,0 +1,12 @@
+// scenario_runner — list and execute any registered scenario.
+//
+//   scenario_runner --list [--tag TAG]
+//   scenario_runner --run <name> [--threads N] [--scale S] [--seed K]
+//                   [--csv-dir DIR]
+//   scenario_runner --all [--tag TAG] [...]
+//
+// Environment: SSS_BENCH_SCALE, SSS_BENCH_CSV_DIR, SSS_SWEEP_THREADS,
+// SSS_SWEEP_SEED (command-line flags win).
+#include "scenario/runner.hpp"
+
+int main(int argc, char** argv) { return sss::scenario::main_from_args(argc, argv); }

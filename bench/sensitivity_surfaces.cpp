@@ -1,94 +1,6 @@
-// sensitivity_surfaces — the conclusion's "gain function based on three
-// core parameters: alpha, r and theta", tabulated.  For the coherent-
-// scattering configuration this prints:
-//   1. gain G = T_local / T_pct along each parameter axis with the
-//      break-even (critical) values from core/sensitivity.hpp,
-//   2. an alpha x r gain surface showing the G = 1 frontier,
-//   3. the sustained-operation view (queuing extension): maximum unit rate
-//      vs service variability.
-#include <cstdio>
+// sensitivity_surfaces — thin driver over the scenario registry; the experiment itself
+// lives in src/scenario/ as the "sensitivity_surfaces" scenario.  Honors SSS_BENCH_SCALE,
+// SSS_BENCH_CSV_DIR, SSS_SWEEP_THREADS, SSS_SWEEP_SEED.
+#include "scenario/runner.hpp"
 
-#include "bench_common.hpp"
-#include "core/concurrency.hpp"
-#include "core/sensitivity.hpp"
-#include "trace/table.hpp"
-
-int main() {
-  using namespace sss;
-  bench::print_banner("Sensitivity: the gain function over alpha, r, theta",
-                      "Section 6 (gain function), Section 3 model");
-
-  core::ModelParameters base;
-  base.s_unit = units::Bytes::gigabytes(2.0);
-  base.complexity = units::Complexity::flop_per_byte(17000.0);  // 34 TF / 2 GB
-  base.r_local = units::FlopsRate::teraflops(5.0);
-  base.r_remote = units::FlopsRate::teraflops(50.0);
-  base.bandwidth = units::DataRate::gigabits_per_second(25.0);
-  base.alpha = 0.8;
-  base.theta = 1.2;
-
-  auto print_axis = [&](const char* name, const std::vector<core::SweepPoint>& pts,
-                        const char* csv_name) {
-    trace::ConsoleTable table({name, "T_pct(s)", "gain", "verdict"});
-    auto csv = bench::open_csv(csv_name);
-    if (csv) csv->write_header({name, "t_pct_s", "gain"});
-    for (const auto& pt : pts) {
-      table.add_row({trace::ConsoleTable::num(pt.x), trace::ConsoleTable::num(pt.t_pct_s),
-                     trace::ConsoleTable::num(pt.gain, 3),
-                     pt.gain > 1.0 ? "remote" : "local"});
-      if (csv) {
-        csv->write_row({std::to_string(pt.x), std::to_string(pt.t_pct_s),
-                        std::to_string(pt.gain)});
-      }
-    }
-    std::printf("%s\n", table.render().c_str());
-  };
-
-  print_axis("alpha", core::sweep_alpha(base, 0.05, 1.0, 12), "sensitivity_alpha");
-  const auto a_star = core::critical_alpha(base);
-  std::printf("critical alpha* = %s (remote wins above it)\n\n",
-              a_star ? trace::ConsoleTable::num(*a_star, 4).c_str() : "n/a");
-
-  print_axis("r", core::sweep_r(base, 0.5, 20.0, 12), "sensitivity_r");
-  const auto r_star = core::critical_r(base);
-  std::printf("critical r* = %s (remote wins above it)\n\n",
-              r_star ? trace::ConsoleTable::num(*r_star, 4).c_str() : "n/a");
-
-  print_axis("theta", core::sweep_theta(base, 1.0, 12.0, 12), "sensitivity_theta");
-  const auto th_star = core::critical_theta(base);
-  std::printf("critical theta* = %s (remote wins below it)\n\n",
-              th_star ? trace::ConsoleTable::num(*th_star, 4).c_str() : "n/a");
-
-  // --- alpha x r gain surface ---------------------------------------------
-  std::printf("gain surface (rows: alpha, cols: r) — '*' marks G > 1 (remote wins):\n");
-  std::printf("        ");
-  const std::vector<double> r_values{1.0, 2.0, 4.0, 8.0, 16.0};
-  for (double r : r_values) std::printf("  r=%-5.0f", r);
-  std::printf("\n");
-  for (double alpha = 0.2; alpha <= 1.001; alpha += 0.2) {
-    std::printf("a=%.1f   ", alpha);
-    for (double r : r_values) {
-      core::ModelParameters p = base;
-      p.alpha = alpha;
-      p.r_remote = units::FlopsRate::flops(p.r_local.flop_per_s() * r);
-      const double gain = core::t_local(p).seconds() / core::t_pct(p).seconds();
-      std::printf("  %5.2f%s", gain, gain > 1.0 ? "*" : " ");
-    }
-    std::printf("\n");
-  }
-
-  // --- sustained operation (queuing extension) ----------------------------
-  std::printf("\nsustained 1-unit-per-second operation (queuing extension):\n");
-  trace::ConsoleTable sustained({"service cv", "max units/s within 10 s latency",
-                                 "utilization at that rate"});
-  const units::Seconds service = core::pipelined_service_time(base);
-  for (double cv : {0.0, 0.5, 1.0, 2.0, 4.0}) {
-    const double rate =
-        core::max_sustainable_rate(service, cv, units::Seconds::of(10.0));
-    sustained.add_row({trace::ConsoleTable::num(cv), trace::ConsoleTable::num(rate, 3),
-                       trace::ConsoleTable::pct(rate * service.seconds(), 0)});
-  }
-  std::printf("%s", sustained.render().c_str());
-  std::printf("(pipelined service time for one 2 GB unit: %.3f s)\n", service.seconds());
-  return 0;
-}
+int main() { return sss::scenario::run_named("sensitivity_surfaces"); }

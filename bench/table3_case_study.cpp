@@ -1,126 +1,6 @@
-// table3_case_study — reproduces Table 3 and the Section 5 case study:
-// LCLS-II workflows (Coherent Scattering 2 GB/s + 34 TF, Liquid Scattering
-// 4 GB/s + 20 TF) evaluated under the three latency tiers using worst-case
-// transfer times extrapolated from the congestion measurements.
-//
-// Expected findings (paper): coherent scattering streams its 2 GB windows
-// in ~1.2 s worst case at 64 % utilization — inside Tier 2 with 8.8 s of
-// compute budget; liquid scattering's 4 GB/s (32 Gbps) exceeds the 25 Gbps
-// link entirely, and even reduced to 3 GB/s (96 % utilization) the ~6 s
-// worst case leaves only ~4 s of budget.
-#include <cstdio>
+// table3_case_study — thin driver over the scenario registry; the experiment itself
+// lives in src/scenario/ as the "table3_case_study" scenario.  Honors SSS_BENCH_SCALE,
+// SSS_BENCH_CSV_DIR, SSS_SWEEP_THREADS, SSS_SWEEP_SEED.
+#include "scenario/runner.hpp"
 
-#include "bench_common.hpp"
-#include "core/calibration.hpp"
-#include "core/decision.hpp"
-#include "core/report.hpp"
-#include "detector/facility.hpp"
-#include "simnet/workload.hpp"
-#include "trace/table.hpp"
-
-int main() {
-  using namespace sss;
-  bench::print_banner("Table 3 + Section 5 case study: LCLS-II workflows under tiers",
-                      "Table 3 (adapted from Thayer et al.), Section 5");
-
-  // Echo Table 3.
-  trace::ConsoleTable t3({"workflow", "throughput", "offline analysis"});
-  for (const auto& w : detector::table3_workflows()) {
-    t3.add_row({w.name, units::to_string(w.throughput),
-                units::to_string(w.offline_analysis)});
-  }
-  std::printf("%s\n", t3.render().c_str());
-
-  // Measure the congestion profile on the paper testbed (simultaneous
-  // batches, P = 4), then extrapolate per-workflow windows from it.
-  std::printf("measuring congestion profile (Table-2 sweep, P=4, scale %.2f)...\n\n",
-              bench::run_scale());
-  const auto sweep = simnet::run_table2_sweep(simnet::SpawnMode::kSimultaneousBatches, {4},
-                                              8, bench::run_scale());
-  const core::CongestionProfile profile = core::build_congestion_profile(sweep);
-  std::printf("%s\n", core::render_profile(profile).c_str());
-
-  const units::DataRate link = units::DataRate::gigabits_per_second(25.0);
-  const units::Seconds window = units::Seconds::of(1.0);  // 1-second aggregation
-
-  trace::ConsoleTable verdicts({"workflow", "util", "T_worst", "tier1", "tier2", "tier3",
-                                "tier2 budget", "needs"});
-  auto csv = bench::open_csv("table3_case_study");
-  if (csv) {
-    csv->write_header({"workflow", "utilization", "t_worst_s", "tier1", "tier2", "tier3",
-                       "tier2_budget_s", "required_tflops"});
-  }
-
-  struct Case {
-    detector::WorkflowProfile workflow;
-    units::DataRate effective_rate;  // after any feasibility reduction
-    const char* note;
-  };
-  // Liquid scattering is evaluated twice, as in the paper: at its native
-  // 4 GB/s (infeasible: 32 Gbps > 25 Gbps) and reduced to 3 GB/s (96 %).
-  std::vector<Case> cases;
-  cases.push_back({detector::coherent_scattering(),
-                   detector::coherent_scattering().throughput, ""});
-  cases.push_back({detector::liquid_scattering(), detector::liquid_scattering().throughput,
-                   "native 4 GB/s"});
-  Case reduced{detector::liquid_scattering(),
-               units::DataRate::gigabytes_per_second(3.0), "reduced to 3 GB/s"};
-  reduced.workflow.name += " (reduced)";
-  cases.push_back(reduced);
-
-  for (const auto& c : cases) {
-    const double utilization = c.effective_rate.bps() / link.bps();
-    const units::Bytes unit = c.effective_rate * window;
-
-    core::DecisionInput input;
-    input.params.s_unit = unit;
-    input.params.complexity = units::Complexity::flop_per_byte(
-        c.workflow.offline_analysis.flop() / c.workflow.bytes_per_window(window).bytes());
-    // Local resources at a beamline are modest; remote HPC is sized to the
-    // offline-analysis requirement.
-    input.params.r_local = units::FlopsRate::teraflops(2.0);
-    input.params.r_remote = units::FlopsRate::teraflops(40.0);
-    input.params.bandwidth = link;
-    input.params.alpha = 0.9;
-    input.generation_rate = c.effective_rate;
-    if (utilization <= 1.0) {
-      input.t_worst_transfer = profile.worst_transfer_time(unit, link, utilization);
-    }
-
-    const auto ev = core::evaluate(input);
-    const auto tiers = core::tier_analysis(input);
-    const double t_worst =
-        input.t_worst_transfer ? input.t_worst_transfer->seconds() : -1.0;
-
-    std::string needs = "-";
-    if (tiers[1].streaming_compute_budget.seconds() > 0.0 && !ev.link_saturated) {
-      needs = units::to_string(tiers[1].required_remote_rate);
-    }
-    auto yn = [](bool b) { return b ? std::string("yes") : std::string("no"); };
-    verdicts.add_row({c.workflow.name, trace::ConsoleTable::pct(utilization, 0),
-                      ev.link_saturated ? "saturated" : trace::ConsoleTable::num(t_worst),
-                      yn(tiers[0].streaming_feasible), yn(tiers[1].streaming_feasible),
-                      yn(tiers[2].streaming_feasible),
-                      trace::ConsoleTable::num(tiers[1].streaming_compute_budget.seconds()),
-                      needs});
-    if (csv) {
-      csv->write_row({c.workflow.name, std::to_string(utilization),
-                      std::to_string(t_worst), yn(tiers[0].streaming_feasible),
-                      yn(tiers[1].streaming_feasible), yn(tiers[2].streaming_feasible),
-                      std::to_string(tiers[1].streaming_compute_budget.seconds()),
-                      needs});
-    }
-
-    core::WorkflowReportInput report;
-    report.workflow_name = c.workflow.name + (c.note[0] ? std::string(" [") + c.note + "]"
-                                                        : std::string());
-    report.decision = input;
-    std::printf("%s\n", core::render_report(report).c_str());
-  }
-  std::printf("%s\n", verdicts.render().c_str());
-
-  std::printf("paper comparison: coherent scattering ~1.2 s worst case at 64%% "
-              "(Tier 2 ok, 8.8 s budget); liquid scattering saturated at 4 GB/s, "
-              "~6 s worst case at 3 GB/s (4 s budget)\n");
-  return 0;
-}
+int main() { return sss::scenario::run_named("table3_case_study"); }

@@ -1,89 +1,7 @@
-// aps_tomography — a live, threaded miniature of the Fig. 4 experiment:
-// an APS-style scan moves through BOTH the streaming pipeline and the
-// file-based pipeline with real bytes, and the measured wall-clock times
-// are compared against the analytical models' predictions.
-//
-// The scan is scaled down (128 frames of 512 KB at 5 ms/frame over a
-// 1 Gbps channel) so the example finishes in a few seconds.
+// aps_tomography — thin driver over the scenario registry; the experiment itself
+// lives in src/scenario/ as the "aps_tomography_live" scenario.
 //
 // Build & run:  ./build/examples/aps_tomography
-#include <cstdio>
+#include "scenario/runner.hpp"
 
-#include "pipeline/file_pipeline.hpp"
-#include "pipeline/streaming_pipeline.hpp"
-#include "storage/staged_transfer.hpp"
-#include "storage/stream_transfer.hpp"
-#include "trace/table.hpp"
-
-int main() {
-  using namespace sss;
-
-  detector::ScanWorkload scan;
-  scan.frame_count = 128;
-  scan.frame_size = units::Bytes::of(512.0 * 1024.0);
-  scan.frame_interval = units::Seconds::millis(5.0);
-  const units::DataRate wan = units::DataRate::gigabits_per_second(1.0);
-
-  std::printf("APS tomography mini-scan: %llu frames x %s every %s (%s total)\n\n",
-              static_cast<unsigned long long>(scan.frame_count),
-              units::to_string(scan.frame_size).c_str(),
-              units::to_string(scan.frame_interval).c_str(),
-              units::to_string(scan.total_bytes()).c_str());
-
-  // --- analytical predictions -------------------------------------------
-  storage::StreamTransferConfig stream_model;
-  stream_model.wan_bandwidth = wan;
-  stream_model.efficiency = 1.0;
-  stream_model.connection_setup = units::Seconds::of(0.0);
-  const auto predicted_stream = storage::simulate_stream(stream_model, scan);
-
-  storage::StagedTransferConfig staged_model;
-  staged_model.wan.bandwidth = wan;
-  staged_model.wan.efficiency = 1.0;
-  staged_model.wan.session_startup = units::Seconds::of(0.0);
-  staged_model.wan.per_file_overhead = units::Seconds::millis(25.0);
-  staged_model.source_pfs.metadata_latency = units::Seconds::millis(2.0);
-  staged_model.dest_pfs.metadata_latency = units::Seconds::millis(2.0);
-  const auto predicted_file = storage::simulate_staged(staged_model, scan, 64);
-
-  // --- live threaded runs --------------------------------------------------
-  pipeline::SystemClock clock;
-
-  pipeline::StreamingPipelineConfig live_stream;
-  live_stream.scan = scan;
-  live_stream.channel.bandwidth = wan;
-  live_stream.compute_threads = 4;
-  std::printf("running live streaming pipeline...\n");
-  const auto stream_report = pipeline::run_streaming_pipeline(live_stream, clock);
-
-  pipeline::FilePipelineConfig live_file;
-  live_file.scan = scan;
-  live_file.file_count = 64;
-  live_file.wan_bandwidth = wan;
-  live_file.per_file_wan_overhead = units::Seconds::millis(25.0);
-  live_file.source_pfs.metadata_latency = units::Seconds::millis(2.0);
-  live_file.dest_pfs.metadata_latency = units::Seconds::millis(2.0);
-  live_file.compute_threads = 4;
-  std::printf("running live file-based pipeline (64 files, one per 2 frames)...\n\n");
-  const auto file_report = pipeline::run_file_pipeline(live_file, clock);
-
-  // --- comparison ----------------------------------------------------------
-  trace::ConsoleTable table({"path", "predicted (s)", "measured (s)", "intact"});
-  table.add_row({"streaming", trace::ConsoleTable::num(predicted_stream.total_s),
-                 trace::ConsoleTable::num(stream_report.total_wall_s),
-                 stream_report.complete_and_intact(scan.frame_count) ? "yes" : "NO"});
-  table.add_row({"file-based (64)", trace::ConsoleTable::num(predicted_file.total_s),
-                 trace::ConsoleTable::num(file_report.total_wall_s),
-                 file_report.complete_and_intact(scan.frame_count) ? "yes" : "NO"});
-  std::printf("%s\n", table.render().c_str());
-
-  std::printf("streaming stage overlap: transfer began %.3f s after first frame, "
-              "%.3f s before generation finished\n",
-              stream_report.transfer.first_item_s,
-              stream_report.producer.last_item_s - stream_report.transfer.first_item_s);
-  std::printf("max frame latency (steering feedback delay): %.3f s\n",
-              stream_report.max_frame_latency_s());
-  std::printf("speedup (measured): %.2fx in favour of streaming\n",
-              file_report.total_wall_s / stream_report.total_wall_s);
-  return 0;
-}
+int main() { return sss::scenario::run_named("aps_tomography_live"); }

@@ -3,73 +3,37 @@
 // report the Streaming Speed Score, congestion regime, and the maximum
 // sustainable utilization for the budget.
 //
+// A parameterized instance of the registered "congestion_planner"
+// scenario: the CLI arguments build a custom ScenarioSpec, which runs
+// through the same SweepExecutor/runner machinery as every other
+// scenario.
+//
 // Usage:  congestion_planner [link_gbps] [unit_gb] [budget_s]
 // Defaults reproduce the paper testbed: 25 Gbps, 0.5 GB, 1.0 s.
 #include <cstdio>
-#include <cstdlib>
+#include <optional>
 
-#include "core/calibration.hpp"
-#include "core/sss_score.hpp"
-#include "simnet/workload.hpp"
-#include "trace/table.hpp"
+#include "scenario/env.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace sss;
 
-  const double link_gbps = argc > 1 ? std::atof(argv[1]) : 25.0;
-  const double unit_gb = argc > 2 ? std::atof(argv[2]) : 0.5;
-  const double budget_s = argc > 3 ? std::atof(argv[3]) : 1.0;
-  if (link_gbps <= 0.0 || unit_gb <= 0.0 || budget_s <= 0.0) {
+  auto arg = [&](int i, double fallback) {
+    if (argc <= i) return std::optional<double>(fallback);
+    return scenario::parse_double(argv[i]);
+  };
+  const auto link_gbps = arg(1, 25.0);
+  const auto unit_gb = arg(2, 0.5);
+  const auto budget_s = arg(3, 1.0);
+  if (!link_gbps || *link_gbps <= 0.0 || !unit_gb || *unit_gb <= 0.0 || !budget_s ||
+      *budget_s <= 0.0) {
     std::fprintf(stderr, "usage: %s [link_gbps>0] [unit_gb>0] [budget_s>0]\n", argv[0]);
     return 1;
   }
-  const units::DataRate link = units::DataRate::gigabits_per_second(link_gbps);
-  const units::Bytes unit = units::Bytes::gigabytes(unit_gb);
 
-  std::printf("congestion planner: %.1f Gbps link, %.2f GB unit, %.2f s budget\n\n",
-              link_gbps, unit_gb, budget_s);
-
-  // Measure a congestion profile on this link with the paper's methodology
-  // (scaled runs; worst-case spikes via simultaneous batches).
-  std::printf("measuring congestion profile...\n");
-  std::vector<simnet::ExperimentResult> sweep;
-  for (int c = 1; c <= 8; ++c) {
-    simnet::WorkloadConfig cfg;
-    cfg.duration = units::Seconds::of(2.0);
-    cfg.concurrency = c;
-    cfg.parallel_flows = 4;
-    // Keep per-client size proportional to the link so the sweep spans the
-    // same 16-128 % offered-load range as Table 2.
-    cfg.transfer_size = units::Bytes::of(link.bps() * 0.16);
-    cfg.mode = simnet::SpawnMode::kSimultaneousBatches;
-    cfg.link.capacity = link;
-    sweep.push_back(simnet::run_experiment(cfg));
-  }
-  const core::CongestionProfile profile = core::build_congestion_profile(sweep);
-
-  trace::ConsoleTable table(
-      {"utilization", "SSS", "worst transfer for unit", "regime", "fits budget"});
-  double max_sustainable = 0.0;
-  for (double u = 0.1; u <= 1.21; u += 0.1) {
-    const double sss_value = profile.sss_at(u);
-    const units::Seconds worst = profile.worst_transfer_time(unit, link, u);
-    const auto regime = core::classify_regime(sss_value);
-    const bool fits = worst.seconds() <= budget_s;
-    if (fits) max_sustainable = u;
-    table.add_row({trace::ConsoleTable::pct(u, 0), trace::ConsoleTable::num(sss_value, 3),
-                   units::to_string(worst), core::to_string(regime), fits ? "yes" : "NO"});
-  }
-  std::printf("\n%s\n", table.render().c_str());
-
-  if (max_sustainable > 0.0) {
-    const units::DataRate sustainable = link * max_sustainable;
-    std::printf("max sustainable utilization for the %.2f s budget: ~%.0f%% "
-                "(%s of instrument data)\n",
-                budget_s, max_sustainable * 100.0, units::to_string(sustainable).c_str());
-  } else {
-    std::printf("no measured utilization meets the %.2f s budget for %.2f GB units — "
-                "consider smaller units, a faster link, or local processing\n",
-                budget_s, unit_gb);
-  }
-  return 0;
+  const scenario::ScenarioSpec spec =
+      scenario::make_congestion_planner_spec(*link_gbps, *unit_gb, *budget_s);
+  return scenario::run_scenario(spec, scenario::options_from_env());
 }

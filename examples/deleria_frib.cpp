@@ -1,95 +1,7 @@
-// deleria_frib — DELERIA-style fan-out (Section 2.2.4): gamma-ray detector
-// data streamed to ~100 parallel analysis processes, each performing signal
-// decomposition (here: a reduction kernel) and producing a ~2 MB/s event
-// stream at 97.5 % data reduction.
-//
-// The run is scaled down (100 MB of waveforms over a 4 Gbps channel, 100
-// pool workers) so it finishes in seconds while exercising the same
-// fan-out: channel -> worker pool -> per-process budget check.
+// deleria_frib — thin driver over the scenario registry; the experiment itself
+// lives in src/scenario/ as the "deleria_frib_live" scenario.
 //
 // Build & run:  ./build/examples/deleria_frib
-#include <atomic>
-#include <cstdio>
-#include <thread>
+#include "scenario/runner.hpp"
 
-#include "detector/facility.hpp"
-#include "detector/source.hpp"
-#include "pipeline/channel.hpp"
-#include "pipeline/thread_pool.hpp"
-#include "trace/table.hpp"
-
-int main() {
-  using namespace sss;
-
-  const detector::DeleriaProfile profile = detector::deleria_profile();
-  std::printf("DELERIA/FRIB fan-out: %d analysis processes, %s input stream, "
-              "%.1f%% reduction -> %s event stream (%s per process)\n\n",
-              profile.process_count, units::to_string(profile.input_rate).c_str(),
-              profile.reduction * 100.0, units::to_string(profile.event_stream).c_str(),
-              units::to_string(profile.per_process_rate()).c_str());
-
-  // Scaled waveform stream: 400 "waveform blocks" of 256 KB (100 MB).
-  detector::ScanWorkload scan;
-  scan.frame_count = 400;
-  scan.frame_size = units::Bytes::of(256.0 * 1024.0);
-  scan.frame_interval = units::Seconds::millis(1.0);
-
-  pipeline::SystemClock clock;
-  pipeline::ChannelConfig channel_cfg;
-  channel_cfg.bandwidth = units::DataRate::gigabits_per_second(4.0);
-  channel_cfg.queue_frames = 32;
-  pipeline::FrameChannel channel(channel_cfg, clock);
-
-  pipeline::ThreadPool pool(static_cast<std::size_t>(profile.process_count), 256);
-  std::atomic<std::uint64_t> waveforms_processed{0};
-  std::atomic<std::uint64_t> reduced_bytes{0};
-
-  const double start_s = clock.now().seconds();
-  std::thread producer([&] {
-    detector::FrameSource source(scan, detector::PayloadPattern::kNoise, 7);
-    while (auto frame = source.next_frame()) {
-      if (!channel.send(std::move(*frame))) break;
-    }
-    channel.close();
-  });
-
-  // Fan the stream out to the pool: every worker performs "signal
-  // decomposition" (a checksum-fold over the waveform) and emits the
-  // reduced physics events (2.5 % of the input volume).
-  while (auto frame = channel.recv()) {
-    auto shared = std::make_shared<detector::Frame>(std::move(*frame));
-    (void)pool.submit([&, shared] {
-      const std::uint64_t digest = detector::checksum(shared->payload);
-      (void)digest;
-      waveforms_processed.fetch_add(1, std::memory_order_relaxed);
-      reduced_bytes.fetch_add(
-          static_cast<std::uint64_t>(shared->payload.size() * (1.0 - 0.975)),
-          std::memory_order_relaxed);
-    });
-  }
-  pool.shutdown();
-  producer.join();
-  const double elapsed = clock.now().seconds() - start_s;
-
-  const double input_mb = scan.total_bytes().mb();
-  const double event_rate_mbps = reduced_bytes.load() / 1e6 / elapsed;
-  const double per_process = event_rate_mbps / profile.process_count;
-
-  trace::ConsoleTable table({"metric", "value"});
-  table.add_row({"waveform blocks processed",
-                 trace::ConsoleTable::num(waveforms_processed.load())});
-  table.add_row({"input volume", trace::ConsoleTable::num(input_mb) + " MB"});
-  table.add_row({"elapsed", trace::ConsoleTable::num(elapsed) + " s"});
-  table.add_row({"input throughput", trace::ConsoleTable::num(input_mb / elapsed) + " MB/s"});
-  table.add_row({"reduced event stream", trace::ConsoleTable::num(event_rate_mbps) + " MB/s"});
-  table.add_row({"per-process event rate", trace::ConsoleTable::num(per_process) + " MB/s"});
-  table.add_row({"data reduction", trace::ConsoleTable::pct(
-                                       1.0 - reduced_bytes.load() / (input_mb * 1e6))});
-  std::printf("%s\n", table.render().c_str());
-
-  std::printf("check: all %llu blocks processed with zero loss — DELERIA's "
-              "completeness requirement (dropped packets cascade into pipeline "
-              "failures)\n",
-              static_cast<unsigned long long>(waveforms_processed.load()));
-  return waveforms_processed.load() == scan.frame_count ? 0 : 1;
-}
+int main() { return sss::scenario::run_named("deleria_frib_live"); }

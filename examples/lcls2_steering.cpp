@@ -1,78 +1,7 @@
-// lcls2_steering — the full Section 5 case study as an executable:
-// measure a congestion profile on the simulated 25 Gbps testbed, then
-// evaluate both LCLS-II workflows (Table 3) for real-time experimental
-// steering under the three latency tiers.
+// lcls2_steering — thin driver over the scenario registry; the experiment itself
+// lives in src/scenario/ as the "lcls2_steering" scenario.
 //
 // Build & run:  ./build/examples/lcls2_steering
-#include <cstdio>
+#include "scenario/runner.hpp"
 
-#include "core/calibration.hpp"
-#include "core/decision.hpp"
-#include "core/report.hpp"
-#include "detector/facility.hpp"
-#include "simnet/workload.hpp"
-
-int main() {
-  using namespace sss;
-
-  std::printf("LCLS-II experimental steering feasibility (Section 5 case study)\n");
-  std::printf("================================================================\n\n");
-
-  // Step 1 — measurement: a scaled congestion sweep on the paper testbed
-  // (simultaneous batches create the worst-case spikes we must plan for).
-  std::printf("[1/3] measuring worst-case transfer behaviour under congestion...\n");
-  const auto sweep = simnet::run_table2_sweep(simnet::SpawnMode::kSimultaneousBatches, {4},
-                                              8, /*duration_scale=*/0.2);
-  const core::CongestionProfile profile = core::build_congestion_profile(sweep);
-  std::printf("%s\n", core::render_profile(profile).c_str());
-
-  // Step 2 — extrapolation: worst-case time for each workflow's 1-second
-  // aggregation window at its sustained utilization.
-  const units::DataRate link = units::DataRate::gigabits_per_second(25.0);
-  const units::Seconds window = units::Seconds::of(1.0);
-
-  std::printf("[2/3] evaluating Table-3 workflows...\n\n");
-  for (const auto& workflow : detector::table3_workflows()) {
-    const double utilization = workflow.throughput.bps() / link.bps();
-    const units::Bytes unit = workflow.bytes_per_window(window);
-
-    core::DecisionInput input;
-    input.params.s_unit = unit;
-    input.params.complexity = workflow.complexity();
-    input.params.r_local = units::FlopsRate::teraflops(2.0);   // beamline cluster
-    input.params.r_remote = units::FlopsRate::teraflops(40.0); // HPC allocation
-    input.params.bandwidth = link;
-    input.params.alpha = 0.9;
-    input.generation_rate = workflow.throughput;
-    if (utilization <= 1.0) {
-      input.t_worst_transfer = profile.worst_transfer_time(unit, link, utilization);
-    }
-
-    core::WorkflowReportInput report;
-    report.workflow_name = workflow.name;
-    report.decision = input;
-    std::printf("%s\n", core::render_report(report).c_str());
-  }
-
-  // Step 3 — the paper's liquid-scattering fallback: reduce to 3 GB/s and
-  // re-evaluate at 96 % utilization.
-  std::printf("[3/3] liquid scattering reduced to 3 GB/s (the paper's fallback)...\n\n");
-  const units::DataRate reduced = units::DataRate::gigabytes_per_second(3.0);
-  core::DecisionInput fallback;
-  fallback.params.s_unit = reduced * window;
-  fallback.params.complexity = units::Complexity::flop_per_byte(
-      detector::liquid_scattering().offline_analysis.flop() / (reduced * window).bytes());
-  fallback.params.r_local = units::FlopsRate::teraflops(2.0);
-  fallback.params.r_remote = units::FlopsRate::teraflops(40.0);
-  fallback.params.bandwidth = link;
-  fallback.params.alpha = 0.9;
-  fallback.generation_rate = reduced;
-  fallback.t_worst_transfer =
-      profile.worst_transfer_time(fallback.params.s_unit, link, reduced.bps() / link.bps());
-
-  core::WorkflowReportInput report;
-  report.workflow_name = "Liquid Scattering (reduced to 3 GB/s)";
-  report.decision = fallback;
-  std::printf("%s", core::render_report(report).c_str());
-  return 0;
-}
+int main() { return sss::scenario::run_named("lcls2_steering"); }

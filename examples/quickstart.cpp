@@ -1,38 +1,7 @@
-// quickstart — the 30-second tour of the sss public API:
-// build model parameters (Section 3.1), compute the completion times
-// (Eqs. 3-10), and get a stream-or-not verdict with tier feasibility.
+// quickstart — thin driver over the scenario registry; the experiment itself
+// lives in src/scenario/ as the "quickstart" scenario.
 //
 // Build & run:  ./build/examples/quickstart
-#include <cstdio>
+#include "scenario/runner.hpp"
 
-#include "core/decision.hpp"
-#include "core/report.hpp"
-
-int main() {
-  using namespace sss;
-  using namespace sss::units;
-
-  // A detector producing 2 GB data units that each need 34 TF of analysis
-  // (the LCLS-II coherent-scattering workload), a 25 Gbps path to the HPC
-  // center, a modest local cluster and a large remote one.
-  core::DecisionInput input;
-  input.params.s_unit = Bytes::gigabytes(2.0);
-  input.params.complexity = Complexity::per_gb(Flops::tera(17.0));  // 34 TF / 2 GB
-  input.params.r_local = FlopsRate::teraflops(5.0);
-  input.params.r_remote = FlopsRate::teraflops(50.0);
-  input.params.bandwidth = DataRate::gigabits_per_second(25.0);
-  input.params.alpha = 0.9;   // measured transfer efficiency
-  input.params.theta = 1.0;   // pure streaming: no file I/O in the path
-  input.theta_file = 2.5;     // the staged alternative pays 2.5x transfer time
-  input.t_worst_transfer = Seconds::of(1.2);  // worst case measured at 64 % load
-  input.generation_rate = DataRate::gigabytes_per_second(2.0);
-
-  const core::Evaluation verdict = core::evaluate(input);
-  std::printf("%s\n\n", core::render_verdict(verdict).c_str());
-
-  core::WorkflowReportInput report;
-  report.workflow_name = "quickstart workflow";
-  report.decision = input;
-  std::printf("%s", core::render_report(report).c_str());
-  return 0;
-}
+int main() { return sss::scenario::run_named("quickstart"); }

@@ -1,86 +1,7 @@
-// variability_planner — tail-aware capacity planning with the stochastic
-// and queuing extensions (the paper's Section 6 future work, implemented).
-//
-// Scenario: a beamline wants near-real-time feedback (10 s) on 2 GB windows
-// needing 34 TF each.  Network efficiency and remote node availability
-// fluctuate; the planner answers three questions a point-estimate model
-// cannot:
-//   1. What does the FULL distribution of T_pct look like?
-//   2. With what probability does each tier deadline hold?
-//   3. What sustained window rate is safe, given service variability?
+// variability_planner — thin driver over the scenario registry; the experiment itself
+// lives in src/scenario/ as the "variability_planner" scenario.
 //
 // Build & run:  ./build/examples/variability_planner
-#include <cstdio>
+#include "scenario/runner.hpp"
 
-#include "core/concurrency.hpp"
-#include "core/variability.hpp"
-#include "trace/table.hpp"
-
-int main() {
-  using namespace sss;
-
-  core::ModelParameters base;
-  base.s_unit = units::Bytes::gigabytes(2.0);
-  base.complexity = units::Complexity::per_gb(units::Flops::tera(17.0));
-  base.r_local = units::FlopsRate::teraflops(5.0);
-  base.r_remote = units::FlopsRate::teraflops(50.0);
-  base.bandwidth = units::DataRate::gigabits_per_second(25.0);
-  base.alpha = 0.8;
-  base.theta = 1.0;
-
-  // Measured variability: transfer efficiency swings with shared-path load
-  // (heavier left tail), the effective remote speed-up depends on node
-  // availability, and occasional staging fallbacks raise theta.
-  core::StochasticModel model = core::StochasticModel::from(base);
-  model.alpha = core::ParameterDistribution::normal(0.8, 0.15, 0.2, 1.0);
-  model.r = core::ParameterDistribution::uniform(6.0, 12.0);
-  model.theta = core::ParameterDistribution::lognormal(1.1, 0.3, 1.0, 4.0);
-
-  const auto mc = core::monte_carlo_t_pct(model, 20000, 2026);
-
-  std::printf("T_pct distribution under variability (20k draws):\n");
-  trace::ConsoleTable dist({"quantile", "T_pct (s)"});
-  for (double q : {0.05, 0.25, 0.50, 0.75, 0.90, 0.99}) {
-    dist.add_row({trace::ConsoleTable::pct(q, 0),
-                  trace::ConsoleTable::num(mc.t_pct.quantile(q))});
-  }
-  std::printf("%s", dist.render().c_str());
-  std::printf("T_local = %.2f s | P(remote beats local) = %.1f%% | "
-              "variability penalty on mean T_pct = %+.3f s\n\n",
-              mc.t_local_s, mc.probability_remote_wins * 100.0,
-              core::variability_penalty_s(mc, model));
-
-  std::printf("tier feasibility, point estimate vs tail-aware:\n");
-  trace::ConsoleTable tiers({"tier", "deadline", "P(meet)", "median ok", "P99 ok"});
-  for (const auto& [name, deadline] :
-       std::vector<std::pair<const char*, double>>{
-           {"Tier 1 (real-time)", 1.0},
-           {"Tier 2 (near real-time)", 10.0},
-           {"Tier 3 (quasi real-time)", 60.0}}) {
-    const units::Seconds d = units::Seconds::of(deadline);
-    tiers.add_row({name, trace::ConsoleTable::num(deadline),
-                   trace::ConsoleTable::pct(mc.probability_within(d), 1),
-                   mc.feasible_at(0.5, d) ? "yes" : "no",
-                   mc.feasible_at(0.99, d) ? "yes" : "no"});
-  }
-  std::printf("%s\n", tiers.render().c_str());
-
-  // Sustained operation: how many windows per second can the pipeline take?
-  const units::Seconds service = core::pipelined_service_time(base);
-  // Service-time cv from the Monte Carlo spread of the transfer stage.
-  const double mean = mc.t_pct.mean();
-  const double p90_spread = mc.t_pct.quantile(0.9) / mean - 1.0;
-  const double cv = std::max(0.1, p90_spread);  // crude but measured
-  std::printf("sustained operation (service %.2f s, cv ~ %.2f):\n", service.seconds(), cv);
-  trace::ConsoleTable sus({"target latency (s)", "max windows/s", "utilization"});
-  for (double deadline : {2.0, 5.0, 10.0}) {
-    const double rate =
-        core::max_sustainable_rate(service, cv, units::Seconds::of(deadline));
-    sus.add_row({trace::ConsoleTable::num(deadline), trace::ConsoleTable::num(rate, 3),
-                 trace::ConsoleTable::pct(rate * service.seconds(), 0)});
-  }
-  std::printf("%s", sus.render().c_str());
-  std::printf("\nverdict: plan against the P99 column and the sustainable-rate table, "
-              "not the median — the tails, not the averages, blow deadlines.\n");
-  return 0;
-}
+int main() { return sss::scenario::run_named("variability_planner"); }

@@ -17,6 +17,11 @@ ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
+std::size_t ThreadPool::default_thread_count() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<std::size_t>(hardware) : 1;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::optional<std::function<void()>> task = tasks_.pop();

@@ -49,6 +49,10 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
+  // One worker per hardware thread; at least 1 when the hardware cannot be
+  // queried.  The default sizing for sweep executors and pipelines.
+  [[nodiscard]] static std::size_t default_thread_count();
+
  private:
   BoundedQueue<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;

@@ -1,0 +1,39 @@
+// common.hpp — helpers shared by the scenario definition files.
+//
+// Internal to src/scenario/scenarios_*.cpp; not part of the public
+// scenario API.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "trace/table.hpp"
+
+namespace sss::scenario::detail {
+
+// Numeric cell formatting for scenario rows: 6 significant digits, enough
+// to replot figures from the CSV while staying readable in the console.
+inline std::string fmt(double v) { return trace::ConsoleTable::num(v, 6); }
+inline std::string fmt(int v) { return std::to_string(v); }
+inline std::string fmt(std::uint64_t v) { return std::to_string(v); }
+
+// The Table-2 grid every congestion sweep uses: concurrency 1..max_c for
+// each parallel-flow count, durations scaled by `scale`.
+inline std::vector<RunPoint> table2_grid(simnet::SpawnMode mode,
+                                         const std::vector<int>& parallel_flow_values,
+                                         int max_concurrency, double scale) {
+  std::vector<RunPoint> runs;
+  for (int p : parallel_flow_values) {
+    for (int c = 1; c <= max_concurrency; ++c) {
+      RunPoint run;
+      run.config = simnet::WorkloadConfig::paper_table2(c, p, mode);
+      run.config.duration = run.config.duration * scale;
+      run.label = "P=" + std::to_string(p) + " c=" + std::to_string(c);
+      runs.push_back(std::move(run));
+    }
+  }
+  return runs;
+}
+
+}  // namespace sss::scenario::detail

@@ -1,0 +1,93 @@
+#include "scenario/env.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sss::scenario {
+
+namespace {
+
+const char* env_value(const char* name) {
+  const char* value = std::getenv(name);
+  return (value != nullptr && value[0] != '\0') ? value : nullptr;
+}
+
+}  // namespace
+
+std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_uint64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<int> parse_int(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  int value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+double run_scale_from_env() {
+  const char* raw = env_value("SSS_BENCH_SCALE");
+  if (raw == nullptr) return 1.0;
+  const auto value = parse_double(raw);
+  if (!value.has_value() || !(*value > 0.0) || *value > 1.0) {
+    std::fprintf(stderr, "ignoring SSS_BENCH_SCALE=%s (need a number with 0 < s <= 1)\n",
+                 raw);
+    return 1.0;
+  }
+  return *value;
+}
+
+std::optional<std::string> csv_dir_from_env() {
+  const char* raw = env_value("SSS_BENCH_CSV_DIR");
+  if (raw == nullptr) return std::nullopt;
+  return std::string(raw);
+}
+
+int sweep_threads_from_env() {
+  const char* raw = env_value("SSS_SWEEP_THREADS");
+  if (raw == nullptr) return 0;
+  const auto value = parse_int(raw);
+  if (!value.has_value() || *value < 0) {
+    std::fprintf(stderr, "ignoring SSS_SWEEP_THREADS=%s (need an integer >= 0)\n", raw);
+    return 0;
+  }
+  return *value;
+}
+
+std::uint64_t sweep_seed_from_env() {
+  const char* raw = env_value("SSS_SWEEP_SEED");
+  if (raw == nullptr) return 42;
+  const auto value = parse_uint64(raw);
+  if (!value.has_value()) {
+    std::fprintf(stderr, "ignoring SSS_SWEEP_SEED=%s (need an unsigned integer)\n", raw);
+    return 42;
+  }
+  return *value;
+}
+
+ScenarioContext context_from_env() {
+  ScenarioContext context;
+  context.scale = run_scale_from_env();
+  context.seed = sweep_seed_from_env();
+  context.threads = sweep_threads_from_env();
+  return context;
+}
+
+}  // namespace sss::scenario

@@ -1,0 +1,45 @@
+// env.hpp — environment knobs shared by every scenario driver.
+//
+//   SSS_BENCH_SCALE     duration scale in (0, 1]; default 1.0 (full
+//                       Table-2-length runs).  E.g. 0.1 for smoke runs.
+//   SSS_BENCH_CSV_DIR   when set, scenario tables are also written as
+//                       <dir>/<scenario>.csv.
+//   SSS_SWEEP_THREADS   worker threads for the SweepExecutor; 0 or unset =
+//                       one per hardware thread, 1 = serial.
+//   SSS_SWEEP_SEED      base seed for the per-run RNG streams; default 42.
+//
+// Numeric values are parsed strictly (std::from_chars over the WHOLE
+// string, locale-independent): trailing garbage like "0.5abc" or an empty
+// value is rejected with a warning and the default is used — the previous
+// std::atof-based parser silently accepted both.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "scenario/spec.hpp"
+
+namespace sss::scenario {
+
+// Strict, locale-independent numeric parsing; the entire string must be
+// consumed.  Returns nullopt on empty input, trailing garbage, or range
+// errors.  Exposed for tests.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+[[nodiscard]] std::optional<std::uint64_t> parse_uint64(std::string_view text);
+[[nodiscard]] std::optional<int> parse_int(std::string_view text);
+
+// SSS_BENCH_SCALE, validated to (0, 1]; warns and returns 1.0 otherwise.
+[[nodiscard]] double run_scale_from_env();
+// SSS_BENCH_CSV_DIR; nullopt when unset/empty.
+[[nodiscard]] std::optional<std::string> csv_dir_from_env();
+// SSS_SWEEP_THREADS, >= 0; warns and returns 0 (= hardware) otherwise.
+[[nodiscard]] int sweep_threads_from_env();
+// SSS_SWEEP_SEED; warns and returns 42 otherwise.
+[[nodiscard]] std::uint64_t sweep_seed_from_env();
+
+// ScenarioContext assembled from all of the above.
+[[nodiscard]] ScenarioContext context_from_env();
+
+}  // namespace sss::scenario

@@ -1,0 +1,62 @@
+#include "scenario/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "pipeline/thread_pool.hpp"
+#include "stats/rng.hpp"
+
+namespace sss::scenario {
+
+namespace {
+
+simnet::ExperimentResult execute_one(const RunPoint& run) {
+  switch (run.substrate) {
+    case Substrate::kFluid:
+      return simnet::run_fluid_experiment(run.config);
+    case Substrate::kPacket:
+      break;
+  }
+  return simnet::run_experiment(run.config);
+}
+
+}  // namespace
+
+SweepExecutor::SweepExecutor(SweepOptions options) : options_(options) {}
+
+std::vector<std::uint64_t> SweepExecutor::derive_seeds(std::size_t count) const {
+  return stats::derive_stream_seeds(options_.base_seed, count);
+}
+
+int SweepExecutor::effective_threads(std::size_t run_count) const {
+  int threads = options_.threads;
+  if (threads <= 0) threads = static_cast<int>(pipeline::ThreadPool::default_thread_count());
+  return std::max(1, std::min<int>(threads, static_cast<int>(std::max<std::size_t>(run_count, 1))));
+}
+
+std::vector<simnet::ExperimentResult> SweepExecutor::execute(
+    std::vector<RunPoint> runs) const {
+  const std::vector<std::uint64_t> seeds = derive_seeds(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].reseed) runs[i].config.seed = seeds[i];
+  }
+
+  std::vector<simnet::ExperimentResult> results(runs.size());
+  const int threads = effective_threads(runs.size());
+  std::atomic<std::size_t> completed{0};
+  auto run_index = [&](std::size_t i) {
+    results[i] = execute_one(runs[i]);
+    if (on_progress) on_progress(completed.fetch_add(1) + 1, runs.size());
+  };
+
+  if (threads == 1 || runs.size() <= 1) {
+    for (std::size_t i = 0; i < runs.size(); ++i) run_index(i);
+  } else {
+    pipeline::ThreadPool pool(static_cast<std::size_t>(threads),
+                              std::max<std::size_t>(runs.size(), 64));
+    pool.parallel_for(0, runs.size(), run_index);
+  }
+  return results;
+}
+
+}  // namespace sss::scenario

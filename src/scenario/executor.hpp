@@ -1,0 +1,59 @@
+// executor.hpp — parallel sweep execution with deterministic seeding.
+//
+// A scenario's RunPoints are independent simulations, so the executor fans
+// them out over a pipeline::ThreadPool.  Determinism contract: for a given
+// (base_seed, runs) the results are BIT-IDENTICAL regardless of thread
+// count, because
+//   1. every run's 64-bit seed is derived up front, in run order, from the
+//      jump sequence of one stats::Xoshiro256 rooted at base_seed
+//      (stats::derive_stream_seeds); each run then expands its seed into a
+//      fresh generator via SplitMix64, so distinct seeds give decorrelated
+//      streams;
+//   2. results land in a pre-sized vector at their run index, so output
+//      order never depends on completion order;
+//   3. run_experiment / run_fluid_experiment are pure functions of their
+//      WorkloadConfig.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace sss::scenario {
+
+struct SweepOptions {
+  // Worker threads; 0 = one per hardware thread, 1 = serial.
+  int threads = 0;
+  // Base seed for the per-run Xoshiro256 streams.
+  std::uint64_t base_seed = 42;
+};
+
+class SweepExecutor {
+ public:
+  explicit SweepExecutor(SweepOptions options = {});
+
+  // Derive the per-run seeds for `runs` (run i gets the i-th value of the
+  // jump sequence rooted at base_seed).  Exposed for tests and for callers
+  // that want to inspect/replay a single run.
+  [[nodiscard]] std::vector<std::uint64_t> derive_seeds(std::size_t count) const;
+
+  // Execute every run and return results in run order.  Reseeds each
+  // RunPoint whose `reseed` flag is set.  Blocks until all complete; the
+  // first exception from any run propagates.
+  [[nodiscard]] std::vector<simnet::ExperimentResult> execute(
+      std::vector<RunPoint> runs) const;
+
+  // Optional progress hook, invoked from worker threads as each run
+  // completes with (completed_count, total).  Must be thread-safe.
+  std::function<void(std::size_t, std::size_t)> on_progress;
+
+  // Threads the executor will actually use for `run_count` runs.
+  [[nodiscard]] int effective_threads(std::size_t run_count) const;
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace sss::scenario

@@ -1,0 +1,244 @@
+#include "scenario/runner.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+#include <vector>
+
+#include "scenario/env.hpp"
+#include "scenario/executor.hpp"
+#include "scenario/registry.hpp"
+#include "trace/csv.hpp"
+#include "trace/table.hpp"
+
+namespace sss::scenario {
+
+namespace {
+
+void print_banner(const ScenarioSpec& spec) {
+  std::printf("================================================================\n");
+  std::printf("sss scenario     | %s\n", spec.title.c_str());
+  std::printf("paper reference  | %s\n", spec.paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+void write_csv(const ScenarioSpec& spec, const ScenarioOutput& output,
+               const std::string& dir) {
+  if (output.header.empty()) return;
+  const std::string path = dir + "/" + spec.name + ".csv";
+  try {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best effort; open reports failure
+    trace::write_csv_file(path, output.header, output.rows);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "CSV export disabled: %s\n", e.what());
+  }
+}
+
+}  // namespace
+
+ScenarioOutput execute_scenario(const ScenarioSpec& spec, const ScenarioContext& context) {
+  std::vector<RunPoint> runs;
+  if (spec.make_runs) runs = spec.make_runs(context);
+
+  SweepOptions sweep;
+  sweep.threads = context.threads;
+  sweep.base_seed = context.seed;
+  const SweepExecutor executor(sweep);
+  const std::vector<simnet::ExperimentResult> results = executor.execute(runs);
+
+  ScenarioOutput output;
+  spec.analyze(context, runs, results, output);
+  if (!output.rows.empty() && output.header.empty()) {
+    throw std::logic_error("scenario '" + spec.name + "' produced rows without a header");
+  }
+  for (const auto& row : output.rows) {
+    if (row.size() != output.header.size()) {
+      throw std::logic_error("scenario '" + spec.name + "' produced a ragged row");
+    }
+  }
+  return output;
+}
+
+RunnerOptions options_from_env() {
+  RunnerOptions options;
+  options.context = context_from_env();
+  options.csv_dir = csv_dir_from_env();
+  return options;
+}
+
+int run_scenario(const ScenarioSpec& spec, const RunnerOptions& options) {
+  ScenarioOutput output;
+  try {
+    if (!options.quiet) {
+      print_banner(spec);
+      // make_runs is pure and cheap (config expansion only), so counting
+      // here and re-expanding inside execute_scenario costs nothing.
+      const std::size_t run_count =
+          spec.make_runs ? spec.make_runs(options.context).size() : 0;
+      if (run_count > 0) {
+        SweepOptions sweep;
+        sweep.threads = options.context.threads;
+        const int threads = SweepExecutor(sweep).effective_threads(run_count);
+        std::printf(
+            "executing %zu simulation runs on %d thread%s (scale %.2f, seed %llu)\n\n",
+            run_count, threads, threads == 1 ? "" : "s", options.context.scale,
+            static_cast<unsigned long long>(options.context.seed));
+      }
+    }
+    output = execute_scenario(spec, options.context);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario '%s' failed: %s\n", spec.name.c_str(), e.what());
+    return 1;
+  }
+
+  if (!output.header.empty()) {
+    trace::ConsoleTable table(output.header);
+    for (const auto& row : output.rows) table.add_row(row);
+    std::printf("%s\n", table.render().c_str());
+  }
+  for (const auto& note : output.notes) std::printf("%s\n", note.c_str());
+  if (options.csv_dir.has_value()) write_csv(spec, output, *options.csv_dir);
+  return 0;
+}
+
+int run_named(const std::string& name) {
+  register_builtin_scenarios();
+  const ScenarioSpec* spec = ScenarioRegistry::global().find(name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try scenario_runner --list)\n",
+                 name.c_str());
+    return 2;
+  }
+  return run_scenario(*spec, options_from_env());
+}
+
+namespace {
+
+void print_list(const std::string& tag_filter) {
+  const ScenarioRegistry& registry = ScenarioRegistry::global();
+  trace::ConsoleTable table({"scenario", "tags", "description"});
+  std::size_t shown = 0;
+  for (const ScenarioSpec* spec : registry.all()) {
+    if (!tag_filter.empty() && !spec->has_tag(tag_filter)) continue;
+    std::string tags;
+    for (const auto& tag : spec->tags) {
+      if (!tags.empty()) tags += ",";
+      tags += tag;
+    }
+    table.add_row({spec->name, tags, spec->description});
+    ++shown;
+  }
+  std::printf("%s\n%zu scenario%s registered\n", table.render().c_str(), shown,
+              shown == 1 ? "" : "s");
+}
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s --list [--tag TAG]\n"
+               "       %s --run NAME [options]\n"
+               "       %s --all [--tag TAG] [options]\n"
+               "options:\n"
+               "  --threads N   sweep worker threads (0 = hardware, 1 = serial)\n"
+               "  --scale S     duration scale in (0, 1]\n"
+               "  --seed K      base seed for per-run RNG streams\n"
+               "  --csv-dir D   also write <D>/<scenario>.csv\n"
+               "environment:    SSS_BENCH_SCALE, SSS_BENCH_CSV_DIR,\n"
+               "                SSS_SWEEP_THREADS, SSS_SWEEP_SEED (flags win)\n",
+               argv0, argv0, argv0);
+}
+
+// Argument error: usage on stderr, non-zero exit.
+int usage(const char* argv0) {
+  print_usage(stderr, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main_from_args(int argc, char** argv) {
+  register_builtin_scenarios();
+
+  bool list = false;
+  bool all = false;
+  std::string name;
+  std::string tag;
+  RunnerOptions options = options_from_env();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--run") {
+      const char* v = next_value("--run");
+      if (v == nullptr) return usage(argv[0]);
+      name = v;
+    } else if (arg == "--tag") {
+      const char* v = next_value("--tag");
+      if (v == nullptr) return usage(argv[0]);
+      tag = v;
+    } else if (arg == "--threads") {
+      const char* v = next_value("--threads");
+      const auto parsed = v ? parse_int(v) : std::nullopt;
+      if (!parsed.has_value() || *parsed < 0) return usage(argv[0]);
+      options.context.threads = *parsed;
+    } else if (arg == "--scale") {
+      const char* v = next_value("--scale");
+      const auto parsed = v ? parse_double(v) : std::nullopt;
+      if (!parsed.has_value() || !(*parsed > 0.0) || *parsed > 1.0) return usage(argv[0]);
+      options.context.scale = *parsed;
+    } else if (arg == "--seed") {
+      const char* v = next_value("--seed");
+      const auto parsed = v ? parse_uint64(v) : std::nullopt;
+      if (!parsed.has_value()) return usage(argv[0]);
+      options.context.seed = *parsed;
+    } else if (arg == "--csv-dir") {
+      const char* v = next_value("--csv-dir");
+      if (v == nullptr) return usage(argv[0]);
+      options.csv_dir = std::string(v);
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+
+  if (list) {
+    print_list(tag);
+    return 0;
+  }
+  if (all) {
+    int status = 0;
+    for (const ScenarioSpec* spec : ScenarioRegistry::global().all()) {
+      if (!tag.empty() && !spec->has_tag(tag)) continue;
+      status |= run_scenario(*spec, options);
+      std::printf("\n");
+    }
+    return status;
+  }
+  if (!name.empty()) {
+    const ScenarioSpec* spec = ScenarioRegistry::global().find(name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n", name.c_str());
+      return 2;
+    }
+    return run_scenario(*spec, options);
+  }
+  return usage(argv[0]);
+}
+
+}  // namespace sss::scenario

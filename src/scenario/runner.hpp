@@ -1,0 +1,47 @@
+// runner.hpp — drive a ScenarioSpec end to end.
+//
+// Layering: `execute_scenario` is the pure library entry (expand runs,
+// fan out through the SweepExecutor, analyze into a ScenarioOutput) used
+// by tests; `run_scenario` adds the console/CSV presentation; `run_named`
+// is the thin-driver entry every bench/example main delegates to; and
+// `main_from_args` implements the scenario_runner CLI.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "scenario/spec.hpp"
+
+namespace sss::scenario {
+
+// Expand, execute (parallel, deterministic), analyze.  Throws on scenario
+// errors.
+[[nodiscard]] ScenarioOutput execute_scenario(const ScenarioSpec& spec,
+                                              const ScenarioContext& context);
+
+struct RunnerOptions {
+  ScenarioContext context;
+  // Write <csv_dir>/<scenario>.csv when set.
+  std::optional<std::string> csv_dir;
+  // Suppress the banner/progress chatter (table and notes still print).
+  bool quiet = false;
+};
+
+// Options assembled from the SSS_* environment knobs (env.hpp).
+[[nodiscard]] RunnerOptions options_from_env();
+
+// Run and present one scenario.  Returns a process exit code.
+int run_scenario(const ScenarioSpec& spec, const RunnerOptions& options);
+
+// Look `name` up in the global registry (registering built-ins first) and
+// run it with env-derived options.  The per-bench thin drivers call this.
+int run_named(const std::string& name);
+
+// The scenario_runner CLI:
+//   scenario_runner --list [--tag <tag>]
+//   scenario_runner --run <name> [--threads N] [--scale S] [--seed K]
+//                   [--csv-dir DIR]
+//   scenario_runner --all [--tag <tag>] [...same knobs]
+int main_from_args(int argc, char** argv);
+
+}  // namespace sss::scenario

@@ -1,0 +1,35 @@
+// scenarios.hpp — registration hooks for the built-in scenario families.
+//
+// Each hook lives in the matching scenarios_*.cpp and adds its family to
+// the given registry.  `register_builtin_scenarios()` (registry.hpp) wires
+// them all into the global registry.
+#pragma once
+
+#include "scenario/spec.hpp"
+
+namespace sss::scenario {
+
+class ScenarioRegistry;
+
+// Fig. 2(a)/2(b) congestion sweeps and the Fig. 3 CDF.
+void register_figure_scenarios(ScenarioRegistry& registry);
+// Background traffic, buffer sizing, fluid-vs-packet ablations.
+void register_ablation_scenarios(ScenarioRegistry& registry);
+// Table 3 / Section 5 case studies, Fig. 4, headline claims.
+void register_case_study_scenarios(ScenarioRegistry& registry);
+// Analytic model sweeps: sensitivity surfaces, variability planner,
+// congestion planner, quickstart.
+void register_model_scenarios(ScenarioRegistry& registry);
+// Live wall-clock pipeline miniatures (APS tomography, DELERIA fan-out).
+void register_live_scenarios(ScenarioRegistry& registry);
+// New stress scenarios: multi-tenant storms, degraded-link failover,
+// burst-mode detectors.
+void register_stress_scenarios(ScenarioRegistry& registry);
+
+// Parameterized congestion-planner factory: the registered scenario uses
+// the paper-testbed defaults (25 Gbps, 0.5 GB, 1.0 s); the example binary
+// builds custom instances from its CLI arguments.
+[[nodiscard]] ScenarioSpec make_congestion_planner_spec(double link_gbps, double unit_gb,
+                                                        double budget_s);
+
+}  // namespace sss::scenario

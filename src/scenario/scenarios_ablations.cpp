@@ -1,0 +1,164 @@
+// scenarios_ablations.cpp — the three ablation benches as registry
+// scenarios: background cross-traffic vs SSS, drop-tail buffer sizing,
+// and fluid (average-case) vs packet-level (worst-case) substrates.
+#include <cstdio>
+#include <vector>
+
+#include "core/sss_score.hpp"
+#include "scenario/common.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenarios.hpp"
+
+namespace sss::scenario {
+
+namespace {
+
+using detail::fmt;
+
+ScenarioSpec background_traffic_spec() {
+  ScenarioSpec spec;
+  spec.name = "ablation_background_traffic";
+  spec.title = "Ablation: background cross-traffic vs Streaming Speed Score";
+  spec.paper_ref = "Section 6 future work: variability in network performance";
+  spec.description = "SSS degradation as shared-path cross-traffic grows";
+  spec.tags = {"ablation", "sweep"};
+  spec.make_runs = [](const ScenarioContext& ctx) {
+    std::vector<RunPoint> runs;
+    for (double bg : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+      RunPoint run;
+      run.config = simnet::WorkloadConfig::paper_table2(
+          4, 4, simnet::SpawnMode::kSimultaneousBatches);  // 64 % foreground
+      run.config.duration = run.config.duration * ctx.scale;
+      run.config.background_load = bg;
+      run.label = "bg=" + fmt(bg);
+      runs.push_back(std::move(run));
+    }
+    return runs;
+  };
+  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
+                    const std::vector<simnet::ExperimentResult>& results,
+                    ScenarioOutput& out) {
+    out.header = {"background_load", "total_offered", "t_worst_s", "sss",
+                  "regime",          "loss_rate",     "retransmits"};
+    for (const auto& r : results) {
+      const auto score = core::compute_sss(units::Seconds::of(r.t_worst_s()),
+                                           r.config.transfer_size, r.config.link.capacity);
+      out.add_row({fmt(r.config.background_load),
+                   fmt(r.config.offered_load() + r.config.background_load),
+                   fmt(r.t_worst_s()), fmt(score.value()),
+                   core::to_string(core::classify_regime(score.value())),
+                   fmt(r.metrics.loss_rate), fmt(r.metrics.total_retransmits)});
+    }
+    out.add_note(
+        "reading: the feasibility verdict depends on TOTAL path load; a facility "
+        "must measure (or reserve) the shared path, exactly the paper's argument "
+        "for continuous worst-case measurement.");
+  };
+  return spec;
+}
+
+ScenarioSpec buffer_sizing_spec() {
+  ScenarioSpec spec;
+  spec.name = "ablation_buffer_sizing";
+  spec.title = "Ablation: drop-tail buffer sizing vs worst-case FCT";
+  spec.paper_ref = "DESIGN.md design-choice ablation (Table 1 testbed, 80% load)";
+  spec.description = "worst-case FCT sensitivity to bottleneck buffer depth";
+  spec.tags = {"ablation", "sweep"};
+  spec.make_runs = [](const ScenarioContext& ctx) {
+    const double bdp_mb = 50.0;  // 25 Gbps x 16 ms
+    std::vector<RunPoint> runs;
+    for (double bdp_fraction : {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+      RunPoint run;
+      run.config = simnet::WorkloadConfig::paper_table2(
+          5, 4, simnet::SpawnMode::kSimultaneousBatches);  // 80 % offered load
+      run.config.duration = run.config.duration * ctx.scale;
+      run.config.link.buffer = units::Bytes::megabytes(bdp_mb * bdp_fraction);
+      run.label = "buffer=" + fmt(bdp_fraction) + "BDP";
+      runs.push_back(std::move(run));
+    }
+    return runs;
+  };
+  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
+                    const std::vector<simnet::ExperimentResult>& results,
+                    ScenarioOutput& out) {
+    const double bdp_mb = 50.0;
+    out.header = {"buffer_bdp",  "buffer_mb",   "t_worst_s", "t_mean_s",
+                  "loss_rate",   "retransmits", "rto_events"};
+    for (const auto& r : results) {
+      const double buffer_mb = r.config.link.buffer.mb();
+      out.add_row({fmt(buffer_mb / bdp_mb), fmt(buffer_mb), fmt(r.t_worst_s()),
+                   fmt(r.metrics.mean_client_fct_s()), fmt(r.metrics.loss_rate),
+                   fmt(r.metrics.total_retransmits), fmt(r.metrics.total_rto_events)});
+    }
+    out.add_note(
+        "reading: loss-driven inflation below ~1 BDP; at and above 1 BDP losses "
+        "vanish and the worst case plateaus (window caps bound the queue), so the "
+        "1 BDP default sits at the start of the stable band.");
+  };
+  return spec;
+}
+
+ScenarioSpec fluid_vs_packet_spec() {
+  ScenarioSpec spec;
+  spec.name = "ablation_fluid_vs_packet";
+  spec.title = "Ablation: fluid (average-case) vs packet-level (worst-case) model";
+  spec.paper_ref = "Section 3 critique of d_continuum ~ d_prop (Eq. 2)";
+  spec.description = "quantifies how far the fluid model understates worst-case FCT";
+  spec.tags = {"ablation", "sweep", "substrate"};
+  spec.make_runs = [](const ScenarioContext& ctx) {
+    // Paired runs per concurrency: [fluid, packet], interleaved.  The fluid
+    // substrate ignores the seed (it is deterministic by construction), so
+    // the pairing stays comparable under executor reseeding.
+    std::vector<RunPoint> runs;
+    for (int c = 1; c <= 8; ++c) {
+      simnet::WorkloadConfig cfg = simnet::WorkloadConfig::paper_table2(
+          c, 4, simnet::SpawnMode::kSimultaneousBatches);
+      cfg.duration = cfg.duration * ctx.scale;
+      RunPoint fluid;
+      fluid.config = cfg;
+      fluid.substrate = Substrate::kFluid;
+      fluid.label = "fluid c=" + std::to_string(c);
+      runs.push_back(std::move(fluid));
+      RunPoint packet;
+      packet.config = cfg;
+      packet.substrate = Substrate::kPacket;
+      packet.label = "packet c=" + std::to_string(c);
+      runs.push_back(std::move(packet));
+    }
+    return runs;
+  };
+  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
+                    const std::vector<simnet::ExperimentResult>& results,
+                    ScenarioOutput& out) {
+    out.header = {"concurrency",  "offered_load",  "fluid_worst_s", "packet_worst_s",
+                  "worst_gap",    "fluid_mean_s",  "packet_mean_s", "mean_gap"};
+    for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+      const auto& fluid = results[i];
+      const auto& packet = results[i + 1];
+      const double worst_gap =
+          fluid.t_worst_s() > 0.0 ? packet.t_worst_s() / fluid.t_worst_s() : 0.0;
+      const double fluid_mean = fluid.metrics.mean_client_fct_s();
+      const double mean_gap =
+          fluid_mean > 0.0 ? packet.metrics.mean_client_fct_s() / fluid_mean : 0.0;
+      out.add_row({fmt(packet.config.concurrency), fmt(packet.config.offered_load()),
+                   fmt(fluid.t_worst_s()), fmt(packet.t_worst_s()), fmt(worst_gap),
+                   fmt(fluid_mean), fmt(packet.metrics.mean_client_fct_s()),
+                   fmt(mean_gap)});
+    }
+    out.add_note(
+        "reading: a worst-case gap that grows with load means average-oriented "
+        "models (Eq. 2) systematically understate exactly the regime where the "
+        "streaming decision is hardest — the paper's core argument.");
+  };
+  return spec;
+}
+
+}  // namespace
+
+void register_ablation_scenarios(ScenarioRegistry& registry) {
+  registry.add(background_traffic_spec());
+  registry.add(buffer_sizing_spec());
+  registry.add(fluid_vs_packet_spec());
+}
+
+}  // namespace sss::scenario

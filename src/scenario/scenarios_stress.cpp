@@ -1,0 +1,218 @@
+// scenarios_stress.cpp — new scenarios beyond the paper's experiments,
+// enabled by the registry + parallel executor:
+//
+//   multi_tenant_storm    — the same average background load delivered as
+//                           mice vs heavy-tailed elephants; shows the tail
+//                           (not the mean) of cross-traffic drives SSS.
+//   degraded_link_failover— a facility failing over from its 25 Gbps
+//                           primary to progressively weaker backup paths;
+//                           finds where streaming feasibility collapses.
+//   burst_mode_detector   — duty-cycled detectors emitting one intense
+//                           burst; quantifies how much scheduled slotting
+//                           rescues the worst case at equal burst volume.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sss_score.hpp"
+#include "scenario/common.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenarios.hpp"
+
+namespace sss::scenario {
+
+namespace {
+
+using detail::fmt;
+
+ScenarioSpec multi_tenant_storm_spec() {
+  ScenarioSpec spec;
+  spec.name = "multi_tenant_storm";
+  spec.title = "Multi-tenant storm: mice vs elephant cross-traffic at equal load";
+  spec.paper_ref = "extends Section 6 future work (network performance variability)";
+  spec.description = "same mean background load, different tail shape, SSS impact";
+  spec.tags = {"stress", "sweep", "new"};
+  spec.make_runs = [](const ScenarioContext& ctx) {
+    struct Storm {
+      const char* kind;
+      double load;
+      double mean_mb;
+      double pareto_shape;  // <= 0 = exponential sizes
+    };
+    // Mice: many small exponential flows.  Elephants: rare heavy-tailed
+    // bulk flows (Pareto 1.2, mean 256 MB) — the backup/replication storm.
+    const std::vector<Storm> storms = {
+        {"none", 0.0, 64.0, 1.5},      {"mice", 0.3, 4.0, 0.0},
+        {"elephants", 0.3, 256.0, 1.2}, {"mice", 0.6, 4.0, 0.0},
+        {"elephants", 0.6, 256.0, 1.2},
+    };
+    std::vector<RunPoint> runs;
+    for (const Storm& storm : storms) {
+      RunPoint run;
+      run.config = simnet::WorkloadConfig::paper_table2(
+          4, 4, simnet::SpawnMode::kSimultaneousBatches);  // 64 % foreground
+      run.config.duration = run.config.duration * ctx.scale;
+      run.config.background_load = storm.load;
+      run.config.background_mean_flow_size = units::Bytes::megabytes(storm.mean_mb);
+      run.config.background_pareto_shape = storm.pareto_shape;
+      run.label = std::string(storm.kind) + " @" + fmt(storm.load);
+      runs.push_back(std::move(run));
+    }
+    return runs;
+  };
+  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>& runs,
+                    const std::vector<simnet::ExperimentResult>& results,
+                    ScenarioOutput& out) {
+    out.header = {"storm",     "background_load", "t_worst_s", "t_mean_s",
+                  "sss",       "regime",          "loss_rate", "retransmits"};
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      const auto score = core::compute_sss(units::Seconds::of(r.t_worst_s()),
+                                           r.config.transfer_size, r.config.link.capacity);
+      out.add_row({runs[i].label, fmt(r.config.background_load), fmt(r.t_worst_s()),
+                   fmt(r.metrics.mean_client_fct_s()), fmt(score.value()),
+                   core::to_string(core::classify_regime(score.value())),
+                   fmt(r.metrics.loss_rate), fmt(r.metrics.total_retransmits)});
+    }
+    out.add_note(
+        "reading: at the same AVERAGE tenant load, elephant storms inflate the "
+        "worst case far more than mice — capacity planning against mean "
+        "cross-traffic misses exactly the bursts that break tier deadlines.");
+  };
+  return spec;
+}
+
+ScenarioSpec degraded_link_spec() {
+  ScenarioSpec spec;
+  spec.name = "degraded_link_failover";
+  spec.title = "Degraded-link failover: streaming viability on backup paths";
+  spec.paper_ref = "extends Section 5 (feasibility under operational faults)";
+  spec.description = "primary 25 Gbps path degrading to weaker/longer backup links";
+  spec.tags = {"stress", "sweep", "new"};
+  spec.make_runs = [](const ScenarioContext& ctx) {
+    struct Path {
+      const char* name;
+      double gbps;
+      double one_way_ms;  // backup paths take longer routes
+    };
+    const std::vector<Path> paths = {
+        {"primary", 25.0, 8.0},   {"backup-20g", 20.0, 12.0}, {"backup-15g", 15.0, 16.0},
+        {"backup-10g", 10.0, 20.0}, {"backup-5g", 5.0, 24.0},
+    };
+    std::vector<RunPoint> runs;
+    for (const Path& path : paths) {
+      RunPoint run;
+      run.config = simnet::WorkloadConfig::paper_table2(
+          4, 4, simnet::SpawnMode::kSimultaneousBatches);
+      run.config.duration = run.config.duration * ctx.scale;
+      run.config.link.name = path.name;
+      run.config.link.capacity = units::DataRate::gigabits_per_second(path.gbps);
+      run.config.link.propagation_delay = units::Seconds::millis(path.one_way_ms);
+      // Keep the buffer at ~1 BDP of each path, as a tuned DTN path would.
+      run.config.link.buffer =
+          units::Bytes::of(path.gbps * 1e9 / 8.0 * (2.0 * path.one_way_ms / 1e3));
+      run.label = path.name;
+      runs.push_back(std::move(run));
+    }
+    return runs;
+  };
+  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>& runs,
+                    const std::vector<simnet::ExperimentResult>& results,
+                    ScenarioOutput& out) {
+    // Tier-2 verdict for the coherent-scattering window (2 GB within 10 s),
+    // extrapolated from each path's measured SSS as in Section 5.
+    const units::Bytes window = units::Bytes::gigabytes(2.0);
+    out.header = {"path",      "capacity_gbps", "rtt_ms",      "offered_load",
+                  "t_worst_s", "sss",           "window_worst_s", "tier2_ok"};
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      const auto score = core::compute_sss(units::Seconds::of(r.t_worst_s()),
+                                           r.config.transfer_size, r.config.link.capacity);
+      const double window_worst_s =
+          score.value() * (window / r.config.link.capacity).seconds();
+      out.add_row({runs[i].label, fmt(r.config.link.capacity.gbit_per_s()),
+                   fmt(r.config.link.propagation_delay.ms() * 2.0), fmt(r.offered_load),
+                   fmt(r.t_worst_s()), fmt(score.value()), fmt(window_worst_s),
+                   window_worst_s <= 10.0 ? "yes" : "no"});
+    }
+    out.add_note(
+        "reading: failover is not just a bandwidth cut — the same instrument "
+        "demand lands on a smaller pipe at a longer RTT, so offered load and "
+        "congestion inflation compound.  The tier-2 verdict flips well before "
+        "the link is nominally saturated; a failover plan must budget against "
+        "the backup path's WORST case, not its line rate.");
+  };
+  return spec;
+}
+
+ScenarioSpec burst_mode_spec() {
+  ScenarioSpec spec;
+  spec.name = "burst_mode_detector";
+  spec.title = "Burst-mode detector: one intense burst, simultaneous vs scheduled";
+  spec.paper_ref = "extends Section 4.1 (Fig. 2(a) vs 2(b)) to duty-cycled sources";
+  spec.description = "burst intensity sweep; how much scheduled slotting rescues the tail";
+  spec.tags = {"stress", "sweep", "new"};
+  spec.make_runs = [](const ScenarioContext&) {
+    // A duty-cycled detector on a 2.5 Gbps path: each burst client moves
+    // 50 MB (0.16 link-seconds, the Table-2 ratio).  One 1-second burst
+    // window; intensity = clients per burst.  Paired runs per intensity:
+    // [simultaneous, scheduled].  ctx.scale is intentionally NOT applied:
+    // shrinking either the fixed 1 s burst window or the per-client size
+    // would change the burst-overload ratio this scenario exists to
+    // measure, and the whole sweep costs only ~2 s of CPU at full size.
+    std::vector<RunPoint> runs;
+    for (int burst : {2, 4, 8, 12, 16}) {
+      for (const simnet::SpawnMode mode :
+           {simnet::SpawnMode::kSimultaneousBatches, simnet::SpawnMode::kScheduled}) {
+        RunPoint run;
+        run.config.duration = units::Seconds::of(1.0);
+        run.config.concurrency = burst;
+        run.config.parallel_flows = 4;
+        run.config.transfer_size = units::Bytes::megabytes(50.0);
+        run.config.mode = mode;
+        run.config.link.name = "burst-fabric-2g5";
+        run.config.link.capacity = units::DataRate::gigabits_per_second(2.5);
+        run.config.link.propagation_delay = units::Seconds::millis(8.0);
+        run.config.link.buffer = units::Bytes::megabytes(5.0);  // ~1 BDP
+        run.label = "burst=" + std::to_string(burst) + " " + simnet::to_string(mode);
+        runs.push_back(std::move(run));
+      }
+    }
+    return runs;
+  };
+  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
+                    const std::vector<simnet::ExperimentResult>& results,
+                    ScenarioOutput& out) {
+    out.header = {"burst_clients",  "burst_overload_x", "simultaneous_worst_s",
+                  "scheduled_worst_s", "rescue_x",      "simultaneous_loss",
+                  "scheduled_loss"};
+    for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+      const auto& simultaneous = results[i];
+      const auto& scheduled = results[i + 1];
+      const double overload = simultaneous.config.offered_load();
+      const double rescue = scheduled.t_worst_s() > 0.0
+                                ? simultaneous.t_worst_s() / scheduled.t_worst_s()
+                                : 0.0;
+      out.add_row({fmt(simultaneous.config.concurrency), fmt(overload),
+                   fmt(simultaneous.t_worst_s()), fmt(scheduled.t_worst_s()), fmt(rescue),
+                   fmt(simultaneous.metrics.loss_rate), fmt(scheduled.metrics.loss_rate)});
+    }
+    out.add_note(
+        "reading: a burst-mode detector overloads the path instantaneously even "
+        "when its duty-cycle-average load looks trivial.  Spreading the same "
+        "burst volume across reserved slots keeps the worst case near "
+        "theoretical until the burst itself exceeds one link-second — the "
+        "quantitative case for burst-aware transfer scheduling.");
+  };
+  return spec;
+}
+
+}  // namespace
+
+void register_stress_scenarios(ScenarioRegistry& registry) {
+  registry.add(multi_tenant_storm_spec());
+  registry.add(degraded_link_spec());
+  registry.add(burst_mode_spec());
+}
+
+}  // namespace sss::scenario

@@ -1,0 +1,21 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+
+namespace sss::scenario {
+
+const char* to_string(Substrate substrate) {
+  switch (substrate) {
+    case Substrate::kPacket:
+      return "packet";
+    case Substrate::kFluid:
+      return "fluid";
+  }
+  return "unknown";
+}
+
+bool ScenarioSpec::has_tag(const std::string& tag) const {
+  return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
+
+}  // namespace sss::scenario

@@ -1,0 +1,94 @@
+// spec.hpp — the scenario value types.
+//
+// A ScenarioSpec describes one complete experiment end to end: which
+// simulation runs to execute (facility preset, workload, fluid or packet
+// substrate, sweep axes expanded into concrete RunPoints) and how to turn
+// the completed runs into output rows and commentary.  Every bench and
+// example in the repository is a ScenarioSpec registered under a stable
+// name; `scenario_runner --run <name>` (or a thin per-bench driver)
+// executes it through the SweepExecutor.
+//
+// Design rules:
+//   - `make_runs` is a pure function of the ScenarioContext, so a spec can
+//     be expanded, inspected, and seeded without running anything;
+//   - `analyze` receives results in RUN ORDER (index-stable regardless of
+//     executor thread count) and writes rows/notes into a ScenarioOutput —
+//     it never prints, so drivers and tests can capture output exactly;
+//   - scenarios with no simulation component (analytic model sweeps, live
+//     wall-clock pipelines) leave `make_runs` empty and do their work in
+//     `analyze`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simnet/fluid.hpp"
+#include "simnet/workload.hpp"
+
+namespace sss::scenario {
+
+// Which network substrate executes a RunPoint.
+enum class Substrate {
+  kPacket,  // packet-level TCP simulator (worst-case faithful)
+  kFluid,   // flow-level processor-sharing model (optimistic baseline)
+};
+
+[[nodiscard]] const char* to_string(Substrate substrate);
+
+// One concrete simulation run inside a sweep.
+struct RunPoint {
+  std::string label;  // e.g. "P=4 c=3" — used in progress and diagnostics
+  simnet::WorkloadConfig config;
+  Substrate substrate = Substrate::kPacket;
+  // When true (default) the SweepExecutor overwrites config.seed with a
+  // per-run stream derived from its base seed (Xoshiro256 jump sequence).
+  // Set false for runs that must replay an exact externally-chosen seed.
+  bool reseed = true;
+};
+
+// Execution-time knobs shared by every scenario.
+struct ScenarioContext {
+  // Duration scale in (0, 1]; multiplies every experiment duration
+  // (SSS_BENCH_SCALE).  1.0 reproduces the paper-scale runs.
+  double scale = 1.0;
+  // Base seed for the executor's per-run RNG streams.
+  std::uint64_t seed = 42;
+  // Worker threads for the sweep; 0 means one per hardware thread.
+  int threads = 0;
+};
+
+// What a scenario produces: one table (header + rows, also exported as
+// CSV) plus free-form notes printed after it.  Rows are strings so the
+// output is exactly what lands in the CSV — the golden tests compare them
+// byte for byte.
+struct ScenarioOutput {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> notes;
+
+  void add_row(std::vector<std::string> row) { rows.push_back(std::move(row)); }
+  void add_note(std::string note) { notes.push_back(std::move(note)); }
+};
+
+struct ScenarioSpec {
+  std::string name;         // registry key, e.g. "fig2a_simultaneous"
+  std::string title;        // banner line
+  std::string paper_ref;    // banner line: which figure/table/section
+  std::string description;  // one-liner for `scenario_runner --list`
+  std::vector<std::string> tags;  // e.g. {"figure"}, {"ablation"}, {"live"}
+
+  // Expand the sweep axes into concrete runs.  May be empty (analytic or
+  // live scenarios).
+  std::function<std::vector<RunPoint>(const ScenarioContext&)> make_runs;
+
+  // Reduce the completed runs (same order as make_runs) to output.
+  std::function<void(const ScenarioContext&, const std::vector<RunPoint>&,
+                     const std::vector<simnet::ExperimentResult>&, ScenarioOutput&)>
+      analyze;
+
+  [[nodiscard]] bool has_tag(const std::string& tag) const;
+};
+
+}  // namespace sss::scenario

@@ -58,6 +58,9 @@ void WorkloadConfig::validate() const {
   if (background_load < 0.0) {
     throw std::invalid_argument("background_load must be >= 0");
   }
+  if (background_load > 0.0 && !(background_mean_flow_size.bytes() > 0.0)) {
+    throw std::invalid_argument("background_mean_flow_size must be > 0");
+  }
 }
 
 namespace {
@@ -265,6 +268,8 @@ ExperimentResult run_experiment(const WorkloadConfig& config) {
   if (config.background_load > 0.0) {
     BackgroundTrafficConfig bg;
     bg.target_load = config.background_load;
+    bg.mean_flow_size = config.background_mean_flow_size;
+    bg.pareto_shape = config.background_pareto_shape;
     bg.until = config.duration;
     bg.tcp = config.tcp;
     bg.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
@@ -284,23 +289,6 @@ ExperimentResult run_experiment(const WorkloadConfig& config) {
   result.events_processed = sim.events_processed();
   result.sim_duration_s = sim.now_seconds().seconds();
   return result;
-}
-
-std::vector<ExperimentResult> run_table2_sweep(SpawnMode mode,
-                                               const std::vector<int>& parallel_flow_values,
-                                               int max_concurrency, double duration_scale) {
-  if (duration_scale <= 0.0 || duration_scale > 1.0) {
-    throw std::invalid_argument("duration_scale must be in (0, 1]");
-  }
-  std::vector<ExperimentResult> results;
-  for (int p : parallel_flow_values) {
-    for (int c = 1; c <= max_concurrency; ++c) {
-      WorkloadConfig cfg = WorkloadConfig::paper_table2(c, p, mode);
-      cfg.duration = cfg.duration * duration_scale;
-      results.push_back(run_experiment(cfg));
-    }
-  }
-  return results;
 }
 
 }  // namespace sss::simnet

@@ -56,6 +56,13 @@ struct WorkloadConfig {
   // window, as a fraction of link capacity (0 = pristine link, the Table-2
   // setup).  Models shared-path variability; see simnet/background.hpp.
   double background_load = 0.0;
+  // Character of that cross-traffic (multi-tenant storm scenarios vary
+  // these): mean flow size, and Pareto tail shape.  Shapes > 1 give
+  // heavy-tailed sizes (closer to 1 = heavier elephants); shapes <= 1
+  // have no finite mean, so the generator falls back to exponential
+  // sizes instead (see simnet/background.cpp).
+  units::Bytes background_mean_flow_size = units::Bytes::megabytes(64.0);
+  double background_pareto_shape = 1.5;
 
   // Table 2 configuration for a given (concurrency, parallel flows) cell.
   [[nodiscard]] static WorkloadConfig paper_table2(int concurrency, int parallel_flows,
@@ -85,14 +92,8 @@ struct ExperimentResult {
 };
 
 // Run one experiment cell.  Deterministic for a given config (including
-// seed).
+// seed).  Full Table-2 sweeps are expressed as scenarios and fanned out by
+// scenario::SweepExecutor (see scenario::detail::table2_grid).
 [[nodiscard]] ExperimentResult run_experiment(const WorkloadConfig& config);
-
-// The full Table-2 sweep for one spawn mode: concurrency 1..8 for each
-// parallel-flow count in `parallel_flow_values`.  `duration_scale` in (0, 1]
-// shrinks experiment duration proportionally for quick runs.
-[[nodiscard]] std::vector<ExperimentResult> run_table2_sweep(
-    SpawnMode mode, const std::vector<int>& parallel_flow_values = {2, 4, 8},
-    int max_concurrency = 8, double duration_scale = 1.0);
 
 }  // namespace sss::simnet

@@ -104,4 +104,15 @@ double Random::pareto(double x_m, double shape) {
 
 bool Random::chance(double p) { return uniform() < p; }
 
+std::vector<std::uint64_t> derive_stream_seeds(std::uint64_t base_seed, std::size_t count) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  Xoshiro256 stream(base_seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    seeds.push_back(stream.next());
+    stream.jump();
+  }
+  return seeds;
+}
+
 }  // namespace sss::stats

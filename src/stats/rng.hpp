@@ -9,8 +9,10 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace sss::stats {
 
@@ -57,6 +59,16 @@ class Xoshiro256 {
  private:
   std::array<std::uint64_t, 4> s_{};
 };
+
+// 64-bit seeds for `count` parallel runs: seed i is the i-th value of the
+// jump sequence rooted at `base_seed` (one next() per run, jump() between
+// runs, so the draws come from well-separated stream positions).  Each
+// consumer re-expands its seed through SplitMix64 into a fresh generator;
+// decorrelation therefore rests on distinct 64-bit seeds, not on the
+// 2^128-draw stream separation itself.  Used by the scenario SweepExecutor
+// so sweep results are identical at any thread count.
+[[nodiscard]] std::vector<std::uint64_t> derive_stream_seeds(std::uint64_t base_seed,
+                                                             std::size_t count);
 
 // Random draws used across the simulator.  All methods are cheap and
 // allocation-free.

@@ -111,6 +111,13 @@ CsvTable parse_csv(std::string_view text) {
   return table;
 }
 
+void write_csv_file(const std::string& path, const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows) {
+  CsvWriter writer(path);
+  writer.write_header(header);
+  for (const auto& row : rows) writer.write_row(row);
+}
+
 CsvTable read_csv_file(const std::string& path) {
   std::ifstream in(path);
   if (!in.is_open()) throw std::runtime_error("read_csv_file: cannot open " + path);

@@ -48,6 +48,12 @@ struct CsvTable {
   [[nodiscard]] std::size_t column_index(std::string_view name) const;
 };
 
+// Write a whole table (header + rows) to `path` in one call — the
+// scenario runner's CSV export.  Throws std::runtime_error when the file
+// cannot be opened.
+void write_csv_file(const std::string& path, const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows);
+
 // Parse CSV text; first row becomes the header.  Handles quoted fields with
 // embedded separators/newlines and doubled quotes.
 [[nodiscard]] CsvTable parse_csv(std::string_view text);

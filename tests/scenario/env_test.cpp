@@ -1,0 +1,105 @@
+// Tests for the environment-knob parsing: strict full-string numeric
+// validation (the std::atof replacement) and the env accessors.
+#include "scenario/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace sss::scenario {
+namespace {
+
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, 1);
+    }
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(ParseDouble, AcceptsPlainAndScientific) {
+  EXPECT_DOUBLE_EQ(*parse_double("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(*parse_double("1"), 1.0);
+  EXPECT_DOUBLE_EQ(*parse_double("1e-1"), 0.1);
+  EXPECT_DOUBLE_EQ(*parse_double("-2.25"), -2.25);
+}
+
+TEST(ParseDouble, RejectsGarbageTheOldAtofAccepted) {
+  // std::atof("0.5abc") returned 0.5; the strict parser must refuse.
+  EXPECT_FALSE(parse_double("0.5abc").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double(" 0.5").has_value());
+  EXPECT_FALSE(parse_double("0.5 ").has_value());
+  EXPECT_FALSE(parse_double("0,5").has_value());  // locale decimal comma
+}
+
+TEST(ParseInt, FullStringValidation) {
+  EXPECT_EQ(*parse_int("8"), 8);
+  EXPECT_EQ(*parse_int("-3"), -3);
+  EXPECT_FALSE(parse_int("8x").has_value());
+  EXPECT_FALSE(parse_int("3.5").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+}
+
+TEST(ParseUint64, FullStringValidation) {
+  EXPECT_EQ(*parse_uint64("42"), 42u);
+  EXPECT_EQ(*parse_uint64("18446744073709551615"), 18446744073709551615ull);
+  EXPECT_FALSE(parse_uint64("-1").has_value());
+  EXPECT_FALSE(parse_uint64("42!").has_value());
+}
+
+TEST(RunScale, DefaultsAndValidation) {
+  {
+    EnvGuard guard("SSS_BENCH_SCALE", nullptr);
+    EXPECT_DOUBLE_EQ(run_scale_from_env(), 1.0);
+  }
+  {
+    EnvGuard guard("SSS_BENCH_SCALE", "0.25");
+    EXPECT_DOUBLE_EQ(run_scale_from_env(), 0.25);
+  }
+  // Out of range and malformed values fall back to 1.0.
+  for (const char* bad : {"0", "-0.5", "1.5", "0.5abc", "half"}) {
+    EnvGuard guard("SSS_BENCH_SCALE", bad);
+    EXPECT_DOUBLE_EQ(run_scale_from_env(), 1.0) << bad;
+  }
+}
+
+TEST(SweepEnv, ThreadsAndSeed) {
+  {
+    EnvGuard guard("SSS_SWEEP_THREADS", "4");
+    EXPECT_EQ(sweep_threads_from_env(), 4);
+  }
+  {
+    EnvGuard guard("SSS_SWEEP_THREADS", "-2");
+    EXPECT_EQ(sweep_threads_from_env(), 0);
+  }
+  {
+    EnvGuard guard("SSS_SWEEP_SEED", "1234");
+    EXPECT_EQ(sweep_seed_from_env(), 1234u);
+  }
+  {
+    EnvGuard guard("SSS_SWEEP_SEED", "12cd");
+    EXPECT_EQ(sweep_seed_from_env(), 42u);
+  }
+}
+
+TEST(ContextFromEnv, AssemblesAllKnobs) {
+  EnvGuard scale("SSS_BENCH_SCALE", "0.5");
+  EnvGuard threads("SSS_SWEEP_THREADS", "2");
+  EnvGuard seed("SSS_SWEEP_SEED", "7");
+  const ScenarioContext ctx = context_from_env();
+  EXPECT_DOUBLE_EQ(ctx.scale, 0.5);
+  EXPECT_EQ(ctx.threads, 2);
+  EXPECT_EQ(ctx.seed, 7u);
+}
+
+}  // namespace
+}  // namespace sss::scenario

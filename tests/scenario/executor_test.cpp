@@ -1,0 +1,142 @@
+// Tests for the SweepExecutor: seed-stream derivation and the central
+// determinism contract — identical results for the same base seed no
+// matter how many worker threads execute the sweep.
+#include "scenario/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace sss::scenario {
+namespace {
+
+// A fast Table-2-style cell (2.5 Gbps link, small transfers) so the
+// determinism matrix stays cheap.
+RunPoint small_run(int concurrency, Substrate substrate = Substrate::kPacket) {
+  RunPoint run;
+  run.config.duration = units::Seconds::of(1.0);
+  run.config.concurrency = concurrency;
+  run.config.parallel_flows = 2;
+  run.config.transfer_size = units::Bytes::megabytes(20.0);
+  run.config.link.capacity = units::DataRate::gigabits_per_second(2.5);
+  run.config.link.propagation_delay = units::Seconds::millis(8.0);
+  run.config.link.buffer = units::Bytes::megabytes(5.0);
+  run.substrate = substrate;
+  run.label = "c=" + std::to_string(concurrency);
+  return run;
+}
+
+std::vector<RunPoint> small_sweep() {
+  std::vector<RunPoint> runs;
+  for (int c = 1; c <= 4; ++c) runs.push_back(small_run(c));
+  runs.push_back(small_run(2, Substrate::kFluid));
+  return runs;
+}
+
+TEST(SweepExecutor, SeedDerivationIsStableAndDistinct) {
+  SweepOptions options;
+  options.base_seed = 42;
+  const SweepExecutor executor(options);
+  const auto seeds_a = executor.derive_seeds(8);
+  const auto seeds_b = executor.derive_seeds(8);
+  ASSERT_EQ(seeds_a.size(), 8u);
+  EXPECT_EQ(seeds_a, seeds_b);  // same base seed -> same streams
+  for (std::size_t i = 0; i < seeds_a.size(); ++i) {
+    for (std::size_t j = i + 1; j < seeds_a.size(); ++j) {
+      EXPECT_NE(seeds_a[i], seeds_a[j]) << i << "," << j;
+    }
+  }
+  SweepOptions other;
+  other.base_seed = 43;
+  EXPECT_NE(SweepExecutor(other).derive_seeds(8), seeds_a);
+}
+
+TEST(SweepExecutor, HonoursReseedFlag) {
+  SweepOptions options;
+  options.threads = 1;
+  const SweepExecutor executor(options);
+
+  std::vector<RunPoint> runs{small_run(1), small_run(1)};
+  runs[1].reseed = false;
+  runs[1].config.seed = 777;
+  const auto results = executor.execute(runs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].config.seed, executor.derive_seeds(2)[0]);
+  EXPECT_EQ(results[1].config.seed, 777u);
+}
+
+TEST(SweepExecutor, EffectiveThreadsClampsToRunCount) {
+  SweepOptions options;
+  options.threads = 16;
+  const SweepExecutor executor(options);
+  EXPECT_EQ(executor.effective_threads(3), 3);
+  EXPECT_EQ(executor.effective_threads(100), 16);
+  SweepOptions serial;
+  serial.threads = 1;
+  EXPECT_EQ(SweepExecutor(serial).effective_threads(100), 1);
+}
+
+// The acceptance criterion: the same seed must produce bit-identical
+// results at 1 thread and N threads.
+TEST(SweepExecutor, DeterministicAcrossThreadCounts) {
+  std::vector<std::vector<simnet::ExperimentResult>> all_results;
+  for (int threads : {1, 4}) {
+    SweepOptions options;
+    options.threads = threads;
+    options.base_seed = 42;
+    const SweepExecutor executor(options);
+    all_results.push_back(executor.execute(small_sweep()));
+  }
+
+  const auto& serial = all_results[0];
+  const auto& parallel = all_results[1];
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const auto& a = serial[i];
+    const auto& b = parallel[i];
+    EXPECT_EQ(a.config.seed, b.config.seed) << i;
+    // Bit-exact equality, not EXPECT_NEAR: determinism is the contract.
+    EXPECT_EQ(a.t_worst_s(), b.t_worst_s()) << i;
+    EXPECT_EQ(a.metrics.mean_client_fct_s(), b.metrics.mean_client_fct_s()) << i;
+    EXPECT_EQ(a.metrics.mean_utilization, b.metrics.mean_utilization) << i;
+    EXPECT_EQ(a.metrics.loss_rate, b.metrics.loss_rate) << i;
+    EXPECT_EQ(a.metrics.total_retransmits, b.metrics.total_retransmits) << i;
+    EXPECT_EQ(a.events_processed, b.events_processed) << i;
+    EXPECT_EQ(a.sim_duration_s, b.sim_duration_s) << i;
+    ASSERT_EQ(a.metrics.clients.size(), b.metrics.clients.size()) << i;
+    for (std::size_t c = 0; c < a.metrics.clients.size(); ++c) {
+      EXPECT_EQ(a.metrics.clients[c].start_s, b.metrics.clients[c].start_s);
+      EXPECT_EQ(a.metrics.clients[c].end_s, b.metrics.clients[c].end_s);
+      EXPECT_EQ(a.metrics.clients[c].bytes, b.metrics.clients[c].bytes);
+    }
+  }
+
+  // And a different base seed must actually change the packet results.
+  SweepOptions reseeded;
+  reseeded.threads = 1;
+  reseeded.base_seed = 1234;
+  const auto other = SweepExecutor(reseeded).execute(small_sweep());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    if (other[i].t_worst_s() != serial[i].t_worst_s()) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SweepExecutor, ProgressCallbackCoversEveryRun) {
+  SweepOptions options;
+  options.threads = 2;
+  SweepExecutor executor(options);
+  std::atomic<std::size_t> calls{0};
+  executor.on_progress = [&](std::size_t, std::size_t total) {
+    EXPECT_EQ(total, 3u);
+    calls.fetch_add(1);
+  };
+  std::vector<RunPoint> runs{small_run(1), small_run(2), small_run(1, Substrate::kFluid)};
+  (void)executor.execute(std::move(runs));
+  EXPECT_EQ(calls.load(), 3u);
+}
+
+}  // namespace
+}  // namespace sss::scenario

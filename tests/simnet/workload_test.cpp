@@ -37,6 +37,29 @@ TEST(WorkloadConfig, ValidationCatchesBadValues) {
   cfg = small_config(1, 2, SpawnMode::kScheduled);
   cfg.transfer_size = units::Bytes::of(0.0);
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_config(1, 2, SpawnMode::kScheduled);
+  cfg.background_load = 0.2;
+  cfg.background_mean_flow_size = units::Bytes::of(0.0);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadConfig, BackgroundTrafficCharacterKnobs) {
+  // The multi-tenant storm scenarios vary the cross-traffic shape: heavy
+  // Pareto elephants and exponential mice must both run deterministically.
+  WorkloadConfig cfg = small_config(2, 2, SpawnMode::kSimultaneousBatches);
+  cfg.background_load = 0.3;
+  cfg.background_mean_flow_size = units::Bytes::megabytes(8.0);
+  cfg.background_pareto_shape = 1.2;
+  const auto elephants = run_experiment(cfg);
+  const auto elephants_again = run_experiment(cfg);
+  EXPECT_EQ(elephants.t_worst_s(), elephants_again.t_worst_s());
+
+  cfg.background_pareto_shape = 0.0;  // exponential sizes
+  cfg.background_mean_flow_size = units::Bytes::megabytes(1.0);
+  const auto mice = run_experiment(cfg);
+  EXPECT_GT(mice.metrics.clients.size(), 0u);
+  // Different cross-traffic character must actually change the outcome.
+  EXPECT_NE(mice.t_worst_s(), elephants.t_worst_s());
 }
 
 TEST(WorkloadConfig, PaperTable2Transcription) {
@@ -169,14 +192,6 @@ TEST(RunExperiment, OverloadReportsSaturationAndBacklog) {
   EXPECT_FALSE(result.metrics.clients.empty());
 }
 
-TEST(RunTable2Sweep, ProducesAllCells) {
-  const auto results = run_table2_sweep(SpawnMode::kScheduled, {2}, 2, 0.1);
-  ASSERT_EQ(results.size(), 2u);
-  EXPECT_EQ(results[0].config.concurrency, 1);
-  EXPECT_EQ(results[1].config.concurrency, 2);
-  EXPECT_THROW(run_table2_sweep(SpawnMode::kScheduled, {2}, 2, 0.0), std::invalid_argument);
-  EXPECT_THROW(run_table2_sweep(SpawnMode::kScheduled, {2}, 2, 1.5), std::invalid_argument);
-}
 
 TEST(SpawnModeNames, Render) {
   EXPECT_STREQ(to_string(SpawnMode::kSimultaneousBatches), "simultaneous");

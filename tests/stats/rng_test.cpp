@@ -150,5 +150,21 @@ TEST(Random, SplitStreamsAreIndependentlySeeded) {
   EXPECT_TRUE(c_differs);
 }
 
+TEST(DeriveStreamSeeds, StableDistinctAndSeedDependent) {
+  const auto seeds = derive_stream_seeds(42, 16);
+  ASSERT_EQ(seeds.size(), 16u);
+  EXPECT_EQ(derive_stream_seeds(42, 16), seeds);  // deterministic
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      EXPECT_NE(seeds[i], seeds[j]);
+    }
+  }
+  // A prefix request yields a prefix of the same jump sequence (runs keep
+  // their seed when a sweep grows).
+  const auto prefix = derive_stream_seeds(42, 4);
+  for (std::size_t i = 0; i < prefix.size(); ++i) EXPECT_EQ(prefix[i], seeds[i]);
+  EXPECT_NE(derive_stream_seeds(43, 16), seeds);
+}
+
 }  // namespace
 }  // namespace sss::stats

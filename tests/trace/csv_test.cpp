@@ -93,5 +93,21 @@ TEST(ReadCsvFile, MissingFileThrows) {
   EXPECT_THROW(read_csv_file("/nonexistent-xyz.csv"), std::runtime_error);
 }
 
+TEST(WriteCsvFile, WholeTableRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/sss_csv_table.csv";
+  write_csv_file(path, {"a", "b"}, {{"1", "x,y"}, {"2", "z"}});
+  const auto table = read_csv_file(path);
+  ASSERT_EQ(table.header.size(), 2u);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0][table.column_index("b")], "x,y");
+  EXPECT_EQ(table.rows[1][table.column_index("a")], "2");
+  std::remove(path.c_str());
+}
+
+TEST(WriteCsvFile, UnwritablePathThrows) {
+  EXPECT_THROW(write_csv_file("/nonexistent-dir-xyz/out.csv", {"a"}, {}),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace sss::trace
