@@ -64,7 +64,7 @@ void BM_TcpTransfer(benchmark::State& state) {
   std::uint64_t packets = 0;
   for (auto _ : state) {
     simnet::Simulation sim;
-    simnet::Link fwd{simnet::LinkConfig{}}, rev{simnet::LinkConfig{}};
+    simnet::Path fwd({simnet::LinkConfig{}}), rev({simnet::LinkConfig{}});
     simnet::TcpFlow flow(1, units::Bytes::megabytes(mb), simnet::TcpConfig{}, fwd, rev);
     flow.start(sim);
     sim.run();

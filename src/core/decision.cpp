@@ -2,8 +2,25 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 
 namespace sss::core {
+
+PathProfile profile_path(const std::vector<simnet::LinkConfig>& hops) {
+  if (hops.empty()) throw std::invalid_argument("profile_path: need at least one hop");
+  PathProfile profile;
+  profile.hop_count = hops.size();
+  profile.bottleneck_hop = simnet::bottleneck_hop_index(hops);
+  profile.bottleneck_bandwidth = hops[profile.bottleneck_hop].capacity;
+  profile.bottleneck_name = hops[profile.bottleneck_hop].name;
+  profile.rtt = simnet::total_propagation_delay(hops) * 2.0;
+  return profile;
+}
+
+ModelParameters with_path(ModelParameters params, const PathProfile& profile) {
+  params.bandwidth = profile.bottleneck_bandwidth;
+  return params;
+}
 
 const char* to_string(ProcessingMode mode) {
   switch (mode) {

@@ -13,9 +13,32 @@
 
 #include "core/completion.hpp"
 #include "core/params.hpp"
+#include "simnet/link.hpp"
 #include "units/units.hpp"
 
 namespace sss::core {
+
+// What a multi-hop instrument -> DTN -> WAN -> HPC path looks like to the
+// decision model: the effective bandwidth is the SLOWEST hop's capacity and
+// the RTT is twice the summed one-way delay.  Feed the result into
+// ModelParameters (via with_path) or into compute_sss so decisions are
+// judged against the true end-to-end bottleneck, not any single link's
+// nameplate rate.
+struct PathProfile {
+  units::DataRate bottleneck_bandwidth;
+  units::Seconds rtt;          // 2 x summed one-way propagation delay
+  std::size_t hop_count = 0;
+  std::size_t bottleneck_hop = 0;
+  std::string bottleneck_name;
+};
+
+// Characterize a hop sequence (e.g. Topology::canonical_route()).  Throws
+// std::invalid_argument on an empty hop list.
+[[nodiscard]] PathProfile profile_path(const std::vector<simnet::LinkConfig>& hops);
+
+// Fold a path into model parameters: bandwidth becomes the path bottleneck
+// (alpha and theta are measurement-calibrated and left untouched).
+[[nodiscard]] ModelParameters with_path(ModelParameters params, const PathProfile& profile);
 
 enum class ProcessingMode {
   kLocal,

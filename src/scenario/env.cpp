@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "scenario/overrides.hpp"
+
 namespace sss::scenario {
 
 namespace {
@@ -82,11 +84,18 @@ std::uint64_t sweep_seed_from_env() {
   return *value;
 }
 
+std::vector<std::string> scenario_params_from_env() {
+  const char* raw = env_value("SSS_SCENARIO_PARAMS");
+  if (raw == nullptr) return {};
+  return split_param_list(raw);
+}
+
 ScenarioContext context_from_env() {
   ScenarioContext context;
   context.scale = run_scale_from_env();
   context.seed = sweep_seed_from_env();
   context.threads = sweep_threads_from_env();
+  context.param_overrides = scenario_params_from_env();
   return context;
 }
 

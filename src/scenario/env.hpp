@@ -7,6 +7,10 @@
 //   SSS_SWEEP_THREADS   worker threads for the SweepExecutor; 0 or unset =
 //                       one per hardware thread, 1 = serial.
 //   SSS_SWEEP_SEED      base seed for the per-run RNG streams; default 42.
+//   SSS_SCENARIO_PARAMS comma-separated workload overrides ("k=v,k=v"),
+//                       same catalog as `scenario_runner --param` (see
+//                       scenario/overrides.hpp); CLI --param entries are
+//                       applied after these, so flags win.
 //
 // Numeric values are parsed strictly (std::from_chars over the WHOLE
 // string, locale-independent): trailing garbage like "0.5abc" or an empty
@@ -18,6 +22,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "scenario/spec.hpp"
 
@@ -38,6 +43,9 @@ namespace sss::scenario {
 [[nodiscard]] int sweep_threads_from_env();
 // SSS_SWEEP_SEED; warns and returns 42 otherwise.
 [[nodiscard]] std::uint64_t sweep_seed_from_env();
+// SSS_SCENARIO_PARAMS split into "k=v" entries; empty when unset.  Entries
+// are validated when applied, not here.
+[[nodiscard]] std::vector<std::string> scenario_params_from_env();
 
 // ScenarioContext assembled from all of the above.
 [[nodiscard]] ScenarioContext context_from_env();

@@ -1,0 +1,159 @@
+#include "scenario/overrides.hpp"
+
+#include <stdexcept>
+
+#include "scenario/env.hpp"
+
+namespace sss::scenario {
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& kv, const char* expectation) {
+  throw std::invalid_argument("--param " + kv + ": expected " + expectation);
+}
+
+double require_double(const std::string& kv, const std::string& value,
+                      const char* expectation) {
+  const auto parsed = parse_double(value);
+  if (!parsed.has_value()) bad_value(kv, expectation);
+  return *parsed;
+}
+
+int require_int(const std::string& kv, const std::string& value, const char* expectation) {
+  const auto parsed = parse_int(value);
+  if (!parsed.has_value()) bad_value(kv, expectation);
+  return *parsed;
+}
+
+// The single-link keys silently do nothing on topology runs (effective_hops
+// ignores config.link once path_hops is set) — reject them instead, in the
+// same spirit as unknown keys.
+void require_single_link(const simnet::WorkloadConfig& config, const std::string& kv,
+                         const std::string& key) {
+  if (!config.path_hops.empty()) {
+    throw std::invalid_argument("--param " + kv + ": '" + key +
+                                "' targets the single link, but this run uses a " +
+                                std::to_string(config.path_hops.size()) +
+                                "-hop path (use hop<k>_gbps)");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> split_param_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    std::size_t end = csv.find(',', begin);
+    if (end == std::string::npos) end = csv.size();
+    if (end > begin) out.push_back(csv.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+bool apply_param_override(simnet::WorkloadConfig& config, const std::string& kv) {
+  const std::size_t eq = kv.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument("--param " + kv + ": expected key=value");
+  }
+  const std::string key = kv.substr(0, eq);
+  const std::string value = kv.substr(eq + 1);
+
+  if (key == "concurrency") {
+    const int v = require_int(kv, value, "an integer >= 1");
+    if (v < 1) bad_value(kv, "an integer >= 1");
+    config.concurrency = v;
+  } else if (key == "parallel_flows") {
+    const int v = require_int(kv, value, "an integer >= 1");
+    if (v < 1) bad_value(kv, "an integer >= 1");
+    config.parallel_flows = v;
+  } else if (key == "duration_s") {
+    const double v = require_double(kv, value, "a duration > 0");
+    if (!(v > 0.0)) bad_value(kv, "a duration > 0");
+    // Hop-local cross-traffic windows were laid out by make_runs against
+    // the ORIGINAL duration; rescale them so a storm covering the second
+    // half of a 10 s run still covers the second half of a 2 s one.
+    const double ratio = v / config.duration.seconds();
+    for (simnet::HopCrossTraffic& storm : config.hop_cross_traffic) {
+      storm.start = storm.start * ratio;
+      storm.until = storm.until * ratio;
+    }
+    config.duration = units::Seconds::of(v);
+  } else if (key == "transfer_size_mb") {
+    const double v = require_double(kv, value, "a size > 0 (MB)");
+    if (!(v > 0.0)) bad_value(kv, "a size > 0 (MB)");
+    config.transfer_size = units::Bytes::megabytes(v);
+  } else if (key == "link_gbps") {
+    require_single_link(config, kv, key);
+    const double v = require_double(kv, value, "a rate > 0 (Gbps)");
+    if (!(v > 0.0)) bad_value(kv, "a rate > 0 (Gbps)");
+    config.link.capacity = units::DataRate::gigabits_per_second(v);
+  } else if (key == "rtt_ms") {
+    require_single_link(config, kv, key);
+    const double v = require_double(kv, value, "an RTT > 0 (ms)");
+    if (!(v > 0.0)) bad_value(kv, "an RTT > 0 (ms)");
+    config.link.propagation_delay = units::Seconds::millis(v / 2.0);
+  } else if (key == "buffer_mb") {
+    require_single_link(config, kv, key);
+    const double v = require_double(kv, value, "a buffer >= 0 (MB)");
+    if (v < 0.0) bad_value(kv, "a buffer >= 0 (MB)");
+    config.link.buffer = units::Bytes::megabytes(v);
+  } else if (key.rfind("hop", 0) == 0 && key.size() > 8 &&
+             key.compare(key.size() - 5, 5, "_gbps") == 0) {
+    const auto index = parse_int(key.substr(3, key.size() - 8));
+    if (!index.has_value() || *index < 0) {
+      throw std::invalid_argument("--param " + kv + ": unknown key '" + key + "'");
+    }
+    if (static_cast<std::size_t>(*index) >= config.path_hops.size()) {
+      throw std::invalid_argument("--param " + kv + ": run has " +
+                                  std::to_string(config.path_hops.size()) + " path hops");
+    }
+    const double v = require_double(kv, value, "a rate > 0 (Gbps)");
+    if (!(v > 0.0)) bad_value(kv, "a rate > 0 (Gbps)");
+    config.path_hops[static_cast<std::size_t>(*index)].capacity =
+        units::DataRate::gigabits_per_second(v);
+  } else if (key == "background_load") {
+    const double v = require_double(kv, value, "a load >= 0");
+    if (v < 0.0) bad_value(kv, "a load >= 0");
+    config.background_load = v;
+  } else if (key == "mode") {
+    if (value == "simultaneous") {
+      config.mode = simnet::SpawnMode::kSimultaneousBatches;
+    } else if (value == "scheduled") {
+      config.mode = simnet::SpawnMode::kScheduled;
+    } else {
+      bad_value(kv, "simultaneous|scheduled");
+    }
+  } else if (key == "arrivals") {
+    if (value == "batch") {
+      config.arrivals = simnet::ArrivalProcess::kPerSecondBatch;
+    } else if (value == "deterministic") {
+      config.arrivals = simnet::ArrivalProcess::kDeterministic;
+    } else if (value == "poisson") {
+      config.arrivals = simnet::ArrivalProcess::kPoisson;
+    } else {
+      bad_value(kv, "batch|deterministic|poisson");
+    }
+  } else if (key == "seed") {
+    const auto v = parse_uint64(value);
+    if (!v.has_value()) bad_value(kv, "an unsigned integer");
+    config.seed = *v;
+    return true;
+  } else {
+    throw std::invalid_argument("--param " + kv + ": unknown key '" + key +
+                                "' (see scenario/overrides.hpp)");
+  }
+  return false;
+}
+
+void apply_param_overrides(std::vector<RunPoint>& runs,
+                           const std::vector<std::string>& overrides) {
+  for (RunPoint& run : runs) {
+    for (const std::string& kv : overrides) {
+      if (apply_param_override(run.config, kv)) run.reseed = false;
+    }
+  }
+}
+
+}  // namespace sss::scenario

@@ -1,0 +1,55 @@
+// overrides.hpp — `scenario_runner --param k=v` workload overrides.
+//
+// Every scenario's RunPoints are WorkloadConfigs, so a small closed set of
+// keys can retarget any registered sweep from the command line without
+// recompiling: run the Fig. 2(a) congestion sweep at concurrency 16, or a
+// topology scenario on a 10 Gbps WAN hop.  Values go through the same
+// strict from_chars parsers as the environment knobs (scenario/env.hpp):
+// trailing garbage or an out-of-range value raises std::invalid_argument
+// rather than being silently truncated.
+//
+// Key catalog (applied to every expanded RunPoint, in the order given):
+//   concurrency=<int >= 1>        clients spawned per second
+//   parallel_flows=<int >= 1>     TCP flows per client
+//   duration_s=<double > 0>       experiment duration (after scaling);
+//                                 hop-local cross-traffic windows are
+//                                 rescaled proportionally so storm plans
+//                                 keep their shape
+//   transfer_size_mb=<double > 0> per-client transfer size
+//   link_gbps=<double > 0>        single-link capacity (config.link;
+//                                 rejected on multi-hop runs — use
+//                                 hop<k>_gbps there)
+//   rtt_ms=<double > 0>           single-link RTT (one-way = rtt/2;
+//                                 single-link runs only)
+//   buffer_mb=<double >= 0>       single-link drop-tail buffer
+//                                 (single-link runs only)
+//   hop<k>_gbps=<double > 0>      capacity of path hop k (topology runs)
+//   background_load=<double >= 0> end-to-end cross-traffic load
+//   mode=simultaneous|scheduled   spawn mode
+//   arrivals=batch|deterministic|poisson  arrival process
+//   seed=<uint64>                 pin the run seed (disables reseeding)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace sss::scenario {
+
+// Split a comma-separated "k=v,k=v" list (the SSS_SCENARIO_PARAMS format)
+// into individual "k=v" entries; empty segments are dropped.
+[[nodiscard]] std::vector<std::string> split_param_list(const std::string& csv);
+
+// Apply one "key=value" override to a workload config.  Throws
+// std::invalid_argument for an unknown key or a malformed/out-of-range
+// value.  Returns true when the override pins the seed (the caller must
+// then disable executor reseeding for the run).
+bool apply_param_override(simnet::WorkloadConfig& config, const std::string& override_kv);
+
+// Apply every override to every run, in order.  Seed overrides set
+// RunPoint::reseed = false so the pinned seed survives the executor.
+void apply_param_overrides(std::vector<RunPoint>& runs,
+                           const std::vector<std::string>& overrides);
+
+}  // namespace sss::scenario

@@ -53,6 +53,7 @@ void register_builtin_scenarios() {
     register_model_scenarios(r);
     register_live_scenarios(r);
     register_stress_scenarios(r);
+    register_topology_scenarios(r);
     return true;
   }();
   (void)once;

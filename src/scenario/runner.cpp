@@ -10,6 +10,7 @@
 
 #include "scenario/env.hpp"
 #include "scenario/executor.hpp"
+#include "scenario/overrides.hpp"
 #include "scenario/registry.hpp"
 #include "trace/csv.hpp"
 #include "trace/table.hpp"
@@ -43,6 +44,7 @@ void write_csv(const ScenarioSpec& spec, const ScenarioOutput& output,
 ScenarioOutput execute_scenario(const ScenarioSpec& spec, const ScenarioContext& context) {
   std::vector<RunPoint> runs;
   if (spec.make_runs) runs = spec.make_runs(context);
+  apply_param_overrides(runs, context.param_overrides);
 
   SweepOptions sweep;
   sweep.threads = context.threads;
@@ -146,8 +148,12 @@ void print_usage(std::FILE* out, const char* argv0) {
                "  --scale S     duration scale in (0, 1]\n"
                "  --seed K      base seed for per-run RNG streams\n"
                "  --csv-dir D   also write <D>/<scenario>.csv\n"
+               "  --param K=V   override a workload knob on every run (repeatable;\n"
+               "                e.g. concurrency=8, duration_s=2, link_gbps=10,\n"
+               "                hop1_gbps=5 — see scenario/overrides.hpp)\n"
                "environment:    SSS_BENCH_SCALE, SSS_BENCH_CSV_DIR,\n"
-               "                SSS_SWEEP_THREADS, SSS_SWEEP_SEED (flags win)\n",
+               "                SSS_SWEEP_THREADS, SSS_SWEEP_SEED,\n"
+               "                SSS_SCENARIO_PARAMS=k=v,k=v (flags win)\n",
                argv0, argv0, argv0);
 }
 
@@ -208,6 +214,16 @@ int main_from_args(int argc, char** argv) {
       const char* v = next_value("--csv-dir");
       if (v == nullptr) return usage(argv[0]);
       options.csv_dir = std::string(v);
+    } else if (arg == "--param") {
+      const char* v = next_value("--param");
+      const std::size_t eq = v != nullptr ? std::string_view(v).find('=')
+                                          : std::string_view::npos;
+      if (v == nullptr || eq == std::string_view::npos || eq == 0) {
+        std::fprintf(stderr, "--param requires key=value\n");
+        return usage(argv[0]);
+      }
+      // Appended after any SSS_SCENARIO_PARAMS entries, so flags win.
+      options.context.param_overrides.emplace_back(v);
     } else if (arg == "--help" || arg == "-h") {
       print_usage(stdout, argv[0]);
       return 0;

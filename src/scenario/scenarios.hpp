@@ -25,6 +25,10 @@ void register_live_scenarios(ScenarioRegistry& registry);
 // New stress scenarios: multi-tenant storms, degraded-link failover,
 // burst-mode detectors.
 void register_stress_scenarios(ScenarioRegistry& registry);
+// Multi-hop topology scenarios: hop bottleneck placement, DTN NIC
+// undersizing, WAN-hop cross traffic, the moving bottleneck, and the
+// LCLS -> NERSC path-aware case study.
+void register_topology_scenarios(ScenarioRegistry& registry);
 
 // Parameterized congestion-planner factory: the registered scenario uses
 // the paper-testbed defaults (25 Gbps, 0.5 GB, 1.0 s); the example binary

@@ -57,6 +57,11 @@ struct ScenarioContext {
   std::uint64_t seed = 42;
   // Worker threads for the sweep; 0 means one per hardware thread.
   int threads = 0;
+  // Scenario knob overrides ("key=value" strings from --param or
+  // SSS_SCENARIO_PARAMS), applied to every expanded RunPoint in order after
+  // make_runs.  See scenario/overrides.hpp for the key catalog; unknown
+  // keys and malformed values abort the run.
+  std::vector<std::string> param_overrides;
 };
 
 // What a scenario produces: one table (header + rows, also exported as

@@ -5,8 +5,8 @@
 
 namespace sss::simnet {
 
-BackgroundTraffic::BackgroundTraffic(BackgroundTrafficConfig config, Link& forward,
-                                     Link& reverse)
+BackgroundTraffic::BackgroundTraffic(BackgroundTrafficConfig config, Path& forward,
+                                     Path& reverse)
     : config_(std::move(config)), forward_(forward), reverse_(reverse) {
   if (config_.target_load < 0.0) {
     throw std::invalid_argument("BackgroundTraffic: target_load must be >= 0");
@@ -17,13 +17,16 @@ BackgroundTraffic::BackgroundTraffic(BackgroundTrafficConfig config, Link& forwa
   if (!(config_.until.seconds() > 0.0)) {
     throw std::invalid_argument("BackgroundTraffic: until must be > 0");
   }
+  if (config_.start.seconds() < 0.0 || config_.start >= config_.until) {
+    throw std::invalid_argument("BackgroundTraffic: need 0 <= start < until");
+  }
 }
 
 void BackgroundTraffic::schedule(Simulation& sim) {
   if (config_.target_load == 0.0) return;
   stats::Random rng(config_.seed);
 
-  const double capacity = forward_.config().capacity.bps();
+  const double capacity = forward_.bottleneck_capacity().bps();
   const double lambda =
       config_.target_load * capacity / config_.mean_flow_size.bytes();  // flows/s
 
@@ -33,7 +36,7 @@ void BackgroundTraffic::schedule(Simulation& sim) {
                                  (config_.pareto_shape - 1.0) / config_.pareto_shape
                            : 0.0;
 
-  double t = 0.0;
+  double t = config_.start.seconds();
   // Background flows get IDs in a high range to avoid confusing them with
   // foreground clients in logs.
   std::uint32_t id = 1u << 30;

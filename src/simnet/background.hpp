@@ -7,13 +7,19 @@
 // "network performance variability" the paper's conclusion calls out as
 // future work.  The foreground workload's metrics are unchanged — the
 // background flows simply consume capacity and queue space.
+//
+// Cross-traffic rides a Path: end-to-end storms share every hop with the
+// foreground, while a one-hop Path over a single mid-path link models
+// traffic that enters and leaves at adjacent nodes (the moving-bottleneck
+// scenarios).  The `start`/`until` window makes the storm schedulable, so
+// the saturating hop can shift mid-run.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
-#include "simnet/link.hpp"
+#include "simnet/path.hpp"
 #include "simnet/simulation.hpp"
 #include "simnet/tcp_flow.hpp"
 #include "stats/rng.hpp"
@@ -22,7 +28,8 @@
 namespace sss::simnet {
 
 struct BackgroundTrafficConfig {
-  // Long-run average offered load as a fraction of link capacity.
+  // Long-run average offered load as a fraction of the path's bottleneck
+  // capacity.
   double target_load = 0.2;
   // Mean flow size; arrival rate is derived as
   //   lambda = target_load * capacity / mean_flow_size.
@@ -31,7 +38,9 @@ struct BackgroundTrafficConfig {
   // otherwise.  Shape ~1.5 reproduces the mice-and-elephants mix of real
   // WAN traffic.
   double pareto_shape = 1.5;
-  // Stop injecting after this instant (flows in flight run to completion).
+  // Injection window [start, until); flows in flight at `until` run to
+  // completion.
+  units::Seconds start = units::Seconds::of(0.0);
   units::Seconds until = units::Seconds::of(10.0);
   TcpConfig tcp;
   std::uint64_t seed = 4242;
@@ -41,7 +50,7 @@ struct BackgroundTrafficConfig {
 // returned object owns the flows and must outlive the simulation run.
 class BackgroundTraffic : public FlowObserver {
  public:
-  BackgroundTraffic(BackgroundTrafficConfig config, Link& forward, Link& reverse);
+  BackgroundTraffic(BackgroundTrafficConfig config, Path& forward, Path& reverse);
 
   // Register all arrivals up front (Poisson process realized from the
   // seed).  Call once before running the simulation.
@@ -55,8 +64,8 @@ class BackgroundTraffic : public FlowObserver {
 
  private:
   BackgroundTrafficConfig config_;
-  Link& forward_;
-  Link& reverse_;
+  Path& forward_;
+  Path& reverse_;
   std::vector<std::unique_ptr<TcpFlow>> flows_;
   std::size_t completed_ = 0;
   double bytes_offered_ = 0.0;

@@ -115,44 +115,37 @@ std::vector<FluidFlowRecord> FluidSimulator::run() {
 ExperimentResult run_fluid_experiment(const WorkloadConfig& config) {
   config.validate();
 
+  // The fluid model sees the path as its bottleneck pipe: slowest hop's
+  // capacity, summed one-way propagation delay.  (Single-link configs
+  // reduce to the former link figures exactly.)
   FluidConfig fluid_cfg;
-  fluid_cfg.capacity = config.link.capacity;
-  fluid_cfg.propagation_delay = config.link.propagation_delay;
+  fluid_cfg.capacity = config.bottleneck_capacity();
+  fluid_cfg.propagation_delay = total_propagation_delay(config.effective_hops());
   FluidSimulator sim(fluid_cfg);
 
-  // Mirror the orchestrator's spawn schedule (without jitter — the fluid
-  // model has no phase effects to break).
-  const auto whole_seconds = static_cast<int>(config.duration.seconds());
-  const double frac = config.duration.seconds() - whole_seconds;
+  // Mirror the packet orchestrator's spawn schedule exactly (without
+  // jitter — the fluid model has no phase effects to break); the shared
+  // helper keeps both substrates on the same arrival realization, Poisson
+  // included.
+  stats::Random arrival_rng(config.seed);
+  const std::vector<double> arrivals = requested_arrival_times(config, arrival_rng);
   const units::Bytes per_flow =
       config.transfer_size / static_cast<double>(config.parallel_flows);
 
-  std::uint32_t client_id = 0;
   std::uint32_t flow_id = 0;
   std::map<std::uint32_t, ClientRecord> client_records;
-  for (int second = 0; second <= whole_seconds; ++second) {
-    const bool partial = second == whole_seconds;
-    const int clients_this_second =
-        partial ? static_cast<int>(config.concurrency * frac + 0.5) : config.concurrency;
-    if (partial && clients_this_second == 0) break;
-    for (int i = 0; i < clients_this_second; ++i) {
-      const double slot =
-          config.mode == SpawnMode::kScheduled
-              ? second + static_cast<double>(i) / static_cast<double>(config.concurrency)
-              : static_cast<double>(second);
-      ClientRecord rec;
-      rec.client_id = client_id;
-      rec.requested_s = slot;
-      rec.start_s = slot;
-      rec.bytes = config.transfer_size.bytes();
-      rec.flow_count = static_cast<std::uint32_t>(config.parallel_flows);
-      client_records.emplace(client_id, rec);
-      for (int f = 0; f < config.parallel_flows; ++f) {
-        sim.add_flow(flow_id++, client_id, units::Seconds::of(slot), per_flow);
-      }
-      ++client_id;
+  for (std::uint32_t client_id = 0; client_id < arrivals.size(); ++client_id) {
+    const double slot = arrivals[client_id];
+    ClientRecord rec;
+    rec.client_id = client_id;
+    rec.requested_s = slot;
+    rec.start_s = slot;
+    rec.bytes = config.transfer_size.bytes();
+    rec.flow_count = static_cast<std::uint32_t>(config.parallel_flows);
+    client_records.emplace(client_id, rec);
+    for (int f = 0; f < config.parallel_flows; ++f) {
+      sim.add_flow(flow_id++, client_id, units::Seconds::of(slot), per_flow);
     }
-    if (partial) break;
   }
 
   const std::vector<FluidFlowRecord> flow_records = sim.run();
@@ -181,7 +174,8 @@ ExperimentResult run_fluid_experiment(const WorkloadConfig& config) {
 
   // Analytic utilization: bytes delivered over the active span.
   if (last_end > 0.0) {
-    result.metrics.mean_utilization = total_bytes / (last_end * config.link.capacity.bps());
+    result.metrics.mean_utilization =
+        total_bytes / (last_end * config.bottleneck_capacity().bps());
     result.metrics.peak_utilization =
         std::min(1.0, result.offered_load);  // fluid never exceeds capacity
   }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <vector>
 
 #include "simnet/simulation.hpp"
 #include "simnet/time.hpp"
@@ -54,6 +55,15 @@ struct LinkConfig {
   // a common switch sizing rule.
   units::Bytes buffer = units::Bytes::megabytes(50.0);
 };
+
+// Index of the slowest hop in a path's config list (first on ties) — the
+// one bottleneck rule shared by Path, WorkloadConfig, and the decision
+// layer's profile_path.  Throws std::invalid_argument on an empty list.
+[[nodiscard]] std::size_t bottleneck_hop_index(const std::vector<LinkConfig>& hops);
+
+// Summed one-way propagation delay across a path's hops — the matching
+// shared rule for the fluid substrate and profile_path's RTT.
+[[nodiscard]] units::Seconds total_propagation_delay(const std::vector<LinkConfig>& hops);
 
 struct LinkCounters {
   std::uint64_t packets_offered = 0;

@@ -7,13 +7,17 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "simnet/link.hpp"
 #include "stats/cdf.hpp"
 #include "stats/percentile.hpp"
 #include "units/units.hpp"
 
 namespace sss::simnet {
+
+class Path;
 
 struct FlowRecord {
   std::uint32_t flow_id = 0;
@@ -53,11 +57,48 @@ struct ClientRecord {
   [[nodiscard]] double total_latency_s() const { return end_s - requested_s; }
 };
 
+// Per-hop interface counters for one experiment, in path order.  This is
+// how "which hop saturated" reaches the trace layer: each hop becomes one
+// CSV column group (see hop_csv_header / hop_csv_values).
+struct HopMetrics {
+  std::string name;
+  double capacity_gbps = 0.0;
+  double mean_utilization = 0.0;
+  double peak_utilization = 0.0;
+  double loss_rate = 0.0;  // dropped / offered at THIS hop
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_forwarded = 0;
+  std::uint64_t packets_dropped = 0;
+};
+
+// Snapshot a hop's counters / utilization into a HopMetrics record.
+[[nodiscard]] HopMetrics snapshot_hop(const Link& link);
+// Snapshot every hop of a forward path, in path order.
+[[nodiscard]] std::vector<HopMetrics> snapshot_hops(const Path& path);
+
+// One CSV column group per hop: hop<i>_name, hop<i>_gbps, hop<i>_mean_util,
+// hop<i>_peak_util, hop<i>_loss, hop<i>_drops.  `hop_csv_values` pads with
+// empty cells when a run has fewer hops than the header (so sweeps mixing
+// path depths still emit rectangular tables) and throws std::invalid_argument
+// when it has MORE — silently dropping the deepest hop's counters would
+// lose exactly the "which hop saturated" signal these columns exist for.
+[[nodiscard]] std::vector<std::string> hop_csv_header(std::size_t hop_count);
+[[nodiscard]] std::vector<std::string> hop_csv_values(const std::vector<HopMetrics>& hops,
+                                                      std::size_t hop_count);
+
 struct ExperimentMetrics {
   std::vector<FlowRecord> flows;
   std::vector<ClientRecord> clients;
+  // Forward-path hop counters, in path order (one entry for single-link
+  // runs).  offered = forwarded + dropped holds at every hop.
+  std::vector<HopMetrics> hops;
 
-  // Link-level measurements over the spawn window.
+  // Path-level measurements over the spawn window.  Utilizations describe
+  // the most-utilized hop (the one that actually congested); loss/drops
+  // aggregate over the whole path (dropped anywhere / offered anywhere,
+  // hop-local cross traffic included in both); packets_forwarded counts
+  // what the LAST hop delivered.  For a one-hop path these are exactly the
+  // former single-link measurements.
   double mean_utilization = 0.0;
   double peak_utilization = 0.0;
   double loss_rate = 0.0;

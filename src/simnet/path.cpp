@@ -1,0 +1,103 @@
+#include "simnet/path.hpp"
+
+#include <stdexcept>
+
+namespace sss::simnet {
+
+Path::Path(const std::vector<LinkConfig>& hops, units::Seconds utilization_bucket) {
+  if (hops.empty()) throw std::invalid_argument("Path: need at least one hop");
+  owned_.reserve(hops.size());
+  hops_.reserve(hops.size());
+  for (const LinkConfig& cfg : hops) {
+    owned_.push_back(std::make_unique<Link>(cfg, utilization_bucket));
+    hops_.push_back(owned_.back().get());
+  }
+  for (std::size_t h = 0; h + 1 < hops_.size(); ++h) {
+    relays_.push_back(std::make_unique<Relay>(*this, h));
+  }
+  pending_.resize(relays_.size());
+}
+
+Path::Path(std::vector<Link*> hops) : hops_(std::move(hops)) {
+  if (hops_.empty()) throw std::invalid_argument("Path: need at least one hop");
+  for (Link* link : hops_) {
+    if (link == nullptr) throw std::invalid_argument("Path: null hop");
+  }
+  for (std::size_t h = 0; h + 1 < hops_.size(); ++h) {
+    relays_.push_back(std::make_unique<Relay>(*this, h));
+  }
+  pending_.resize(relays_.size());
+}
+
+bool Path::transmit(Simulation& sim, const Packet& packet, PacketSink& destination) {
+  return send_on_hop(sim, 0, packet, destination);
+}
+
+bool Path::send_on_hop(Simulation& sim, std::size_t hop, const Packet& packet,
+                       PacketSink& destination) {
+  if (hop + 1 == hops_.size()) {
+    // Last hop delivers straight to the endpoint — for a one-hop path this
+    // is the exact pre-topology call sequence (bit-identical behaviour).
+    return hops_[hop]->transmit(sim, packet, destination);
+  }
+  if (!hops_[hop]->transmit(sim, packet, *relays_[hop])) return false;
+  pending_[hop].push_back(&destination);
+  return true;
+}
+
+void Path::Relay::on_packet(Simulation& sim, const Packet& packet) {
+  auto& queue = path_.pending_[hop_];
+  if (queue.empty()) throw std::logic_error("Path: relay delivery with no pending sink");
+  PacketSink* destination = queue.front();
+  queue.pop_front();
+  // A drop at this or any later hop is silent: the sender discovers the
+  // loss through duplicate ACKs or RTO, never through a return value.
+  (void)path_.send_on_hop(sim, hop_ + 1, packet, *destination);
+}
+
+units::DataRate Path::bottleneck_capacity() const {
+  return hops_[bottleneck_hop()]->config().capacity;
+}
+
+std::size_t Path::bottleneck_hop() const {
+  std::size_t slowest = 0;
+  for (std::size_t h = 1; h < hops_.size(); ++h) {
+    if (hops_[h]->config().capacity.bps() < hops_[slowest]->config().capacity.bps()) {
+      slowest = h;
+    }
+  }
+  return slowest;
+}
+
+units::Seconds Path::total_propagation_delay() const {
+  units::Seconds total = units::Seconds::of(0.0);
+  for (const Link* link : hops_) total = total + link->config().propagation_delay;
+  return total;
+}
+
+double Path::aggregate_loss_rate() const {
+  std::uint64_t offered = 0;
+  for (const Link* link : hops_) offered += link->counters().packets_offered;
+  if (offered == 0) return 0.0;
+  return static_cast<double>(packets_dropped_total()) / static_cast<double>(offered);
+}
+
+std::uint64_t Path::packets_dropped_total() const {
+  std::uint64_t dropped = 0;
+  for (const Link* link : hops_) dropped += link->counters().packets_dropped;
+  return dropped;
+}
+
+std::vector<LinkConfig> reverse_hops(const std::vector<LinkConfig>& forward_hops) {
+  std::vector<LinkConfig> out;
+  out.reserve(forward_hops.size());
+  for (auto it = forward_hops.rbegin(); it != forward_hops.rend(); ++it) {
+    LinkConfig cfg = *it;
+    cfg.name = it->name + "-reverse";
+    cfg.buffer = units::Bytes::megabytes(256.0);
+    out.push_back(std::move(cfg));
+  }
+  return out;
+}
+
+}  // namespace sss::simnet

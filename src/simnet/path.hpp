@@ -1,0 +1,102 @@
+// path.hpp — a multi-hop network path.
+//
+// A Path routes a flow's packets through an ordered sequence of directed
+// Links (instrument NIC -> DTN uplink -> WAN backbone -> HPC ingest, ...).
+// Every hop keeps its own FIFO serializer, drop-tail buffer, and
+// LinkCounters, so "which hop saturates first" is directly observable.
+//
+// Mechanics: each intermediate hop has a relay sink.  When hop h delivers a
+// packet, the relay forwards it onto hop h+1; the final hop delivers to the
+// flow's own PacketSink.  Because every Link is a FIFO serializer with a
+// constant propagation delay, deliveries complete in enqueue order, so the
+// relay can recover each packet's final destination from a parallel FIFO of
+// pending sinks — no per-packet routing state rides in the Packet itself.
+//
+// Regression guarantee: a ONE-hop Path calls Link::transmit directly with
+// the final destination — the exact call sequence of the pre-topology
+// single-link simulator — so one-hop runs are bit-identical to the old
+// `TcpFlow(…, Link&, Link&)` behaviour (pinned by the golden scenario test
+// and tests/simnet/path_test.cpp).
+//
+// A drop at ANY hop is silent for the sender, exactly like a mid-path
+// switch: the packet simply never arrives and TCP discovers the loss via
+// duplicate ACKs or RTO.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "simnet/link.hpp"
+#include "simnet/simulation.hpp"
+#include "units/units.hpp"
+
+namespace sss::simnet {
+
+class Path {
+ public:
+  // Owning: constructs one Link per hop config, in order.
+  explicit Path(const std::vector<LinkConfig>& hops,
+                units::Seconds utilization_bucket = units::Seconds::of(1.0));
+  // Non-owning: route over existing links (e.g. a one-hop cross-traffic
+  // path sharing a link with the main forward path).  Links must outlive
+  // the Path.
+  explicit Path(std::vector<Link*> hops);
+
+  Path(const Path&) = delete;
+  Path& operator=(const Path&) = delete;
+
+  // Offer a packet at the first hop, destined for `destination` after the
+  // last hop.  Returns false if the FIRST hop's drop-tail queue rejected it;
+  // later-hop drops are invisible to the caller (as on a real path).
+  bool transmit(Simulation& sim, const Packet& packet, PacketSink& destination);
+
+  [[nodiscard]] std::size_t hop_count() const { return hops_.size(); }
+  [[nodiscard]] Link& hop(std::size_t i) { return *hops_[i]; }
+  [[nodiscard]] const Link& hop(std::size_t i) const { return *hops_[i]; }
+
+  // Capacity of the slowest hop (the path's effective bandwidth ceiling).
+  [[nodiscard]] units::DataRate bottleneck_capacity() const;
+  // Index of the slowest hop (first on ties).
+  [[nodiscard]] std::size_t bottleneck_hop() const;
+  // Sum of one-way propagation delays across hops.
+  [[nodiscard]] units::Seconds total_propagation_delay() const;
+
+  // Aggregate path loss: packets dropped at any hop over packets offered
+  // at any hop.  Offered counts include traffic that entered mid-path
+  // (hop-local cross flows), so the ratio stays in [0, 1] and drops are
+  // weighed against the hop that actually carried the offering traffic.
+  // For a one-hop path this is exactly the link's own loss_rate().
+  [[nodiscard]] double aggregate_loss_rate() const;
+  [[nodiscard]] std::uint64_t packets_dropped_total() const;
+
+ private:
+  // Receives hop h's deliveries and forwards them onto hop h+1.
+  class Relay : public PacketSink {
+   public:
+    Relay(Path& path, std::size_t hop) : path_(path), hop_(hop) {}
+    void on_packet(Simulation& sim, const Packet& packet) override;
+
+   private:
+    Path& path_;
+    std::size_t hop_;  // the hop whose deliveries this relay receives
+  };
+
+  bool send_on_hop(Simulation& sim, std::size_t hop, const Packet& packet,
+                   PacketSink& destination);
+
+  std::vector<std::unique_ptr<Link>> owned_;
+  std::vector<Link*> hops_;
+  std::vector<std::unique_ptr<Relay>> relays_;  // one per hop except the last
+  // Final destinations of packets in flight on hop h, in delivery (FIFO)
+  // order; parallel to the link's own in-flight queue.
+  std::vector<std::deque<PacketSink*>> pending_;
+};
+
+// Hop configs for the ACK/return direction of `forward_hops`: the same
+// capacities and delays in reverse order, with generous buffers so ACK loss
+// never originates on the return path (the paper's uncontended server side).
+[[nodiscard]] std::vector<LinkConfig> reverse_hops(const std::vector<LinkConfig>& forward_hops);
+
+}  // namespace sss::simnet

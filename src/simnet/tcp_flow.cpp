@@ -13,8 +13,8 @@ namespace {
 constexpr int kRtoEvent = 1;
 }  // namespace
 
-TcpFlow::TcpFlow(std::uint32_t id, units::Bytes total, const TcpConfig& config, Link& forward,
-                 Link& reverse, FlowObserver* observer)
+TcpFlow::TcpFlow(std::uint32_t id, units::Bytes total, const TcpConfig& config, Path& forward,
+                 Path& reverse, FlowObserver* observer)
     : id_(id),
       config_(config),
       forward_(forward),
@@ -32,9 +32,10 @@ TcpFlow::TcpFlow(std::uint32_t id, units::Bytes total, const TcpConfig& config, 
   received_.assign(total_packets_, false);
 
   if (config_.max_cwnd_packets <= 0.0) {
-    // Auto receiver window: 2 x bandwidth-delay product of the forward path.
-    const double rtt_s = 2.0 * forward_.config().propagation_delay.seconds();
-    const double bdp_bytes = forward_.config().capacity.bps() * rtt_s;
+    // Auto receiver window: 2 x bandwidth-delay product of the forward path
+    // (bottleneck capacity at the summed one-way delay).
+    const double rtt_s = 2.0 * forward_.total_propagation_delay().seconds();
+    const double bdp_bytes = forward_.bottleneck_capacity().bps() * rtt_s;
     config_.max_cwnd_packets =
         std::max(4.0, 2.0 * bdp_bytes / static_cast<double>(config_.mss_bytes));
   }

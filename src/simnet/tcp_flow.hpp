@@ -18,15 +18,21 @@
 //     retransmitted segments).
 //
 // One TcpFlow object plays both endpoints: data packets delivered by the
-// forward link hit the receiver half, which ACKs over the reverse link back
+// forward path hit the receiver half, which ACKs over the reverse path back
 // into the sender half.  Sequence numbers are packet indices (1 MSS each);
 // byte counts are tracked separately so partial final segments are exact.
+//
+// Flows send over multi-hop Paths (instrument -> DTN -> WAN -> HPC); a
+// one-hop Path reproduces the former single-Link behaviour bit-identically
+// (see simnet/path.hpp).  The auto-derived receiver window uses the PATH
+// bottleneck capacity and the summed one-way delay.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "simnet/link.hpp"
+#include "simnet/path.hpp"
 #include "simnet/simulation.hpp"
 #include "stats/summary.hpp"
 #include "units/units.hpp"
@@ -68,8 +74,8 @@ class FlowObserver {
 class TcpFlow : public PacketSink, public EventHandler {
  public:
   // `forward` carries data from sender to receiver; `reverse` carries ACKs.
-  TcpFlow(std::uint32_t id, units::Bytes total, const TcpConfig& config, Link& forward,
-          Link& reverse, FlowObserver* observer = nullptr);
+  TcpFlow(std::uint32_t id, units::Bytes total, const TcpConfig& config, Path& forward,
+          Path& reverse, FlowObserver* observer = nullptr);
 
   // Begin transmitting.  May only be called once.
   void start(Simulation& sim);
@@ -101,8 +107,8 @@ class TcpFlow : public PacketSink, public EventHandler {
   // --- identity & wiring ---
   std::uint32_t id_;
   TcpConfig config_;
-  Link& forward_;
-  Link& reverse_;
+  Path& forward_;
+  Path& reverse_;
   FlowObserver* observer_;
 
   // --- sender state ---

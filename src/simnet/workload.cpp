@@ -1,6 +1,8 @@
 #include "simnet/workload.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -15,6 +17,18 @@ const char* to_string(SpawnMode mode) {
       return "simultaneous";
     case SpawnMode::kScheduled:
       return "scheduled";
+  }
+  return "unknown";
+}
+
+const char* to_string(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPerSecondBatch:
+      return "batch";
+    case ArrivalProcess::kDeterministic:
+      return "deterministic";
+    case ArrivalProcess::kPoisson:
+      return "poisson";
   }
   return "unknown";
 }
@@ -36,13 +50,23 @@ WorkloadConfig WorkloadConfig::paper_table2(int concurrency, int parallel_flows,
   return cfg;
 }
 
+std::vector<LinkConfig> WorkloadConfig::effective_hops() const {
+  if (path_hops.empty()) return {link};
+  return path_hops;
+}
+
+units::DataRate WorkloadConfig::bottleneck_capacity() const {
+  if (path_hops.empty()) return link.capacity;
+  return path_hops[bottleneck_hop_index(path_hops)].capacity;
+}
+
 double WorkloadConfig::offered_load() const {
   const double bytes_per_second = static_cast<double>(concurrency) * transfer_size.bytes();
-  return bytes_per_second / link.capacity.bps();
+  return bytes_per_second / bottleneck_capacity().bps();
 }
 
 units::Seconds WorkloadConfig::theoretical_transfer_time() const {
-  return transfer_size / link.capacity;
+  return transfer_size / bottleneck_capacity();
 }
 
 void WorkloadConfig::validate() const {
@@ -61,6 +85,77 @@ void WorkloadConfig::validate() const {
   if (background_load > 0.0 && !(background_mean_flow_size.bytes() > 0.0)) {
     throw std::invalid_argument("background_mean_flow_size must be > 0");
   }
+  for (const LinkConfig& hop : path_hops) {
+    if (!hop.capacity.is_positive()) {
+      throw std::invalid_argument("path hop '" + hop.name + "' capacity must be > 0");
+    }
+  }
+  const auto hop_count = static_cast<int>(effective_hops().size());
+  for (const HopCrossTraffic& x : hop_cross_traffic) {
+    if (x.hop < 0 || x.hop >= hop_count) {
+      throw std::invalid_argument("hop_cross_traffic hop index out of range");
+    }
+    if (x.load < 0.0) throw std::invalid_argument("hop_cross_traffic load must be >= 0");
+    if (x.load > 0.0 && !(x.mean_flow_size.bytes() > 0.0)) {
+      throw std::invalid_argument("hop_cross_traffic mean_flow_size must be > 0");
+    }
+    if (x.load > 0.0 && (x.start.seconds() < 0.0 || x.start >= x.until)) {
+      throw std::invalid_argument("hop_cross_traffic needs 0 <= start < until");
+    }
+  }
+}
+
+std::vector<double> requested_arrival_times(const WorkloadConfig& config,
+                                            stats::Random& rng) {
+  std::vector<double> times;
+  switch (config.arrivals) {
+    case ArrivalProcess::kPerSecondBatch: {
+      const auto whole_seconds = static_cast<int>(config.duration.seconds());
+      const double frac = config.duration.seconds() - whole_seconds;
+      for (int second = 0;
+           second < whole_seconds || (second == whole_seconds && frac > 0.0); ++second) {
+        // A fractional trailing second spawns a proportional share of
+        // clients (used by scaled-down quick runs), rounded.
+        const bool partial = second == whole_seconds;
+        const int clients_this_second =
+            partial ? static_cast<int>(config.concurrency * frac + 0.5)
+                    : config.concurrency;
+        for (int i = 0; i < clients_this_second; ++i) {
+          const double base = static_cast<double>(second);
+          times.push_back(config.mode == SpawnMode::kScheduled
+                              ? base + static_cast<double>(i) /
+                                           static_cast<double>(config.concurrency)
+                              : base);
+        }
+        if (partial) break;
+      }
+      break;
+    }
+    case ArrivalProcess::kDeterministic: {
+      // Exact pro-rata count at exact even spacing: no whole-second
+      // rounding, so duration 2.5 s at concurrency 4 spawns exactly 10
+      // clients, 0.25 s apart.
+      const auto count = static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(config.concurrency) *
+                       config.duration.seconds()));
+      times.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        times.push_back(static_cast<double>(i) /
+                        static_cast<double>(config.concurrency));
+      }
+      break;
+    }
+    case ArrivalProcess::kPoisson: {
+      double t = 0.0;
+      for (;;) {
+        t += rng.exponential(static_cast<double>(config.concurrency));
+        if (t >= config.duration.seconds()) break;
+        times.push_back(t);
+      }
+      break;
+    }
+  }
+  return times;
 }
 
 namespace {
@@ -72,32 +167,18 @@ namespace {
 // reserved" setup where scheduled transfers never contend with each other.
 class Orchestrator : public FlowObserver {
  public:
-  Orchestrator(const WorkloadConfig& config, Link& forward, Link& reverse,
+  Orchestrator(const WorkloadConfig& config, Path& forward, Path& reverse,
                stats::Random& rng)
       : config_(config), forward_(forward), reverse_(reverse), rng_(rng) {}
 
-  void spawn_all(Simulation& sim) {
-    const auto whole_seconds = static_cast<int>(config_.duration.seconds());
-    const double frac = config_.duration.seconds() - whole_seconds;
+  void spawn_all(Simulation& sim, const std::vector<double>& arrivals) {
     std::uint32_t client_id = 0;
-    for (int second = 0; second < whole_seconds || (second == whole_seconds && frac > 0.0);
-         ++second) {
-      // A fractional trailing second spawns a proportional share of clients
-      // (used by scaled-down quick runs).
-      const bool partial = second == whole_seconds;
-      const int clients_this_second =
-          partial ? static_cast<int>(config_.concurrency * frac + 0.5) : config_.concurrency;
-      for (int i = 0; i < clients_this_second; ++i) {
-        const double base = static_cast<double>(second);
-        if (config_.mode == SpawnMode::kScheduled) {
-          const double slot =
-              base + static_cast<double>(i) / static_cast<double>(config_.concurrency);
-          reservations_.push_back(Reservation{client_id++, slot});
-        } else {
-          spawn_client(sim, client_id++, units::Seconds::of(base), base);
-        }
+    for (const double at : arrivals) {
+      if (config_.mode == SpawnMode::kScheduled) {
+        reservations_.push_back(Reservation{client_id++, at});
+      } else {
+        spawn_client(sim, client_id++, units::Seconds::of(at), at);
       }
-      if (partial) break;
     }
     if (config_.mode == SpawnMode::kScheduled) {
       for (const Reservation& r : reservations_) {
@@ -161,7 +242,7 @@ class Orchestrator : public FlowObserver {
 
   // Called after the simulation drains (or hits the deadline): writes flow
   // and client records, censoring incomplete ones at `deadline`.
-  ExperimentMetrics collect(SimTime deadline, const Link& forward) const {
+  ExperimentMetrics collect(SimTime deadline, const Path& forward) const {
     ExperimentMetrics m;
     m.flows.reserve(flows_.size());
     for (const auto& flow : flows_) {
@@ -209,11 +290,25 @@ class Orchestrator : public FlowObserver {
                 return x.client_id < y.client_id;
               });
 
-    m.mean_utilization = forward.mean_utilization();
-    m.peak_utilization = forward.peak_utilization();
-    m.loss_rate = forward.loss_rate();
-    m.packets_dropped = forward.counters().packets_dropped;
-    m.packets_forwarded = forward.counters().packets_forwarded;
+    // Per-hop counters in path order, plus path-level summaries: the
+    // most-utilized hop's utilization (on a balanced chain the congested
+    // hop, not merely the nameplate bottleneck), aggregate loss, and what
+    // the last hop delivered.  For a one-hop path these are the former
+    // link figures.
+    m.hops = snapshot_hops(forward);
+    std::size_t hottest = 0;
+    for (std::size_t h = 1; h < forward.hop_count(); ++h) {
+      if (forward.hop(h).mean_utilization() >
+          forward.hop(hottest).mean_utilization()) {
+        hottest = h;
+      }
+    }
+    m.mean_utilization = forward.hop(hottest).mean_utilization();
+    m.peak_utilization = forward.hop(hottest).peak_utilization();
+    m.loss_rate = forward.aggregate_loss_rate();
+    m.packets_dropped = forward.packets_dropped_total();
+    m.packets_forwarded =
+        forward.hop(forward.hop_count() - 1).counters().packets_forwarded;
     return m;
   }
 
@@ -233,8 +328,8 @@ class Orchestrator : public FlowObserver {
   };
 
   const WorkloadConfig& config_;
-  Link& forward_;
-  Link& reverse_;
+  Path& forward_;
+  Path& reverse_;
   stats::Random& rng_;
   std::vector<std::unique_ptr<TcpFlow>> flows_;
   std::map<std::uint32_t, std::uint32_t> flow_client_;
@@ -251,20 +346,20 @@ ExperimentResult run_experiment(const WorkloadConfig& config) {
   config.validate();
 
   Simulation sim;
-  Link forward(config.link);
-  // ACK path: same capacity, effectively uncontended.  Generous buffer so
-  // ACK loss never originates here (matching the paper's uncontended server
-  // side).
-  LinkConfig reverse_cfg = config.link;
-  reverse_cfg.name = config.link.name + "-reverse";
-  reverse_cfg.buffer = units::Bytes::megabytes(256.0);
-  Link reverse(reverse_cfg);
+  const std::vector<LinkConfig> hops = config.effective_hops();
+  Path forward(hops);
+  // ACK path: same capacities in reverse order, effectively uncontended.
+  // Generous buffers so ACK loss never originates here (matching the
+  // paper's uncontended server side).
+  Path reverse(reverse_hops(hops));
 
   stats::Random rng(config.seed);
+  const std::vector<double> arrivals = requested_arrival_times(config, rng);
   Orchestrator orchestrator(config, forward, reverse, rng);
-  orchestrator.spawn_all(sim);
+  orchestrator.spawn_all(sim, arrivals);
 
-  std::unique_ptr<BackgroundTraffic> background;
+  std::vector<std::unique_ptr<Path>> cross_paths;
+  std::vector<std::unique_ptr<BackgroundTraffic>> backgrounds;
   if (config.background_load > 0.0) {
     BackgroundTrafficConfig bg;
     bg.target_load = config.background_load;
@@ -273,8 +368,31 @@ ExperimentResult run_experiment(const WorkloadConfig& config) {
     bg.until = config.duration;
     bg.tcp = config.tcp;
     bg.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
-    background = std::make_unique<BackgroundTraffic>(bg, forward, reverse);
-    background->schedule(sim);
+    backgrounds.push_back(std::make_unique<BackgroundTraffic>(bg, forward, reverse));
+    backgrounds.back()->schedule(sim);
+  }
+  // Hop-local cross traffic: a one-hop path over the target hop (and the
+  // matching reverse hop for its ACKs), entering and leaving at the hop's
+  // endpoints.
+  for (std::size_t i = 0; i < config.hop_cross_traffic.size(); ++i) {
+    const HopCrossTraffic& x = config.hop_cross_traffic[i];
+    if (x.load == 0.0) continue;
+    const auto h = static_cast<std::size_t>(x.hop);
+    cross_paths.push_back(std::make_unique<Path>(std::vector<Link*>{&forward.hop(h)}));
+    Path& xf = *cross_paths.back();
+    cross_paths.push_back(std::make_unique<Path>(
+        std::vector<Link*>{&reverse.hop(hops.size() - 1 - h)}));
+    Path& xr = *cross_paths.back();
+    BackgroundTrafficConfig bg;
+    bg.target_load = x.load;
+    bg.mean_flow_size = x.mean_flow_size;
+    bg.pareto_shape = x.pareto_shape;
+    bg.start = x.start;
+    bg.until = x.until;
+    bg.tcp = config.tcp;
+    bg.seed = stats::SplitMix64(config.seed ^ (0xa24baed4963ee407ULL + i)).next();
+    backgrounds.push_back(std::make_unique<BackgroundTraffic>(bg, xf, xr));
+    backgrounds.back()->schedule(sim);
   }
 
   const SimTime deadline = to_simtime(config.duration) + to_simtime(config.drain_timeout);

@@ -3,13 +3,25 @@
 // Reproduces the measurement methodology of Section 4: an orchestrator
 // spawns `concurrency` clients per second for `duration` seconds, each
 // client moving `transfer_size` bytes over `parallel_flows` TCP flows
-// toward an uncontended server, while the bottleneck link records interface
+// toward an uncontended server, while the bottleneck path records interface
 // counters.  Two spawning strategies are implemented, matching the paper:
 //
 //   kSimultaneousBatches — all clients of a given second start at the same
 //     instant, creating the instantaneous congestion spikes of Fig. 2(a);
 //   kScheduled — clients are assigned evenly spaced slots within their
 //     second, modeling reserved/scheduled transfers as in Fig. 2(b).
+//
+// Client arrivals follow one of three processes (ArrivalProcess): the
+// paper's per-second batches (default), an exact deterministic process that
+// spaces clients 1/concurrency apart (no whole-second rounding, so
+// sub-second and fractional durations spawn the exact pro-rata client
+// count), or a Poisson process at `concurrency` arrivals per second.
+//
+// Transfers run over a multi-hop Path (instrument -> DTN -> WAN -> HPC)
+// when `path_hops` is set; an empty `path_hops` uses the single `link`
+// bottleneck, bit-identical to the pre-topology simulator.  Per-hop
+// cross-traffic windows (`hop_cross_traffic`) let scenarios shift the
+// saturating hop mid-run.
 //
 // `WorkloadConfig::paper_table2` transcribes Table 2 (duration 10 s,
 // concurrency 1-8, parallel flows {2,4,8}, 0.5 GB per client, 25 Gbps link,
@@ -22,6 +34,7 @@
 
 #include "simnet/link.hpp"
 #include "simnet/metrics.hpp"
+#include "simnet/path.hpp"
 #include "simnet/simulation.hpp"
 #include "simnet/tcp_flow.hpp"
 #include "stats/rng.hpp"
@@ -36,13 +49,38 @@ enum class SpawnMode {
 
 [[nodiscard]] const char* to_string(SpawnMode mode);
 
+enum class ArrivalProcess {
+  kPerSecondBatch,  // historical: whole-second batches, fractional tail rounded
+  kDeterministic,   // exact spacing: client i arrives at i / concurrency
+  kPoisson,         // exponential interarrivals at `concurrency` per second
+};
+
+[[nodiscard]] const char* to_string(ArrivalProcess process);
+
+// Cross-traffic confined to a single hop of the forward path for a time
+// window — enters and leaves the path at the hop's endpoints, like another
+// facility's flows sharing only that segment.  The moving-bottleneck
+// scenarios schedule several of these on different hops.
+struct HopCrossTraffic {
+  int hop = 0;          // index into effective_hops()
+  double load = 0.2;    // fraction of THAT hop's capacity
+  units::Seconds start = units::Seconds::of(0.0);
+  units::Seconds until = units::Seconds::of(10.0);
+  units::Bytes mean_flow_size = units::Bytes::megabytes(64.0);
+  double pareto_shape = 1.5;
+};
+
 struct WorkloadConfig {
   units::Seconds duration = units::Seconds::of(10.0);
   int concurrency = 4;       // clients spawned per second
   int parallel_flows = 2;    // P: TCP flows per client
   units::Bytes transfer_size = units::Bytes::gigabytes(0.5);  // per client
   SpawnMode mode = SpawnMode::kSimultaneousBatches;
-  LinkConfig link;           // forward (data) direction
+  ArrivalProcess arrivals = ArrivalProcess::kPerSecondBatch;
+  LinkConfig link;           // forward (data) direction, single-hop runs
+  // Multi-hop forward path, in order (instrument side first).  Empty =
+  // one-hop path over `link` (the historical single-bottleneck setup).
+  std::vector<LinkConfig> path_hops;
   TcpConfig tcp;
   std::uint64_t seed = 42;
   // Small uniform start offset per flow; breaks pathological phase locking
@@ -52,9 +90,10 @@ struct WorkloadConfig {
   // Safety cap: flows still incomplete this long after the last spawn are
   // recorded as censored.
   units::Seconds drain_timeout = units::Seconds::of(600.0);
-  // Background cross-traffic injected on the same bottleneck for the spawn
-  // window, as a fraction of link capacity (0 = pristine link, the Table-2
-  // setup).  Models shared-path variability; see simnet/background.hpp.
+  // Background cross-traffic injected end-to-end (every hop) for the spawn
+  // window, as a fraction of the path bottleneck capacity (0 = pristine
+  // path, the Table-2 setup).  Models shared-path variability; see
+  // simnet/background.hpp.
   double background_load = 0.0;
   // Character of that cross-traffic (multi-tenant storm scenarios vary
   // these): mean flow size, and Pareto tail shape.  Shapes > 1 give
@@ -63,19 +102,34 @@ struct WorkloadConfig {
   // sizes instead (see simnet/background.cpp).
   units::Bytes background_mean_flow_size = units::Bytes::megabytes(64.0);
   double background_pareto_shape = 1.5;
+  // Windowed cross-traffic pinned to individual hops of the forward path.
+  std::vector<HopCrossTraffic> hop_cross_traffic;
 
   // Table 2 configuration for a given (concurrency, parallel flows) cell.
   [[nodiscard]] static WorkloadConfig paper_table2(int concurrency, int parallel_flows,
                                                    SpawnMode mode);
 
-  // Offered load as a fraction of link capacity (concurrency x size per
-  // second over capacity).
+  // The forward path's hop configs: path_hops when set, else {link}.
+  [[nodiscard]] std::vector<LinkConfig> effective_hops() const;
+  // Capacity of the slowest hop — the path's effective bandwidth ceiling.
+  [[nodiscard]] units::DataRate bottleneck_capacity() const;
+  // Offered load as a fraction of the bottleneck capacity (concurrency x
+  // size per second over capacity).
   [[nodiscard]] double offered_load() const;
-  // Ideal transfer time for one client at full link rate — the paper's
-  // T_theoretical (0.16 s for 0.5 GB at 25 Gbps).
+  // Ideal transfer time for one client at full bottleneck rate — the
+  // paper's T_theoretical (0.16 s for 0.5 GB at 25 Gbps).
   [[nodiscard]] units::Seconds theoretical_transfer_time() const;
   void validate() const;
 };
+
+// Requested client start times in spawn order, shared by the packet and
+// fluid substrates so both realize the same arrival schedule.  `rng` is
+// consumed only by the Poisson process.  For kPerSecondBatch this
+// reproduces the historical schedule exactly (including the rounded
+// fractional trailing second); kScheduled assigns within-second slots for
+// the batch process and uses the arrival instants directly otherwise.
+[[nodiscard]] std::vector<double> requested_arrival_times(const WorkloadConfig& config,
+                                                          stats::Random& rng);
 
 struct ExperimentResult {
   WorkloadConfig config;

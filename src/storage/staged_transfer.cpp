@@ -74,10 +74,16 @@ StagedTimeline simulate_staged(const StagedTransferConfig& config,
     ev.transfer_start_s = std::max(transfer_avail, file_ready);
     const double cost =
         config.wan.per_file_overhead.seconds() + dest_create_s + ev.bytes / rate;
-    ev.landed_at_s = ev.transfer_start_s + cost;
-    transfer_avail = ev.landed_at_s;
+    // Multi-hop WAN paths additionally charge the summed one-way hop
+    // latency: a file is not landed until its last byte has crossed every
+    // hop.  The latency pipelines — the next file starts serializing as
+    // soon as this one leaves the sender, not after it lands.  Zero for
+    // the legacy single-figure model.
+    ev.landed_at_s = ev.transfer_start_s + cost + config.wan.path_latency().seconds();
+    transfer_avail = ev.transfer_start_s + cost;
   }
-  timeline.transfer_done_s = transfer_avail;
+  timeline.transfer_done_s =
+      timeline.files.empty() ? transfer_avail : timeline.files.back().landed_at_s;
 
   // --- Stage 3: destination read by compute --------------------------------
   if (config.include_dest_read) {

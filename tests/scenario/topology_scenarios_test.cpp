@@ -1,0 +1,89 @@
+// The multi-hop topology scenarios: registration, runnability at smoke
+// scale, per-hop CSV column groups, and the 1-vs-N-thread determinism of a
+// multi-hop run (the SweepExecutor contract extended to Path simulations).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+
+namespace sss::scenario {
+namespace {
+
+std::string join(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ",";
+    out += fields[i];
+  }
+  return out;
+}
+
+ScenarioOutput run_scenario_at(const std::string& name, int threads,
+                               double scale = 0.1) {
+  register_builtin_scenarios();
+  const ScenarioSpec* spec = ScenarioRegistry::global().find(name);
+  EXPECT_NE(spec, nullptr) << name;
+  ScenarioContext ctx;
+  ctx.scale = scale;
+  ctx.seed = 42;
+  ctx.threads = threads;
+  return execute_scenario(*spec, ctx);
+}
+
+TEST(TopologyScenarios, AllRegisteredWithTopologyTag) {
+  register_builtin_scenarios();
+  const ScenarioRegistry& registry = ScenarioRegistry::global();
+  for (const char* name :
+       {"hop_bottleneck_sweep", "dtn_nic_undersizing", "wan_cross_traffic",
+        "moving_bottleneck", "lcls_streaming_feasibility"}) {
+    const ScenarioSpec* spec = registry.find(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_TRUE(spec->has_tag("topology")) << name;
+    EXPECT_TRUE(spec->make_runs != nullptr) << name;
+  }
+}
+
+TEST(TopologyScenarios, HopColumnGroupsInOutput) {
+  const ScenarioOutput output = run_scenario_at("hop_bottleneck_sweep", 0);
+  ASSERT_FALSE(output.rows.empty());
+  // One column group per hop of the 3-hop chain.
+  int name_columns = 0;
+  for (const std::string& column : output.header) {
+    if (column.size() > 5 && column.compare(column.size() - 5, 5, "_name") == 0) {
+      ++name_columns;
+    }
+  }
+  EXPECT_EQ(name_columns, 3);
+  for (const auto& row : output.rows) EXPECT_EQ(row.size(), output.header.size());
+}
+
+TEST(TopologyScenarios, MovingBottleneckShiftsDropsBetweenHops) {
+  const ScenarioOutput output = run_scenario_at("moving_bottleneck", 0);
+  ASSERT_EQ(output.rows.size(), 4u);  // clean, parked_edge, parked_wan, moving
+  // The clean run sees no loss anywhere; the parked runs localize theirs.
+  const auto column = [&](const char* name) {
+    for (std::size_t i = 0; i < output.header.size(); ++i) {
+      if (output.header[i] == name) return i;
+    }
+    ADD_FAILURE() << "missing column " << name;
+    return std::size_t{0};
+  };
+  EXPECT_EQ(output.rows[0][column("path_drops")], "0");
+}
+
+// The satellite requirement: bit-identical rows at 1 and N threads for a
+// multi-hop scenario (per-hop counters included).
+TEST(TopologyScenarios, MovingBottleneckDeterministicAcrossThreadCounts) {
+  const ScenarioOutput serial = run_scenario_at("moving_bottleneck", 1);
+  const ScenarioOutput parallel = run_scenario_at("moving_bottleneck", 4);
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_EQ(join(serial.rows[i]), join(parallel.rows[i])) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sss::scenario

@@ -18,7 +18,7 @@ LinkConfig small_link() {
 
 TEST(BackgroundTraffic, ValidatesConfig) {
   Simulation sim;
-  Link fwd(small_link()), rev(small_link());
+  Path fwd({small_link()}), rev({small_link()});
   BackgroundTrafficConfig bad;
   bad.target_load = -0.1;
   EXPECT_THROW(BackgroundTraffic(bad, fwd, rev), std::invalid_argument);
@@ -32,7 +32,7 @@ TEST(BackgroundTraffic, ValidatesConfig) {
 
 TEST(BackgroundTraffic, ZeroLoadSchedulesNothing) {
   Simulation sim;
-  Link fwd(small_link()), rev(small_link());
+  Path fwd({small_link()}), rev({small_link()});
   BackgroundTrafficConfig cfg;
   cfg.target_load = 0.0;
   BackgroundTraffic bg(cfg, fwd, rev);
@@ -43,7 +43,7 @@ TEST(BackgroundTraffic, ZeroLoadSchedulesNothing) {
 
 TEST(BackgroundTraffic, OfferedLoadNearTarget) {
   Simulation sim;
-  Link fwd(small_link()), rev(small_link());
+  Path fwd({small_link()}), rev({small_link()});
   BackgroundTrafficConfig cfg;
   cfg.target_load = 0.3;
   cfg.mean_flow_size = units::Bytes::megabytes(4.0);
@@ -54,7 +54,7 @@ TEST(BackgroundTraffic, OfferedLoadNearTarget) {
   sim.run();
   // Offered bytes over the window should be within ~35 % of the target
   // (stochastic; seeded so this is deterministic in practice).
-  const double target_bytes = 0.3 * fwd.config().capacity.bps() * 20.0;
+  const double target_bytes = 0.3 * fwd.bottleneck_capacity().bps() * 20.0;
   EXPECT_NEAR(bg.bytes_offered().bytes(), target_bytes, target_bytes * 0.35);
   EXPECT_GT(bg.flows_started(), 0u);
   EXPECT_EQ(bg.flows_completed(), bg.flows_started());
@@ -62,7 +62,7 @@ TEST(BackgroundTraffic, OfferedLoadNearTarget) {
 
 TEST(BackgroundTraffic, HeavyTailProducesElephants) {
   Simulation sim;
-  Link fwd(small_link()), rev(small_link());
+  Path fwd({small_link()}), rev({small_link()});
   BackgroundTrafficConfig cfg;
   cfg.target_load = 0.3;
   cfg.mean_flow_size = units::Bytes::megabytes(2.0);
@@ -78,14 +78,14 @@ TEST(BackgroundTraffic, HeavyTailProducesElephants) {
 TEST(BackgroundTraffic, DeterministicForSeed) {
   auto run_once = [] {
     Simulation sim;
-    Link fwd(small_link()), rev(small_link());
+    Path fwd({small_link()}), rev({small_link()});
     BackgroundTrafficConfig cfg;
     cfg.target_load = 0.25;
     cfg.until = units::Seconds::of(5.0);
     BackgroundTraffic bg(cfg, fwd, rev);
     bg.schedule(sim);
     sim.run();
-    return std::make_pair(bg.flows_started(), fwd.counters().bytes_forwarded);
+    return std::make_pair(bg.flows_started(), fwd.hop(0).counters().bytes_forwarded);
   };
   EXPECT_EQ(run_once(), run_once());
 }
@@ -107,6 +107,29 @@ TEST(BackgroundTraffic, DegradesForegroundWorstCase) {
   EXPECT_GT(shared.t_worst_s(), clean.t_worst_s());
   // The cross-traffic must show up in the link counters too.
   EXPECT_GT(shared.metrics.mean_utilization, clean.metrics.mean_utilization);
+}
+
+TEST(BackgroundTraffic, StartWindowDelaysFirstArrival) {
+  Simulation sim;
+  Path fwd({small_link()}), rev({small_link()});
+  BackgroundTrafficConfig cfg;
+  cfg.target_load = 0.4;
+  cfg.mean_flow_size = units::Bytes::megabytes(2.0);
+  cfg.start = units::Seconds::of(5.0);
+  cfg.until = units::Seconds::of(8.0);
+  BackgroundTraffic bg(cfg, fwd, rev);
+  bg.schedule(sim);
+  ASSERT_GT(bg.flows_started(), 0u);
+  // Nothing touches the link before the window opens.
+  sim.run_until(to_simtime(units::Seconds::of(4.999)));
+  EXPECT_EQ(fwd.hop(0).counters().packets_offered, 0u);
+  sim.run();
+  EXPECT_GT(fwd.hop(0).counters().packets_offered, 0u);
+  EXPECT_EQ(bg.flows_completed(), bg.flows_started());
+
+  BackgroundTrafficConfig bad = cfg;
+  bad.start = units::Seconds::of(9.0);  // start past until
+  EXPECT_THROW(BackgroundTraffic(bad, fwd, rev), std::invalid_argument);
 }
 
 TEST(BackgroundTraffic, RejectsNegativeLoadViaWorkloadValidation) {

@@ -1,0 +1,190 @@
+// Tests for multi-hop Path routing: per-hop packet conservation, one-hop
+// equivalence with the single-link simulator (the refactor's regression
+// guarantee), mid-path drops, and hop metric snapshots.
+#include "simnet/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "simnet/metrics.hpp"
+#include "simnet/tcp_flow.hpp"
+#include "simnet/workload.hpp"
+
+namespace sss::simnet {
+namespace {
+
+LinkConfig make_link(const char* name, double gbps, double prop_ms, double buffer_mb) {
+  LinkConfig cfg;
+  cfg.name = name;
+  cfg.capacity = units::DataRate::gigabits_per_second(gbps);
+  cfg.propagation_delay = units::Seconds::millis(prop_ms);
+  cfg.buffer = units::Bytes::megabytes(buffer_mb);
+  return cfg;
+}
+
+std::vector<LinkConfig> chain3(double edge_gbps, double wan_gbps, double ingest_gbps,
+                               double buffer_mb = 5.0) {
+  return {make_link("edge", edge_gbps, 0.1, buffer_mb),
+          make_link("wan", wan_gbps, 7.5, buffer_mb),
+          make_link("ingest", ingest_gbps, 0.4, buffer_mb)};
+}
+
+TEST(Path, RejectsEmptyAndNullHops) {
+  EXPECT_THROW(Path(std::vector<LinkConfig>{}), std::invalid_argument);
+  EXPECT_THROW(Path(std::vector<Link*>{}), std::invalid_argument);
+  EXPECT_THROW(Path(std::vector<Link*>{nullptr}), std::invalid_argument);
+}
+
+TEST(Path, BottleneckAndDelayAggregates) {
+  Path path(chain3(25.0, 10.0, 40.0));
+  EXPECT_EQ(path.hop_count(), 3u);
+  EXPECT_EQ(path.bottleneck_hop(), 1u);
+  EXPECT_DOUBLE_EQ(path.bottleneck_capacity().gbit_per_s(), 10.0);
+  EXPECT_NEAR(path.total_propagation_delay().ms(), 8.0, 1e-12);
+}
+
+TEST(Path, BottleneckTieBreaksToFirstHop) {
+  Path path(chain3(25.0, 25.0, 25.0));
+  EXPECT_EQ(path.bottleneck_hop(), 0u);
+}
+
+TEST(Path, FlowCompletesOverThreeHops) {
+  Simulation sim;
+  Path fwd(chain3(2.5, 2.5, 2.5));
+  Path rev(reverse_hops(chain3(2.5, 2.5, 2.5)));
+  TcpFlow flow(1, units::Bytes::megabytes(10.0), TcpConfig{}, fwd, rev);
+  flow.start(sim);
+  sim.run();
+  ASSERT_TRUE(flow.complete());
+  // All payload bytes crossed every hop.
+  for (std::size_t h = 0; h < fwd.hop_count(); ++h) {
+    EXPECT_GE(fwd.hop(h).counters().bytes_forwarded, 10e6) << "hop " << h;
+  }
+  // RTT floor: sum of one-way delays both directions.
+  EXPECT_GE(flow.rtt_samples().min(), 2.0 * fwd.total_propagation_delay().seconds());
+}
+
+// The per-hop packet-conservation invariant: at every hop, offered =
+// forwarded + dropped, and everything a hop forwards is offered to the
+// next hop (once the simulation drains, nothing is in flight).
+TEST(Path, PacketConservationAtEveryHop) {
+  Simulation sim;
+  // Tight mid-path buffer under 8 competing flows: real congestion, drops
+  // at the WAN hop.
+  Path fwd(chain3(2.5, 1.0, 2.5, 0.1));
+  Path rev(reverse_hops(chain3(2.5, 1.0, 2.5, 0.1)));
+  std::vector<std::unique_ptr<TcpFlow>> flows;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    flows.push_back(
+        std::make_unique<TcpFlow>(i, units::Bytes::megabytes(5.0), TcpConfig{}, fwd, rev));
+  }
+  for (auto& f : flows) f->start(sim);
+  sim.run();
+  for (auto& f : flows) ASSERT_TRUE(f->complete());
+
+  EXPECT_GT(fwd.packets_dropped_total(), 0u);  // the squeeze actually bit
+  for (const Path* path : {&fwd, &rev}) {
+    for (std::size_t h = 0; h < path->hop_count(); ++h) {
+      const LinkCounters& c = path->hop(h).counters();
+      EXPECT_EQ(c.packets_offered, c.packets_forwarded + c.packets_dropped)
+          << "hop " << h;
+      EXPECT_EQ(c.bytes_offered, c.bytes_forwarded + c.bytes_dropped) << "hop " << h;
+      if (h + 1 < path->hop_count()) {
+        EXPECT_EQ(c.packets_forwarded, path->hop(h + 1).counters().packets_offered)
+            << "hop " << h << " -> " << h + 1;
+      }
+    }
+  }
+}
+
+// The refactor's regression guarantee: a one-hop Path run is bit-identical
+// to the legacy single-link configuration (same config.link, empty
+// path_hops), for every recorded metric.
+TEST(Path, OneHopRunMatchesSingleLinkBitExactly) {
+  WorkloadConfig legacy;
+  legacy.duration = units::Seconds::of(2.0);
+  legacy.concurrency = 3;
+  legacy.parallel_flows = 2;
+  legacy.transfer_size = units::Bytes::megabytes(40.0);
+  legacy.link = make_link("fabric", 2.5, 8.0, 4.0);
+  legacy.background_load = 0.3;
+
+  WorkloadConfig pathed = legacy;
+  pathed.path_hops = {legacy.link};
+
+  const ExperimentResult a = run_experiment(legacy);
+  const ExperimentResult b = run_experiment(pathed);
+
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.t_worst_s(), b.t_worst_s());
+  EXPECT_EQ(a.metrics.mean_client_fct_s(), b.metrics.mean_client_fct_s());
+  EXPECT_EQ(a.metrics.loss_rate, b.metrics.loss_rate);
+  EXPECT_EQ(a.metrics.packets_dropped, b.metrics.packets_dropped);
+  EXPECT_EQ(a.metrics.packets_forwarded, b.metrics.packets_forwarded);
+  EXPECT_EQ(a.metrics.total_retransmits, b.metrics.total_retransmits);
+  ASSERT_EQ(a.metrics.flows.size(), b.metrics.flows.size());
+  for (std::size_t i = 0; i < a.metrics.flows.size(); ++i) {
+    EXPECT_EQ(a.metrics.flows[i].end_s, b.metrics.flows[i].end_s) << "flow " << i;
+  }
+  ASSERT_EQ(b.metrics.hops.size(), 1u);
+  EXPECT_EQ(b.metrics.hops[0].name, "fabric");
+}
+
+TEST(Path, MidPathDropIsRecoveredBySender) {
+  Simulation sim;
+  // Wide well-buffered edges, nearly bufferless narrow middle: losses
+  // happen only mid-path, where the sender cannot see them directly.
+  const std::vector<LinkConfig> hops = {make_link("edge", 25.0, 0.1, 50.0),
+                                        make_link("wan", 1.0, 7.5, 0.05),
+                                        make_link("ingest", 25.0, 0.4, 50.0)};
+  Path fwd(hops);
+  Path rev(reverse_hops(hops));
+  std::vector<std::unique_ptr<TcpFlow>> flows;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    flows.push_back(
+        std::make_unique<TcpFlow>(i, units::Bytes::megabytes(2.0), TcpConfig{}, fwd, rev));
+  }
+  for (auto& f : flows) f->start(sim);
+  sim.run();
+  std::uint64_t retransmits = 0;
+  for (auto& f : flows) {
+    EXPECT_TRUE(f->complete());
+    retransmits += f->retransmit_count();
+  }
+  EXPECT_EQ(fwd.hop(0).counters().packets_dropped, 0u);
+  EXPECT_GT(fwd.hop(1).counters().packets_dropped, 0u);
+  EXPECT_GT(retransmits, 0u);
+}
+
+TEST(Path, HopCsvHeaderAndValuesAreRectangular) {
+  Path path(chain3(25.0, 10.0, 40.0));
+  const auto header = hop_csv_header(3);
+  const auto values = hop_csv_values(snapshot_hops(path), 3);
+  ASSERT_EQ(header.size(), values.size());
+  EXPECT_EQ(header.front(), "hop0_name");
+  EXPECT_EQ(values.front(), "edge");
+  // Padding: asking for more hops than measured fills empty cells.
+  const auto padded = hop_csv_values(snapshot_hops(path), 4);
+  EXPECT_EQ(padded.size(), hop_csv_header(4).size());
+  EXPECT_EQ(padded.back(), "");
+}
+
+TEST(Path, NonOwningPathSharesLinkState) {
+  // A one-hop non-owning path over a link of an owning path: cross traffic
+  // lands in the same counters the main path reports.
+  Path main(chain3(2.5, 2.5, 2.5));
+  Path side(std::vector<Link*>{&main.hop(1)});
+  Simulation sim;
+  Path side_rev(std::vector<LinkConfig>{make_link("side-rev", 2.5, 7.5, 256.0)});
+  TcpFlow flow(7, units::Bytes::megabytes(1.0), TcpConfig{}, side, side_rev);
+  flow.start(sim);
+  sim.run();
+  ASSERT_TRUE(flow.complete());
+  EXPECT_GT(main.hop(1).counters().packets_forwarded, 0u);
+  EXPECT_EQ(main.hop(0).counters().packets_offered, 0u);
+}
+
+}  // namespace
+}  // namespace sss::simnet

@@ -27,7 +27,7 @@ LinkConfig fast_link(double gbps = 25.0, double prop_ms = 8.0, double buffer_mb 
 
 TEST(TcpFlow, RejectsBadConstruction) {
   Simulation sim;
-  Link fwd(fast_link()), rev(fast_link());
+  Path fwd({fast_link()}), rev({fast_link()});
   EXPECT_THROW(TcpFlow(0, units::Bytes::of(0.0), TcpConfig{}, fwd, rev),
                std::invalid_argument);
   TcpConfig bad;
@@ -38,7 +38,7 @@ TEST(TcpFlow, RejectsBadConstruction) {
 
 TEST(TcpFlow, StartTwiceThrows) {
   Simulation sim;
-  Link fwd(fast_link()), rev(fast_link());
+  Path fwd({fast_link()}), rev({fast_link()});
   TcpFlow flow(0, units::Bytes::megabytes(1.0), TcpConfig{}, fwd, rev);
   flow.start(sim);
   EXPECT_THROW(flow.start(sim), std::logic_error);
@@ -46,7 +46,7 @@ TEST(TcpFlow, StartTwiceThrows) {
 
 TEST(TcpFlow, SingleFlowCompletesAndDeliversAllBytes) {
   Simulation sim;
-  Link fwd(fast_link()), rev(fast_link());
+  Path fwd({fast_link()}), rev({fast_link()});
   Completion obs;
   TcpFlow flow(1, units::Bytes::megabytes(50.0), TcpConfig{}, fwd, rev, &obs);
   flow.start(sim);
@@ -55,7 +55,7 @@ TEST(TcpFlow, SingleFlowCompletesAndDeliversAllBytes) {
   EXPECT_TRUE(flow.complete());
   EXPECT_EQ(flow.retransmit_count(), 0u);  // uncontended: no loss
   // All payload bytes crossed the forward link (headers on top).
-  EXPECT_GE(fwd.counters().bytes_forwarded, 50e6);
+  EXPECT_GE(fwd.hop(0).counters().bytes_forwarded, 50e6);
 }
 
 TEST(TcpFlow, UncongestedCompletionNearTheoreticalPlusSlowStart) {
@@ -63,7 +63,7 @@ TEST(TcpFlow, UncongestedCompletionNearTheoreticalPlusSlowStart) {
   // slow start adds a couple hundred ms — the paper's Fig. 2(b) observes
   // ~0.2 s.  Assert the right ballpark (under 0.6 s, above theoretical).
   Simulation sim;
-  Link fwd(fast_link()), rev(fast_link());
+  Path fwd({fast_link()}), rev({fast_link()});
   Completion obs;
   TcpFlow flow(1, units::Bytes::gigabytes(0.5), TcpConfig{}, fwd, rev, &obs);
   flow.start(sim);
@@ -77,20 +77,20 @@ TEST(TcpFlow, UncongestedCompletionNearTheoreticalPlusSlowStart) {
 TEST(TcpFlow, CompletionTimeNeverBelowTheoretical) {
   for (double mb : {1.0, 8.0, 64.0}) {
     Simulation sim;
-    Link fwd(fast_link()), rev(fast_link());
+    Path fwd({fast_link()}), rev({fast_link()});
     TcpFlow flow(1, units::Bytes::megabytes(mb), TcpConfig{}, fwd, rev);
     flow.start(sim);
     sim.run();
     ASSERT_TRUE(flow.complete());
     const double theoretical =
-        mb * 1e6 / fwd.config().capacity.bps() + 2.0 * 0.008;  // + RTT floor
+        mb * 1e6 / fwd.bottleneck_capacity().bps() + 2.0 * 0.008;  // + RTT floor
     EXPECT_GE(flow.completion_time().seconds(), theoretical * 0.99) << "size " << mb;
   }
 }
 
 TEST(TcpFlow, RttSamplesNearPathRtt) {
   Simulation sim;
-  Link fwd(fast_link()), rev(fast_link());
+  Path fwd({fast_link()}), rev({fast_link()});
   TcpFlow flow(1, units::Bytes::megabytes(10.0), TcpConfig{}, fwd, rev);
   flow.start(sim);
   sim.run();
@@ -102,7 +102,7 @@ TEST(TcpFlow, RttSamplesNearPathRtt) {
 
 TEST(TcpFlow, ManyCompetingFlowsAllComplete) {
   Simulation sim;
-  Link fwd(fast_link(25.0, 8.0, 10.0)), rev(fast_link());
+  Path fwd({fast_link(25.0, 8.0, 10.0)}), rev({fast_link()});
   Completion obs;
   std::vector<std::unique_ptr<TcpFlow>> flows;
   for (std::uint32_t i = 0; i < 16; ++i) {
@@ -118,7 +118,7 @@ TEST(TcpFlow, ManyCompetingFlowsAllComplete) {
 TEST(TcpFlow, CongestionCausesRetransmissions) {
   // Tiny buffer forces drop-tail losses among competing flows in slow start.
   Simulation sim;
-  Link fwd(fast_link(25.0, 8.0, 0.5)), rev(fast_link());
+  Path fwd({fast_link(25.0, 8.0, 0.5)}), rev({fast_link()});
   Completion obs;
   std::vector<std::unique_ptr<TcpFlow>> flows;
   for (std::uint32_t i = 0; i < 8; ++i) {
@@ -131,13 +131,13 @@ TEST(TcpFlow, CongestionCausesRetransmissions) {
   std::uint64_t retransmits = 0;
   for (auto& f : flows) retransmits += f->retransmit_count();
   EXPECT_GT(retransmits, 0u);
-  EXPECT_GT(fwd.counters().packets_dropped, 0u);
+  EXPECT_GT(fwd.hop(0).counters().packets_dropped, 0u);
 }
 
 TEST(TcpFlow, CongestedSlowerThanUncongested) {
   auto run_one = [](double buffer_mb, int competitors) {
     Simulation sim;
-    Link fwd(fast_link(25.0, 8.0, buffer_mb)), rev(fast_link());
+    Path fwd({fast_link(25.0, 8.0, buffer_mb)}), rev({fast_link()});
     std::vector<std::unique_ptr<TcpFlow>> flows;
     for (int i = 0; i < competitors; ++i) {
       flows.push_back(std::make_unique<TcpFlow>(static_cast<std::uint32_t>(i),
@@ -158,7 +158,7 @@ TEST(TcpFlow, CongestedSlowerThanUncongested) {
 TEST(TcpFlow, LastPartialSegmentDeliveredExactly) {
   // Total not divisible by MSS: last packet is short, flow still completes.
   Simulation sim;
-  Link fwd(fast_link()), rev(fast_link());
+  Path fwd({fast_link()}), rev({fast_link()});
   TcpConfig cfg;
   cfg.mss_bytes = 1000;
   cfg.header_bytes = 40;
@@ -174,7 +174,7 @@ TEST(TcpFlow, SevereLossTriggersRto) {
   // always recover (whole windows vanish), so RTOs must fire and flows must
   // STILL complete — the mechanism behind the paper's multi-second tails.
   Simulation sim;
-  Link fwd(fast_link(1.0, 8.0, 0.05)), rev(fast_link());
+  Path fwd({fast_link(1.0, 8.0, 0.05)}), rev({fast_link()});
   std::vector<std::unique_ptr<TcpFlow>> flows;
   for (std::uint32_t i = 0; i < 12; ++i) {
     flows.push_back(std::make_unique<TcpFlow>(i, units::Bytes::megabytes(2.0), TcpConfig{},
@@ -192,7 +192,7 @@ TEST(TcpFlow, SevereLossTriggersRto) {
 
 TEST(TcpFlow, WindowCappedByConfig) {
   Simulation sim;
-  Link fwd(fast_link()), rev(fast_link());
+  Path fwd({fast_link()}), rev({fast_link()});
   TcpConfig cfg;
   cfg.max_cwnd_packets = 16.0;
   TcpFlow flow(1, units::Bytes::megabytes(20.0), cfg, fwd, rev);

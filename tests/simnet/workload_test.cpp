@@ -196,6 +196,125 @@ TEST(RunExperiment, OverloadReportsSaturationAndBacklog) {
 TEST(SpawnModeNames, Render) {
   EXPECT_STREQ(to_string(SpawnMode::kSimultaneousBatches), "simultaneous");
   EXPECT_STREQ(to_string(SpawnMode::kScheduled), "scheduled");
+  EXPECT_STREQ(to_string(ArrivalProcess::kPerSecondBatch), "batch");
+  EXPECT_STREQ(to_string(ArrivalProcess::kDeterministic), "deterministic");
+  EXPECT_STREQ(to_string(ArrivalProcess::kPoisson), "poisson");
+}
+
+TEST(ArrivalProcess, DeterministicSpawnsExactProRataCount) {
+  // The per-second batch process rounds fractional durations per second;
+  // the deterministic process spawns the exact pro-rata count at exact
+  // even spacing — the fractional-second spawner fix.
+  WorkloadConfig cfg = small_config(4, 1, SpawnMode::kSimultaneousBatches);
+  cfg.duration = units::Seconds::of(2.5);
+  cfg.arrivals = ArrivalProcess::kDeterministic;
+  stats::Random rng(cfg.seed);
+  const auto times = requested_arrival_times(cfg, rng);
+  ASSERT_EQ(times.size(), 10u);  // 4/s x 2.5 s, no whole-second rounding
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(times[i], static_cast<double>(i) * 0.25, 1e-12);
+  }
+  // Sub-second durations spawn the pro-rata share instead of nothing odd:
+  cfg.duration = units::Seconds::of(0.5);
+  const auto sub_second = requested_arrival_times(cfg, rng);
+  EXPECT_EQ(sub_second.size(), 2u);
+}
+
+TEST(ArrivalProcess, DeterministicRunMatchesScheduleEndToEnd) {
+  WorkloadConfig cfg = small_config(4, 2, SpawnMode::kSimultaneousBatches);
+  cfg.duration = units::Seconds::of(1.5);
+  cfg.arrivals = ArrivalProcess::kDeterministic;
+  const auto result = run_experiment(cfg);
+  ASSERT_EQ(result.metrics.clients.size(), 6u);
+  for (std::size_t i = 0; i < result.metrics.clients.size(); ++i) {
+    EXPECT_NEAR(result.metrics.clients[i].requested_s, static_cast<double>(i) * 0.25,
+                1e-12);
+  }
+  EXPECT_FALSE(result.metrics.any_censored());
+}
+
+TEST(ArrivalProcess, PoissonIsSeededAndRateMatched) {
+  WorkloadConfig cfg = small_config(4, 1, SpawnMode::kSimultaneousBatches);
+  cfg.duration = units::Seconds::of(50.0);  // long window: tight rate estimate
+  cfg.arrivals = ArrivalProcess::kPoisson;
+  stats::Random rng_a(cfg.seed);
+  stats::Random rng_b(cfg.seed);
+  const auto a = requested_arrival_times(cfg, rng_a);
+  const auto b = requested_arrival_times(cfg, rng_b);
+  EXPECT_EQ(a, b);  // same seed, same realization
+  // ~200 expected arrivals; allow +-25 %.
+  EXPECT_NEAR(static_cast<double>(a.size()), 200.0, 50.0);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  for (const double t : a) EXPECT_LT(t, 50.0);
+
+  stats::Random rng_c(cfg.seed + 1);
+  const auto c = requested_arrival_times(cfg, rng_c);
+  EXPECT_NE(a, c);  // different seed, different realization
+}
+
+TEST(ArrivalProcess, PoissonRunIsDeterministicAndScheduledModeWorks) {
+  WorkloadConfig cfg = small_config(3, 2, SpawnMode::kScheduled);
+  cfg.arrivals = ArrivalProcess::kPoisson;
+  const auto a = run_experiment(cfg);
+  const auto b = run_experiment(cfg);
+  ASSERT_EQ(a.metrics.clients.size(), b.metrics.clients.size());
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  // Reservations still admit in slot order from the Poisson arrival times.
+  for (std::size_t i = 0; i < a.metrics.clients.size(); ++i) {
+    EXPECT_GE(a.metrics.clients[i].start_s, a.metrics.clients[i].requested_s - 1e-9);
+  }
+}
+
+TEST(MultiHopWorkload, BottleneckDrivesOfferedLoadAndTheoretical) {
+  WorkloadConfig cfg = small_config(2, 2, SpawnMode::kSimultaneousBatches);
+  cfg.path_hops = {cfg.link, cfg.link, cfg.link};
+  cfg.path_hops[1].name = "narrow";
+  cfg.path_hops[1].capacity = units::DataRate::gigabits_per_second(1.0);
+  EXPECT_DOUBLE_EQ(cfg.bottleneck_capacity().gbit_per_s(), 1.0);
+  EXPECT_DOUBLE_EQ(cfg.theoretical_transfer_time().seconds(),
+                   (cfg.transfer_size / cfg.bottleneck_capacity()).seconds());
+
+  const auto result = run_experiment(cfg);
+  ASSERT_EQ(result.metrics.hops.size(), 3u);
+  EXPECT_EQ(result.metrics.hops[1].name, "narrow");
+  // Path summary utilization describes the bottleneck hop.
+  EXPECT_DOUBLE_EQ(result.metrics.mean_utilization,
+                   result.metrics.hops[1].mean_utilization);
+}
+
+TEST(MultiHopWorkload, ValidatesHopCrossTraffic) {
+  WorkloadConfig cfg = small_config(1, 1, SpawnMode::kSimultaneousBatches);
+  HopCrossTraffic storm;
+  storm.hop = 3;  // out of range for a single-link run
+  storm.load = 0.5;
+  cfg.hop_cross_traffic = {storm};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.hop_cross_traffic[0].hop = 0;
+  cfg.hop_cross_traffic[0].start = units::Seconds::of(5.0);
+  cfg.hop_cross_traffic[0].until = units::Seconds::of(2.0);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(MultiHopWorkload, HopCrossTrafficLandsOnItsHopOnly) {
+  WorkloadConfig cfg = small_config(1, 1, SpawnMode::kSimultaneousBatches);
+  cfg.path_hops = {cfg.link, cfg.link, cfg.link};
+  cfg.path_hops[0].name = "edge";
+  cfg.path_hops[1].name = "wan";
+  cfg.path_hops[2].name = "ingest";
+  HopCrossTraffic storm;
+  storm.hop = 1;
+  storm.load = 0.5;
+  storm.until = cfg.duration;
+  storm.mean_flow_size = units::Bytes::megabytes(4.0);
+  cfg.hop_cross_traffic = {storm};
+  const auto result = run_experiment(cfg);
+  ASSERT_EQ(result.metrics.hops.size(), 3u);
+  // The WAN hop carried strictly more than the clean hops: the storm's
+  // bytes traversed hop 1 but never hop 0 or 2.
+  EXPECT_GT(result.metrics.hops[1].packets_offered,
+            result.metrics.hops[0].packets_offered);
+  EXPECT_GT(result.metrics.hops[1].packets_offered,
+            result.metrics.hops[2].packets_offered);
 }
 
 }  // namespace

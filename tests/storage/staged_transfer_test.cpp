@@ -118,6 +118,40 @@ TEST(EstimateTheta, GenerationFreeAndAboveOne) {
   EXPECT_NEAR(theta_slow, theta_1, 1e-6);
 }
 
+TEST(SimulateStaged, MultiHopWanChargesBottleneckAndLatency) {
+  // The hop-resolved APS -> ALCF path keeps the single-figure preset's
+  // effective bandwidth (25 Gbps x 0.9 at the ESnet hop) but adds the
+  // summed one-way hop latency per file.
+  StagedTransferConfig single;
+  StagedTransferConfig hopped = single;
+  hopped.wan = aps_to_alcf_wan_hops();
+  hopped.wan.session_startup = single.wan.session_startup;
+  hopped.wan.per_file_overhead = single.wan.per_file_overhead;
+  EXPECT_DOUBLE_EQ(hopped.wan.effective_bandwidth().bps(),
+                   single.wan.effective_bandwidth().bps());
+  EXPECT_NEAR(hopped.wan.path_latency().ms(), 8.0, 1e-9);
+  EXPECT_DOUBLE_EQ(single.wan.path_latency().seconds(), 0.0);
+
+  const std::uint64_t files = 10;
+  const auto a = simulate_staged(single, tiny_scan(), files);
+  const auto b = simulate_staged(hopped, tiny_scan(), files);
+  // Same bottleneck rate and the latency pipelines, so completion shifts
+  // by exactly one path traversal: the LAST file's landing.
+  EXPECT_NEAR(b.transfer_done_s - a.transfer_done_s,
+              hopped.wan.path_latency().seconds(), 1e-9);
+  // Every file's landing (not just the last) is pushed out by the path.
+  for (std::uint64_t k = 0; k < files; ++k) {
+    EXPECT_NEAR(b.files[k].landed_at_s - a.files[k].landed_at_s,
+                hopped.wan.path_latency().seconds(), 1e-9);
+  }
+
+  // A slower hop anywhere in the chain drags the effective bandwidth down.
+  hopped.wan.hops[0].bandwidth = units::DataRate::gigabits_per_second(10.0);
+  EXPECT_LT(hopped.wan.effective_bandwidth().bps(), single.wan.effective_bandwidth().bps());
+  hopped.wan.hops[0].efficiency = 1.5;
+  EXPECT_THROW(hopped.wan.validate(), std::invalid_argument);
+}
+
 TEST(SimulateStaged, ApsScanRunsAtPaperScale) {
   // Smoke test at the real Fig. 4 scale (1,440 frames, 12.6 GB).
   StagedTransferConfig cfg;
