@@ -36,6 +36,33 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
 
+void BM_EventQueueMixedHorizon(benchmark::State& state) {
+  // TCP-like mix: mostly packet-scale offsets that land in the calendar
+  // tier, a tail of RTT/RTO-scale offsets that spill to the far heap, popped
+  // in lockstep so the window keeps advancing (steady-state simulation).
+  struct Noop : simnet::EventHandler {
+    void on_event(simnet::Simulation&, int, std::uint64_t, std::uint64_t) override {}
+  } handler;
+  simnet::EventQueue queue;
+  stats::Random rng(1);
+  simnet::SimTime now = 0;
+  for (int i = 0; i < 1024; ++i) {
+    queue.schedule(now + static_cast<simnet::SimTime>(rng.uniform_index(1'000'000)), handler,
+                   0);
+  }
+  for (auto _ : state) {
+    const simnet::Event e = queue.pop();
+    now = e.at;
+    const std::uint64_t r = rng.uniform_index(100);
+    const simnet::SimTime offset =
+        r < 90 ? static_cast<simnet::SimTime>(rng.uniform_index(100'000))            // packet
+               : static_cast<simnet::SimTime>(16'000'000 + rng.uniform_index(1'000'000'000));
+    queue.schedule(now + offset, handler, 0);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EventQueueMixedHorizon);
+
 void BM_LinkTransmit(benchmark::State& state) {
   struct Sink : simnet::PacketSink {
     void on_packet(simnet::Simulation&, const simnet::Packet&) override {}

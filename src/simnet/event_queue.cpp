@@ -1,19 +1,117 @@
 #include "simnet/event_queue.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
+#include <utility>
 
 namespace sss::simnet {
+
+EventQueue::EventQueue() { buckets_.resize(kNumBuckets); }
 
 void EventQueue::schedule(SimTime at, EventHandler& handler, int kind, std::uint64_t a,
                           std::uint64_t b) {
   if (at < 0) throw std::invalid_argument("EventQueue: negative event time");
-  heap_.push(Event{at, next_seq_++, &handler, kind, a, b});
+  insert(Event{at, next_seq_++, &handler, kind, a, b});
+}
+
+void EventQueue::schedule_reserved(SimTime at, std::uint64_t seq, EventHandler& handler,
+                                   int kind, std::uint64_t a, std::uint64_t b) {
+  if (at < 0) throw std::invalid_argument("EventQueue: negative event time");
+  if (seq >= next_seq_) {
+    throw std::logic_error("EventQueue: schedule_reserved with unclaimed seq");
+  }
+  insert(Event{at, seq, &handler, kind, a, b});
+}
+
+void EventQueue::insert(Event&& e) {
+  const std::int64_t w = window_of(e.at);
+  if (w < current_window_) rewind_window(e.at);
+  if (w > current_window_) {
+    far_.push_back(std::move(e));
+    std::push_heap(far_.begin(), far_.end(), Later{});
+  } else {
+    const std::size_t b = bucket_of(e.at);
+    buckets_[b].push_back(std::move(e));
+    mark_occupied(b);
+    if (b < cursor_) {
+      cursor_ = b;
+      cursor_sorted_ = false;
+    } else if (b == cursor_) {
+      cursor_sorted_ = false;
+    }
+  }
+  ++size_;
+  if (size_ > high_water_) high_water_ = size_;
+}
+
+void EventQueue::rewind_window(SimTime at) {
+  bool moved = false;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    std::vector<Event>& bucket = buckets_[b];
+    if (bucket.empty()) continue;
+    for (Event& e : bucket) far_.push_back(std::move(e));
+    bucket.clear();
+    moved = true;
+  }
+  if (moved) std::make_heap(far_.begin(), far_.end(), Later{});
+  occupied_.fill(0);
+  current_window_ = window_of(at);
+  cursor_ = 0;
+  cursor_sorted_ = false;
+}
+
+void EventQueue::ensure_front() {
+  for (;;) {
+    // Next occupied bucket at or after the cursor, via the bitmap.
+    std::size_t word = cursor_ >> 6;
+    std::uint64_t bits =
+        word < kBitmapWords ? occupied_[word] & (~std::uint64_t{0} << (cursor_ & 63)) : 0;
+    while (bits == 0 && ++word < kBitmapWords) bits = occupied_[word];
+    if (bits != 0) {
+      const std::size_t bucket = (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+      if (bucket != cursor_) {
+        cursor_ = bucket;
+        cursor_sorted_ = false;
+      }
+      if (!cursor_sorted_) {
+        // Descending sort: the earliest (time, seq) key sits at back(), so
+        // draining the bucket is pop_back — no consumed-prefix bookkeeping.
+        std::sort(buckets_[cursor_].begin(), buckets_[cursor_].end(), Later{});
+        cursor_sorted_ = true;
+      }
+      return;
+    }
+    // Window drained; advance to the earliest far window and migrate it in.
+    if (far_.empty()) throw std::logic_error("EventQueue: inconsistent size");
+    current_window_ = window_of(far_.front().at);
+    cursor_ = 0;
+    cursor_sorted_ = false;
+    while (!far_.empty() && window_of(far_.front().at) == current_window_) {
+      std::pop_heap(far_.begin(), far_.end(), Later{});
+      Event e = std::move(far_.back());
+      far_.pop_back();
+      const std::size_t b = bucket_of(e.at);
+      buckets_[b].push_back(std::move(e));
+      mark_occupied(b);
+    }
+  }
+}
+
+SimTime EventQueue::next_time() {
+  if (size_ == 0) throw std::logic_error("EventQueue::next_time on empty queue");
+  ensure_front();
+  return buckets_[cursor_].back().at;
 }
 
 Event EventQueue::pop() {
-  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
-  Event e = heap_.top();
-  heap_.pop();
+  if (size_ == 0) throw std::logic_error("EventQueue::pop on empty queue");
+  ensure_front();
+  std::vector<Event>& bucket = buckets_[cursor_];
+  Event e = std::move(bucket.back());
+  bucket.pop_back();
+  if (bucket.empty()) mark_empty(cursor_);
+  --size_;
   return e;
 }
 

@@ -1,17 +1,45 @@
 // event_queue.hpp — the discrete-event scheduler.
 //
-// A binary heap of (time, sequence) keyed events.  The sequence number makes
-// ordering of simultaneous events deterministic (FIFO in scheduling order),
-// which in turn makes every experiment reproducible bit-for-bit from its
-// seed — a property the test suite relies on.
+// A two-tier indexed scheduler keyed on (time, sequence).  The sequence
+// number makes ordering of simultaneous events deterministic (FIFO in
+// scheduling order), which in turn makes every experiment reproducible
+// bit-for-bit from its seed — a property the test suite relies on.  The
+// total order delivered by pop() is exactly the (time, seq) order a binary
+// heap would produce; only the data structure behind it changed.
+//
+// Tiers:
+//   near  — a calendar of kNumBuckets buckets, each kBucketWidthNs wide,
+//           covering the current time window of kWindowNs.  schedule() into
+//           the window is an O(1) bucket append; pop() drains the cursor
+//           bucket, which is sorted descending on first touch so the
+//           earliest event sits at back() and each subsequent pop is a
+//           move-out + pop_back.  A 64-bit occupancy bitmap skips empty
+//           buckets without scanning them.
+//   far   — a min-heap holding everything beyond the current window (RTO
+//           timers, client spawns seconds away).  When the window drains,
+//           the queue advances to the window of the earliest far event and
+//           migrates that window's events into the calendar.
+//
+// Why: the hot path of the TCP simulator schedules tens of millions of
+// events per run.  A binary heap pays O(log n) comparator swaps of 48-byte
+// Events on every schedule AND every pop; the calendar pays an append and an
+// amortized short sort of temporally-local events.  See README "Performance"
+// for measured numbers.
+//
+// Reserved sequences: Link keeps one outstanding delivery event per link and
+// chains the next delivery when one fires (see simnet/link.hpp).  So that
+// chaining cannot perturb the (time, seq) total order, the link reserves the
+// sequence number at transmit time — exactly where the old per-packet
+// schedule() call sat — and later schedules with that reserved key via
+// schedule_reserved().  Event keys are therefore bit-identical to the
+// one-event-per-packet design while queue occupancy stays O(links).
 //
 // Events target an EventHandler with an integer kind and two integer
-// arguments rather than a std::function: the hot path of the TCP simulator
-// schedules tens of millions of events per run and must not allocate.
+// arguments rather than a std::function: the hot path must not allocate.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "simnet/time.hpp"
@@ -39,24 +67,85 @@ struct Event {
 
 class EventQueue {
  public:
+  EventQueue();
+
   void schedule(SimTime at, EventHandler& handler, int kind, std::uint64_t a = 0,
                 std::uint64_t b = 0);
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
-  [[nodiscard]] SimTime next_time() const { return heap_.top().at; }
+  // Claim the next sequence number without scheduling anything yet.  Pair
+  // with schedule_reserved() to defer the insertion (delivery chaining)
+  // while keeping the (time, seq) key the immediate schedule() would have
+  // had.
+  [[nodiscard]] std::uint64_t reserve_seq() { return next_seq_++; }
+  void schedule_reserved(SimTime at, std::uint64_t seq, EventHandler& handler, int kind,
+                         std::uint64_t a = 0, std::uint64_t b = 0);
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  // Earliest scheduled time.  Precondition: !empty().  (Positions the
+  // cursor, hence non-const.)
+  [[nodiscard]] SimTime next_time();
   // Pop the earliest event.  Precondition: !empty().
   [[nodiscard]] Event pop();
+  // Sequence numbers consumed so far (schedule() calls + reserve_seq()
+  // claims) — the historical "events scheduled" figure.
   [[nodiscard]] std::uint64_t scheduled_total() const { return next_seq_; }
+  // Largest number of events ever resident at once.  The delivery-chaining
+  // design keeps this O(links + flows) instead of O(packets in flight);
+  // tests/simnet/queue_occupancy_test.cpp pins that bound.
+  [[nodiscard]] std::size_t high_water_mark() const { return high_water_; }
 
  private:
+  // 1024 buckets x 16.4 us = a 16.8 ms near window: packet serialization
+  // and RTT-scale events land in the calendar; RTO timers and second-scale
+  // client spawns ride the far heap.  1024 buckets keeps queue construction
+  // cheap (one 24 KB header slab) — short simulations are constructed per
+  // sweep cell, so the empty-queue cost is itself on the hot path.
+  static constexpr int kBucketShift = 14;                       // 16384 ns wide
+  static constexpr int kBucketBits = 10;                        // 1024 buckets
+  static constexpr std::size_t kNumBuckets = std::size_t{1} << kBucketBits;
+  static constexpr int kWindowShift = kBucketShift + kBucketBits;
+  static constexpr std::size_t kBitmapWords = kNumBuckets / 64;
+
+  // Heap/sort comparator: x before y when x fires later (so sorted-descending
+  // vectors pop the earliest from the back, and the far heap's front is the
+  // earliest event).
   struct Later {
     bool operator()(const Event& x, const Event& y) const {
       if (x.at != y.at) return x.at > y.at;
       return x.seq > y.seq;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+
+  [[nodiscard]] static std::int64_t window_of(SimTime at) { return at >> kWindowShift; }
+  [[nodiscard]] static std::size_t bucket_of(SimTime at) {
+    return static_cast<std::size_t>(at >> kBucketShift) & (kNumBuckets - 1);
+  }
+
+  void insert(Event&& e);
+  // Move every calendar event to the far heap and rewind the window to
+  // contain `at` (only reachable by scheduling below the current window,
+  // which Simulation never does; raw-queue users like benches can).
+  void rewind_window(SimTime at);
+  // Advance cursor_ to the next occupied, sorted bucket; refill the calendar
+  // from the far heap when the window is drained.  Precondition: !empty().
+  void ensure_front();
+
+  void mark_occupied(std::size_t bucket) {
+    occupied_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+  }
+  void mark_empty(std::size_t bucket) {
+    occupied_[bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+  }
+
+  std::vector<std::vector<Event>> buckets_;
+  std::array<std::uint64_t, kBitmapWords> occupied_{};
+  std::vector<Event> far_;  // min-heap via std::push_heap/pop_heap + Later
+  std::int64_t current_window_ = 0;
+  std::size_t cursor_ = 0;
+  bool cursor_sorted_ = false;
+  std::size_t size_ = 0;
+  std::size_t high_water_ = 0;
   std::uint64_t next_seq_ = 0;
 };
 

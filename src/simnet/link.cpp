@@ -36,6 +36,14 @@ Link::Link(LinkConfig config, units::Seconds utilization_bucket)
     throw std::invalid_argument("Link buffer must be >= 0");
   }
   buffer_capacity_ns_ = transmission_time(config_.buffer.bytes(), config_.capacity);
+  propagation_ns_ = to_simtime(config_.propagation_delay);
+  // Steady-state in-flight depth: the drop-tail buffer plus one
+  // bandwidth-delay product of jumbo-frame packets, so the ring never grows
+  // mid-sweep.  Capped — a ring past its pre-size just doubles on demand.
+  const double bdp_bytes = config_.capacity.bps() / 8.0 * config_.propagation_delay.seconds();
+  const auto depth =
+      static_cast<std::size_t>((config_.buffer.bytes() + bdp_bytes) / 9000.0) + 1;
+  in_flight_.reserve(std::min<std::size_t>(depth, 16384));
 }
 
 double Link::backlog_bytes(SimTime now) const {
@@ -66,18 +74,35 @@ bool Link::transmit(Simulation& sim, const Packet& packet, PacketSink& destinati
   counters_.bytes_forwarded += packet.size_bytes;
   bytes_series_.record(to_seconds(start), static_cast<double>(packet.size_bytes));
 
-  in_flight_.emplace_back(packet, &destination);
-  const SimTime arrival = busy_until_ + to_simtime(config_.propagation_delay);
-  sim.schedule_at(arrival, *this, kDeliverEvent);
+  // Reserve the delivery event's sequence number NOW (the old design
+  // scheduled the event here); the chained schedule below or in on_event
+  // reuses it, keeping the (time, seq) total order bit-identical while only
+  // one delivery event per link sits in the queue.
+  const SimTime arrival = busy_until_ + propagation_ns_;
+  const std::uint64_t seq = sim.reserve_event_seq();
+  in_flight_.push_back(InFlight{packet, &destination, arrival, seq});
+  if (!delivery_pending_) {
+    delivery_pending_ = true;
+    sim.schedule_reserved(arrival, seq, *this, kDeliverEvent);
+  }
   return true;
 }
 
 void Link::on_event(Simulation& sim, int kind, std::uint64_t /*a*/, std::uint64_t /*b*/) {
   if (kind != kDeliverEvent) throw std::logic_error("Link: unexpected event kind");
   if (in_flight_.empty()) throw std::logic_error("Link: delivery with empty in-flight queue");
-  auto [packet, sink] = in_flight_.front();
-  in_flight_.pop_front();
-  sink->on_packet(sim, packet);
+  InFlight entry = in_flight_.pop_front();
+  // Chain the next delivery before handing the packet to the sink: if the
+  // sink re-enters transmit() on this link it must observe the event as
+  // already outstanding.  Arrivals are strictly increasing (serialization
+  // takes >= 1 ns), so the chained time is always in the future.
+  if (!in_flight_.empty()) {
+    const InFlight& next = in_flight_.front();
+    sim.schedule_reserved(next.arrival, next.seq, *this, kDeliverEvent);
+  } else {
+    delivery_pending_ = false;
+  }
+  entry.sink->on_packet(sim, entry.packet);
 }
 
 double Link::peak_utilization() const {

@@ -4,9 +4,18 @@
 // starts transmission at max(t, busy_until) and the backlog
 // (busy_until - t) * capacity is the queue occupancy in bytes.  Because the
 // queue is FIFO and the propagation delay constant, deliveries complete in
-// enqueue order, so a single pending-delivery deque replaces per-queue-slot
-// events — this is what lets the packet-level TCP simulator run Table-2
+// enqueue order, so the link keeps exactly ONE outstanding delivery event:
+// when it fires, the front of the in-flight ring is delivered and the next
+// delivery is chained at its precomputed arrival time.  The global event
+// queue therefore holds O(links) delivery events instead of one per
+// in-flight packet — multi-hop topologies scale with hop count, not window
+// size — and this is what lets the packet-level TCP simulator run Table-2
 // scale sweeps (tens of millions of packets) in seconds.
+//
+// Determinism: each accepted packet reserves its event sequence number at
+// transmit time (EventQueue::reserve_seq), so the chained delivery carries
+// the exact (time, seq) key the old one-event-per-packet design assigned —
+// the event total order, and thus every seed-pinned golden, is unchanged.
 //
 // Drop-tail semantics: a packet whose acceptance would push the backlog
 // above `buffer` is dropped at arrival, exactly like a switch output queue.
@@ -15,10 +24,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
+#include "simnet/ring_buffer.hpp"
 #include "simnet/simulation.hpp"
 #include "simnet/time.hpp"
 #include "stats/timeseries.hpp"
@@ -98,13 +107,26 @@ class Link : public EventHandler {
   [[nodiscard]] double mean_utilization() const;
   [[nodiscard]] const stats::TimeSeries& bytes_series() const { return bytes_series_; }
   [[nodiscard]] double loss_rate() const;
+  // Packets accepted but not yet delivered (wire + propagation).
+  [[nodiscard]] std::size_t in_flight_count() const { return in_flight_.size(); }
+  // True while a chained delivery event is scheduled (at most one per link).
+  [[nodiscard]] bool delivery_pending() const { return delivery_pending_; }
 
  private:
+  struct InFlight {
+    Packet packet;
+    PacketSink* sink = nullptr;
+    SimTime arrival = 0;     // precomputed delivery time
+    std::uint64_t seq = 0;   // event sequence reserved at transmit
+  };
+
   LinkConfig config_;
   LinkCounters counters_;
   SimTime busy_until_ = 0;
   SimTime buffer_capacity_ns_;  // buffer expressed as serialization time
-  std::deque<std::pair<Packet, PacketSink*>> in_flight_;
+  SimTime propagation_ns_;      // propagation delay in integer nanoseconds
+  RingBuffer<InFlight> in_flight_;
+  bool delivery_pending_ = false;
   stats::TimeSeries bytes_series_;
 };
 

@@ -12,10 +12,7 @@ Path::Path(const std::vector<LinkConfig>& hops, units::Seconds utilization_bucke
     owned_.push_back(std::make_unique<Link>(cfg, utilization_bucket));
     hops_.push_back(owned_.back().get());
   }
-  for (std::size_t h = 0; h + 1 < hops_.size(); ++h) {
-    relays_.push_back(std::make_unique<Relay>(*this, h));
-  }
-  pending_.resize(relays_.size());
+  init_route();
 }
 
 Path::Path(std::vector<Link*> hops) : hops_(std::move(hops)) {
@@ -23,10 +20,26 @@ Path::Path(std::vector<Link*> hops) : hops_(std::move(hops)) {
   for (Link* link : hops_) {
     if (link == nullptr) throw std::invalid_argument("Path: null hop");
   }
+  init_route();
+}
+
+void Path::init_route() {
   for (std::size_t h = 0; h + 1 < hops_.size(); ++h) {
     relays_.push_back(std::make_unique<Relay>(*this, h));
   }
   pending_.resize(relays_.size());
+  for (RingBuffer<PacketSink*>& ring : pending_) ring.reserve(1024);
+  // Hop configs are immutable after construction, so the bottleneck index
+  // and summed delay — queried per ACK by TcpFlow's auto-window and per
+  // evaluation by the decision layer — are computed exactly once.
+  for (std::size_t h = 1; h < hops_.size(); ++h) {
+    if (hops_[h]->config().capacity.bps() < hops_[bottleneck_hop_]->config().capacity.bps()) {
+      bottleneck_hop_ = h;
+    }
+  }
+  for (const Link* link : hops_) {
+    total_propagation_delay_ += link->config().propagation_delay;
+  }
 }
 
 bool Path::transmit(Simulation& sim, const Packet& packet, PacketSink& destination) {
@@ -48,31 +61,10 @@ bool Path::send_on_hop(Simulation& sim, std::size_t hop, const Packet& packet,
 void Path::Relay::on_packet(Simulation& sim, const Packet& packet) {
   auto& queue = path_.pending_[hop_];
   if (queue.empty()) throw std::logic_error("Path: relay delivery with no pending sink");
-  PacketSink* destination = queue.front();
-  queue.pop_front();
+  PacketSink* destination = queue.pop_front();
   // A drop at this or any later hop is silent: the sender discovers the
   // loss through duplicate ACKs or RTO, never through a return value.
   (void)path_.send_on_hop(sim, hop_ + 1, packet, *destination);
-}
-
-units::DataRate Path::bottleneck_capacity() const {
-  return hops_[bottleneck_hop()]->config().capacity;
-}
-
-std::size_t Path::bottleneck_hop() const {
-  std::size_t slowest = 0;
-  for (std::size_t h = 1; h < hops_.size(); ++h) {
-    if (hops_[h]->config().capacity.bps() < hops_[slowest]->config().capacity.bps()) {
-      slowest = h;
-    }
-  }
-  return slowest;
-}
-
-units::Seconds Path::total_propagation_delay() const {
-  units::Seconds total = units::Seconds::of(0.0);
-  for (const Link* link : hops_) total = total + link->config().propagation_delay;
-  return total;
 }
 
 double Path::aggregate_loss_rate() const {

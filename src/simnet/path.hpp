@@ -24,11 +24,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "simnet/link.hpp"
+#include "simnet/ring_buffer.hpp"
 #include "simnet/simulation.hpp"
 #include "units/units.hpp"
 
@@ -57,11 +57,17 @@ class Path {
   [[nodiscard]] const Link& hop(std::size_t i) const { return *hops_[i]; }
 
   // Capacity of the slowest hop (the path's effective bandwidth ceiling).
-  [[nodiscard]] units::DataRate bottleneck_capacity() const;
+  // Cached at construction: TcpFlow's auto-window and the decision layer
+  // query these repeatedly, and hop configs are immutable after build.
+  [[nodiscard]] units::DataRate bottleneck_capacity() const {
+    return hops_[bottleneck_hop_]->config().capacity;
+  }
   // Index of the slowest hop (first on ties).
-  [[nodiscard]] std::size_t bottleneck_hop() const;
+  [[nodiscard]] std::size_t bottleneck_hop() const { return bottleneck_hop_; }
   // Sum of one-way propagation delays across hops.
-  [[nodiscard]] units::Seconds total_propagation_delay() const;
+  [[nodiscard]] units::Seconds total_propagation_delay() const {
+    return total_propagation_delay_;
+  }
 
   // Aggregate path loss: packets dropped at any hop over packets offered
   // at any hop.  Offered counts include traffic that entered mid-path
@@ -85,13 +91,17 @@ class Path {
 
   bool send_on_hop(Simulation& sim, std::size_t hop, const Packet& packet,
                    PacketSink& destination);
+  // Build relays/pending rings and the bottleneck/delay caches (both ctors).
+  void init_route();
 
   std::vector<std::unique_ptr<Link>> owned_;
   std::vector<Link*> hops_;
   std::vector<std::unique_ptr<Relay>> relays_;  // one per hop except the last
   // Final destinations of packets in flight on hop h, in delivery (FIFO)
   // order; parallel to the link's own in-flight queue.
-  std::vector<std::deque<PacketSink*>> pending_;
+  std::vector<RingBuffer<PacketSink*>> pending_;
+  std::size_t bottleneck_hop_ = 0;
+  units::Seconds total_propagation_delay_ = units::Seconds::of(0.0);
 };
 
 // Hop configs for the ACK/return direction of `forward_hops`: the same

@@ -19,6 +19,12 @@ void Simulation::schedule_in(SimTime delay, EventHandler& handler, int kind, std
   schedule_at(now_ + delay, handler, kind, a, b);
 }
 
+void Simulation::schedule_reserved(SimTime at, std::uint64_t seq, EventHandler& handler,
+                                   int kind, std::uint64_t a, std::uint64_t b) {
+  if (at < now_) throw std::invalid_argument("Simulation: cannot schedule in the past");
+  queue_.schedule_reserved(at, seq, handler, kind, a, b);
+}
+
 void Simulation::call_at(SimTime at, std::function<void(Simulation&)> fn) {
   std::size_t slot;
   if (!free_slots_.empty()) {

@@ -30,6 +30,14 @@ class Simulation {
   void schedule_in(SimTime delay, EventHandler& handler, int kind, std::uint64_t a = 0,
                    std::uint64_t b = 0);
 
+  // Deferred scheduling for delivery chaining (see simnet/link.hpp): claim
+  // the sequence number where the immediate schedule_at would have sat, and
+  // schedule with it later.  Keeps the (time, seq) total order — and every
+  // seed-pinned golden — bit-identical to one-event-per-packet scheduling.
+  [[nodiscard]] std::uint64_t reserve_event_seq() { return queue_.reserve_seq(); }
+  void schedule_reserved(SimTime at, std::uint64_t seq, EventHandler& handler, int kind,
+                         std::uint64_t a = 0, std::uint64_t b = 0);
+
   // Schedule an arbitrary callable.  Allocates; intended for control-plane
   // work (client spawning, experiment teardown), not per-packet events.
   void call_at(SimTime at, std::function<void(Simulation&)> fn);
@@ -48,6 +56,11 @@ class Simulation {
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] std::uint64_t events_scheduled() const { return queue_.scheduled_total(); }
+  // Events currently resident in the queue.  With delivery chaining this is
+  // O(links + flows), not O(packets in flight).
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  // Largest pending_events() ever observed (queue occupancy high-water).
+  [[nodiscard]] std::size_t queue_high_water() const { return queue_.high_water_mark(); }
 
  private:
   // Adapter letting std::function callables ride the typed event queue: the

@@ -30,6 +30,12 @@ TcpFlow::TcpFlow(std::uint32_t id, units::Bytes total, const TcpConfig& config, 
       std::ceil(total.bytes() / static_cast<double>(config_.mss_bytes)));
   retransmitted_.assign(total_packets_, false);
   received_.assign(total_packets_, false);
+  // Final-segment payload, computed once: payload_of sits on the
+  // per-packet send path and must not redo floating-point size math.
+  const double whole = static_cast<double>(total_packets_ - 1) *
+                       static_cast<double>(config_.mss_bytes);
+  last_payload_ =
+      static_cast<std::uint32_t>(std::max(1.0, total_bytes_.bytes() - whole));
 
   if (config_.max_cwnd_packets <= 0.0) {
     // Auto receiver window: 2 x bandwidth-delay product of the forward path
@@ -43,11 +49,7 @@ TcpFlow::TcpFlow(std::uint32_t id, units::Bytes total, const TcpConfig& config, 
 }
 
 std::uint32_t TcpFlow::payload_of(std::uint64_t seq) const {
-  if (seq + 1 < total_packets_) return config_.mss_bytes;
-  const double whole = static_cast<double>(total_packets_ - 1) *
-                       static_cast<double>(config_.mss_bytes);
-  const double last = total_bytes_.bytes() - whole;
-  return static_cast<std::uint32_t>(std::max(1.0, last));
+  return seq + 1 < total_packets_ ? config_.mss_bytes : last_payload_;
 }
 
 double TcpFlow::effective_window() const {

@@ -114,6 +114,7 @@ class TcpFlow : public PacketSink, public EventHandler {
   // --- sender state ---
   units::Bytes total_bytes_;
   std::uint64_t total_packets_;
+  std::uint32_t last_payload_ = 0;  // final-segment payload, precomputed
   std::uint64_t next_seq_ = 0;       // next packet index to send
   std::uint64_t highest_sent_ = 0;   // one past the highest index ever sent
   std::uint64_t highest_acked_ = 0;  // all packets < this are acked

@@ -405,6 +405,7 @@ ExperimentResult run_experiment(const WorkloadConfig& config) {
   result.offered_load = config.offered_load();
   result.metrics = orchestrator.collect(deadline, forward);
   result.events_processed = sim.events_processed();
+  result.queue_high_water = sim.queue_high_water();
   result.sim_duration_s = sim.now_seconds().seconds();
   return result;
 }

@@ -136,6 +136,10 @@ struct ExperimentResult {
   ExperimentMetrics metrics;
   double offered_load = 0.0;
   std::uint64_t events_processed = 0;
+  // Event-queue occupancy high-water mark: with per-link delivery chaining
+  // this stays O(links + flows) even when tens of thousands of packets are
+  // in flight (pinned by tests/simnet/queue_occupancy_test.cpp).
+  std::uint64_t queue_high_water = 0;
   double sim_duration_s = 0.0;  // virtual time at drain
 
   // Streaming Speed Score inputs (Section 4.1).

@@ -1,8 +1,15 @@
-// Tests for the event queue: ordering, FIFO tie-breaking, error paths.
+// Tests for the event queue: ordering, FIFO tie-breaking, error paths, and
+// the two-tier scheduler specifics — bucket-boundary times, far-horizon
+// spill, window rewinds, reserved sequences, and a randomized differential
+// check against a reference binary heap.
 #include "simnet/event_queue.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <random>
 #include <stdexcept>
 #include <vector>
 
@@ -85,6 +92,173 @@ TEST(EventQueue, ScheduledTotalCounts) {
   q.schedule(1, h, 0);
   q.schedule(2, h, 0);
   EXPECT_EQ(q.scheduled_total(), 2u);
+}
+
+// --- two-tier scheduler specifics ------------------------------------------
+
+// Bucket width is 2^14 ns and the near window spans 2^24 ns; times straddling
+// those boundaries must still pop in global (time, seq) order.
+TEST(EventQueue, BucketAndWindowBoundaryTimes) {
+  constexpr SimTime kBucket = SimTime{1} << 14;
+  constexpr SimTime kWindow = SimTime{1} << 24;
+  EventQueue q;
+  RecordingHandler h;
+  const std::vector<SimTime> times = {
+      kWindow + 1, kBucket,     kBucket - 1, 0,           kWindow - 1,
+      kWindow,     kBucket + 1, 2 * kWindow, kWindow + kBucket};
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    q.schedule(times[i], h, static_cast<int>(i));
+  }
+  std::vector<SimTime> sorted = times;
+  std::sort(sorted.begin(), sorted.end());
+  for (const SimTime expected : sorted) EXPECT_EQ(q.pop().at, expected);
+  EXPECT_TRUE(q.empty());
+}
+
+// Events seconds away (RTO timers, client spawns) spill to the far heap and
+// migrate back when the near window drains.
+TEST(EventQueue, FarHorizonSpillAndRefill) {
+  EventQueue q;
+  RecordingHandler h;
+  q.schedule(1'000'000'000, h, 2);  // ~60 windows out
+  q.schedule(100, h, 0);
+  q.schedule(3'000'000'000, h, 3);
+  q.schedule(200'000, h, 1);
+  EXPECT_EQ(q.next_time(), 100);
+  EXPECT_EQ(q.pop().kind, 0);
+  EXPECT_EQ(q.pop().kind, 1);
+  EXPECT_EQ(q.next_time(), 1'000'000'000);
+  EXPECT_EQ(q.pop().kind, 2);
+  EXPECT_EQ(q.pop().kind, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SimultaneousFarEventsStayFifo) {
+  EventQueue q;
+  RecordingHandler h;
+  for (int i = 0; i < 64; ++i) q.schedule(5'000'000'000, h, i);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(q.pop().kind, i);
+}
+
+// Scheduling below the current window (legal for raw-queue users such as the
+// microbench, though Simulation never does it) rewinds the window.
+TEST(EventQueue, RewindBelowCurrentWindow) {
+  EventQueue q;
+  RecordingHandler h;
+  q.schedule(2'000'000'000, h, 1);
+  EXPECT_EQ(q.pop().kind, 1);  // advances the window to ~t=2e9
+  q.schedule(5, h, 2);
+  q.schedule(2'100'000'000, h, 3);
+  q.schedule(7, h, 4);
+  EXPECT_EQ(q.pop().kind, 2);
+  EXPECT_EQ(q.pop().kind, 4);
+  EXPECT_EQ(q.pop().kind, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+// Interleaved schedule/pop with inserts landing in the partially-drained
+// cursor bucket.
+TEST(EventQueue, InterleavedScheduleAndPop) {
+  EventQueue q;
+  RecordingHandler h;
+  q.schedule(10, h, 0);
+  q.schedule(30, h, 1);
+  q.schedule(50, h, 2);
+  EXPECT_EQ(q.pop().kind, 0);
+  q.schedule(20, h, 3);  // same bucket, earlier than remaining events
+  q.schedule(40, h, 4);
+  EXPECT_EQ(q.pop().kind, 3);
+  EXPECT_EQ(q.pop().kind, 1);
+  q.schedule(45, h, 5);
+  EXPECT_EQ(q.pop().kind, 4);
+  EXPECT_EQ(q.pop().kind, 5);
+  EXPECT_EQ(q.pop().kind, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+// A reserved sequence pins the tie-break to the reservation point: an event
+// scheduled later with a reserved seq pops before same-time events whose
+// seqs were claimed after the reservation.
+TEST(EventQueue, ReservedSeqPinsTieBreakToReservationPoint) {
+  EventQueue q;
+  RecordingHandler h;
+  const std::uint64_t reserved = q.reserve_seq();
+  q.schedule(100, h, 2);  // claims the NEXT seq
+  q.schedule_reserved(100, reserved, h, 1);
+  EXPECT_EQ(q.pop().kind, 1) << "reserved seq predates the direct schedule";
+  EXPECT_EQ(q.pop().kind, 2);
+  EXPECT_EQ(q.scheduled_total(), 2u);
+}
+
+TEST(EventQueue, ScheduleReservedRejectsUnclaimedSeq) {
+  EventQueue q;
+  RecordingHandler h;
+  EXPECT_THROW(q.schedule_reserved(1, 0, h, 0), std::logic_error);
+}
+
+TEST(EventQueue, HighWaterMarkTracksPeakOccupancy) {
+  EventQueue q;
+  RecordingHandler h;
+  EXPECT_EQ(q.high_water_mark(), 0u);
+  for (int i = 0; i < 10; ++i) q.schedule(i, h, i);
+  for (int i = 0; i < 10; ++i) (void)q.pop();
+  q.schedule(1, h, 0);
+  EXPECT_EQ(q.high_water_mark(), 10u);
+}
+
+// Differential test: any interleaving of schedule/pop must reproduce the
+// (time, seq) total order of a reference binary heap exactly — this is the
+// determinism contract every seed-pinned golden relies on.
+TEST(EventQueue, MatchesReferenceHeapUnderRandomWorkload) {
+  struct Ref {
+    SimTime at;
+    std::uint64_t seq;
+  };
+  struct RefLater {
+    bool operator()(const Ref& x, const Ref& y) const {
+      if (x.at != y.at) return x.at > y.at;
+      return x.seq > y.seq;
+    }
+  };
+  EventQueue q;
+  RecordingHandler h;
+  std::priority_queue<Ref, std::vector<Ref>, RefLater> ref;
+  std::mt19937_64 rng(7);
+  std::uint64_t seq = 0;
+  SimTime low_bound = 0;  // mimic Simulation: never schedule before "now"
+  for (int step = 0; step < 20'000; ++step) {
+    const bool do_pop = !ref.empty() && rng() % 3 == 0;
+    if (do_pop) {
+      const Ref expected = ref.top();
+      ref.pop();
+      const Event got = q.pop();
+      ASSERT_EQ(got.at, expected.at) << "step " << step;
+      ASSERT_EQ(got.seq, expected.seq) << "step " << step;
+      low_bound = got.at;
+    } else {
+      // Mix of near-bucket, cross-bucket, and far-horizon offsets.
+      const std::uint64_t r = rng() % 100;
+      SimTime offset;
+      if (r < 60) {
+        offset = static_cast<SimTime>(rng() % 20'000);          // same/near bucket
+      } else if (r < 90) {
+        offset = static_cast<SimTime>(rng() % 2'000'000);       // across buckets
+      } else {
+        offset = static_cast<SimTime>(rng() % 3'000'000'000);   // far horizon
+      }
+      const SimTime at = low_bound + offset;
+      q.schedule(at, h, 0);
+      ref.push(Ref{at, seq++});
+    }
+  }
+  while (!ref.empty()) {
+    const Ref expected = ref.top();
+    ref.pop();
+    const Event got = q.pop();
+    ASSERT_EQ(got.at, expected.at);
+    ASSERT_EQ(got.seq, expected.seq);
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace

@@ -161,6 +161,48 @@ TEST(Link, LossRateReflectsDrops) {
   EXPECT_LE(link.loss_rate(), 1.0);
 }
 
+// Delivery chaining: a busy link keeps exactly ONE outstanding delivery
+// event no matter how many packets are in flight — the O(links) queue
+// occupancy the event-engine overhaul is built on.
+TEST(Link, OneOutstandingDeliveryEventPerBusyLink) {
+  Simulation sim;
+  Link link(test_link(1.0, 1.0, 10.0));
+  CollectingSink sink;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    Packet p;
+    p.seq = i;
+    p.size_bytes = 1250;
+    ASSERT_TRUE(link.transmit(sim, p, sink));
+  }
+  EXPECT_EQ(link.in_flight_count(), 50u);
+  EXPECT_TRUE(link.delivery_pending());
+  EXPECT_EQ(sim.pending_events(), 1u) << "one delivery event, not one per packet";
+  sim.run();
+  ASSERT_EQ(sink.deliveries.size(), 50u);
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_EQ(sink.deliveries[i].second.seq, i);
+  EXPECT_EQ(link.in_flight_count(), 0u);
+  EXPECT_FALSE(link.delivery_pending());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// The chain re-arms after the link drains to idle.
+TEST(Link, DeliveryChainRearmsAfterIdle) {
+  Simulation sim;
+  Link link(test_link(1.0, 0.5));
+  CollectingSink sink;
+  Packet p;
+  p.size_bytes = 1250;
+  ASSERT_TRUE(link.transmit(sim, p, sink));
+  sim.run();
+  ASSERT_EQ(sink.deliveries.size(), 1u);
+  EXPECT_FALSE(link.delivery_pending());
+  ASSERT_TRUE(link.transmit(sim, p, sink));
+  EXPECT_TRUE(link.delivery_pending());
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sink.deliveries.size(), 2u);
+}
+
 TEST(Link, ZeroBufferStillPassesOnePacketAtATime) {
   // With a zero buffer a packet arriving while the wire is busy is dropped,
   // but an idle wire accepts.

@@ -1,0 +1,92 @@
+// Tests for the hot-path FIFO ring: FIFO order, move-out pops, reserve, and
+// — critically — growth while head_ is wrapped mid-buffer, the one
+// production-reachable path (Link caps its pre-size, so a high-BDP link can
+// outgrow it mid-simulation) where an unwrap mistake would silently reorder
+// in-flight packets.
+#include "simnet/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace sss::simnet {
+namespace {
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> ring;
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 5; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ring.pop_front(), i);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, ReservePreallocates) {
+  RingBuffer<int> ring;
+  ring.reserve(100);
+  const std::size_t cap = ring.capacity();
+  EXPECT_GE(cap, 100u);
+  for (int i = 0; i < 100; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.capacity(), cap) << "no growth within reserved capacity";
+}
+
+TEST(RingBuffer, GrowthWithWrappedHeadPreservesOrder) {
+  RingBuffer<int> ring(16);
+  // Wrap head_ past the middle of the slab, keeping the ring full enough
+  // that the next pushes straddle the wrap point.
+  for (int i = 0; i < 12; ++i) ring.push_back(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ring.pop_front(), i);
+  for (int i = 12; i < 26; ++i) ring.push_back(i);  // fills to 16, wraps
+  EXPECT_EQ(ring.size(), 16u);
+  ring.push_back(26);  // forces grow() with head_ != 0 and wrapped contents
+  ring.push_back(27);
+  EXPECT_GT(ring.capacity(), 16u);
+  for (int i = 10; i < 28; ++i) EXPECT_EQ(ring.pop_front(), i);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, RepeatedWrapAndGrowStress) {
+  RingBuffer<std::uint64_t> ring;
+  std::uint64_t next_in = 0;
+  std::uint64_t next_out = 0;
+  // Sawtooth depth so head_ lands at many different offsets across several
+  // doublings; verify strict FIFO throughout.
+  for (int round = 0; round < 200; ++round) {
+    const int depth = 3 + (round * 7) % 97;
+    for (int i = 0; i < depth; ++i) ring.push_back(next_in++);
+    const int drain = depth / 2 + (round % 3);
+    for (int i = 0; i < drain && !ring.empty(); ++i) {
+      ASSERT_EQ(ring.pop_front(), next_out++);
+    }
+  }
+  while (!ring.empty()) ASSERT_EQ(ring.pop_front(), next_out++);
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(RingBuffer, PopMovesOut) {
+  RingBuffer<std::unique_ptr<std::string>> ring;
+  ring.push_back(std::make_unique<std::string>("a"));
+  ring.push_back(std::make_unique<std::string>("b"));
+  auto a = ring.pop_front();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(*a, "a");
+  EXPECT_EQ(*ring.front(), "b");
+}
+
+TEST(RingBuffer, GrowthWithMoveOnlyElements) {
+  RingBuffer<std::unique_ptr<int>> ring(16);
+  for (int i = 0; i < 8; ++i) ring.push_back(std::make_unique<int>(i));
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(*ring.pop_front(), i);
+  for (int i = 8; i < 40; ++i) ring.push_back(std::make_unique<int>(i));  // grows wrapped
+  for (int i = 6; i < 40; ++i) {
+    auto p = ring.pop_front();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, i);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace sss::simnet

@@ -1,0 +1,152 @@
+// bench_baseline — records the repo's perf trajectory in BENCH_micro.json.
+//
+// Runs the google-benchmark microbenches (micro_substrates
+// --benchmark_format=json) plus a wall-clock-timed scenario smoke
+// (scenario_runner --run hop_bottleneck_sweep) and writes one merged JSON
+// document.  Run it from the repo root after a Release build:
+//
+//   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+//   ./build/bench/bench_baseline                 # full run, ~1 min
+//   ./build/bench/bench_baseline --smoke         # CI: reduced repetitions
+//
+// Options:
+//   --build-dir D   where the bench binaries live (default: build)
+//   --out F         output path (default: BENCH_micro.json, the repo root
+//                   when run from there)
+//   --smoke         cut benchmark min-time and scenario scale for CI
+//   --filter R      forwarded as --benchmark_filter=R
+//
+// Committing the refreshed BENCH_micro.json alongside optimization PRs is
+// what gives the repo a recorded before/after history (README "Performance").
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+namespace {
+
+// Run `command` capturing stdout; returns empty on failure.
+std::string capture(const std::string& command, int& exit_code) {
+  std::string output;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    exit_code = -1;
+    return output;
+  }
+  std::array<char, 4096> chunk{};
+  std::size_t n = 0;
+  while ((n = fread(chunk.data(), 1, chunk.size(), pipe)) > 0) {
+    output.append(chunk.data(), n);
+  }
+  exit_code = pclose(pipe);
+  return output;
+}
+
+void strip_trailing_whitespace(std::string& s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r' || s.back() == ' ')) {
+    s.pop_back();
+  }
+}
+
+// Single-quote `s` for /bin/sh so benchmark regexes (|, .*) and paths with
+// spaces survive popen/system verbatim.
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string build_dir = "build";
+  std::string out_path = "BENCH_micro.json";
+  std::string filter;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_baseline: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--build-dir") {
+      build_dir = value("--build-dir");
+    } else if (arg == "--out") {
+      out_path = value("--out");
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--filter") {
+      filter = value("--filter");
+    } else {
+      std::cerr << "bench_baseline: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  // --- microbenches ---------------------------------------------------------
+  std::string micro_cmd =
+      shell_quote(build_dir + "/bench/micro_substrates") + " --benchmark_format=json";
+  if (smoke) micro_cmd += " --benchmark_min_time=0.05";
+  if (!filter.empty()) micro_cmd += " --benchmark_filter=" + shell_quote(filter);
+  micro_cmd += " 2>/dev/null";
+  std::cerr << "bench_baseline: running " << micro_cmd << "\n";
+  int micro_exit = 0;
+  std::string micro_json = capture(micro_cmd, micro_exit);
+  strip_trailing_whitespace(micro_json);
+  if (micro_exit != 0 || micro_json.empty() || micro_json.front() != '{') {
+    std::cerr << "bench_baseline: micro_substrates failed (exit " << micro_exit
+              << "); is it built in " << build_dir << "/bench and google-benchmark "
+              << "installed?\n";
+    return 1;
+  }
+
+  // --- timed scenario smoke -------------------------------------------------
+  const char* scenario = "hop_bottleneck_sweep";
+  const double scale = smoke ? 0.05 : 1.0;
+  const std::string scenario_cmd = "SSS_BENCH_SCALE=" + std::to_string(scale) + " " +
+                                   shell_quote(build_dir + "/bench/scenario_runner") +
+                                   " --run " + scenario + " > /dev/null";
+  std::cerr << "bench_baseline: running " << scenario_cmd << "\n";
+  const auto t0 = std::chrono::steady_clock::now();
+  const int scenario_exit = std::system(scenario_cmd.c_str());
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+  if (scenario_exit != 0) {
+    std::cerr << "bench_baseline: scenario_runner failed (exit " << scenario_exit << ")\n";
+    return 1;
+  }
+
+  // --- merged document ------------------------------------------------------
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_baseline: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"schema\": 1,\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"scenario_smoke\": {\n"
+      << "    \"name\": \"" << scenario << "\",\n"
+      << "    \"scale\": " << scale << ",\n"
+      << "    \"wall_seconds\": " << wall_s << "\n"
+      << "  },\n"
+      << "  \"micro\": " << micro_json << "\n"
+      << "}\n";
+  out.close();
+  std::cerr << "bench_baseline: wrote " << out_path << " (scenario " << wall_s
+            << " s wall)\n";
+  return 0;
+}
