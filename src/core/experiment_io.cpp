@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "trace/csv.hpp"
+#include "trace/parse.hpp"
 
 namespace sss::core {
 
@@ -17,16 +18,15 @@ std::string fmt(double v) {
   return buf;
 }
 
+// Strict shared parser (trace/parse.hpp) — rejects the leading-whitespace
+// and hex forms the previous std::stod-based reader silently accepted.
 double parse_double(const std::string& field, const char* context) {
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(field, &used);
-    if (used != field.size()) throw std::invalid_argument(field);
-    return v;
-  } catch (const std::exception&) {
+  const auto v = trace::parse_double(field);
+  if (!v.has_value()) {
     throw std::runtime_error(std::string("experiment_io: bad number in ") + context +
                              ": '" + field + "'");
   }
+  return *v;
 }
 
 void write_text_file(const std::string& path, const std::string& text) {

@@ -4,9 +4,12 @@
 // scenario API.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "scenario/plan.hpp"
 #include "scenario/spec.hpp"
 #include "trace/table.hpp"
 
@@ -18,22 +21,28 @@ inline std::string fmt(double v) { return trace::ConsoleTable::num(v, 6); }
 inline std::string fmt(int v) { return std::to_string(v); }
 inline std::string fmt(std::uint64_t v) { return std::to_string(v); }
 
+// Freeze a built plan into the shared-immutable form ScenarioSpec carries.
+inline std::shared_ptr<const ExperimentPlan> share(ExperimentPlan plan) {
+  return std::make_shared<const ExperimentPlan>(std::move(plan));
+}
+
 // The Table-2 grid every congestion sweep uses: concurrency 1..max_c for
-// each parallel-flow count, durations scaled by `scale`.
-inline std::vector<RunPoint> table2_grid(simnet::SpawnMode mode,
-                                         const std::vector<int>& parallel_flow_values,
-                                         int max_concurrency, double scale) {
-  std::vector<RunPoint> runs;
-  for (int p : parallel_flow_values) {
-    for (int c = 1; c <= max_concurrency; ++c) {
-      RunPoint run;
-      run.config = simnet::WorkloadConfig::paper_table2(c, p, mode);
-      run.config.duration = run.config.duration * scale;
-      run.label = "P=" + std::to_string(p) + " c=" + std::to_string(c);
-      runs.push_back(std::move(run));
-    }
-  }
-  return runs;
+// each parallel-flow count (parallel-flow axis outermost, matching the
+// original nested loops and therefore the per-run RNG stream order).
+inline ExperimentPlan table2_plan(std::string scenario, simnet::SpawnMode mode,
+                                  const std::vector<int>& parallel_flow_values,
+                                  int max_concurrency) {
+  ExperimentPlan plan;
+  plan.scenario = std::move(scenario);
+  plan.base = simnet::WorkloadConfig::paper_table2(1, 2, mode);
+  plan.axes.push_back(ParamAxis::list(
+      "parallel_flows",
+      std::vector<double>(parallel_flow_values.begin(), parallel_flow_values.end()),
+      "P="));
+  plan.axes.push_back(ParamAxis::linspace("concurrency", 1.0,
+                                          static_cast<double>(max_concurrency),
+                                          max_concurrency, "c="));
+  return plan;
 }
 
 }  // namespace sss::scenario::detail

@@ -1,6 +1,5 @@
 #include "scenario/env.hpp"
 
-#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,33 +15,6 @@ const char* env_value(const char* name) {
 }
 
 }  // namespace
-
-std::optional<double> parse_double(std::string_view text) {
-  if (text.empty()) return std::nullopt;
-  double value = 0.0;
-  const char* end = text.data() + text.size();
-  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
-  if (ec != std::errc{} || ptr != end) return std::nullopt;
-  return value;
-}
-
-std::optional<std::uint64_t> parse_uint64(std::string_view text) {
-  if (text.empty()) return std::nullopt;
-  std::uint64_t value = 0;
-  const char* end = text.data() + text.size();
-  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
-  if (ec != std::errc{} || ptr != end) return std::nullopt;
-  return value;
-}
-
-std::optional<int> parse_int(std::string_view text) {
-  if (text.empty()) return std::nullopt;
-  int value = 0;
-  const char* end = text.data() + text.size();
-  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
-  if (ec != std::errc{} || ptr != end) return std::nullopt;
-  return value;
-}
 
 double run_scale_from_env() {
   const char* raw = env_value("SSS_BENCH_SCALE");

@@ -25,15 +25,17 @@
 #include <vector>
 
 #include "scenario/spec.hpp"
+#include "trace/parse.hpp"
 
 namespace sss::scenario {
 
 // Strict, locale-independent numeric parsing; the entire string must be
 // consumed.  Returns nullopt on empty input, trailing garbage, or range
-// errors.  Exposed for tests.
-[[nodiscard]] std::optional<double> parse_double(std::string_view text);
-[[nodiscard]] std::optional<std::uint64_t> parse_uint64(std::string_view text);
-[[nodiscard]] std::optional<int> parse_int(std::string_view text);
+// errors.  One shared implementation (trace/parse.hpp) serves the env
+// knobs, --param overrides, plan JSON, and experiment_io artifacts.
+using trace::parse_double;
+using trace::parse_int;
+using trace::parse_uint64;
 
 // SSS_BENCH_SCALE, validated to (0, 1]; warns and returns 1.0 otherwise.
 [[nodiscard]] double run_scale_from_env();

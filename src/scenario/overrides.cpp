@@ -2,25 +2,26 @@
 
 #include <stdexcept>
 
-#include "scenario/env.hpp"
+#include "trace/parse.hpp"
 
 namespace sss::scenario {
 
 namespace {
 
-[[noreturn]] void bad_value(const std::string& kv, const char* expectation) {
-  throw std::invalid_argument("--param " + kv + ": expected " + expectation);
+[[noreturn]] void bad_value(const std::string& kv, std::string_view expectation) {
+  throw std::invalid_argument("--param " + kv + ": expected " + std::string(expectation));
 }
 
 double require_double(const std::string& kv, const std::string& value,
-                      const char* expectation) {
-  const auto parsed = parse_double(value);
+                      std::string_view expectation) {
+  const auto parsed = trace::parse_double(value);
   if (!parsed.has_value()) bad_value(kv, expectation);
   return *parsed;
 }
 
-int require_int(const std::string& kv, const std::string& value, const char* expectation) {
-  const auto parsed = parse_int(value);
+int require_int(const std::string& kv, const std::string& value,
+                std::string_view expectation) {
+  const auto parsed = trace::parse_int(value);
   if (!parsed.has_value()) bad_value(kv, expectation);
   return *parsed;
 }
@@ -36,6 +37,202 @@ void require_single_link(const simnet::WorkloadConfig& config, const std::string
                                 std::to_string(config.path_hops.size()) +
                                 "-hop path (use hop<k>_gbps)");
   }
+}
+
+// --- the binding table -----------------------------------------------------
+//
+// One entry per exact key.  `apply` mutates the config after validating the
+// value; hop<k>_gbps and storm<j>_* are index patterns resolved before the
+// table lookup, and seed/substrate are special-cased by the callers (seed
+// pins reseeding, substrate lives on the RunPoint).
+
+struct ParamBinding {
+  std::string_view key;
+  std::string_view doc;
+  void (*apply)(simnet::WorkloadConfig&, const std::string& kv, const std::string& value);
+};
+
+const ParamBinding kBindings[] = {
+    {"concurrency", "an integer >= 1",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const int v = require_int(kv, value, "an integer >= 1");
+       if (v < 1) bad_value(kv, "an integer >= 1");
+       config.concurrency = v;
+     }},
+    {"parallel_flows", "an integer >= 1",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const int v = require_int(kv, value, "an integer >= 1");
+       if (v < 1) bad_value(kv, "an integer >= 1");
+       config.parallel_flows = v;
+     }},
+    {"duration_s", "a duration > 0",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const double v = require_double(kv, value, "a duration > 0");
+       if (!(v > 0.0)) bad_value(kv, "a duration > 0");
+       // Hop-local cross-traffic windows were laid out against the ORIGINAL
+       // duration; rescale them so a storm covering the second half of a
+       // 10 s run still covers the second half of a 2 s one.
+       const double ratio = v / config.duration.seconds();
+       for (simnet::HopCrossTraffic& storm : config.hop_cross_traffic) {
+         storm.start = storm.start * ratio;
+         storm.until = storm.until * ratio;
+       }
+       config.duration = units::Seconds::of(v);
+     }},
+    {"transfer_size_mb", "a size > 0 (MB)",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const double v = require_double(kv, value, "a size > 0 (MB)");
+       if (!(v > 0.0)) bad_value(kv, "a size > 0 (MB)");
+       config.transfer_size = units::Bytes::megabytes(v);
+     }},
+    {"transfer_size_bytes", "a size > 0 (bytes)",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const double v = require_double(kv, value, "a size > 0 (bytes)");
+       if (!(v > 0.0)) bad_value(kv, "a size > 0 (bytes)");
+       config.transfer_size = units::Bytes::of(v);
+     }},
+    {"link_gbps", "a rate > 0 (Gbps)",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       require_single_link(config, kv, "link_gbps");
+       const double v = require_double(kv, value, "a rate > 0 (Gbps)");
+       if (!(v > 0.0)) bad_value(kv, "a rate > 0 (Gbps)");
+       config.link.capacity = units::DataRate::gigabits_per_second(v);
+     }},
+    {"rtt_ms", "an RTT > 0 (ms)",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       require_single_link(config, kv, "rtt_ms");
+       const double v = require_double(kv, value, "an RTT > 0 (ms)");
+       if (!(v > 0.0)) bad_value(kv, "an RTT > 0 (ms)");
+       config.link.propagation_delay = units::Seconds::millis(v / 2.0);
+     }},
+    {"buffer_mb", "a buffer >= 0 (MB)",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       require_single_link(config, kv, "buffer_mb");
+       const double v = require_double(kv, value, "a buffer >= 0 (MB)");
+       if (v < 0.0) bad_value(kv, "a buffer >= 0 (MB)");
+       config.link.buffer = units::Bytes::megabytes(v);
+     }},
+    {"buffer_bytes", "a buffer >= 0 (bytes)",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       require_single_link(config, kv, "buffer_bytes");
+       const double v = require_double(kv, value, "a buffer >= 0 (bytes)");
+       if (v < 0.0) bad_value(kv, "a buffer >= 0 (bytes)");
+       config.link.buffer = units::Bytes::of(v);
+     }},
+    {"link_name", "an interface name",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       require_single_link(config, kv, "link_name");
+       if (value.empty()) bad_value(kv, "an interface name");
+       config.link.name = value;
+     }},
+    {"background_load", "a load >= 0",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const double v = require_double(kv, value, "a load >= 0");
+       if (v < 0.0) bad_value(kv, "a load >= 0");
+       config.background_load = v;
+     }},
+    {"background_mean_mb", "a size > 0 (MB)",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const double v = require_double(kv, value, "a size > 0 (MB)");
+       if (!(v > 0.0)) bad_value(kv, "a size > 0 (MB)");
+       config.background_mean_flow_size = units::Bytes::megabytes(v);
+     }},
+    {"background_shape", "a shape >= 0 (<= 1 = exponential)",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const double v = require_double(kv, value, "a shape >= 0 (<= 1 = exponential)");
+       if (v < 0.0) bad_value(kv, "a shape >= 0 (<= 1 = exponential)");
+       config.background_pareto_shape = v;
+     }},
+    {"mode", "simultaneous|scheduled",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       if (value == "simultaneous") {
+         config.mode = simnet::SpawnMode::kSimultaneousBatches;
+       } else if (value == "scheduled") {
+         config.mode = simnet::SpawnMode::kScheduled;
+       } else {
+         bad_value(kv, "simultaneous|scheduled");
+       }
+     }},
+    {"arrivals", "batch|deterministic|poisson",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       if (value == "batch") {
+         config.arrivals = simnet::ArrivalProcess::kPerSecondBatch;
+       } else if (value == "deterministic") {
+         config.arrivals = simnet::ArrivalProcess::kDeterministic;
+       } else if (value == "poisson") {
+         config.arrivals = simnet::ArrivalProcess::kPoisson;
+       } else {
+         bad_value(kv, "batch|deterministic|poisson");
+       }
+     }},
+};
+
+// storm<j>_<field>: windowed hop-local cross traffic, auto-extending the
+// storm list to index j.
+// Generous bound on storm<j> indices: catches typo'd or hostile indices
+// before they turn into a multi-gigabyte resize of the storm list.
+constexpr std::size_t kMaxStormIndex = 63;
+
+void apply_storm_field(simnet::WorkloadConfig& config, const std::string& kv,
+                       std::size_t index, const std::string& field,
+                       const std::string& value) {
+  if (index > kMaxStormIndex) {
+    throw std::invalid_argument("--param " + kv + ": storm index " +
+                                std::to_string(index) + " exceeds the limit of " +
+                                std::to_string(kMaxStormIndex));
+  }
+  if (config.hop_cross_traffic.size() <= index) {
+    config.hop_cross_traffic.resize(index + 1);
+  }
+  simnet::HopCrossTraffic& storm = config.hop_cross_traffic[index];
+  if (field == "hop") {
+    const int v = require_int(kv, value, "a hop index >= 0");
+    if (v < 0) bad_value(kv, "a hop index >= 0");
+    storm.hop = v;
+  } else if (field == "load") {
+    const double v = require_double(kv, value, "a load >= 0");
+    if (v < 0.0) bad_value(kv, "a load >= 0");
+    storm.load = v;
+  } else if (field == "start_s") {
+    const double v = require_double(kv, value, "a time >= 0 (s)");
+    if (v < 0.0) bad_value(kv, "a time >= 0 (s)");
+    storm.start = units::Seconds::of(v);
+  } else if (field == "until_s") {
+    const double v = require_double(kv, value, "a time >= 0 (s)");
+    if (v < 0.0) bad_value(kv, "a time >= 0 (s)");
+    storm.until = units::Seconds::of(v);
+  } else if (field == "mean_mb") {
+    const double v = require_double(kv, value, "a size > 0 (MB)");
+    if (!(v > 0.0)) bad_value(kv, "a size > 0 (MB)");
+    storm.mean_flow_size = units::Bytes::megabytes(v);
+  } else if (field == "shape") {
+    const double v = require_double(kv, value, "a shape >= 0 (<= 1 = exponential)");
+    if (v < 0.0) bad_value(kv, "a shape >= 0 (<= 1 = exponential)");
+    storm.pareto_shape = v;
+  } else {
+    throw std::invalid_argument("--param " + kv + ": unknown storm field '" + field +
+                                "' (see scenario/overrides.hpp)");
+  }
+}
+
+// "<prefix><index>_<field>" pattern ("hop1_gbps", "storm0_load").  Returns
+// false when `key` does not start with the prefix followed by a digit.
+bool split_indexed_key(const std::string& key, std::string_view prefix,
+                       std::size_t& index, std::string& field) {
+  if (key.size() <= prefix.size() || key.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  const std::size_t underscore = key.find('_', prefix.size());
+  if (underscore == std::string::npos || underscore == prefix.size() ||
+      underscore + 1 >= key.size()) {
+    return false;
+  }
+  const auto parsed =
+      trace::parse_int(std::string_view(key).substr(prefix.size(), underscore - prefix.size()));
+  if (!parsed.has_value() || *parsed < 0) return false;
+  index = static_cast<std::size_t>(*parsed);
+  field = key.substr(underscore + 1);
+  return true;
 }
 
 }  // namespace
@@ -60,100 +257,81 @@ bool apply_param_override(simnet::WorkloadConfig& config, const std::string& kv)
   const std::string key = kv.substr(0, eq);
   const std::string value = kv.substr(eq + 1);
 
-  if (key == "concurrency") {
-    const int v = require_int(kv, value, "an integer >= 1");
-    if (v < 1) bad_value(kv, "an integer >= 1");
-    config.concurrency = v;
-  } else if (key == "parallel_flows") {
-    const int v = require_int(kv, value, "an integer >= 1");
-    if (v < 1) bad_value(kv, "an integer >= 1");
-    config.parallel_flows = v;
-  } else if (key == "duration_s") {
-    const double v = require_double(kv, value, "a duration > 0");
-    if (!(v > 0.0)) bad_value(kv, "a duration > 0");
-    // Hop-local cross-traffic windows were laid out by make_runs against
-    // the ORIGINAL duration; rescale them so a storm covering the second
-    // half of a 10 s run still covers the second half of a 2 s one.
-    const double ratio = v / config.duration.seconds();
-    for (simnet::HopCrossTraffic& storm : config.hop_cross_traffic) {
-      storm.start = storm.start * ratio;
-      storm.until = storm.until * ratio;
+  for (const ParamBinding& binding : kBindings) {
+    if (key == binding.key) {
+      binding.apply(config, kv, value);
+      return false;
     }
-    config.duration = units::Seconds::of(v);
-  } else if (key == "transfer_size_mb") {
-    const double v = require_double(kv, value, "a size > 0 (MB)");
-    if (!(v > 0.0)) bad_value(kv, "a size > 0 (MB)");
-    config.transfer_size = units::Bytes::megabytes(v);
-  } else if (key == "link_gbps") {
-    require_single_link(config, kv, key);
-    const double v = require_double(kv, value, "a rate > 0 (Gbps)");
-    if (!(v > 0.0)) bad_value(kv, "a rate > 0 (Gbps)");
-    config.link.capacity = units::DataRate::gigabits_per_second(v);
-  } else if (key == "rtt_ms") {
-    require_single_link(config, kv, key);
-    const double v = require_double(kv, value, "an RTT > 0 (ms)");
-    if (!(v > 0.0)) bad_value(kv, "an RTT > 0 (ms)");
-    config.link.propagation_delay = units::Seconds::millis(v / 2.0);
-  } else if (key == "buffer_mb") {
-    require_single_link(config, kv, key);
-    const double v = require_double(kv, value, "a buffer >= 0 (MB)");
-    if (v < 0.0) bad_value(kv, "a buffer >= 0 (MB)");
-    config.link.buffer = units::Bytes::megabytes(v);
-  } else if (key.rfind("hop", 0) == 0 && key.size() > 8 &&
-             key.compare(key.size() - 5, 5, "_gbps") == 0) {
-    const auto index = parse_int(key.substr(3, key.size() - 8));
-    if (!index.has_value() || *index < 0) {
-      throw std::invalid_argument("--param " + kv + ": unknown key '" + key + "'");
+  }
+
+  std::size_t index = 0;
+  std::string field;
+  if (split_indexed_key(key, "hop", index, field)) {
+    if (field != "gbps") {
+      throw std::invalid_argument("--param " + kv + ": unknown key '" + key +
+                                  "' (hop<k> supports only hop<k>_gbps)");
     }
-    if (static_cast<std::size_t>(*index) >= config.path_hops.size()) {
+    if (index >= config.path_hops.size()) {
       throw std::invalid_argument("--param " + kv + ": run has " +
                                   std::to_string(config.path_hops.size()) + " path hops");
     }
     const double v = require_double(kv, value, "a rate > 0 (Gbps)");
     if (!(v > 0.0)) bad_value(kv, "a rate > 0 (Gbps)");
-    config.path_hops[static_cast<std::size_t>(*index)].capacity =
-        units::DataRate::gigabits_per_second(v);
-  } else if (key == "background_load") {
-    const double v = require_double(kv, value, "a load >= 0");
-    if (v < 0.0) bad_value(kv, "a load >= 0");
-    config.background_load = v;
-  } else if (key == "mode") {
-    if (value == "simultaneous") {
-      config.mode = simnet::SpawnMode::kSimultaneousBatches;
-    } else if (value == "scheduled") {
-      config.mode = simnet::SpawnMode::kScheduled;
-    } else {
-      bad_value(kv, "simultaneous|scheduled");
-    }
-  } else if (key == "arrivals") {
-    if (value == "batch") {
-      config.arrivals = simnet::ArrivalProcess::kPerSecondBatch;
-    } else if (value == "deterministic") {
-      config.arrivals = simnet::ArrivalProcess::kDeterministic;
-    } else if (value == "poisson") {
-      config.arrivals = simnet::ArrivalProcess::kPoisson;
-    } else {
-      bad_value(kv, "batch|deterministic|poisson");
-    }
-  } else if (key == "seed") {
-    const auto v = parse_uint64(value);
+    config.path_hops[index].capacity = units::DataRate::gigabits_per_second(v);
+    return false;
+  }
+  if (split_indexed_key(key, "storm", index, field)) {
+    apply_storm_field(config, kv, index, field, value);
+    return false;
+  }
+  if (key == "seed") {
+    const auto v = trace::parse_uint64(value);
     if (!v.has_value()) bad_value(kv, "an unsigned integer");
     config.seed = *v;
     return true;
-  } else {
-    throw std::invalid_argument("--param " + kv + ": unknown key '" + key +
-                                "' (see scenario/overrides.hpp)");
   }
-  return false;
+  throw std::invalid_argument("--param " + kv + ": unknown key '" + key +
+                              "' (see scenario/overrides.hpp)");
+}
+
+bool apply_run_override(RunPoint& run, const std::string& kv) {
+  const std::size_t eq = kv.find('=');
+  if (eq != std::string::npos && kv.compare(0, eq, "substrate") == 0 && eq != 0) {
+    const auto substrate = substrate_from_string(kv.substr(eq + 1));
+    if (!substrate.has_value()) bad_value(kv, "packet|fluid");
+    run.substrate = *substrate;
+    return false;
+  }
+  return apply_param_override(run.config, kv);
 }
 
 void apply_param_overrides(std::vector<RunPoint>& runs,
                            const std::vector<std::string>& overrides) {
   for (RunPoint& run : runs) {
     for (const std::string& kv : overrides) {
-      if (apply_param_override(run.config, kv)) run.reseed = false;
+      if (apply_run_override(run, kv)) run.reseed = false;
     }
   }
+}
+
+const std::vector<ParamBindingInfo>& param_binding_catalog() {
+  static const std::vector<ParamBindingInfo> catalog = [] {
+    std::vector<ParamBindingInfo> out;
+    for (const ParamBinding& binding : kBindings) {
+      out.push_back({binding.key, binding.doc});
+    }
+    out.push_back({"hop<k>_gbps", "a rate > 0 (Gbps), k < path hop count"});
+    out.push_back({"storm<j>_hop", "a hop index >= 0"});
+    out.push_back({"storm<j>_load", "a load >= 0"});
+    out.push_back({"storm<j>_start_s", "a time >= 0 (s)"});
+    out.push_back({"storm<j>_until_s", "a time >= 0 (s)"});
+    out.push_back({"storm<j>_mean_mb", "a size > 0 (MB)"});
+    out.push_back({"storm<j>_shape", "a shape >= 0 (<= 1 = exponential)"});
+    out.push_back({"substrate", "packet|fluid"});
+    out.push_back({"seed", "an unsigned integer (pins the run seed)"});
+    return out;
+  }();
+  return catalog;
 }
 
 }  // namespace sss::scenario

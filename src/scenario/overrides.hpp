@@ -1,14 +1,18 @@
-// overrides.hpp — `scenario_runner --param k=v` workload overrides.
+// overrides.hpp — the ONE name→field binding table for workload knobs.
 //
-// Every scenario's RunPoints are WorkloadConfigs, so a small closed set of
-// keys can retarget any registered sweep from the command line without
-// recompiling: run the Fig. 2(a) congestion sweep at concurrency 16, or a
-// topology scenario on a 10 Gbps WAN hop.  Values go through the same
-// strict from_chars parsers as the environment knobs (scenario/env.hpp):
-// trailing garbage or an out-of-range value raises std::invalid_argument
-// rather than being silently truncated.
+// Every tunable field has exactly one spelling, shared by all three paths
+// that configure runs from text:
+//   - `scenario_runner --param k=v` / SSS_SCENARIO_PARAMS (post-expansion
+//     overrides applied to every RunPoint),
+//   - ExperimentPlan axis assignments (scenario/plan.hpp — each AxisPoint
+//     is a list of these same "key=value" strings),
+//   - plan JSON files loaded with `--plan` (axes serialize the strings
+//     verbatim).
+// Values go through the shared strict parsers (trace/parse.hpp): trailing
+// garbage or an out-of-range value raises std::invalid_argument rather
+// than being silently truncated.
 //
-// Key catalog (applied to every expanded RunPoint, in the order given):
+// Key catalog (applied in the order given):
 //   concurrency=<int >= 1>        clients spawned per second
 //   parallel_flows=<int >= 1>     TCP flows per client
 //   duration_s=<double > 0>       experiment duration (after scaling);
@@ -16,6 +20,7 @@
 //                                 rescaled proportionally so storm plans
 //                                 keep their shape
 //   transfer_size_mb=<double > 0> per-client transfer size
+//   transfer_size_bytes=<double > 0>  same, in exact bytes (plan files)
 //   link_gbps=<double > 0>        single-link capacity (config.link;
 //                                 rejected on multi-hop runs — use
 //                                 hop<k>_gbps there)
@@ -23,14 +28,29 @@
 //                                 single-link runs only)
 //   buffer_mb=<double >= 0>       single-link drop-tail buffer
 //                                 (single-link runs only)
+//   buffer_bytes=<double >= 0>    same, in exact bytes (single-link only)
+//   link_name=<string>            single-link interface name (labels the
+//                                 hop column in per-hop CSV groups)
 //   hop<k>_gbps=<double > 0>      capacity of path hop k (topology runs)
 //   background_load=<double >= 0> end-to-end cross-traffic load
+//   background_mean_mb=<double > 0>   mean background flow size
+//   background_shape=<double >= 0>    background Pareto tail shape
+//                                 (<= 1 falls back to exponential sizes)
+//   storm<j>_hop=<int >= 0>       hop index of windowed cross-traffic
+//                                 storm j (storms auto-extend to j+1)
+//   storm<j>_load=<double >= 0>   storm load, fraction of its hop capacity
+//   storm<j>_start_s=<double >= 0>  storm window start (scale-1 seconds)
+//   storm<j>_until_s=<double >= 0>  storm window end (scale-1 seconds)
+//   storm<j>_mean_mb=<double > 0> storm mean flow size
+//   storm<j>_shape=<double >= 0>  storm Pareto tail shape
 //   mode=simultaneous|scheduled   spawn mode
 //   arrivals=batch|deterministic|poisson  arrival process
+//   substrate=packet|fluid        simulation substrate (RunPoint-level)
 //   seed=<uint64>                 pin the run seed (disables reseeding)
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "scenario/spec.hpp"
@@ -47,9 +67,23 @@ namespace sss::scenario {
 // then disable executor reseeding for the run).
 bool apply_param_override(simnet::WorkloadConfig& config, const std::string& override_kv);
 
+// Run-level variant: additionally understands `substrate=packet|fluid`.
+// This is the entry point plan axes and --param both go through.
+bool apply_run_override(RunPoint& run, const std::string& override_kv);
+
 // Apply every override to every run, in order.  Seed overrides set
 // RunPoint::reseed = false so the pinned seed survives the executor.
 void apply_param_overrides(std::vector<RunPoint>& runs,
                            const std::vector<std::string>& overrides);
+
+// One row of the binding catalog, for docs and tests.
+struct ParamBindingInfo {
+  std::string_view key;  // "concurrency", "hop<k>_gbps", "storm<j>_load", ...
+  std::string_view doc;  // expected value, e.g. "an integer >= 1"
+};
+
+// The full catalog (exact keys plus the hop/storm index patterns), in
+// documentation order.
+[[nodiscard]] const std::vector<ParamBindingInfo>& param_binding_catalog();
 
 }  // namespace sss::scenario

@@ -1,0 +1,767 @@
+#include "scenario/plan.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/decision.hpp"
+#include "core/sss_score.hpp"
+#include "scenario/overrides.hpp"
+#include "simnet/metrics.hpp"
+#include "trace/parse.hpp"
+#include "trace/table.hpp"
+
+namespace sss::scenario {
+
+namespace {
+
+// Exact decimal for assignment values and JSON (round-trips the double).
+std::string exact(double v) {
+  char buf[32];
+  return trace::format_double_exact(v, buf);
+}
+
+// Human formatting for generated labels — the same 6-significant-digit rule
+// scenario rows use (scenario/common.hpp detail::fmt).
+std::string pretty(double v) { return trace::ConsoleTable::num(v, 6); }
+
+[[noreturn]] void axis_error(const std::string& what) {
+  throw std::invalid_argument("ParamAxis: " + what);
+}
+
+[[noreturn]] void plan_error(const std::string& what) {
+  throw std::runtime_error("ExperimentPlan: " + what);
+}
+
+}  // namespace
+
+// --- ParamAxis -------------------------------------------------------------
+
+ParamAxis ParamAxis::list(std::string key, const std::vector<double>& values,
+                          std::string label_prefix, std::string label_suffix) {
+  ParamAxis axis;
+  axis.kind = Kind::kList;
+  axis.key = std::move(key);
+  axis.values.reserve(values.size());
+  for (const double v : values) axis.values.push_back(exact(v));
+  axis.label_prefix = std::move(label_prefix);
+  axis.label_suffix = std::move(label_suffix);
+  return axis;
+}
+
+ParamAxis ParamAxis::list_strings(std::string key, std::vector<std::string> values,
+                                  std::string label_prefix, std::string label_suffix) {
+  ParamAxis axis;
+  axis.kind = Kind::kList;
+  axis.key = std::move(key);
+  axis.values = std::move(values);
+  axis.label_prefix = std::move(label_prefix);
+  axis.label_suffix = std::move(label_suffix);
+  return axis;
+}
+
+ParamAxis ParamAxis::linspace(std::string key, double from, double to, int count,
+                              std::string label_prefix, std::string label_suffix) {
+  ParamAxis axis;
+  axis.kind = Kind::kLinspace;
+  axis.key = std::move(key);
+  axis.from = from;
+  axis.to = to;
+  axis.count = count;
+  axis.label_prefix = std::move(label_prefix);
+  axis.label_suffix = std::move(label_suffix);
+  return axis;
+}
+
+ParamAxis ParamAxis::logspace(std::string key, double from, double to, int count,
+                              std::string label_prefix, std::string label_suffix) {
+  ParamAxis axis = linspace(std::move(key), from, to, count, std::move(label_prefix),
+                            std::move(label_suffix));
+  axis.kind = Kind::kLogspace;
+  return axis;
+}
+
+ParamAxis ParamAxis::tuples(std::string name, std::vector<AxisPoint> points) {
+  ParamAxis axis;
+  axis.kind = Kind::kTuples;
+  axis.name = std::move(name);
+  axis.points = std::move(points);
+  return axis;
+}
+
+std::vector<AxisPoint> ParamAxis::expand() const {
+  std::vector<AxisPoint> out;
+  auto value_point = [&](const std::string& value_text) {
+    AxisPoint point;
+    const auto numeric = trace::parse_double(value_text);
+    point.label = label_prefix + (numeric.has_value() ? pretty(*numeric) : value_text) +
+                  label_suffix;
+    point.set = {key + "=" + value_text};
+    return point;
+  };
+  switch (kind) {
+    case Kind::kList: {
+      if (key.empty()) axis_error("list axis needs a key");
+      if (values.empty()) axis_error("list axis '" + key + "' has no values");
+      out.reserve(values.size());
+      for (const std::string& value : values) out.push_back(value_point(value));
+      return out;
+    }
+    case Kind::kLinspace:
+    case Kind::kLogspace: {
+      if (key.empty()) axis_error("spaced axis needs a key");
+      if (count < 1) axis_error("axis '" + key + "' needs count >= 1");
+      const bool log = kind == Kind::kLogspace;
+      if (log && (!(from > 0.0) || !(to > 0.0))) {
+        axis_error("logspace axis '" + key + "' needs positive endpoints");
+      }
+      const double lo = log ? std::log10(from) : from;
+      const double hi = log ? std::log10(to) : to;
+      out.reserve(static_cast<std::size_t>(count));
+      for (int i = 0; i < count; ++i) {
+        double v = count == 1 ? lo : lo + (hi - lo) * static_cast<double>(i) /
+                                              static_cast<double>(count - 1);
+        if (log) v = std::pow(10.0, v);
+        out.push_back(value_point(exact(v)));
+      }
+      return out;
+    }
+    case Kind::kTuples: {
+      if (points.empty()) axis_error("tuple axis '" + name + "' has no points");
+      return points;
+    }
+  }
+  axis_error("unknown axis kind");
+}
+
+// --- expansion -------------------------------------------------------------
+
+std::size_t ExperimentPlan::cell_count() const {
+  std::size_t total = repeat > 0 ? static_cast<std::size_t>(repeat) : 0;
+  for (const ParamAxis& axis : axes) total *= axis.expand().size();
+  return total;
+}
+
+std::vector<RunPoint> ExperimentPlan::expand(const ScenarioContext& context) const {
+  if (repeat < 1) plan_error("repeat must be >= 1");
+  std::vector<std::vector<AxisPoint>> grid;
+  grid.reserve(axes.size() + 1);
+  for (const ParamAxis& axis : axes) grid.push_back(axis.expand());
+  if (repeat > 1) {
+    std::vector<AxisPoint> reps(static_cast<std::size_t>(repeat));
+    for (int i = 0; i < repeat; ++i) reps[static_cast<std::size_t>(i)].label =
+        "rep=" + std::to_string(i);
+    grid.push_back(std::move(reps));
+  }
+
+  std::size_t total = 1;
+  for (const auto& axis_points : grid) total *= axis_points.size();
+
+  std::vector<RunPoint> runs;
+  runs.reserve(total);
+  for (std::size_t cell = 0; cell < total; ++cell) {
+    RunPoint run;
+    run.substrate = substrate;
+    run.config = base;
+    std::string label;
+    // First axis outermost: peel indices off `cell` from the innermost
+    // (last) axis upward, applying points in axis order afterwards.
+    std::size_t remaining = cell;
+    std::vector<std::size_t> indices(grid.size());
+    for (std::size_t k = grid.size(); k-- > 0;) {
+      indices[k] = remaining % grid[k].size();
+      remaining /= grid[k].size();
+    }
+    for (std::size_t k = 0; k < grid.size(); ++k) {
+      const AxisPoint& point = grid[k][indices[k]];
+      if (!point.label.empty()) {
+        if (!label.empty()) label += " ";
+        label += point.label;
+      }
+      for (const std::string& kv : point.set) {
+        if (apply_run_override(run, kv)) run.reseed = false;
+      }
+    }
+    if (fixed_seed.has_value()) {
+      run.config.seed = *fixed_seed;
+      run.reseed = false;
+    }
+    if (scale_duration) {
+      run.config.duration = run.config.duration * context.scale;
+      for (simnet::HopCrossTraffic& storm : run.config.hop_cross_traffic) {
+        storm.start = storm.start * context.scale;
+        storm.until = storm.until * context.scale;
+      }
+    }
+    run.label = label.empty() ? (scenario.empty() ? std::string("base") : scenario)
+                              : std::move(label);
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+// --- derived-metric catalog ------------------------------------------------
+
+namespace {
+
+using MetricFn =
+    std::function<std::string(const RunPoint&, const simnet::ExperimentResult&)>;
+
+double sss_value(const simnet::ExperimentResult& r) {
+  return core::compute_sss(units::Seconds::of(r.t_worst_s()), r.config.transfer_size,
+                           r.config.bottleneck_capacity())
+      .value();
+}
+
+std::string yes_no(bool b) { return b ? "yes" : "no"; }
+
+const std::map<std::string, MetricFn, std::less<>>& metric_catalog() {
+  static const std::map<std::string, MetricFn, std::less<>> catalog = {
+      {"label", [](const RunPoint& run, const simnet::ExperimentResult&) {
+         return run.label;
+       }},
+      {"substrate", [](const RunPoint& run, const simnet::ExperimentResult&) {
+         return std::string(to_string(run.substrate));
+       }},
+      {"seed", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return std::to_string(r.config.seed);
+       }},
+      {"concurrency", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return std::to_string(r.config.concurrency);
+       }},
+      {"parallel_flows", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return std::to_string(r.config.parallel_flows);
+       }},
+      {"duration_s", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.config.duration.seconds());
+       }},
+      {"transfer_size_mb", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.config.transfer_size.mb());
+       }},
+      {"offered_load", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.offered_load);
+       }},
+      {"config_offered_load", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.config.offered_load());
+       }},
+      {"total_offered_load", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.config.offered_load() + r.config.background_load);
+       }},
+      {"background_load", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.config.background_load);
+       }},
+      {"measured_utilization", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.metrics.mean_utilization);
+       }},
+      {"t_worst_s", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.t_worst_s());
+       }},
+      {"t_mean_s", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.metrics.mean_client_fct_s());
+       }},
+      {"t_theoretical_s", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.t_theoretical_s());
+       }},
+      {"sss", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(sss_value(r));
+       }},
+      {"regime", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return std::string(core::to_string(core::classify_regime(sss_value(r))));
+       }},
+      {"loss_rate", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.metrics.loss_rate);
+       }},
+      {"retransmits", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return std::to_string(r.metrics.total_retransmits);
+       }},
+      {"rto_events", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return std::to_string(r.metrics.total_rto_events);
+       }},
+      {"packets_dropped", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return std::to_string(r.metrics.packets_dropped);
+       }},
+      {"events_processed", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return std::to_string(r.events_processed);
+       }},
+      {"queue_high_water", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return std::to_string(r.queue_high_water);
+       }},
+      {"within_1s_budget", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return yes_no(r.t_worst_s() <= 1.0);
+       }},
+      {"capacity_gbps", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.config.link.capacity.gbit_per_s());
+       }},
+      {"rtt_ms", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.config.link.propagation_delay.ms() * 2.0);
+       }},
+      {"buffer_mb", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.config.link.buffer.mb());
+       }},
+      // Buffer depth relative to the Table-1 bandwidth-delay product
+      // (25 Gbps x 16 ms = 50 MB), the x-axis of the buffer ablation.
+      {"buffer_bdp", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.config.link.buffer.mb() / 50.0);
+       }},
+      {"hop0_gbps", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         if (r.config.path_hops.empty()) {
+           throw std::invalid_argument("metric 'hop0_gbps' needs a multi-hop run");
+         }
+         return pretty(r.config.path_hops.front().capacity.gbit_per_s());
+       }},
+      {"bottleneck_hop", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return core::profile_path(r.config.effective_hops()).bottleneck_name;
+       }},
+      {"path_gbps", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(core::profile_path(r.config.effective_hops())
+                           .bottleneck_bandwidth.gbit_per_s());
+       }},
+      {"storm0_load", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(r.config.hop_cross_traffic.empty()
+                           ? 0.0
+                           : r.config.hop_cross_traffic.front().load);
+       }},
+      // Worst case for one 2 GB coherent-scattering window, extrapolated
+      // from the measured SSS at the path bottleneck (Section 5).
+      {"coherent_window_worst_s", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         const units::Bytes window = units::Bytes::gigabytes(2.0);
+         return pretty(sss_value(r) * (window / r.config.bottleneck_capacity()).seconds());
+       }},
+      {"coherent_window_tier2_ok", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         const units::Bytes window = units::Bytes::gigabytes(2.0);
+         return yes_no(sss_value(r) * (window / r.config.bottleneck_capacity()).seconds() <=
+                       10.0);
+       }},
+  };
+  return catalog;
+}
+
+}  // namespace
+
+std::vector<std::string> plan_metric_names() {
+  std::vector<std::string> names;
+  names.reserve(metric_catalog().size());
+  for (const auto& [name, fn] : metric_catalog()) names.push_back(name);
+  return names;
+}
+
+void render_plan_output(const OutputSpec& spec, const std::vector<RunPoint>& runs,
+                        const std::vector<simnet::ExperimentResult>& results,
+                        ScenarioOutput& output) {
+  std::vector<const MetricFn*> metrics;
+  metrics.reserve(spec.columns.size());
+  for (const OutputColumn& column : spec.columns) {
+    const auto it = metric_catalog().find(column.metric);
+    if (it == metric_catalog().end()) {
+      throw std::invalid_argument("OutputSpec: unknown metric '" + column.metric +
+                                  "' for column '" + column.header + "'");
+    }
+    output.header.push_back(column.header);
+    metrics.push_back(&it->second);
+  }
+  const std::size_t hop_count = static_cast<std::size_t>(spec.hop_columns);
+  if (hop_count > 0) {
+    for (auto& column : simnet::hop_csv_header(hop_count)) {
+      output.header.push_back(std::move(column));
+    }
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::vector<std::string> row;
+    row.reserve(metrics.size());
+    for (const MetricFn* metric : metrics) row.push_back((*metric)(runs[i], results[i]));
+    if (hop_count > 0) {
+      for (auto& cell : simnet::hop_csv_values(results[i].metrics.hops, hop_count)) {
+        row.push_back(std::move(cell));
+      }
+    }
+    output.add_row(std::move(row));
+  }
+  for (const std::string& note : spec.notes) output.add_note(note);
+}
+
+// --- sharding --------------------------------------------------------------
+
+std::pair<std::size_t, std::size_t> shard_range(int index, int count, std::size_t total) {
+  if (count < 1 || index < 0 || index >= count) {
+    throw std::invalid_argument("shard_range: need 0 <= index < count, got " +
+                                std::to_string(index) + "/" + std::to_string(count));
+  }
+  const auto n = static_cast<std::size_t>(count);
+  const auto i = static_cast<std::size_t>(index);
+  return {total * i / n, total * (i + 1) / n};
+}
+
+// --- JSON ------------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kFormatTag = "sss.experiment-plan/1";
+
+// Integral field with bounds: hand-edited plan files must get a field-level
+// error, not the undefined behavior of an unchecked double → int cast.
+long long as_integer(const trace::JsonValue& json, const char* field, long long min,
+                     long long max) {
+  const double v = json.as_double();
+  if (!std::isfinite(v) || v != std::floor(v) || v < static_cast<double>(min) ||
+      v > static_cast<double>(max)) {
+    plan_error(std::string(field) + " must be an integer in [" + std::to_string(min) +
+               ", " + std::to_string(max) + "]");
+  }
+  return static_cast<long long>(v);
+}
+
+trace::JsonValue link_to_json(const simnet::LinkConfig& link) {
+  trace::JsonValue json = trace::JsonValue::object();
+  json["name"] = link.name;
+  json["capacity_bytes_per_s"] = link.capacity.bps();
+  json["propagation_delay_s"] = link.propagation_delay.seconds();
+  json["buffer_bytes"] = link.buffer.bytes();
+  return json;
+}
+
+simnet::LinkConfig link_from_json(const trace::JsonValue& json) {
+  simnet::LinkConfig link;
+  link.name = json.at("name").as_string();
+  link.capacity = units::DataRate::bytes_per_second(json.at("capacity_bytes_per_s").as_double());
+  link.propagation_delay = units::Seconds::of(json.at("propagation_delay_s").as_double());
+  link.buffer = units::Bytes::of(json.at("buffer_bytes").as_double());
+  return link;
+}
+
+trace::JsonValue storm_to_json(const simnet::HopCrossTraffic& storm) {
+  trace::JsonValue json = trace::JsonValue::object();
+  json["hop"] = storm.hop;
+  json["load"] = storm.load;
+  json["start_s"] = storm.start.seconds();
+  json["until_s"] = storm.until.seconds();
+  json["mean_flow_size_bytes"] = storm.mean_flow_size.bytes();
+  json["pareto_shape"] = storm.pareto_shape;
+  return json;
+}
+
+simnet::HopCrossTraffic storm_from_json(const trace::JsonValue& json) {
+  simnet::HopCrossTraffic storm;
+  storm.hop = static_cast<int>(as_integer(json.at("hop"), "storm hop", 0, 1000000));
+  storm.load = json.at("load").as_double();
+  storm.start = units::Seconds::of(json.at("start_s").as_double());
+  storm.until = units::Seconds::of(json.at("until_s").as_double());
+  storm.mean_flow_size = units::Bytes::of(json.at("mean_flow_size_bytes").as_double());
+  storm.pareto_shape = json.at("pareto_shape").as_double();
+  return storm;
+}
+
+trace::JsonValue tcp_to_json(const simnet::TcpConfig& tcp) {
+  trace::JsonValue json = trace::JsonValue::object();
+  json["mss_bytes"] = static_cast<std::size_t>(tcp.mss_bytes);
+  json["header_bytes"] = static_cast<std::size_t>(tcp.header_bytes);
+  json["ack_bytes"] = static_cast<std::size_t>(tcp.ack_bytes);
+  json["initial_cwnd"] = tcp.initial_cwnd;
+  json["max_cwnd_packets"] = tcp.max_cwnd_packets;
+  json["dupack_threshold"] = tcp.dupack_threshold;
+  json["initial_rto_s"] = tcp.initial_rto.seconds();
+  json["min_rto_s"] = tcp.min_rto.seconds();
+  json["max_rto_s"] = tcp.max_rto.seconds();
+  json["hystart"] = tcp.hystart;
+  json["hystart_delay_min_s"] = tcp.hystart_delay_min.seconds();
+  json["hystart_delay_max_s"] = tcp.hystart_delay_max.seconds();
+  return json;
+}
+
+simnet::TcpConfig tcp_from_json(const trace::JsonValue& json) {
+  simnet::TcpConfig tcp;
+  constexpr long long kMaxU32 = 4294967295LL;
+  tcp.mss_bytes = static_cast<std::uint32_t>(
+      as_integer(json.at("mss_bytes"), "mss_bytes", 0, kMaxU32));
+  tcp.header_bytes = static_cast<std::uint32_t>(
+      as_integer(json.at("header_bytes"), "header_bytes", 0, kMaxU32));
+  tcp.ack_bytes = static_cast<std::uint32_t>(
+      as_integer(json.at("ack_bytes"), "ack_bytes", 0, kMaxU32));
+  tcp.initial_cwnd = json.at("initial_cwnd").as_double();
+  tcp.max_cwnd_packets = json.at("max_cwnd_packets").as_double();
+  tcp.dupack_threshold = static_cast<int>(
+      as_integer(json.at("dupack_threshold"), "dupack_threshold", 0, 1000000));
+  tcp.initial_rto = units::Seconds::of(json.at("initial_rto_s").as_double());
+  tcp.min_rto = units::Seconds::of(json.at("min_rto_s").as_double());
+  tcp.max_rto = units::Seconds::of(json.at("max_rto_s").as_double());
+  tcp.hystart = json.at("hystart").as_bool();
+  tcp.hystart_delay_min = units::Seconds::of(json.at("hystart_delay_min_s").as_double());
+  tcp.hystart_delay_max = units::Seconds::of(json.at("hystart_delay_max_s").as_double());
+  return tcp;
+}
+
+trace::JsonValue workload_to_json(const simnet::WorkloadConfig& config) {
+  trace::JsonValue json = trace::JsonValue::object();
+  json["duration_s"] = config.duration.seconds();
+  json["concurrency"] = config.concurrency;
+  json["parallel_flows"] = config.parallel_flows;
+  json["transfer_size_bytes"] = config.transfer_size.bytes();
+  json["mode"] = simnet::to_string(config.mode);
+  json["arrivals"] = simnet::to_string(config.arrivals);
+  // Seeds are 64-bit; JSON numbers are doubles, so serialize as a string.
+  json["seed"] = std::to_string(config.seed);
+  json["start_jitter_s"] = config.start_jitter.seconds();
+  json["drain_timeout_s"] = config.drain_timeout.seconds();
+  json["background_load"] = config.background_load;
+  json["background_mean_flow_size_bytes"] = config.background_mean_flow_size.bytes();
+  json["background_pareto_shape"] = config.background_pareto_shape;
+  json["link"] = link_to_json(config.link);
+  if (!config.path_hops.empty()) {
+    trace::JsonValue hops = trace::JsonValue::array();
+    for (const simnet::LinkConfig& hop : config.path_hops) hops.push_back(link_to_json(hop));
+    json["path_hops"] = std::move(hops);
+  }
+  if (!config.hop_cross_traffic.empty()) {
+    trace::JsonValue storms = trace::JsonValue::array();
+    for (const simnet::HopCrossTraffic& storm : config.hop_cross_traffic) {
+      storms.push_back(storm_to_json(storm));
+    }
+    json["hop_cross_traffic"] = std::move(storms);
+  }
+  json["tcp"] = tcp_to_json(config.tcp);
+  return json;
+}
+
+std::uint64_t seed_from_json(const trace::JsonValue& json) {
+  if (json.is_number()) {
+    // Doubles hold integers exactly only up to 2^53; larger seeds must be
+    // given as strings.
+    return static_cast<std::uint64_t>(
+        as_integer(json, "seed (use a string for larger values)", 0, 1LL << 53));
+  }
+  const auto seed = trace::parse_uint64(json.as_string());
+  if (!seed.has_value()) plan_error("seed must be an unsigned integer");
+  return *seed;
+}
+
+simnet::WorkloadConfig workload_from_json(const trace::JsonValue& json) {
+  simnet::WorkloadConfig config;
+  config.duration = units::Seconds::of(json.at("duration_s").as_double());
+  config.concurrency = static_cast<int>(
+      as_integer(json.at("concurrency"), "concurrency", 0, 1000000000));
+  config.parallel_flows = static_cast<int>(
+      as_integer(json.at("parallel_flows"), "parallel_flows", 0, 1000000000));
+  config.transfer_size = units::Bytes::of(json.at("transfer_size_bytes").as_double());
+  const std::string& mode = json.at("mode").as_string();
+  if (mode == "simultaneous") {
+    config.mode = simnet::SpawnMode::kSimultaneousBatches;
+  } else if (mode == "scheduled") {
+    config.mode = simnet::SpawnMode::kScheduled;
+  } else {
+    plan_error("unknown mode '" + mode + "'");
+  }
+  const std::string& arrivals = json.at("arrivals").as_string();
+  if (arrivals == "batch") {
+    config.arrivals = simnet::ArrivalProcess::kPerSecondBatch;
+  } else if (arrivals == "deterministic") {
+    config.arrivals = simnet::ArrivalProcess::kDeterministic;
+  } else if (arrivals == "poisson") {
+    config.arrivals = simnet::ArrivalProcess::kPoisson;
+  } else {
+    plan_error("unknown arrivals '" + arrivals + "'");
+  }
+  config.seed = seed_from_json(json.at("seed"));
+  config.start_jitter = units::Seconds::of(json.at("start_jitter_s").as_double());
+  config.drain_timeout = units::Seconds::of(json.at("drain_timeout_s").as_double());
+  config.background_load = json.at("background_load").as_double();
+  config.background_mean_flow_size =
+      units::Bytes::of(json.at("background_mean_flow_size_bytes").as_double());
+  config.background_pareto_shape = json.at("background_pareto_shape").as_double();
+  config.link = link_from_json(json.at("link"));
+  if (const trace::JsonValue* hops = json.find("path_hops")) {
+    for (const trace::JsonValue& hop : hops->as_array()) {
+      config.path_hops.push_back(link_from_json(hop));
+    }
+  }
+  if (const trace::JsonValue* storms = json.find("hop_cross_traffic")) {
+    for (const trace::JsonValue& storm : storms->as_array()) {
+      config.hop_cross_traffic.push_back(storm_from_json(storm));
+    }
+  }
+  config.tcp = tcp_from_json(json.at("tcp"));
+  return config;
+}
+
+const char* axis_kind_name(ParamAxis::Kind kind) {
+  switch (kind) {
+    case ParamAxis::Kind::kList:
+      return "list";
+    case ParamAxis::Kind::kLinspace:
+      return "linspace";
+    case ParamAxis::Kind::kLogspace:
+      return "logspace";
+    case ParamAxis::Kind::kTuples:
+      return "tuples";
+  }
+  return "unknown";
+}
+
+trace::JsonValue axis_to_json(const ParamAxis& axis) {
+  trace::JsonValue json = trace::JsonValue::object();
+  json["kind"] = axis_kind_name(axis.kind);
+  if (!axis.key.empty()) json["key"] = axis.key;
+  if (!axis.name.empty()) json["name"] = axis.name;
+  if (!axis.label_prefix.empty()) json["label_prefix"] = axis.label_prefix;
+  if (!axis.label_suffix.empty()) json["label_suffix"] = axis.label_suffix;
+  switch (axis.kind) {
+    case ParamAxis::Kind::kList: {
+      trace::JsonValue values = trace::JsonValue::array();
+      for (const std::string& value : axis.values) values.push_back(value);
+      json["values"] = std::move(values);
+      break;
+    }
+    case ParamAxis::Kind::kLinspace:
+    case ParamAxis::Kind::kLogspace:
+      json["from"] = axis.from;
+      json["to"] = axis.to;
+      json["count"] = axis.count;
+      break;
+    case ParamAxis::Kind::kTuples: {
+      trace::JsonValue points = trace::JsonValue::array();
+      for (const AxisPoint& point : axis.points) {
+        trace::JsonValue p = trace::JsonValue::object();
+        if (!point.label.empty()) p["label"] = point.label;
+        trace::JsonValue set = trace::JsonValue::array();
+        for (const std::string& kv : point.set) set.push_back(kv);
+        p["set"] = std::move(set);
+        points.push_back(std::move(p));
+      }
+      json["points"] = std::move(points);
+      break;
+    }
+  }
+  return json;
+}
+
+ParamAxis axis_from_json(const trace::JsonValue& json) {
+  ParamAxis axis;
+  const std::string& kind = json.at("kind").as_string();
+  if (const trace::JsonValue* key = json.find("key")) axis.key = key->as_string();
+  if (const trace::JsonValue* name = json.find("name")) axis.name = name->as_string();
+  if (const trace::JsonValue* p = json.find("label_prefix")) axis.label_prefix = p->as_string();
+  if (const trace::JsonValue* s = json.find("label_suffix")) axis.label_suffix = s->as_string();
+  if (kind == "list") {
+    axis.kind = ParamAxis::Kind::kList;
+    for (const trace::JsonValue& value : json.at("values").as_array()) {
+      axis.values.push_back(value.as_string());
+    }
+  } else if (kind == "linspace" || kind == "logspace") {
+    axis.kind = kind == "linspace" ? ParamAxis::Kind::kLinspace : ParamAxis::Kind::kLogspace;
+    axis.from = json.at("from").as_double();
+    axis.to = json.at("to").as_double();
+    axis.count =
+        static_cast<int>(as_integer(json.at("count"), "axis count", 0, 1000000000));
+  } else if (kind == "tuples") {
+    axis.kind = ParamAxis::Kind::kTuples;
+    for (const trace::JsonValue& point_json : json.at("points").as_array()) {
+      AxisPoint point;
+      if (const trace::JsonValue* label = point_json.find("label")) {
+        point.label = label->as_string();
+      }
+      for (const trace::JsonValue& kv : point_json.at("set").as_array()) {
+        point.set.push_back(kv.as_string());
+      }
+      axis.points.push_back(std::move(point));
+    }
+  } else {
+    plan_error("unknown axis kind '" + kind + "'");
+  }
+  return axis;
+}
+
+trace::JsonValue output_to_json(const OutputSpec& output) {
+  trace::JsonValue json = trace::JsonValue::object();
+  trace::JsonValue columns = trace::JsonValue::array();
+  for (const OutputColumn& column : output.columns) {
+    trace::JsonValue c = trace::JsonValue::object();
+    c["header"] = column.header;
+    c["metric"] = column.metric;
+    columns.push_back(std::move(c));
+  }
+  json["columns"] = std::move(columns);
+  if (output.hop_columns > 0) json["hop_columns"] = output.hop_columns;
+  if (!output.notes.empty()) {
+    trace::JsonValue notes = trace::JsonValue::array();
+    for (const std::string& note : output.notes) notes.push_back(note);
+    json["notes"] = std::move(notes);
+  }
+  return json;
+}
+
+OutputSpec output_from_json(const trace::JsonValue& json) {
+  OutputSpec output;
+  for (const trace::JsonValue& column_json : json.at("columns").as_array()) {
+    output.columns.push_back(
+        {column_json.at("header").as_string(), column_json.at("metric").as_string()});
+  }
+  if (const trace::JsonValue* hops = json.find("hop_columns")) {
+    output.hop_columns = static_cast<int>(as_integer(*hops, "hop_columns", 0, 1024));
+  }
+  if (const trace::JsonValue* notes = json.find("notes")) {
+    for (const trace::JsonValue& note : notes->as_array()) {
+      output.notes.push_back(note.as_string());
+    }
+  }
+  return output;
+}
+
+}  // namespace
+
+trace::JsonValue ExperimentPlan::to_json() const {
+  trace::JsonValue json = trace::JsonValue::object();
+  json["format"] = kFormatTag;
+  json["scenario"] = scenario;
+  json["substrate"] = to_string(substrate);
+  json["scale_duration"] = scale_duration;
+  json["repeat"] = repeat;
+  if (fixed_seed.has_value()) json["fixed_seed"] = std::to_string(*fixed_seed);
+  json["base"] = workload_to_json(base);
+  trace::JsonValue axes_json = trace::JsonValue::array();
+  for (const ParamAxis& axis : axes) axes_json.push_back(axis_to_json(axis));
+  json["axes"] = std::move(axes_json);
+  if (!output.columns.empty() || output.hop_columns > 0 || !output.notes.empty()) {
+    json["output"] = output_to_json(output);
+  }
+  return json;
+}
+
+ExperimentPlan ExperimentPlan::from_json(const trace::JsonValue& json) {
+  const trace::JsonValue* format = json.find("format");
+  if (format == nullptr || format->as_string() != kFormatTag) {
+    plan_error(std::string("expected \"format\": \"") + kFormatTag + "\"");
+  }
+  ExperimentPlan plan;
+  plan.scenario = json.at("scenario").as_string();
+  const auto substrate = substrate_from_string(json.at("substrate").as_string());
+  if (!substrate.has_value()) plan_error("unknown substrate");
+  plan.substrate = *substrate;
+  plan.scale_duration = json.at("scale_duration").as_bool();
+  plan.repeat = static_cast<int>(as_integer(json.at("repeat"), "repeat", 0, 1000000000));
+  if (const trace::JsonValue* seed = json.find("fixed_seed")) {
+    plan.fixed_seed = seed_from_json(*seed);
+  }
+  plan.base = workload_from_json(json.at("base"));
+  for (const trace::JsonValue& axis : json.at("axes").as_array()) {
+    plan.axes.push_back(axis_from_json(axis));
+  }
+  if (const trace::JsonValue* output = json.find("output")) {
+    plan.output = output_from_json(*output);
+  }
+  return plan;
+}
+
+ExperimentPlan ExperimentPlan::from_json_text(std::string_view text) {
+  return from_json(trace::JsonValue::parse(text));
+}
+
+ExperimentPlan load_plan_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) throw std::runtime_error("cannot open plan file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ExperimentPlan::from_json_text(buffer.str());
+}
+
+}  // namespace sss::scenario

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "scenario/plan.hpp"
 #include "scenario/scenarios.hpp"
 
 namespace sss::scenario {
@@ -15,9 +16,26 @@ void ScenarioRegistry::add(ScenarioSpec spec) {
   if (spec.name.empty()) {
     throw std::invalid_argument("ScenarioRegistry: scenario name must not be empty");
   }
-  if (!spec.analyze) {
+  if (spec.plan != nullptr && spec.plan->scenario != spec.name) {
     throw std::invalid_argument("ScenarioRegistry: scenario '" + spec.name +
-                                "' has no analyze function");
+                                "' carries a plan for '" + spec.plan->scenario + "'");
+  }
+  if (spec.has_declarative_output()) {
+    // The plan's output spec renders the table; a second table-builder
+    // would fight it.  Aggregate notes belong in `annotate`.
+    if (spec.analyze) {
+      throw std::invalid_argument("ScenarioRegistry: scenario '" + spec.name +
+                                  "' has both declarative output and analyze");
+    }
+  } else {
+    if (!spec.analyze) {
+      throw std::invalid_argument("ScenarioRegistry: scenario '" + spec.name +
+                                  "' has no analyze function and no declarative output");
+    }
+    if (spec.annotate) {
+      throw std::invalid_argument("ScenarioRegistry: scenario '" + spec.name +
+                                  "' has annotate but no declarative output");
+    }
   }
   const auto [it, inserted] = specs_.emplace(spec.name, std::move(spec));
   if (!inserted) {

@@ -11,6 +11,7 @@
 #include "scenario/env.hpp"
 #include "scenario/executor.hpp"
 #include "scenario/overrides.hpp"
+#include "scenario/plan.hpp"
 #include "scenario/registry.hpp"
 #include "trace/csv.hpp"
 #include "trace/table.hpp"
@@ -26,10 +27,16 @@ void print_banner(const ScenarioSpec& spec) {
   std::printf("================================================================\n");
 }
 
+std::string csv_name(const ScenarioSpec& spec, const std::optional<ShardSpec>& shard) {
+  if (!shard.has_value()) return spec.name + ".csv";
+  return spec.name + ".shard" + std::to_string(shard->index) + "of" +
+         std::to_string(shard->count) + ".csv";
+}
+
 void write_csv(const ScenarioSpec& spec, const ScenarioOutput& output,
-               const std::string& dir) {
+               const std::string& dir, const std::optional<ShardSpec>& shard) {
   if (output.header.empty()) return;
-  const std::string path = dir + "/" + spec.name + ".csv";
+  const std::string path = dir + "/" + csv_name(spec, shard);
   try {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);  // best effort; open reports failure
@@ -39,21 +46,7 @@ void write_csv(const ScenarioSpec& spec, const ScenarioOutput& output,
   }
 }
 
-}  // namespace
-
-ScenarioOutput execute_scenario(const ScenarioSpec& spec, const ScenarioContext& context) {
-  std::vector<RunPoint> runs;
-  if (spec.make_runs) runs = spec.make_runs(context);
-  apply_param_overrides(runs, context.param_overrides);
-
-  SweepOptions sweep;
-  sweep.threads = context.threads;
-  sweep.base_seed = context.seed;
-  const SweepExecutor executor(sweep);
-  const std::vector<simnet::ExperimentResult> results = executor.execute(runs);
-
-  ScenarioOutput output;
-  spec.analyze(context, runs, results, output);
+void validate_output(const ScenarioSpec& spec, const ScenarioOutput& output) {
   if (!output.rows.empty() && output.header.empty()) {
     throw std::logic_error("scenario '" + spec.name + "' produced rows without a header");
   }
@@ -62,6 +55,75 @@ ScenarioOutput execute_scenario(const ScenarioSpec& spec, const ScenarioContext&
       throw std::logic_error("scenario '" + spec.name + "' produced a ragged row");
     }
   }
+}
+
+// Expand the plan and apply the context's --param overrides — the shared
+// front half of full and sharded execution.
+std::vector<RunPoint> expand_runs(const ScenarioSpec& spec, const ScenarioContext& context) {
+  std::vector<RunPoint> runs;
+  if (spec.plan != nullptr) runs = spec.plan->expand(context);
+  apply_param_overrides(runs, context.param_overrides);
+  return runs;
+}
+
+SweepExecutor make_executor(const ScenarioContext& context) {
+  SweepOptions sweep;
+  sweep.threads = context.threads;
+  sweep.base_seed = context.seed;
+  return SweepExecutor(sweep);
+}
+
+}  // namespace
+
+ScenarioOutput execute_scenario(const ScenarioSpec& spec, const ScenarioContext& context) {
+  std::vector<RunPoint> runs = expand_runs(spec, context);
+  const std::vector<simnet::ExperimentResult> results =
+      make_executor(context).execute(runs);
+
+  ScenarioOutput output;
+  if (spec.has_declarative_output()) {
+    render_plan_output(spec.plan->output, runs, results, output);
+    if (spec.annotate) spec.annotate(context, runs, results, output);
+  } else if (spec.analyze) {
+    spec.analyze(context, runs, results, output);
+  } else {
+    throw std::logic_error("scenario '" + spec.name +
+                           "' has neither declarative output nor analyze");
+  }
+  validate_output(spec, output);
+  return output;
+}
+
+ScenarioOutput execute_scenario_shard(const ScenarioSpec& spec,
+                                      const ScenarioContext& context,
+                                      const ShardSpec& shard) {
+  if (!spec.has_declarative_output()) {
+    throw std::invalid_argument(
+        "scenario '" + spec.name +
+        "' reduces across runs (no declarative output spec), so its rows cannot be "
+        "computed per shard");
+  }
+  std::vector<RunPoint> runs = expand_runs(spec, context);
+  const SweepExecutor executor = make_executor(context);
+
+  // Pin every cell's seed from its GLOBAL grid index before slicing — the
+  // exact streams the executor would derive in a single-process run — so
+  // merged shard output is bit-identical to the unsharded sweep.
+  const std::vector<std::uint64_t> seeds = executor.derive_seeds(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].reseed) {
+      runs[i].config.seed = seeds[i];
+      runs[i].reseed = false;
+    }
+  }
+  const auto [begin, end] = shard_range(shard.index, shard.count, runs.size());
+  std::vector<RunPoint> slice(runs.begin() + static_cast<std::ptrdiff_t>(begin),
+                              runs.begin() + static_cast<std::ptrdiff_t>(end));
+
+  const std::vector<simnet::ExperimentResult> results = executor.execute(slice);
+  ScenarioOutput output;
+  render_plan_output(spec.plan->output, slice, results, output);
+  validate_output(spec, output);
   return output;
 }
 
@@ -77,10 +139,18 @@ int run_scenario(const ScenarioSpec& spec, const RunnerOptions& options) {
   try {
     if (!options.quiet) {
       print_banner(spec);
-      // make_runs is pure and cheap (config expansion only), so counting
-      // here and re-expanding inside execute_scenario costs nothing.
-      const std::size_t run_count =
-          spec.make_runs ? spec.make_runs(options.context).size() : 0;
+      // Plan expansion is pure and cheap (config building only), so
+      // counting here and re-expanding inside execute_scenario costs
+      // nothing.
+      const std::size_t grid = spec.plan != nullptr ? spec.plan->cell_count() : 0;
+      std::size_t run_count = grid;
+      if (options.shard.has_value()) {
+        const auto [begin, end] =
+            shard_range(options.shard->index, options.shard->count, grid);
+        run_count = end - begin;
+        std::printf("shard %d/%d: cells [%zu, %zu) of %zu\n", options.shard->index,
+                    options.shard->count, begin, end, grid);
+      }
       if (run_count > 0) {
         SweepOptions sweep;
         sweep.threads = options.context.threads;
@@ -91,7 +161,9 @@ int run_scenario(const ScenarioSpec& spec, const RunnerOptions& options) {
             static_cast<unsigned long long>(options.context.seed));
       }
     }
-    output = execute_scenario(spec, options.context);
+    output = options.shard.has_value()
+                 ? execute_scenario_shard(spec, options.context, *options.shard)
+                 : execute_scenario(spec, options.context);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "scenario '%s' failed: %s\n", spec.name.c_str(), e.what());
     return 1;
@@ -103,7 +175,9 @@ int run_scenario(const ScenarioSpec& spec, const RunnerOptions& options) {
     std::printf("%s\n", table.render().c_str());
   }
   for (const auto& note : output.notes) std::printf("%s\n", note.c_str());
-  if (options.csv_dir.has_value()) write_csv(spec, output, *options.csv_dir);
+  if (options.csv_dir.has_value()) {
+    write_csv(spec, output, *options.csv_dir, options.shard);
+  }
   return 0;
 }
 
@@ -116,6 +190,54 @@ int run_named(const std::string& name) {
     return 2;
   }
   return run_scenario(*spec, options_from_env());
+}
+
+ScenarioSpec spec_from_plan_file(const std::string& path) {
+  register_builtin_scenarios();
+  ExperimentPlan plan = load_plan_file(path);
+
+  ScenarioSpec spec;
+  const ScenarioSpec* registered = ScenarioRegistry::global().find(plan.scenario);
+  if (registered != nullptr) {
+    spec = *registered;  // metadata + annotate/analyze hooks
+  } else {
+    spec.name = plan.scenario.empty() ? std::string("plan") : plan.scenario;
+    spec.title = "plan file: " + path;
+    spec.paper_ref = "user-supplied ExperimentPlan";
+    spec.description = "loaded from " + path;
+    spec.tags = {"plan-file"};
+  }
+  const bool declarative = !plan.output.columns.empty();
+  spec.plan = std::make_shared<const ExperimentPlan>(std::move(plan));
+  if (declarative) {
+    // The plan's output spec renders the table; a registered aggregate
+    // analyze hook (if any) is superseded.
+    spec.analyze = nullptr;
+  } else {
+    spec.annotate = nullptr;
+    if (!spec.analyze) {
+      throw std::invalid_argument(
+          "plan file " + path + " has no output columns and scenario '" + spec.name +
+          "' has no registered analyze hook — nothing would render the results");
+    }
+  }
+  return spec;
+}
+
+int merge_csv_files(const std::string& out_path, const std::vector<std::string>& inputs) {
+  try {
+    std::vector<trace::CsvTable> parts;
+    parts.reserve(inputs.size());
+    for (const std::string& path : inputs) parts.push_back(trace::read_csv_file(path));
+    const trace::CsvTable merged = trace::merge_csv_tables(parts);
+    trace::write_csv_file(out_path, merged.header, merged.rows);
+    std::printf("merged %zu rows from %zu shard file%s into %s\n", merged.rows.size(),
+                inputs.size(), inputs.size() == 1 ? "" : "s", out_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--merge failed: %s\n", e.what());
+    return 1;
+  }
 }
 
 namespace {
@@ -141,8 +263,11 @@ void print_list(const std::string& tag_filter) {
 void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
                "usage: %s --list [--tag TAG]\n"
-               "       %s --run NAME [options]\n"
+               "       %s --run NAME[,NAME...] [options]\n"
                "       %s --all [--tag TAG] [options]\n"
+               "       %s --plan FILE.json [options]\n"
+               "       %s --dump-plan NAME\n"
+               "       %s --merge OUT.csv SHARD.csv [SHARD.csv...]\n"
                "options:\n"
                "  --threads N   sweep worker threads (0 = hardware, 1 = serial)\n"
                "  --scale S     duration scale in (0, 1]\n"
@@ -151,16 +276,33 @@ void print_usage(std::FILE* out, const char* argv0) {
                "  --param K=V   override a workload knob on every run (repeatable;\n"
                "                e.g. concurrency=8, duration_s=2, link_gbps=10,\n"
                "                hop1_gbps=5 — see scenario/overrides.hpp)\n"
+               "  --shard I/N   run only grid cells [I*M/N, (I+1)*M/N); per-cell RNG\n"
+               "                streams follow the GLOBAL cell index, so --merge of\n"
+               "                all shards is bit-identical to the unsharded run\n"
+               "                (needs a scenario with a declarative output spec)\n"
                "environment:    SSS_BENCH_SCALE, SSS_BENCH_CSV_DIR,\n"
                "                SSS_SWEEP_THREADS, SSS_SWEEP_SEED,\n"
                "                SSS_SCENARIO_PARAMS=k=v,k=v (flags win)\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 // Argument error: usage on stderr, non-zero exit.
 int usage(const char* argv0) {
   print_usage(stderr, argv0);
   return 2;
+}
+
+// "I/N" with 0 <= I < N.
+std::optional<ShardSpec> parse_shard(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto index = parse_int(text.substr(0, slash));
+  const auto count = parse_int(text.substr(slash + 1));
+  if (!index.has_value() || !count.has_value() || *count < 1 || *index < 0 ||
+      *index >= *count) {
+    return std::nullopt;
+  }
+  return ShardSpec{*index, *count};
 }
 
 }  // namespace
@@ -170,7 +312,9 @@ int main_from_args(int argc, char** argv) {
 
   bool list = false;
   bool all = false;
-  std::string name;
+  std::string names_arg;
+  std::string plan_path;
+  std::string dump_name;
   std::string tag;
   RunnerOptions options = options_from_env();
 
@@ -190,7 +334,33 @@ int main_from_args(int argc, char** argv) {
     } else if (arg == "--run") {
       const char* v = next_value("--run");
       if (v == nullptr) return usage(argv[0]);
-      name = v;
+      names_arg = v;
+    } else if (arg == "--plan") {
+      const char* v = next_value("--plan");
+      if (v == nullptr) return usage(argv[0]);
+      plan_path = v;
+    } else if (arg == "--dump-plan") {
+      const char* v = next_value("--dump-plan");
+      if (v == nullptr) return usage(argv[0]);
+      dump_name = v;
+    } else if (arg == "--merge") {
+      // Consumes the rest of the argument list: OUT.csv SHARD.csv...
+      if (i + 2 >= argc) {
+        std::fprintf(stderr, "--merge requires OUT.csv and at least one shard CSV\n");
+        return usage(argv[0]);
+      }
+      const std::string out_path = argv[++i];
+      std::vector<std::string> inputs;
+      while (++i < argc) inputs.emplace_back(argv[i]);
+      return merge_csv_files(out_path, inputs);
+    } else if (arg == "--shard") {
+      const char* v = next_value("--shard");
+      const auto parsed = v ? parse_shard(v) : std::nullopt;
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "--shard requires I/N with 0 <= I < N\n");
+        return usage(argv[0]);
+      }
+      options.shard = *parsed;
     } else if (arg == "--tag") {
       const char* v = next_value("--tag");
       if (v == nullptr) return usage(argv[0]);
@@ -237,6 +407,30 @@ int main_from_args(int argc, char** argv) {
     print_list(tag);
     return 0;
   }
+  if (!dump_name.empty()) {
+    const ScenarioSpec* spec = ScenarioRegistry::global().find(dump_name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n", dump_name.c_str());
+      return 2;
+    }
+    if (spec->plan == nullptr) {
+      std::fprintf(stderr,
+                   "scenario '%s' is analyze-only (no experiment grid to dump)\n",
+                   dump_name.c_str());
+      return 1;
+    }
+    std::fputs(spec->plan->to_json_text().c_str(), stdout);
+    return 0;
+  }
+  if (!plan_path.empty()) {
+    try {
+      const ScenarioSpec spec = spec_from_plan_file(plan_path);
+      return run_scenario(spec, options);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--plan %s: %s\n", plan_path.c_str(), e.what());
+      return 1;
+    }
+  }
   if (all) {
     int status = 0;
     for (const ScenarioSpec* spec : ScenarioRegistry::global().all()) {
@@ -246,13 +440,25 @@ int main_from_args(int argc, char** argv) {
     }
     return status;
   }
-  if (!name.empty()) {
-    const ScenarioSpec* spec = ScenarioRegistry::global().find(name);
-    if (spec == nullptr) {
-      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n", name.c_str());
+  if (!names_arg.empty()) {
+    // Same comma-list format (and splitter) as SSS_SCENARIO_PARAMS.
+    const std::vector<std::string> names = split_param_list(names_arg);
+    if (names.empty()) return usage(argv[0]);
+    if (options.shard.has_value() && names.size() > 1) {
+      std::fprintf(stderr, "--shard works with exactly one scenario at a time\n");
       return 2;
     }
-    return run_scenario(*spec, options);
+    int status = 0;
+    for (std::size_t n = 0; n < names.size(); ++n) {
+      const ScenarioSpec* spec = ScenarioRegistry::global().find(names[n]);
+      if (spec == nullptr) {
+        std::fprintf(stderr, "unknown scenario '%s' (try --list)\n", names[n].c_str());
+        return 2;
+      }
+      status |= run_scenario(*spec, options);
+      if (n + 1 < names.size()) std::printf("\n");
+    }
+    return status;
   }
   return usage(argv[0]);
 }

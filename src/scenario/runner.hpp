@@ -1,30 +1,51 @@
 // runner.hpp — drive a ScenarioSpec end to end.
 //
-// Layering: `execute_scenario` is the pure library entry (expand runs,
-// fan out through the SweepExecutor, analyze into a ScenarioOutput) used
-// by tests; `run_scenario` adds the console/CSV presentation; `run_named`
-// is the thin-driver entry every bench/example main delegates to; and
-// `main_from_args` implements the scenario_runner CLI.
+// Layering: `execute_scenario` is the pure library entry (expand the plan,
+// fan out through the SweepExecutor, render/analyze into a ScenarioOutput)
+// used by tests; `execute_scenario_shard` runs one deterministic slice of
+// the grid (the multi-host path); `run_scenario` adds the console/CSV
+// presentation; `run_named` is the thin-driver entry every bench/example
+// main delegates to; and `main_from_args` implements the scenario_runner
+// CLI.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "scenario/spec.hpp"
 
 namespace sss::scenario {
+
+// One slice of a sharded sweep: shard `index` of `count`.
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+};
 
 // Expand, execute (parallel, deterministic), analyze.  Throws on scenario
 // errors.
 [[nodiscard]] ScenarioOutput execute_scenario(const ScenarioSpec& spec,
                                               const ScenarioContext& context);
 
+// Execute only this shard's contiguous block of grid cells.  Every cell
+// keeps the Xoshiro jump-stream seed of its GLOBAL grid index, so the
+// concatenation of all shards' rows (in shard order) is bit-identical to a
+// single-process run.  Requires a declarative output spec (per-run rows);
+// throws std::invalid_argument for scenarios that reduce across runs.
+[[nodiscard]] ScenarioOutput execute_scenario_shard(const ScenarioSpec& spec,
+                                                    const ScenarioContext& context,
+                                                    const ShardSpec& shard);
+
 struct RunnerOptions {
   ScenarioContext context;
-  // Write <csv_dir>/<scenario>.csv when set.
+  // Write <csv_dir>/<scenario>.csv (or <scenario>.shard<i>of<N>.csv when
+  // sharded) when set.
   std::optional<std::string> csv_dir;
   // Suppress the banner/progress chatter (table and notes still print).
   bool quiet = false;
+  // Run only this slice of the grid.
+  std::optional<ShardSpec> shard;
 };
 
 // Options assembled from the SSS_* environment knobs (env.hpp).
@@ -37,11 +58,25 @@ int run_scenario(const ScenarioSpec& spec, const RunnerOptions& options);
 // run it with env-derived options.  The per-bench thin drivers call this.
 int run_named(const std::string& name);
 
+// Build a runnable spec from a plan file: the plan is loaded from JSON and,
+// when its scenario name matches a registered spec, reattached to that
+// spec's metadata and hooks (declarative output wins over analyze).
+// Throws std::runtime_error on I/O/parse errors and std::invalid_argument
+// when the result could not render any output.
+[[nodiscard]] ScenarioSpec spec_from_plan_file(const std::string& path);
+
+// Merge sharded scenario CSVs (identical headers, rows concatenated in
+// argument order) through the trace layer.  Returns a process exit code.
+int merge_csv_files(const std::string& out_path, const std::vector<std::string>& inputs);
+
 // The scenario_runner CLI:
 //   scenario_runner --list [--tag <tag>]
-//   scenario_runner --run <name> [--threads N] [--scale S] [--seed K]
-//                   [--csv-dir DIR]
+//   scenario_runner --run <name>[,<name>...] [--threads N] [--scale S]
+//                   [--seed K] [--csv-dir DIR] [--param k=v] [--shard I/N]
 //   scenario_runner --all [--tag <tag>] [...same knobs]
+//   scenario_runner --plan <file.json> [...same knobs]
+//   scenario_runner --dump-plan <name>
+//   scenario_runner --merge <out.csv> <shard.csv> [<shard.csv>...]
 int main_from_args(int argc, char** argv);
 
 }  // namespace sss::scenario

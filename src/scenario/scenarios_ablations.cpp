@@ -1,10 +1,14 @@
 // scenarios_ablations.cpp — the three ablation benches as registry
 // scenarios: background cross-traffic vs SSS, drop-tail buffer sizing,
 // and fluid (average-case) vs packet-level (worst-case) substrates.
+//
+// The first two are fully declarative (per-run rows from the plan's output
+// spec); the fluid-vs-packet ablation compares PAIRS of runs, so its
+// reduction stays a custom analyze while its grid — including the
+// substrate axis — is plan data.
 #include <cstdio>
 #include <vector>
 
-#include "core/sss_score.hpp"
 #include "scenario/common.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenarios.hpp"
@@ -22,38 +26,25 @@ ScenarioSpec background_traffic_spec() {
   spec.paper_ref = "Section 6 future work: variability in network performance";
   spec.description = "SSS degradation as shared-path cross-traffic grows";
   spec.tags = {"ablation", "sweep"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    std::vector<RunPoint> runs;
-    for (double bg : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
-      RunPoint run;
-      run.config = simnet::WorkloadConfig::paper_table2(
-          4, 4, simnet::SpawnMode::kSimultaneousBatches);  // 64 % foreground
-      run.config.duration = run.config.duration * ctx.scale;
-      run.config.background_load = bg;
-      run.label = "bg=" + fmt(bg);
-      runs.push_back(std::move(run));
-    }
-    return runs;
-  };
-  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
-                    const std::vector<simnet::ExperimentResult>& results,
-                    ScenarioOutput& out) {
-    out.header = {"background_load", "total_offered", "t_worst_s", "sss",
-                  "regime",          "loss_rate",     "retransmits"};
-    for (const auto& r : results) {
-      const auto score = core::compute_sss(units::Seconds::of(r.t_worst_s()),
-                                           r.config.transfer_size, r.config.link.capacity);
-      out.add_row({fmt(r.config.background_load),
-                   fmt(r.config.offered_load() + r.config.background_load),
-                   fmt(r.t_worst_s()), fmt(score.value()),
-                   core::to_string(core::classify_regime(score.value())),
-                   fmt(r.metrics.loss_rate), fmt(r.metrics.total_retransmits)});
-    }
-    out.add_note(
-        "reading: the feasibility verdict depends on TOTAL path load; a facility "
-        "must measure (or reserve) the shared path, exactly the paper's argument "
-        "for continuous worst-case measurement.");
-  };
+
+  ExperimentPlan plan;
+  plan.scenario = spec.name;
+  plan.base = simnet::WorkloadConfig::paper_table2(
+      4, 4, simnet::SpawnMode::kSimultaneousBatches);  // 64 % foreground
+  plan.axes.push_back(ParamAxis::list("background_load",
+                                      {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}, "bg="));
+  plan.output.columns = {{"background_load", "background_load"},
+                         {"total_offered", "total_offered_load"},
+                         {"t_worst_s", "t_worst_s"},
+                         {"sss", "sss"},
+                         {"regime", "regime"},
+                         {"loss_rate", "loss_rate"},
+                         {"retransmits", "retransmits"}};
+  plan.output.notes = {
+      "reading: the feasibility verdict depends on TOTAL path load; a facility "
+      "must measure (or reserve) the shared path, exactly the paper's argument "
+      "for continuous worst-case measurement."};
+  spec.plan = detail::share(std::move(plan));
   return spec;
 }
 
@@ -64,37 +55,30 @@ ScenarioSpec buffer_sizing_spec() {
   spec.paper_ref = "DESIGN.md design-choice ablation (Table 1 testbed, 80% load)";
   spec.description = "worst-case FCT sensitivity to bottleneck buffer depth";
   spec.tags = {"ablation", "sweep"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    const double bdp_mb = 50.0;  // 25 Gbps x 16 ms
-    std::vector<RunPoint> runs;
-    for (double bdp_fraction : {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-      RunPoint run;
-      run.config = simnet::WorkloadConfig::paper_table2(
-          5, 4, simnet::SpawnMode::kSimultaneousBatches);  // 80 % offered load
-      run.config.duration = run.config.duration * ctx.scale;
-      run.config.link.buffer = units::Bytes::megabytes(bdp_mb * bdp_fraction);
-      run.label = "buffer=" + fmt(bdp_fraction) + "BDP";
-      runs.push_back(std::move(run));
-    }
-    return runs;
-  };
-  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
-                    const std::vector<simnet::ExperimentResult>& results,
-                    ScenarioOutput& out) {
-    const double bdp_mb = 50.0;
-    out.header = {"buffer_bdp",  "buffer_mb",   "t_worst_s", "t_mean_s",
-                  "loss_rate",   "retransmits", "rto_events"};
-    for (const auto& r : results) {
-      const double buffer_mb = r.config.link.buffer.mb();
-      out.add_row({fmt(buffer_mb / bdp_mb), fmt(buffer_mb), fmt(r.t_worst_s()),
-                   fmt(r.metrics.mean_client_fct_s()), fmt(r.metrics.loss_rate),
-                   fmt(r.metrics.total_retransmits), fmt(r.metrics.total_rto_events)});
-    }
-    out.add_note(
-        "reading: loss-driven inflation below ~1 BDP; at and above 1 BDP losses "
-        "vanish and the worst case plateaus (window caps bound the queue), so the "
-        "1 BDP default sits at the start of the stable band.");
-  };
+
+  const double bdp_mb = 50.0;  // 25 Gbps x 16 ms
+  ExperimentPlan plan;
+  plan.scenario = spec.name;
+  plan.base = simnet::WorkloadConfig::paper_table2(
+      5, 4, simnet::SpawnMode::kSimultaneousBatches);  // 80 % offered load
+  std::vector<AxisPoint> buffers;
+  for (double bdp_fraction : {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    buffers.push_back({"buffer=" + fmt(bdp_fraction) + "BDP",
+                       {"buffer_mb=" + fmt(bdp_mb * bdp_fraction)}});
+  }
+  plan.axes.push_back(ParamAxis::tuples("buffer", std::move(buffers)));
+  plan.output.columns = {{"buffer_bdp", "buffer_bdp"},
+                         {"buffer_mb", "buffer_mb"},
+                         {"t_worst_s", "t_worst_s"},
+                         {"t_mean_s", "t_mean_s"},
+                         {"loss_rate", "loss_rate"},
+                         {"retransmits", "retransmits"},
+                         {"rto_events", "rto_events"}};
+  plan.output.notes = {
+      "reading: loss-driven inflation below ~1 BDP; at and above 1 BDP losses "
+      "vanish and the worst case plateaus (window caps bound the queue), so the "
+      "1 BDP default sits at the start of the stable band."};
+  spec.plan = detail::share(std::move(plan));
   return spec;
 }
 
@@ -105,28 +89,21 @@ ScenarioSpec fluid_vs_packet_spec() {
   spec.paper_ref = "Section 3 critique of d_continuum ~ d_prop (Eq. 2)";
   spec.description = "quantifies how far the fluid model understates worst-case FCT";
   spec.tags = {"ablation", "sweep", "substrate"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    // Paired runs per concurrency: [fluid, packet], interleaved.  The fluid
-    // substrate ignores the seed (it is deterministic by construction), so
-    // the pairing stays comparable under executor reseeding.
-    std::vector<RunPoint> runs;
-    for (int c = 1; c <= 8; ++c) {
-      simnet::WorkloadConfig cfg = simnet::WorkloadConfig::paper_table2(
-          c, 4, simnet::SpawnMode::kSimultaneousBatches);
-      cfg.duration = cfg.duration * ctx.scale;
-      RunPoint fluid;
-      fluid.config = cfg;
-      fluid.substrate = Substrate::kFluid;
-      fluid.label = "fluid c=" + std::to_string(c);
-      runs.push_back(std::move(fluid));
-      RunPoint packet;
-      packet.config = cfg;
-      packet.substrate = Substrate::kPacket;
-      packet.label = "packet c=" + std::to_string(c);
-      runs.push_back(std::move(packet));
-    }
-    return runs;
-  };
+
+  // Paired runs per concurrency: [fluid, packet], interleaved (substrate is
+  // the innermost axis, preserving the historical run — and RNG stream —
+  // order).  The fluid substrate ignores the seed (it is deterministic by
+  // construction), so the pairing stays comparable under executor
+  // reseeding.
+  ExperimentPlan plan;
+  plan.scenario = spec.name;
+  plan.base = simnet::WorkloadConfig::paper_table2(
+      1, 4, simnet::SpawnMode::kSimultaneousBatches);
+  plan.axes.push_back(ParamAxis::linspace("concurrency", 1.0, 8.0, 8, "c="));
+  plan.axes.push_back(ParamAxis::tuples(
+      "substrate", {{"fluid", {"substrate=fluid"}}, {"packet", {"substrate=packet"}}}));
+  spec.plan = detail::share(std::move(plan));
+
   spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
                     const std::vector<simnet::ExperimentResult>& results,
                     ScenarioOutput& out) {

@@ -1,6 +1,9 @@
 // scenarios_case_studies.cpp — Table 3 / Section 5 case studies, the
 // Fig. 4 streaming-vs-file comparison, and the headline-claims check as
-// registry scenarios.
+// registry scenarios.  The measurement grids are declarative plans
+// (Table-2 slices); every table here is an aggregate reduction (congestion
+// profiles, paired claims), so the analyze hooks stay custom.  Fig. 4 is
+// fully analytic: no plan — the explicit analyze-only escape hatch.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -60,10 +63,9 @@ ScenarioSpec table3_spec() {
   spec.paper_ref = "Table 3 (adapted from Thayer et al.), Section 5";
   spec.description = "LCLS-II workflow tier feasibility from a measured congestion profile";
   spec.tags = {"case-study", "sweep"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    // Congestion profile measured with simultaneous batches at P = 4.
-    return detail::table2_grid(simnet::SpawnMode::kSimultaneousBatches, {4}, 8, ctx.scale);
-  };
+  // Congestion profile measured with simultaneous batches at P = 4.
+  spec.plan = detail::share(detail::table2_plan(
+      spec.name, simnet::SpawnMode::kSimultaneousBatches, {4}, 8));
   spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
                     const std::vector<simnet::ExperimentResult>& results,
                     ScenarioOutput& out) {
@@ -133,11 +135,12 @@ ScenarioSpec lcls2_steering_spec() {
   spec.paper_ref = "Section 5, Table 3 workflows under the three latency tiers";
   spec.description = "measure congestion, then judge both Table-3 workflows for steering";
   spec.tags = {"case-study", "sweep", "example"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    // The original example used a 0.2x sweep; scale composes on top.
-    return detail::table2_grid(simnet::SpawnMode::kSimultaneousBatches, {4}, 8,
-                               0.2 * ctx.scale);
-  };
+  // The original example used a 0.2x sweep; ScenarioContext::scale composes
+  // on top of the shortened base duration.
+  ExperimentPlan steering_plan = detail::table2_plan(
+      spec.name, simnet::SpawnMode::kSimultaneousBatches, {4}, 8);
+  steering_plan.base.duration = steering_plan.base.duration * 0.2;
+  spec.plan = detail::share(std::move(steering_plan));
   spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
                     const std::vector<simnet::ExperimentResult>& results,
                     ScenarioOutput& out) {
@@ -219,9 +222,8 @@ ScenarioSpec headline_claims_spec() {
   spec.paper_ref = "Abstract, Sections 1 and 6";
   spec.description = "checks the paper's two headline numbers against this reproduction";
   spec.tags = {"case-study", "sweep"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    return detail::table2_grid(simnet::SpawnMode::kSimultaneousBatches, {8}, 8, ctx.scale);
-  };
+  spec.plan = detail::share(detail::table2_plan(
+      spec.name, simnet::SpawnMode::kSimultaneousBatches, {8}, 8));
   spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
                     const std::vector<simnet::ExperimentResult>& results,
                     ScenarioOutput& out) {

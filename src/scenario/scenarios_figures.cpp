@@ -3,11 +3,15 @@
 // grid (P in {2,4,8}, concurrency 1..8) under simultaneous or scheduled
 // spawning, reduced to worst-case transfer times, SSS values, and the
 // pooled FCT distribution.
+//
+// Fig. 2(a)/2(b) render their tables declaratively from the plan's output
+// spec (one row per run — which also makes them shardable) and add the
+// aggregate shape-check notes in `annotate`; Fig. 3 pools every client FCT
+// across the whole sweep, so its reduction stays a custom `analyze`.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
-#include "core/sss_score.hpp"
 #include "scenario/common.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenarios.hpp"
@@ -40,25 +44,24 @@ ScenarioSpec fig2a_spec() {
   spec.paper_ref = "Section 4.1, Table 1 + Table 2 configuration";
   spec.description = "worst-case transfer time vs load, simultaneous batch spawning";
   spec.tags = {"figure", "sweep"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    return detail::table2_grid(simnet::SpawnMode::kSimultaneousBatches, {2, 4, 8}, 8,
-                               ctx.scale);
-  };
-  spec.analyze = [](const ScenarioContext& ctx, const std::vector<RunPoint>& runs,
-                    const std::vector<simnet::ExperimentResult>& results,
-                    ScenarioOutput& out) {
-    out.header = {"parallel_flows", "concurrency", "offered_load", "measured_utilization",
-                  "t_worst_s",      "t_mean_s",    "sss",          "regime",
-                  "loss_rate",      "retransmits"};
-    for (const auto& r : results) {
-      const auto score = core::compute_sss(units::Seconds::of(r.t_worst_s()),
-                                           r.config.transfer_size, r.config.link.capacity);
-      out.add_row({fmt(r.config.parallel_flows), fmt(r.config.concurrency),
-                   fmt(r.offered_load), fmt(r.metrics.mean_utilization),
-                   fmt(r.t_worst_s()), fmt(r.metrics.mean_client_fct_s()),
-                   fmt(score.value()), core::to_string(core::classify_regime(score.value())),
-                   fmt(r.metrics.loss_rate), fmt(r.metrics.total_retransmits)});
-    }
+
+  ExperimentPlan plan = detail::table2_plan(
+      spec.name, simnet::SpawnMode::kSimultaneousBatches, {2, 4, 8}, 8);
+  plan.output.columns = {{"parallel_flows", "parallel_flows"},
+                         {"concurrency", "concurrency"},
+                         {"offered_load", "offered_load"},
+                         {"measured_utilization", "measured_utilization"},
+                         {"t_worst_s", "t_worst_s"},
+                         {"t_mean_s", "t_mean_s"},
+                         {"sss", "sss"},
+                         {"regime", "regime"},
+                         {"loss_rate", "loss_rate"},
+                         {"retransmits", "retransmits"}};
+  spec.plan = detail::share(std::move(plan));
+
+  spec.annotate = [](const ScenarioContext& ctx, const std::vector<RunPoint>& runs,
+                     const std::vector<simnet::ExperimentResult>& results,
+                     ScenarioOutput& out) {
     if (!runs.empty()) out.add_note(testbed_note(runs.front().config, ctx.scale));
     // Shape check the paper's narrative: knee above ~90 % utilization.
     double worst_low = 0.0, worst_high = 0.0;
@@ -83,28 +86,28 @@ ScenarioSpec fig2b_spec() {
   spec.paper_ref = "Section 4.1 (reserved/scheduled transfer slots)";
   spec.description = "worst-case transfer time vs load, evenly slotted spawning";
   spec.tags = {"figure", "sweep"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    return detail::table2_grid(simnet::SpawnMode::kScheduled, {2, 4, 8}, 8, ctx.scale);
-  };
-  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
-                    const std::vector<simnet::ExperimentResult>& results,
-                    ScenarioOutput& out) {
-    out.header = {"parallel_flows", "concurrency", "offered_load", "t_worst_s",
-                  "t_mean_s",       "sss",         "within_budget"};
+
+  ExperimentPlan plan =
+      detail::table2_plan(spec.name, simnet::SpawnMode::kScheduled, {2, 4, 8}, 8);
+  plan.output.columns = {{"parallel_flows", "parallel_flows"},
+                         {"concurrency", "concurrency"},
+                         {"offered_load", "offered_load"},
+                         {"t_worst_s", "t_worst_s"},
+                         {"t_mean_s", "t_mean_s"},
+                         {"sss", "sss"},
+                         {"within_budget", "within_1s_budget"}};
+  spec.plan = detail::share(std::move(plan));
+
+  spec.annotate = [](const ScenarioContext&, const std::vector<RunPoint>&,
+                     const std::vector<simnet::ExperimentResult>& results,
+                     ScenarioOutput& out) {
     int sustainable_cells = 0;
     int within_budget = 0;
     for (const auto& r : results) {
-      const auto score = core::compute_sss(units::Seconds::of(r.t_worst_s()),
-                                           r.config.transfer_size, r.config.link.capacity);
-      const bool budget_ok = r.t_worst_s() <= 1.0;
       if (r.offered_load <= 0.97) {
         ++sustainable_cells;
-        if (budget_ok) ++within_budget;
+        if (r.t_worst_s() <= 1.0) ++within_budget;
       }
-      out.add_row({fmt(r.config.parallel_flows), fmt(r.config.concurrency),
-                   fmt(r.offered_load), fmt(r.t_worst_s()),
-                   fmt(r.metrics.mean_client_fct_s()), fmt(score.value()),
-                   budget_ok ? "yes" : "no"});
     }
     char buf[160];
     std::snprintf(buf, sizeof(buf),
@@ -123,10 +126,10 @@ ScenarioSpec fig3_spec() {
   spec.paper_ref = "Section 4.1 (long-tail behaviour, P90/P99 blow-up)";
   spec.description = "pooled client FCT distribution across the simultaneous sweep";
   spec.tags = {"figure", "sweep"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    return detail::table2_grid(simnet::SpawnMode::kSimultaneousBatches, {2, 4, 8}, 8,
-                               ctx.scale);
-  };
+  // The grid is declarative; the table is an all-run pooled CDF, so the
+  // reduction stays a custom analyze (no per-run rows to shard).
+  spec.plan = detail::share(detail::table2_plan(
+      spec.name, simnet::SpawnMode::kSimultaneousBatches, {2, 4, 8}, 8));
   spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
                     const std::vector<simnet::ExperimentResult>& results,
                     ScenarioOutput& out) {

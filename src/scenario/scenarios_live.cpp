@@ -1,7 +1,9 @@
 // scenarios_live.cpp — live wall-clock pipeline miniatures as registry
 // scenarios.  Unlike the simulation sweeps these move real bytes through
 // real threads, so their timings vary run to run; they are tagged "live"
-// and excluded from golden-output comparisons.
+// and excluded from golden-output comparisons.  Neither scenario has an
+// ExperimentPlan — they are the analyze-only escape hatch (no simulation
+// grid to expand, dump, or shard).
 #include <atomic>
 #include <cstdio>
 #include <memory>

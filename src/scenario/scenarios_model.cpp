@@ -235,24 +235,20 @@ ScenarioSpec make_congestion_planner_spec(double link_gbps, double unit_gb,
   spec.paper_ref = "Section 4 methodology applied as an operator planning tool";
   spec.description = "SSS curve on a measured link and the utilization a budget allows";
   spec.tags = {"model", "sweep", "example"};
-  spec.make_runs = [link_gbps](const ScenarioContext& ctx) {
+  {
     const units::DataRate link = units::DataRate::gigabits_per_second(link_gbps);
-    std::vector<RunPoint> runs;
-    for (int c = 1; c <= 8; ++c) {
-      RunPoint run;
-      run.config.duration = units::Seconds::of(2.0) * ctx.scale;
-      run.config.concurrency = c;
-      run.config.parallel_flows = 4;
-      // Keep per-client size proportional to the link so the sweep spans
-      // the same 16-128 % offered-load range as Table 2.
-      run.config.transfer_size = units::Bytes::of(link.bps() * 0.16);
-      run.config.mode = simnet::SpawnMode::kSimultaneousBatches;
-      run.config.link.capacity = link;
-      run.label = "c=" + std::to_string(c);
-      runs.push_back(std::move(run));
-    }
-    return runs;
-  };
+    ExperimentPlan plan;
+    plan.scenario = spec.name;
+    plan.base.duration = units::Seconds::of(2.0);
+    plan.base.parallel_flows = 4;
+    // Keep per-client size proportional to the link so the sweep spans
+    // the same 16-128 % offered-load range as Table 2.
+    plan.base.transfer_size = units::Bytes::of(link.bps() * 0.16);
+    plan.base.mode = simnet::SpawnMode::kSimultaneousBatches;
+    plan.base.link.capacity = link;
+    plan.axes.push_back(ParamAxis::linspace("concurrency", 1.0, 8.0, 8, "c="));
+    spec.plan = detail::share(std::move(plan));
+  }
   spec.analyze = [link_gbps, unit_gb, budget_s](
                      const ScenarioContext&, const std::vector<RunPoint>&,
                      const std::vector<simnet::ExperimentResult>& results,

@@ -10,14 +10,18 @@
 //   burst_mode_detector   — duty-cycled detectors emitting one intense
 //                           burst; quantifies how much scheduled slotting
 //                           rescues the worst case at equal burst volume.
+//
+// The first two are declarative (tuple axes coupling several knobs per
+// variant, per-run rows); the burst scenario pairs simultaneous/scheduled
+// runs in its reduction, so its table stays a custom analyze.
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "core/sss_score.hpp"
 #include "scenario/common.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenarios.hpp"
+#include "trace/parse.hpp"
 
 namespace sss::scenario {
 
@@ -32,53 +36,43 @@ ScenarioSpec multi_tenant_storm_spec() {
   spec.paper_ref = "extends Section 6 future work (network performance variability)";
   spec.description = "same mean background load, different tail shape, SSS impact";
   spec.tags = {"stress", "sweep", "new"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    struct Storm {
-      const char* kind;
-      double load;
-      double mean_mb;
-      double pareto_shape;  // <= 0 = exponential sizes
-    };
-    // Mice: many small exponential flows.  Elephants: rare heavy-tailed
-    // bulk flows (Pareto 1.2, mean 256 MB) — the backup/replication storm.
-    const std::vector<Storm> storms = {
-        {"none", 0.0, 64.0, 1.5},      {"mice", 0.3, 4.0, 0.0},
-        {"elephants", 0.3, 256.0, 1.2}, {"mice", 0.6, 4.0, 0.0},
-        {"elephants", 0.6, 256.0, 1.2},
-    };
-    std::vector<RunPoint> runs;
-    for (const Storm& storm : storms) {
-      RunPoint run;
-      run.config = simnet::WorkloadConfig::paper_table2(
-          4, 4, simnet::SpawnMode::kSimultaneousBatches);  // 64 % foreground
-      run.config.duration = run.config.duration * ctx.scale;
-      run.config.background_load = storm.load;
-      run.config.background_mean_flow_size = units::Bytes::megabytes(storm.mean_mb);
-      run.config.background_pareto_shape = storm.pareto_shape;
-      run.label = std::string(storm.kind) + " @" + fmt(storm.load);
-      runs.push_back(std::move(run));
-    }
-    return runs;
+
+  ExperimentPlan plan;
+  plan.scenario = spec.name;
+  plan.base = simnet::WorkloadConfig::paper_table2(
+      4, 4, simnet::SpawnMode::kSimultaneousBatches);  // 64 % foreground
+  // Mice: many small exponential flows.  Elephants: rare heavy-tailed
+  // bulk flows (Pareto 1.2, mean 256 MB) — the backup/replication storm.
+  std::vector<AxisPoint> storms;
+  struct Storm {
+    const char* kind;
+    double load;
+    double mean_mb;
+    double pareto_shape;  // <= 0 = exponential sizes
   };
-  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>& runs,
-                    const std::vector<simnet::ExperimentResult>& results,
-                    ScenarioOutput& out) {
-    out.header = {"storm",     "background_load", "t_worst_s", "t_mean_s",
-                  "sss",       "regime",          "loss_rate", "retransmits"};
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto& r = results[i];
-      const auto score = core::compute_sss(units::Seconds::of(r.t_worst_s()),
-                                           r.config.transfer_size, r.config.link.capacity);
-      out.add_row({runs[i].label, fmt(r.config.background_load), fmt(r.t_worst_s()),
-                   fmt(r.metrics.mean_client_fct_s()), fmt(score.value()),
-                   core::to_string(core::classify_regime(score.value())),
-                   fmt(r.metrics.loss_rate), fmt(r.metrics.total_retransmits)});
-    }
-    out.add_note(
-        "reading: at the same AVERAGE tenant load, elephant storms inflate the "
-        "worst case far more than mice — capacity planning against mean "
-        "cross-traffic misses exactly the bursts that break tier deadlines.");
-  };
+  for (const Storm& storm : {Storm{"none", 0.0, 64.0, 1.5}, Storm{"mice", 0.3, 4.0, 0.0},
+                             Storm{"elephants", 0.3, 256.0, 1.2},
+                             Storm{"mice", 0.6, 4.0, 0.0},
+                             Storm{"elephants", 0.6, 256.0, 1.2}}) {
+    storms.push_back({std::string(storm.kind) + " @" + fmt(storm.load),
+                      {"background_load=" + fmt(storm.load),
+                       "background_mean_mb=" + fmt(storm.mean_mb),
+                       "background_shape=" + fmt(storm.pareto_shape)}});
+  }
+  plan.axes.push_back(ParamAxis::tuples("storm", std::move(storms)));
+  plan.output.columns = {{"storm", "label"},
+                         {"background_load", "background_load"},
+                         {"t_worst_s", "t_worst_s"},
+                         {"t_mean_s", "t_mean_s"},
+                         {"sss", "sss"},
+                         {"regime", "regime"},
+                         {"loss_rate", "loss_rate"},
+                         {"retransmits", "retransmits"}};
+  plan.output.notes = {
+      "reading: at the same AVERAGE tenant load, elephant storms inflate the "
+      "worst case far more than mice — capacity planning against mean "
+      "cross-traffic misses exactly the bursts that break tier deadlines."};
+  spec.plan = detail::share(std::move(plan));
   return spec;
 }
 
@@ -89,59 +83,49 @@ ScenarioSpec degraded_link_spec() {
   spec.paper_ref = "extends Section 5 (feasibility under operational faults)";
   spec.description = "primary 25 Gbps path degrading to weaker/longer backup links";
   spec.tags = {"stress", "sweep", "new"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    struct Path {
-      const char* name;
-      double gbps;
-      double one_way_ms;  // backup paths take longer routes
-    };
-    const std::vector<Path> paths = {
-        {"primary", 25.0, 8.0},   {"backup-20g", 20.0, 12.0}, {"backup-15g", 15.0, 16.0},
-        {"backup-10g", 10.0, 20.0}, {"backup-5g", 5.0, 24.0},
-    };
-    std::vector<RunPoint> runs;
-    for (const Path& path : paths) {
-      RunPoint run;
-      run.config = simnet::WorkloadConfig::paper_table2(
-          4, 4, simnet::SpawnMode::kSimultaneousBatches);
-      run.config.duration = run.config.duration * ctx.scale;
-      run.config.link.name = path.name;
-      run.config.link.capacity = units::DataRate::gigabits_per_second(path.gbps);
-      run.config.link.propagation_delay = units::Seconds::millis(path.one_way_ms);
-      // Keep the buffer at ~1 BDP of each path, as a tuned DTN path would.
-      run.config.link.buffer =
-          units::Bytes::of(path.gbps * 1e9 / 8.0 * (2.0 * path.one_way_ms / 1e3));
-      run.label = path.name;
-      runs.push_back(std::move(run));
-    }
-    return runs;
+
+  ExperimentPlan plan;
+  plan.scenario = spec.name;
+  plan.base = simnet::WorkloadConfig::paper_table2(
+      4, 4, simnet::SpawnMode::kSimultaneousBatches);
+  struct Path {
+    const char* name;
+    double gbps;
+    double one_way_ms;  // backup paths take longer routes
   };
-  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>& runs,
-                    const std::vector<simnet::ExperimentResult>& results,
-                    ScenarioOutput& out) {
-    // Tier-2 verdict for the coherent-scattering window (2 GB within 10 s),
-    // extrapolated from each path's measured SSS as in Section 5.
-    const units::Bytes window = units::Bytes::gigabytes(2.0);
-    out.header = {"path",      "capacity_gbps", "rtt_ms",      "offered_load",
-                  "t_worst_s", "sss",           "window_worst_s", "tier2_ok"};
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto& r = results[i];
-      const auto score = core::compute_sss(units::Seconds::of(r.t_worst_s()),
-                                           r.config.transfer_size, r.config.link.capacity);
-      const double window_worst_s =
-          score.value() * (window / r.config.link.capacity).seconds();
-      out.add_row({runs[i].label, fmt(r.config.link.capacity.gbit_per_s()),
-                   fmt(r.config.link.propagation_delay.ms() * 2.0), fmt(r.offered_load),
-                   fmt(r.t_worst_s()), fmt(score.value()), fmt(window_worst_s),
-                   window_worst_s <= 10.0 ? "yes" : "no"});
-    }
-    out.add_note(
-        "reading: failover is not just a bandwidth cut — the same instrument "
-        "demand lands on a smaller pipe at a longer RTT, so offered load and "
-        "congestion inflation compound.  The tier-2 verdict flips well before "
-        "the link is nominally saturated; a failover plan must budget against "
-        "the backup path's WORST case, not its line rate.");
-  };
+  std::vector<AxisPoint> paths;
+  for (const Path& path :
+       {Path{"primary", 25.0, 8.0}, Path{"backup-20g", 20.0, 12.0},
+        Path{"backup-15g", 15.0, 16.0}, Path{"backup-10g", 10.0, 20.0},
+        Path{"backup-5g", 5.0, 24.0}}) {
+    // Keep the buffer at ~1 BDP of each path, as a tuned DTN path would.
+    const double buffer_bytes = path.gbps * 1e9 / 8.0 * (2.0 * path.one_way_ms / 1e3);
+    char buffer_text[32];
+    paths.push_back({path.name,
+                     {"link_name=" + std::string(path.name),
+                      "link_gbps=" + fmt(path.gbps),
+                      "rtt_ms=" + fmt(2.0 * path.one_way_ms),
+                      "buffer_bytes=" +
+                          std::string(trace::format_double_exact(buffer_bytes, buffer_text))}});
+  }
+  plan.axes.push_back(ParamAxis::tuples("path", std::move(paths)));
+  // Tier-2 verdict for the coherent-scattering window (2 GB within 10 s),
+  // extrapolated from each path's measured SSS as in Section 5.
+  plan.output.columns = {{"path", "label"},
+                         {"capacity_gbps", "capacity_gbps"},
+                         {"rtt_ms", "rtt_ms"},
+                         {"offered_load", "offered_load"},
+                         {"t_worst_s", "t_worst_s"},
+                         {"sss", "sss"},
+                         {"window_worst_s", "coherent_window_worst_s"},
+                         {"tier2_ok", "coherent_window_tier2_ok"}};
+  plan.output.notes = {
+      "reading: failover is not just a bandwidth cut — the same instrument "
+      "demand lands on a smaller pipe at a longer RTT, so offered load and "
+      "congestion inflation compound.  The tier-2 verdict flips well before "
+      "the link is nominally saturated; a failover plan must budget against "
+      "the backup path's WORST case, not its line rate."};
+  spec.plan = detail::share(std::move(plan));
   return spec;
 }
 
@@ -152,34 +136,29 @@ ScenarioSpec burst_mode_spec() {
   spec.paper_ref = "extends Section 4.1 (Fig. 2(a) vs 2(b)) to duty-cycled sources";
   spec.description = "burst intensity sweep; how much scheduled slotting rescues the tail";
   spec.tags = {"stress", "sweep", "new"};
-  spec.make_runs = [](const ScenarioContext&) {
-    // A duty-cycled detector on a 2.5 Gbps path: each burst client moves
-    // 50 MB (0.16 link-seconds, the Table-2 ratio).  One 1-second burst
-    // window; intensity = clients per burst.  Paired runs per intensity:
-    // [simultaneous, scheduled].  ctx.scale is intentionally NOT applied:
-    // shrinking either the fixed 1 s burst window or the per-client size
-    // would change the burst-overload ratio this scenario exists to
-    // measure, and the whole sweep costs only ~2 s of CPU at full size.
-    std::vector<RunPoint> runs;
-    for (int burst : {2, 4, 8, 12, 16}) {
-      for (const simnet::SpawnMode mode :
-           {simnet::SpawnMode::kSimultaneousBatches, simnet::SpawnMode::kScheduled}) {
-        RunPoint run;
-        run.config.duration = units::Seconds::of(1.0);
-        run.config.concurrency = burst;
-        run.config.parallel_flows = 4;
-        run.config.transfer_size = units::Bytes::megabytes(50.0);
-        run.config.mode = mode;
-        run.config.link.name = "burst-fabric-2g5";
-        run.config.link.capacity = units::DataRate::gigabits_per_second(2.5);
-        run.config.link.propagation_delay = units::Seconds::millis(8.0);
-        run.config.link.buffer = units::Bytes::megabytes(5.0);  // ~1 BDP
-        run.label = "burst=" + std::to_string(burst) + " " + simnet::to_string(mode);
-        runs.push_back(std::move(run));
-      }
-    }
-    return runs;
-  };
+
+  // A duty-cycled detector on a 2.5 Gbps path: each burst client moves
+  // 50 MB (0.16 link-seconds, the Table-2 ratio).  One 1-second burst
+  // window; intensity = clients per burst.  Paired runs per intensity:
+  // [simultaneous, scheduled] (mode is the innermost axis).  The scale
+  // knob is intentionally NOT applied (scale_duration = false): shrinking
+  // either the fixed 1 s burst window or the per-client size would change
+  // the burst-overload ratio this scenario exists to measure, and the
+  // whole sweep costs only ~2 s of CPU at full size.
+  ExperimentPlan plan;
+  plan.scenario = spec.name;
+  plan.scale_duration = false;
+  plan.base.duration = units::Seconds::of(1.0);
+  plan.base.parallel_flows = 4;
+  plan.base.transfer_size = units::Bytes::megabytes(50.0);
+  plan.base.link.name = "burst-fabric-2g5";
+  plan.base.link.capacity = units::DataRate::gigabits_per_second(2.5);
+  plan.base.link.propagation_delay = units::Seconds::millis(8.0);
+  plan.base.link.buffer = units::Bytes::megabytes(5.0);  // ~1 BDP
+  plan.axes.push_back(ParamAxis::list("concurrency", {2, 4, 8, 12, 16}, "burst="));
+  plan.axes.push_back(ParamAxis::list_strings("mode", {"simultaneous", "scheduled"}));
+  spec.plan = detail::share(std::move(plan));
+
   spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
                     const std::vector<simnet::ExperimentResult>& results,
                     ScenarioOutput& out) {

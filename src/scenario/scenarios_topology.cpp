@@ -19,8 +19,12 @@
 //                               worst case over the 4-hop path feeds the
 //                               path-aware decision model's tier verdicts.
 //
-// Every scenario emits one CSV column group per hop (simnet::hop_csv_*),
-// so the per-hop counters land in the exported tables.
+// Everything except the LCLS tier table is declarative: the hop variants
+// and storm schedules are tuple axes over the unified override catalog
+// (hop<k>_gbps, storm<j>_*), and every row — including the per-hop CSV
+// column groups (OutputSpec::hop_columns) — renders from the plan's output
+// spec, which is what lets `scenario_runner --shard` split these sweeps
+// across hosts.
 #include <array>
 #include <cstdio>
 #include <string>
@@ -42,30 +46,15 @@ using detail::fmt;
 // The common foreground for the bottleneck-placement sweeps: the Table-2
 // c=4 / P=4 cell (64 % offered load on a balanced 25 Gbps chain), so any
 // undersized hop is pushed well past saturation.
-simnet::WorkloadConfig topology_workload(const std::vector<simnet::LinkConfig>& hops,
-                                         double scale) {
+simnet::WorkloadConfig topology_workload(const std::vector<simnet::LinkConfig>& hops) {
   simnet::WorkloadConfig cfg;
-  cfg.duration = units::Seconds::of(10.0) * scale;
+  cfg.duration = units::Seconds::of(10.0);
   cfg.concurrency = 4;
   cfg.parallel_flows = 4;
   cfg.transfer_size = units::Bytes::gigabytes(0.5);
   cfg.mode = simnet::SpawnMode::kSimultaneousBatches;
   cfg.path_hops = hops;
   return cfg;
-}
-
-void append_hop_columns(ScenarioOutput& out, std::size_t hop_count) {
-  for (auto& column : simnet::hop_csv_header(hop_count)) {
-    out.header.push_back(std::move(column));
-  }
-}
-
-void append_hop_values(std::vector<std::string>& row,
-                       const std::vector<simnet::HopMetrics>& hops,
-                       std::size_t hop_count) {
-  for (auto& cell : simnet::hop_csv_values(hops, hop_count)) {
-    row.push_back(std::move(cell));
-  }
 }
 
 ScenarioSpec hop_bottleneck_sweep_spec() {
@@ -75,49 +64,34 @@ ScenarioSpec hop_bottleneck_sweep_spec() {
   spec.paper_ref = "extends Section 4 to multi-hop paths (ROADMAP multi-link item)";
   spec.description = "same workload, bottleneck placed at each hop; per-hop counters";
   spec.tags = {"topology", "sweep", "new"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    const simnet::Topology topo(simnet::topology_preset("edge_dtn_wan_hpc"));
-    const std::vector<simnet::LinkConfig> balanced = topo.canonical_route();
-    std::vector<RunPoint> runs;
-    // Variant -1 keeps the balanced chain; variant h squeezes hop h to
-    // 10 Gbps (160 % offered), moving the saturation point hop by hop.
-    for (int squeeze = -1; squeeze < static_cast<int>(balanced.size()); ++squeeze) {
-      std::vector<simnet::LinkConfig> hops = balanced;
-      if (squeeze >= 0) {
-        hops[squeeze].capacity = units::DataRate::gigabits_per_second(10.0);
-      }
-      RunPoint run;
-      run.config = topology_workload(hops, ctx.scale);
-      run.label = squeeze < 0 ? "balanced" : "squeeze:" + hops[squeeze].name;
-      runs.push_back(std::move(run));
-    }
-    return runs;
-  };
-  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>& runs,
-                    const std::vector<simnet::ExperimentResult>& results,
-                    ScenarioOutput& out) {
-    out.header = {"variant", "bottleneck_hop", "offered_load", "t_worst_s", "sss",
-                  "regime"};
-    append_hop_columns(out, 3);
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto& r = results[i];
-      const auto profile = core::profile_path(r.config.path_hops);
-      const auto score =
-          core::compute_sss(units::Seconds::of(r.t_worst_s()), r.config.transfer_size,
-                            profile.bottleneck_bandwidth);
-      std::vector<std::string> row = {
-          runs[i].label,     profile.bottleneck_name,
-          fmt(r.offered_load), fmt(r.t_worst_s()),
-          fmt(score.value()), core::to_string(core::classify_regime(score.value()))};
-      append_hop_values(row, r.metrics.hops, 3);
-      out.add_row(std::move(row));
-    }
-    out.add_note(
-        "reading: the worst case is set by WHICH hop saturates, not only by how "
-        "much — an undersized edge NIC sheds load before the WAN queue can, so "
-        "the same 10 Gbps squeeze produces different loss placement and "
-        "different tails at each position.");
-  };
+
+  const simnet::Topology topo(simnet::topology_preset("edge_dtn_wan_hpc"));
+  const std::vector<simnet::LinkConfig> balanced = topo.canonical_route();
+  ExperimentPlan plan;
+  plan.scenario = spec.name;
+  plan.base = topology_workload(balanced);
+  // Variant "balanced" keeps the chain; variant h squeezes hop h to
+  // 10 Gbps (160 % offered), moving the saturation point hop by hop.
+  std::vector<AxisPoint> variants;
+  variants.push_back({"balanced", {}});
+  for (std::size_t hop = 0; hop < balanced.size(); ++hop) {
+    variants.push_back({"squeeze:" + balanced[hop].name,
+                        {"hop" + std::to_string(hop) + "_gbps=10"}});
+  }
+  plan.axes.push_back(ParamAxis::tuples("variant", std::move(variants)));
+  plan.output.columns = {{"variant", "label"},
+                         {"bottleneck_hop", "bottleneck_hop"},
+                         {"offered_load", "offered_load"},
+                         {"t_worst_s", "t_worst_s"},
+                         {"sss", "sss"},
+                         {"regime", "regime"}};
+  plan.output.hop_columns = 3;
+  plan.output.notes = {
+      "reading: the worst case is set by WHICH hop saturates, not only by how "
+      "much — an undersized edge NIC sheds load before the WAN queue can, so "
+      "the same 10 Gbps squeeze produces different loss placement and "
+      "different tails at each position."};
+  spec.plan = detail::share(std::move(plan));
   return spec;
 }
 
@@ -128,43 +102,25 @@ ScenarioSpec dtn_nic_undersizing_spec() {
   spec.paper_ref = "extends the Table-2 path (now hop-resolved: NIC/ESnet/ingest)";
   spec.description = "bottleneck migrates from the 25G ESnet share to the DTN NIC";
   spec.tags = {"topology", "sweep", "new"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    const simnet::Topology topo(simnet::topology_preset("aps_to_alcf"));
-    std::vector<RunPoint> runs;
-    for (const double nic_gbps : {40.0, 25.0, 15.0, 10.0, 5.0}) {
-      std::vector<simnet::LinkConfig> hops = topo.canonical_route();
-      hops[0].capacity = units::DataRate::gigabits_per_second(nic_gbps);
-      RunPoint run;
-      run.config = topology_workload(hops, ctx.scale);
-      run.label = "nic=" + fmt(nic_gbps) + "g";
-      runs.push_back(std::move(run));
-    }
-    return runs;
-  };
-  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
-                    const std::vector<simnet::ExperimentResult>& results,
-                    ScenarioOutput& out) {
-    out.header = {"nic_gbps", "bottleneck_hop", "path_gbps", "t_worst_s", "sss"};
-    append_hop_columns(out, 3);
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto& r = results[i];
-      const auto profile = core::profile_path(r.config.path_hops);
-      const auto score =
-          core::compute_sss(units::Seconds::of(r.t_worst_s()), r.config.transfer_size,
-                            profile.bottleneck_bandwidth);
-      std::vector<std::string> row = {fmt(r.config.path_hops[0].capacity.gbit_per_s()),
-                                      profile.bottleneck_name,
-                                      fmt(profile.bottleneck_bandwidth.gbit_per_s()),
-                                      fmt(r.t_worst_s()), fmt(score.value())};
-      append_hop_values(row, r.metrics.hops, 3);
-      out.add_row(std::move(row));
-    }
-    out.add_note(
-        "reading: above 25 Gbps the NIC is invisible (the ESnet share "
-        "bottlenecks); below it, drops move from the WAN queue to the "
-        "detector's own uplink, where no amount of WAN provisioning helps — "
-        "the cross-facility sizing question is per-hop, not end-to-end.");
-  };
+
+  const simnet::Topology topo(simnet::topology_preset("aps_to_alcf"));
+  ExperimentPlan plan;
+  plan.scenario = spec.name;
+  plan.base = topology_workload(topo.canonical_route());
+  plan.axes.push_back(
+      ParamAxis::list("hop0_gbps", {40.0, 25.0, 15.0, 10.0, 5.0}, "nic=", "g"));
+  plan.output.columns = {{"nic_gbps", "hop0_gbps"},
+                         {"bottleneck_hop", "bottleneck_hop"},
+                         {"path_gbps", "path_gbps"},
+                         {"t_worst_s", "t_worst_s"},
+                         {"sss", "sss"}};
+  plan.output.hop_columns = 3;
+  plan.output.notes = {
+      "reading: above 25 Gbps the NIC is invisible (the ESnet share "
+      "bottlenecks); below it, drops move from the WAN queue to the "
+      "detector's own uplink, where no amount of WAN provisioning helps — "
+      "the cross-facility sizing question is per-hop, not end-to-end."};
+  spec.plan = detail::share(std::move(plan));
   return spec;
 }
 
@@ -175,50 +131,35 @@ ScenarioSpec wan_cross_traffic_spec() {
   spec.paper_ref = "extends Section 6 future work (variability) to hop-local storms";
   spec.description = "hop-local background load sweep on the WAN hop only";
   spec.tags = {"topology", "sweep", "new"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    const simnet::Topology topo(simnet::topology_preset("edge_dtn_wan_hpc"));
-    std::vector<RunPoint> runs;
-    for (const double load : {0.0, 0.25, 0.5, 0.75}) {
-      RunPoint run;
-      run.config = topology_workload(topo.canonical_route(), ctx.scale);
-      if (load > 0.0) {
-        simnet::HopCrossTraffic storm;
-        storm.hop = 1;  // wan-backbone
-        storm.load = load;
-        storm.until = run.config.duration;
-        storm.mean_flow_size = units::Bytes::megabytes(128.0);
-        storm.pareto_shape = 1.3;
-        run.config.hop_cross_traffic.push_back(storm);
-      }
-      run.label = "wan_load=" + fmt(load);
-      runs.push_back(std::move(run));
+
+  const simnet::Topology topo(simnet::topology_preset("edge_dtn_wan_hpc"));
+  ExperimentPlan plan;
+  plan.scenario = spec.name;
+  plan.base = topology_workload(topo.canonical_route());
+  std::vector<AxisPoint> loads;
+  for (const double load : {0.0, 0.25, 0.5, 0.75}) {
+    AxisPoint point;
+    point.label = "wan_load=" + fmt(load);
+    if (load > 0.0) {
+      // Storm windows are scale-1 seconds; expansion rescales them with
+      // the duration.
+      point.set = {"storm0_hop=1", "storm0_load=" + fmt(load), "storm0_until_s=10",
+                   "storm0_mean_mb=128", "storm0_shape=1.3"};
     }
-    return runs;
-  };
-  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
-                    const std::vector<simnet::ExperimentResult>& results,
-                    ScenarioOutput& out) {
-    out.header = {"wan_load", "t_worst_s", "t_mean_s", "sss", "path_loss"};
-    append_hop_columns(out, 3);
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto& r = results[i];
-      const auto profile = core::profile_path(r.config.path_hops);
-      const auto score =
-          core::compute_sss(units::Seconds::of(r.t_worst_s()), r.config.transfer_size,
-                            profile.bottleneck_bandwidth);
-      const double load =
-          r.config.hop_cross_traffic.empty() ? 0.0 : r.config.hop_cross_traffic[0].load;
-      std::vector<std::string> row = {fmt(load), fmt(r.t_worst_s()),
-                                      fmt(r.metrics.mean_client_fct_s()),
-                                      fmt(score.value()), fmt(r.metrics.loss_rate)};
-      append_hop_values(row, r.metrics.hops, 3);
-      out.add_row(std::move(row));
-    }
-    out.add_note(
-        "reading: a storm that never touches the edge or ingest hops still "
-        "sets the end-to-end worst case — the per-hop columns localize the "
-        "drops to the backbone, which an end-to-end counter cannot.");
-  };
+    loads.push_back(std::move(point));
+  }
+  plan.axes.push_back(ParamAxis::tuples("wan_load", std::move(loads)));
+  plan.output.columns = {{"wan_load", "storm0_load"},
+                         {"t_worst_s", "t_worst_s"},
+                         {"t_mean_s", "t_mean_s"},
+                         {"sss", "sss"},
+                         {"path_loss", "loss_rate"}};
+  plan.output.hop_columns = 3;
+  plan.output.notes = {
+      "reading: a storm that never touches the edge or ingest hops still "
+      "sets the end-to-end worst case — the per-hop columns localize the "
+      "drops to the backbone, which an end-to-end counter cannot."};
+  spec.plan = detail::share(std::move(plan));
   return spec;
 }
 
@@ -229,60 +170,41 @@ ScenarioSpec moving_bottleneck_spec() {
   spec.paper_ref = "extends Section 4.1 congestion regimes to time-varying hop congestion";
   spec.description = "storm parked on edge vs WAN vs moving between them mid-run";
   spec.tags = {"topology", "sweep", "new"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    const simnet::Topology topo(simnet::topology_preset("edge_dtn_wan_hpc"));
-    const std::vector<simnet::LinkConfig> hops = topo.canonical_route();
-    struct Plan {
-      const char* name;
-      // (hop, window start fraction, window end fraction) entries.
-      std::vector<std::array<double, 3>> storms;
-    };
-    const std::vector<Plan> plans = {
-        {"clean", {}},
-        {"parked_edge", {{0.0, 0.0, 1.0}}},
-        {"parked_wan", {{1.0, 0.0, 1.0}}},
-        {"moving_edge_to_wan", {{0.0, 0.0, 0.5}, {1.0, 0.5, 1.0}}},
-    };
-    std::vector<RunPoint> runs;
-    for (const Plan& plan : plans) {
-      RunPoint run;
-      run.config = topology_workload(hops, ctx.scale);
-      const double duration_s = run.config.duration.seconds();
-      for (const auto& [hop, begin, end] : plan.storms) {
-        simnet::HopCrossTraffic storm;
-        storm.hop = static_cast<int>(hop);
-        storm.load = 0.6;
-        storm.start = units::Seconds::of(begin * duration_s);
-        storm.until = units::Seconds::of(end * duration_s);
-        storm.mean_flow_size = units::Bytes::megabytes(128.0);
-        storm.pareto_shape = 1.3;
-        run.config.hop_cross_traffic.push_back(storm);
-      }
-      run.label = plan.name;
-      runs.push_back(std::move(run));
-    }
-    return runs;
+
+  const simnet::Topology topo(simnet::topology_preset("edge_dtn_wan_hpc"));
+  ExperimentPlan plan;
+  plan.scenario = spec.name;
+  plan.base = topology_workload(topo.canonical_route());
+  // 0.6-load elephant storms (mean 128 MB, Pareto 1.3); windows in scale-1
+  // seconds over the 10 s base run.
+  auto storm = [](int index, int hop, double start_s, double until_s) {
+    const std::string prefix = "storm" + std::to_string(index) + "_";
+    return std::vector<std::string>{
+        prefix + "hop=" + std::to_string(hop), prefix + "load=0.6",
+        prefix + "start_s=" + fmt(start_s), prefix + "until_s=" + fmt(until_s),
+        prefix + "mean_mb=128", prefix + "shape=1.3"};
   };
-  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>& runs,
-                    const std::vector<simnet::ExperimentResult>& results,
-                    ScenarioOutput& out) {
-    out.header = {"plan", "t_worst_s", "t_mean_s", "path_loss", "path_drops"};
-    append_hop_columns(out, 3);
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto& r = results[i];
-      std::vector<std::string> row = {runs[i].label, fmt(r.t_worst_s()),
-                                      fmt(r.metrics.mean_client_fct_s()),
-                                      fmt(r.metrics.loss_rate),
-                                      fmt(r.metrics.packets_dropped)};
-      append_hop_values(row, r.metrics.hops, 3);
-      out.add_row(std::move(row));
-    }
-    out.add_note(
-        "reading: when the storm moves mid-run the drop columns light up on "
-        "BOTH hops while each parked storm concentrates them on one — a "
-        "transfer scheduler reacting to a single interface counter chases "
-        "yesterday's bottleneck.");
+  auto concat = [](std::vector<std::string> a, const std::vector<std::string>& b) {
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
   };
+  plan.axes.push_back(ParamAxis::tuples(
+      "plan", {{"clean", {}},
+               {"parked_edge", storm(0, 0, 0.0, 10.0)},
+               {"parked_wan", storm(0, 1, 0.0, 10.0)},
+               {"moving_edge_to_wan", concat(storm(0, 0, 0.0, 5.0), storm(1, 1, 5.0, 10.0))}}));
+  plan.output.columns = {{"plan", "label"},
+                         {"t_worst_s", "t_worst_s"},
+                         {"t_mean_s", "t_mean_s"},
+                         {"path_loss", "loss_rate"},
+                         {"path_drops", "packets_dropped"}};
+  plan.output.hop_columns = 3;
+  plan.output.notes = {
+      "reading: when the storm moves mid-run the drop columns light up on "
+      "BOTH hops while each parked storm concentrates them on one — a "
+      "transfer scheduler reacting to a single interface counter chases "
+      "yesterday's bottleneck."};
+  spec.plan = detail::share(std::move(plan));
   return spec;
 }
 
@@ -293,15 +215,16 @@ ScenarioSpec lcls_streaming_feasibility_spec() {
   spec.paper_ref = "applies Section 5's tier analysis over the 4-hop ESnet path";
   spec.description = "measured multi-hop worst case feeds the path-aware decision model";
   spec.tags = {"topology", "case-study", "new"};
-  spec.make_runs = [](const ScenarioContext& ctx) {
-    const simnet::Topology topo(simnet::topology_preset("lcls_to_nersc_esnet"));
-    RunPoint run;
-    run.config = topology_workload(topo.canonical_route(), ctx.scale);
-    // LCLS-II burst: heavier units into a 50 Gbps ingest share.
-    run.config.transfer_size = units::Bytes::gigabytes(1.0);
-    run.label = "lcls_to_nersc";
-    return std::vector<RunPoint>{run};
-  };
+
+  const simnet::Topology topo(simnet::topology_preset("lcls_to_nersc_esnet"));
+  ExperimentPlan plan;
+  plan.scenario = spec.name;
+  plan.base = topology_workload(topo.canonical_route());
+  // LCLS-II burst: heavier units into a 50 Gbps ingest share.  No axes —
+  // a single measured point; the tier table is an aggregate reduction.
+  plan.base.transfer_size = units::Bytes::gigabytes(1.0);
+  spec.plan = detail::share(std::move(plan));
+
   spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
                     const std::vector<simnet::ExperimentResult>& results,
                     ScenarioOutput& out) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "scenario/plan.hpp"
+
 namespace sss::scenario {
 
 const char* to_string(Substrate substrate) {
@@ -14,8 +16,18 @@ const char* to_string(Substrate substrate) {
   return "unknown";
 }
 
+std::optional<Substrate> substrate_from_string(std::string_view name) {
+  if (name == "packet") return Substrate::kPacket;
+  if (name == "fluid") return Substrate::kFluid;
+  return std::nullopt;
+}
+
 bool ScenarioSpec::has_tag(const std::string& tag) const {
   return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
+
+bool ScenarioSpec::has_declarative_output() const {
+  return plan != nullptr && !plan->output.columns.empty();
 }
 
 }  // namespace sss::scenario

@@ -1,33 +1,47 @@
 // spec.hpp — the scenario value types.
 //
-// A ScenarioSpec describes one complete experiment end to end: which
-// simulation runs to execute (facility preset, workload, fluid or packet
-// substrate, sweep axes expanded into concrete RunPoints) and how to turn
-// the completed runs into output rows and commentary.  Every bench and
-// example in the repository is a ScenarioSpec registered under a stable
-// name; `scenario_runner --run <name>` (or a thin per-bench driver)
-// executes it through the SweepExecutor.
+// A ScenarioSpec describes one complete experiment end to end: a
+// declarative ExperimentPlan (scenario/plan.hpp: base workload template,
+// sweep axes, seed policy, output columns) that expands into concrete
+// RunPoints, plus the hooks that turn completed runs into output rows and
+// commentary.  Every bench and example in the repository is a ScenarioSpec
+// registered under a stable name; `scenario_runner --run <name>` (or a
+// thin per-bench driver) executes it through the SweepExecutor.
 //
 // Design rules:
-//   - `make_runs` is a pure function of the ScenarioContext, so a spec can
-//     be expanded, inspected, and seeded without running anything;
-//   - `analyze` receives results in RUN ORDER (index-stable regardless of
-//     executor thread count) and writes rows/notes into a ScenarioOutput —
-//     it never prints, so drivers and tests can capture output exactly;
+//   - the plan is pure DATA: it can be expanded, inspected, serialized to
+//     JSON (`--dump-plan`), loaded from a config file (`--plan`), and
+//     partitioned across hosts (`--shard i/N`) without running any C++
+//     scenario code;
+//   - plan expansion is a pure function of (plan, ScenarioContext), so a
+//     spec can be expanded and seeded without running anything;
+//   - hooks receive results in RUN ORDER (index-stable regardless of
+//     executor thread count) and write rows/notes into a ScenarioOutput —
+//     they never print, so drivers and tests can capture output exactly;
+//   - scenarios whose table is per-run use the plan's declarative output
+//     columns (which is what makes them shardable) and may add aggregate
+//     notes via `annotate`; scenarios that reduce ACROSS runs (CDF pools,
+//     congestion-profile fits, paired comparisons) build their table in a
+//     custom `analyze` hook instead;
 //   - scenarios with no simulation component (analytic model sweeps, live
-//     wall-clock pipelines) leave `make_runs` empty and do their work in
-//     `analyze`.
+//     wall-clock pipelines) have no plan and do all their work in
+//     `analyze` — the explicit analyze-only escape hatch.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "simnet/fluid.hpp"
 #include "simnet/workload.hpp"
 
 namespace sss::scenario {
+
+struct ExperimentPlan;  // scenario/plan.hpp
 
 // Which network substrate executes a RunPoint.
 enum class Substrate {
@@ -36,6 +50,7 @@ enum class Substrate {
 };
 
 [[nodiscard]] const char* to_string(Substrate substrate);
+[[nodiscard]] std::optional<Substrate> substrate_from_string(std::string_view name);
 
 // One concrete simulation run inside a sweep.
 struct RunPoint {
@@ -59,8 +74,8 @@ struct ScenarioContext {
   int threads = 0;
   // Scenario knob overrides ("key=value" strings from --param or
   // SSS_SCENARIO_PARAMS), applied to every expanded RunPoint in order after
-  // make_runs.  See scenario/overrides.hpp for the key catalog; unknown
-  // keys and malformed values abort the run.
+  // plan expansion.  See scenario/overrides.hpp for the key catalog;
+  // unknown keys and malformed values abort the run.
   std::vector<std::string> param_overrides;
 };
 
@@ -84,16 +99,27 @@ struct ScenarioSpec {
   std::string description;  // one-liner for `scenario_runner --list`
   std::vector<std::string> tags;  // e.g. {"figure"}, {"ablation"}, {"live"}
 
-  // Expand the sweep axes into concrete runs.  May be empty (analytic or
-  // live scenarios).
-  std::function<std::vector<RunPoint>(const ScenarioContext&)> make_runs;
+  // The declarative experiment grid (shared immutable data; ScenarioSpecs
+  // are copied into registries and by the plan-file loader).  Null for
+  // analyze-only scenarios.
+  std::shared_ptr<const ExperimentPlan> plan;
 
-  // Reduce the completed runs (same order as make_runs) to output.
-  std::function<void(const ScenarioContext&, const std::vector<RunPoint>&,
-                     const std::vector<simnet::ExperimentResult>&, ScenarioOutput&)>
-      analyze;
+  using Hook = std::function<void(const ScenarioContext&, const std::vector<RunPoint>&,
+                                  const std::vector<simnet::ExperimentResult>&,
+                                  ScenarioOutput&)>;
+
+  // Builds the whole output for scenarios WITHOUT declarative output
+  // columns (aggregate tables, analytic/live scenarios).  Must be null
+  // when the plan declares output columns.
+  Hook analyze;
+  // Optional: appends aggregate notes AFTER the declarative table has been
+  // rendered from the plan's output spec.  Requires declarative output.
+  Hook annotate;
 
   [[nodiscard]] bool has_tag(const std::string& tag) const;
+  // True when the plan renders the table declaratively — the property
+  // sharded execution requires (rows depend only on each run).
+  [[nodiscard]] bool has_declarative_output() const;
 };
 
 }  // namespace sss::scenario

@@ -126,4 +126,20 @@ CsvTable read_csv_file(const std::string& path) {
   return parse_csv(buffer.str());
 }
 
+CsvTable merge_csv_tables(const std::vector<CsvTable>& parts) {
+  if (parts.empty()) {
+    throw std::invalid_argument("merge_csv_tables: no tables to merge");
+  }
+  CsvTable merged;
+  merged.header = parts.front().header;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].header != merged.header) {
+      throw std::invalid_argument("merge_csv_tables: part " + std::to_string(i) +
+                                  " has a different header");
+    }
+    merged.rows.insert(merged.rows.end(), parts[i].rows.begin(), parts[i].rows.end());
+  }
+  return merged;
+}
+
 }  // namespace sss::trace

@@ -1,8 +1,11 @@
-// json.hpp — minimal JSON writer.
+// json.hpp — minimal JSON reader/writer.
 //
 // Bench binaries emit machine-readable result blobs alongside their console
-// tables; this writer builds those objects without pulling in a JSON
-// dependency.  Write-only by design — the repository never parses JSON.
+// tables, and experiment plans (scenario/plan.hpp) serialize to and load
+// from JSON files; this value type covers both without pulling in a JSON
+// dependency.  Numbers are written with the shortest representation that
+// round-trips the double exactly (trace/parse.hpp), so a dump/parse cycle
+// is bit-identical — the property the plan-file workflow depends on.
 #pragma once
 
 #include <cstdint>
@@ -36,13 +39,35 @@ class JsonValue {
   [[nodiscard]] static JsonValue object() { return JsonValue(Object{}); }
   [[nodiscard]] static JsonValue array() { return JsonValue(Array{}); }
 
+  // Parse JSON text (objects, arrays, strings with escapes, numbers,
+  // true/false/null).  Throws std::runtime_error with a byte offset on
+  // malformed input or trailing garbage.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
   // Object field access (creates the field; requires object type).
   JsonValue& operator[](std::string_view key);
   // Array append (requires array type).
   void push_back(JsonValue v);
 
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
   [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(value_); }
   [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(value_); }
+
+  // Typed readers; each throws std::runtime_error when the value holds a
+  // different type (the plan loader turns these into field-level errors).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  // Object lookup: nullptr when `key` is absent (or this is not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  // Object lookup that throws std::runtime_error when `key` is absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
 
   // Serialize; `indent` < 0 means compact single-line output.
   [[nodiscard]] std::string dump(int indent = -1) const;

@@ -1,0 +1,43 @@
+#include "trace/parse.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace sss::trace {
+
+namespace {
+
+template <typename T>
+std::optional<T> parse_whole(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  T value{};
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<double> parse_double(std::string_view text) {
+  return parse_whole<double>(text);
+}
+
+std::optional<std::uint64_t> parse_uint64(std::string_view text) {
+  return parse_whole<std::uint64_t>(text);
+}
+
+std::optional<int> parse_int(std::string_view text) { return parse_whole<int>(text); }
+
+const char* format_double_exact(double v, char (&buffer)[32]) {
+  // %.15g suffices for most values; escalate until the round trip is exact
+  // (%.17g always is, per IEEE-754 double's max_digits10).
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, v);
+    const auto back = parse_double(buffer);
+    if (back.has_value() && *back == v) break;
+  }
+  return buffer;
+}
+
+}  // namespace sss::trace

@@ -91,6 +91,74 @@ TEST(Overrides, StrictParsingRejectsGarbage) {
   EXPECT_THROW(apply_param_override(cfg, "=5"), std::invalid_argument);
 }
 
+TEST(Overrides, BackgroundAndExactSizeKnobs) {
+  simnet::WorkloadConfig cfg = base_config();
+  EXPECT_FALSE(apply_param_override(cfg, "background_mean_mb=256"));
+  EXPECT_FALSE(apply_param_override(cfg, "background_shape=1.2"));
+  EXPECT_FALSE(apply_param_override(cfg, "transfer_size_bytes=500000001"));
+  EXPECT_FALSE(apply_param_override(cfg, "buffer_bytes=50000001"));
+  EXPECT_FALSE(apply_param_override(cfg, "link_name=backup-10g"));
+  EXPECT_DOUBLE_EQ(cfg.background_mean_flow_size.mb(), 256.0);
+  EXPECT_DOUBLE_EQ(cfg.background_pareto_shape, 1.2);
+  EXPECT_DOUBLE_EQ(cfg.transfer_size.bytes(), 500000001.0);
+  EXPECT_DOUBLE_EQ(cfg.link.buffer.bytes(), 50000001.0);
+  EXPECT_EQ(cfg.link.name, "backup-10g");
+  EXPECT_THROW(apply_param_override(cfg, "background_mean_mb=0"), std::invalid_argument);
+  EXPECT_THROW(apply_param_override(cfg, "background_shape=-1"), std::invalid_argument);
+}
+
+TEST(Overrides, StormKeysBuildWindowedCrossTraffic) {
+  simnet::WorkloadConfig cfg = base_config();
+  cfg.path_hops = simnet::Topology(simnet::topology_preset("edge_dtn_wan_hpc"))
+                      .canonical_route();
+  // storm1_* auto-extends the storm list to two entries.
+  EXPECT_FALSE(apply_param_override(cfg, "storm1_hop=1"));
+  EXPECT_FALSE(apply_param_override(cfg, "storm1_load=0.6"));
+  EXPECT_FALSE(apply_param_override(cfg, "storm1_start_s=5"));
+  EXPECT_FALSE(apply_param_override(cfg, "storm1_until_s=10"));
+  EXPECT_FALSE(apply_param_override(cfg, "storm1_mean_mb=128"));
+  EXPECT_FALSE(apply_param_override(cfg, "storm1_shape=1.3"));
+  ASSERT_EQ(cfg.hop_cross_traffic.size(), 2u);
+  EXPECT_EQ(cfg.hop_cross_traffic[1].hop, 1);
+  EXPECT_DOUBLE_EQ(cfg.hop_cross_traffic[1].load, 0.6);
+  EXPECT_DOUBLE_EQ(cfg.hop_cross_traffic[1].start.seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(cfg.hop_cross_traffic[1].until.seconds(), 10.0);
+  EXPECT_DOUBLE_EQ(cfg.hop_cross_traffic[1].mean_flow_size.mb(), 128.0);
+  EXPECT_DOUBLE_EQ(cfg.hop_cross_traffic[1].pareto_shape, 1.3);
+  EXPECT_THROW(apply_param_override(cfg, "storm1_hop=-1"), std::invalid_argument);
+  EXPECT_THROW(apply_param_override(cfg, "storm1_height=3"), std::invalid_argument);
+  // A typo'd huge index must be a validation error, not a giant resize.
+  EXPECT_THROW(apply_param_override(cfg, "storm2000000000_hop=1"),
+               std::invalid_argument);
+}
+
+TEST(Overrides, SubstrateIsARunLevelKey) {
+  RunPoint run;
+  run.config = base_config();
+  EXPECT_FALSE(apply_run_override(run, "substrate=fluid"));
+  EXPECT_EQ(run.substrate, Substrate::kFluid);
+  EXPECT_FALSE(apply_run_override(run, "substrate=packet"));
+  EXPECT_EQ(run.substrate, Substrate::kPacket);
+  EXPECT_THROW(apply_run_override(run, "substrate=quantum"), std::invalid_argument);
+  // Config-only entry point rejects it as unknown.
+  EXPECT_THROW(apply_param_override(run.config, "substrate=fluid"),
+               std::invalid_argument);
+}
+
+TEST(Overrides, CatalogListsEveryKeyFamily) {
+  const auto& catalog = param_binding_catalog();
+  auto has = [&](std::string_view key) {
+    for (const auto& entry : catalog) {
+      if (entry.key == key) return true;
+    }
+    return false;
+  };
+  for (const char* key : {"concurrency", "duration_s", "hop<k>_gbps", "storm<j>_load",
+                          "substrate", "seed", "background_shape"}) {
+    EXPECT_TRUE(has(key)) << key;
+  }
+}
+
 TEST(Overrides, SeedOverridePinsRunSeeds) {
   std::vector<RunPoint> runs(3);
   for (auto& run : runs) run.config = base_config();

@@ -6,6 +6,8 @@
 
 #include <stdexcept>
 
+#include "scenario/plan.hpp"
+
 namespace sss::scenario {
 namespace {
 
@@ -87,9 +89,10 @@ TEST(BuiltinScenarios, SweepScenariosExpandRuns) {
   ctx.scale = 0.1;
   for (const ScenarioSpec* spec : registry.all()) {
     if (!spec->has_tag("sweep")) continue;
-    ASSERT_TRUE(static_cast<bool>(spec->make_runs)) << spec->name;
-    const auto runs = spec->make_runs(ctx);
+    ASSERT_NE(spec->plan, nullptr) << spec->name;
+    const auto runs = spec->plan->expand(ctx);
     EXPECT_FALSE(runs.empty()) << spec->name;
+    EXPECT_EQ(runs.size(), spec->plan->cell_count()) << spec->name;
     for (const auto& run : runs) {
       EXPECT_NO_THROW(run.config.validate()) << spec->name << " " << run.label;
     }

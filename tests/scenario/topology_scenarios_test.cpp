@@ -42,7 +42,7 @@ TEST(TopologyScenarios, AllRegisteredWithTopologyTag) {
     const ScenarioSpec* spec = registry.find(name);
     ASSERT_NE(spec, nullptr) << name;
     EXPECT_TRUE(spec->has_tag("topology")) << name;
-    EXPECT_TRUE(spec->make_runs != nullptr) << name;
+    EXPECT_NE(spec->plan, nullptr) << name;
   }
 }
 

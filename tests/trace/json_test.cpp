@@ -68,5 +68,52 @@ TEST(JsonValue, ObjectOverwriteField) {
   EXPECT_EQ(obj.dump(), "{\"k\":2}");
 }
 
+TEST(JsonParse, ScalarsAndContainers) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e3").as_double(), -2500.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+
+  const JsonValue doc = JsonValue::parse(
+      "  {\"a\": [1, 2, {\"deep\": true}], \"b\": \"x\\n\\\"y\\\"\", \"c\": null} ");
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.at("a").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("a").as_array()[1].as_double(), 2.0);
+  EXPECT_TRUE(doc.at("a").as_array()[2].at("deep").as_bool());
+  EXPECT_EQ(doc.at("b").as_string(), "x\n\"y\"");
+  EXPECT_TRUE(doc.at("c").is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW((void)doc.at("missing"), std::runtime_error);
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\" 1}", "{\"a\":1,}", "tru", "1x",
+                          "\"unterminated", "[1] trailing", "{\"a\":}", "nan"}) {
+    EXPECT_THROW(JsonValue::parse(bad), std::runtime_error) << bad;
+  }
+}
+
+// The property the plan-file workflow depends on: dump → parse → dump is
+// the identity, including doubles with no short decimal representation.
+TEST(JsonParse, DumpParseRoundTripIsExact) {
+  JsonValue obj = JsonValue::object();
+  obj["tenth"] = 0.1;
+  obj["third"] = 1.0 / 3.0;
+  obj["big"] = 1.797e308;
+  obj["tiny"] = 5e-324;
+  obj["neg"] = -123456.789012345;
+  obj["text"] = "line\nbreak";
+  const std::string text = obj.dump();
+  const JsonValue back = JsonValue::parse(text);
+  EXPECT_EQ(back.dump(), text);
+  EXPECT_EQ(back.at("third").as_double(), 1.0 / 3.0);
+  EXPECT_EQ(back.at("tiny").as_double(), 5e-324);
+}
+
 }  // namespace
 }  // namespace sss::trace
