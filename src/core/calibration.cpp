@@ -7,10 +7,12 @@ namespace sss::core {
 
 CongestionProfile::CongestionProfile(std::vector<CongestionPoint> points)
     : points_(std::move(points)) {
-  std::sort(points_.begin(), points_.end(),
-            [](const CongestionPoint& x, const CongestionPoint& y) {
-              return x.utilization < y.utilization;
-            });
+  // Stable, so duplicated utilizations keep insertion order — the
+  // interpolation contract documented in the header depends on it.
+  std::stable_sort(points_.begin(), points_.end(),
+                   [](const CongestionPoint& x, const CongestionPoint& y) {
+                     return x.utilization < y.utilization;
+                   });
 }
 
 double CongestionProfile::sss_at(double utilization) const {

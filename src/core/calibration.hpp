@@ -30,7 +30,11 @@ struct CongestionPoint {
   double measured_utilization = 0.0;
   double t_worst_s = 0.0;
   double t_theoretical_s = 0.0;
-  double t_mean_s = 0.0;
+  double t_mean_s = 0.0;        // mean NETWORK transfer time (staging excluded)
+  // Mean stage-in/stage-out overhead per transfer at this level; 0 for
+  // pure-streaming measurements (every simulated sweep).  Feeds the theta
+  // channel of core/fitting.hpp.
+  double t_io_s = 0.0;
   double sss = 0.0;
   int concurrency = 0;
   int parallel_flows = 0;
@@ -38,6 +42,18 @@ struct CongestionPoint {
 };
 
 // SSS as a function of utilization, assembled from experiment results.
+//
+// Interpolation contract (pinned by tests/core/calibration_test.cpp):
+//   - construction stable-sorts by utilization, so points sharing a
+//     utilization keep their insertion order;
+//   - sss_at interpolates linearly between neighbors and clamps to the
+//     first/last point outside the measured range (no extrapolation);
+//   - a single-point profile is the constant function of that point;
+//   - at a duplicated utilization sss_at returns the FIRST duplicate's
+//     value; immediately above it, interpolation continues from the LAST
+//     duplicate (the curve jumps across the tie);
+//   - an empty profile has no curve: sss_at and worst_transfer_time both
+//     throw std::logic_error.
 class CongestionProfile {
  public:
   CongestionProfile() = default;
@@ -56,7 +72,7 @@ class CongestionProfile {
   [[nodiscard]] bool empty() const { return points_.empty(); }
 
  private:
-  std::vector<CongestionPoint> points_;  // sorted by utilization
+  std::vector<CongestionPoint> points_;  // stable-sorted by utilization
 };
 
 // One profile point per experiment (keyed by offered load).

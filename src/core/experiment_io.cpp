@@ -1,5 +1,6 @@
 #include "core/experiment_io.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -100,11 +101,11 @@ std::string profile_to_csv(const CongestionProfile& profile) {
   std::ostringstream out;
   trace::CsvWriter writer(out);
   writer.write_header({"utilization", "measured_utilization", "t_worst_s",
-                       "t_theoretical_s", "t_mean_s", "sss", "concurrency",
+                       "t_theoretical_s", "t_mean_s", "t_io_s", "sss", "concurrency",
                        "parallel_flows", "loss_rate"});
   for (const auto& p : profile.points()) {
     writer.write_row({fmt(p.utilization), fmt(p.measured_utilization), fmt(p.t_worst_s),
-                      fmt(p.t_theoretical_s), fmt(p.t_mean_s), fmt(p.sss),
+                      fmt(p.t_theoretical_s), fmt(p.t_mean_s), fmt(p.t_io_s), fmt(p.sss),
                       std::to_string(p.concurrency), std::to_string(p.parallel_flows),
                       fmt(p.loss_rate)});
   }
@@ -118,6 +119,12 @@ CongestionProfile profile_from_csv(const std::string& text) {
   const std::size_t worst = table.column_index("t_worst_s");
   const std::size_t theoretical = table.column_index("t_theoretical_s");
   const std::size_t mean = table.column_index("t_mean_s");
+  // t_io_s arrived with the trace-calibration work; profiles persisted by
+  // earlier builds lack the column and were all pure streaming, so a
+  // missing column reads as 0 rather than invalidating old campaigns.
+  const bool has_io =
+      std::find(table.header.begin(), table.header.end(), "t_io_s") != table.header.end();
+  const std::size_t io = has_io ? table.column_index("t_io_s") : 0;
   const std::size_t sss = table.column_index("sss");
   const std::size_t conc = table.column_index("concurrency");
   const std::size_t flows = table.column_index("parallel_flows");
@@ -135,6 +142,7 @@ CongestionProfile profile_from_csv(const std::string& text) {
     p.t_worst_s = parse_double(row[worst], "t_worst_s");
     p.t_theoretical_s = parse_double(row[theoretical], "t_theoretical_s");
     p.t_mean_s = parse_double(row[mean], "t_mean_s");
+    p.t_io_s = has_io ? parse_double(row[io], "t_io_s") : 0.0;
     p.sss = parse_double(row[sss], "sss");
     p.concurrency = static_cast<int>(parse_double(row[conc], "concurrency"));
     p.parallel_flows = static_cast<int>(parse_double(row[flows], "parallel_flows"));
@@ -150,6 +158,71 @@ void write_profile(const std::string& path, const CongestionProfile& profile) {
 
 CongestionProfile read_profile(const std::string& path) {
   return profile_from_csv(read_text_file(path));
+}
+
+std::string transfer_trace_to_csv(const std::vector<TransferRecord>& records) {
+  std::ostringstream out;
+  trace::CsvWriter writer(out);
+  writer.write_header({"transfer_id", "load_level", "start_s", "end_s", "bytes",
+                       "link_gbps", "io_s"});
+  for (const auto& r : records) {
+    writer.write_row({std::to_string(r.transfer_id), fmt(r.load_level), fmt(r.start_s),
+                      fmt(r.end_s), fmt(r.bytes), fmt(r.link_gbps), fmt(r.io_s)});
+  }
+  return out.str();
+}
+
+std::vector<TransferRecord> transfer_trace_from_csv(const std::string& text) {
+  const trace::CsvTable table = trace::parse_csv(text);
+  const std::size_t id = table.column_index("transfer_id");
+  const std::size_t level = table.column_index("load_level");
+  const std::size_t start = table.column_index("start_s");
+  const std::size_t end = table.column_index("end_s");
+  const std::size_t bytes = table.column_index("bytes");
+  const std::size_t link = table.column_index("link_gbps");
+  const std::size_t io = table.column_index("io_s");
+
+  std::vector<TransferRecord> out;
+  out.reserve(table.rows.size());
+  for (std::size_t row_index = 0; row_index < table.rows.size(); ++row_index) {
+    const auto& row = table.rows[row_index];
+    if (row.size() != table.header.size()) {
+      throw std::runtime_error("experiment_io: truncated transfer-trace row " +
+                               std::to_string(row_index));
+    }
+    TransferRecord r;
+    const auto parsed_id = trace::parse_uint64(row[id]);
+    if (!parsed_id.has_value()) {
+      throw std::runtime_error("experiment_io: bad number in transfer_id: '" + row[id] +
+                               "'");
+    }
+    r.transfer_id = *parsed_id;
+    r.load_level = parse_double(row[level], "load_level");
+    r.start_s = parse_double(row[start], "start_s");
+    r.end_s = parse_double(row[end], "end_s");
+    r.bytes = parse_double(row[bytes], "bytes");
+    r.link_gbps = parse_double(row[link], "link_gbps");
+    r.io_s = parse_double(row[io], "io_s");
+    // Congestion campaigns run one load level at a time; interleaved or
+    // descending levels mean a mangled file, not a reorderable one.
+    if (!out.empty() && r.load_level < out.back().load_level) {
+      throw std::runtime_error(
+          "experiment_io: transfer-trace row " + std::to_string(row_index) +
+          " has load_level " + row[level] +
+          " after a higher level (rows must be grouped by non-decreasing load_level)");
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+void write_transfer_trace(const std::string& path,
+                          const std::vector<TransferRecord>& records) {
+  write_text_file(path, transfer_trace_to_csv(records));
+}
+
+std::vector<TransferRecord> read_transfer_trace(const std::string& path) {
+  return transfer_trace_from_csv(read_text_file(path));
 }
 
 }  // namespace sss::core

@@ -5,14 +5,17 @@
 // (which a beamline operator makes later, repeatedly).  This module
 // persists the artifacts between those phases as plain CSV:
 //   - per-client flow-completion-time logs (the raw experiment output),
-//   - congestion profiles (utilization -> SSS curves).
-// Both round-trip exactly enough to reproduce every downstream decision.
+//   - congestion profiles (utilization -> SSS curves),
+//   - per-transfer traces from external measurement campaigns (the
+//     trace-driven calibration input of core/fitting.hpp).
+// All round-trip exactly enough to reproduce every downstream decision.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "core/calibration.hpp"
+#include "core/fitting.hpp"
 #include "simnet/metrics.hpp"
 
 namespace sss::core {
@@ -34,6 +37,19 @@ void write_profile(const std::string& path, const CongestionProfile& profile);
 
 [[nodiscard]] CongestionProfile read_profile(const std::string& path);
 
+// --- per-transfer traces (trace-driven calibration) -------------------------
+
+// Columns: transfer_id, load_level, start_s, end_s, bytes, link_gbps, io_s
+// (one row per measured transfer; see core/fitting.hpp TransferRecord).
+// The reader is strict: a missing column throws std::out_of_range; a
+// truncated/ragged row, a non-numeric field, or load levels that are not
+// grouped in non-decreasing order all throw std::runtime_error — a mangled
+// campaign file must fail loudly, never silently skip rows.
+void write_transfer_trace(const std::string& path,
+                          const std::vector<TransferRecord>& records);
+
+[[nodiscard]] std::vector<TransferRecord> read_transfer_trace(const std::string& path);
+
 // --- in-memory CSV variants (used by tests and by callers that embed the
 // CSV in other artifacts) ----------------------------------------------------
 
@@ -41,5 +57,7 @@ void write_profile(const std::string& path, const CongestionProfile& profile);
 [[nodiscard]] std::vector<simnet::ClientRecord> client_log_from_csv(const std::string& text);
 [[nodiscard]] std::string profile_to_csv(const CongestionProfile& profile);
 [[nodiscard]] CongestionProfile profile_from_csv(const std::string& text);
+[[nodiscard]] std::string transfer_trace_to_csv(const std::vector<TransferRecord>& records);
+[[nodiscard]] std::vector<TransferRecord> transfer_trace_from_csv(const std::string& text);
 
 }  // namespace sss::core

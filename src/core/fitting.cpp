@@ -1,0 +1,338 @@
+#include "core/fitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "stats/rng.hpp"
+
+namespace sss::core {
+
+namespace {
+
+[[noreturn]] void record_error(std::size_t index, const std::string& what) {
+  throw std::invalid_argument("bucket_transfer_trace: record " + std::to_string(index) +
+                              ": " + what);
+}
+
+void validate_record(const TransferRecord& r, std::size_t index) {
+  if (!(r.bytes > 0.0)) record_error(index, "bytes must be > 0");
+  if (!(r.link_gbps > 0.0)) record_error(index, "link_gbps must be > 0");
+  if (r.end_s < r.start_s) record_error(index, "end_s precedes start_s");
+  if (r.io_s < 0.0) record_error(index, "io_s must be >= 0");
+  if (r.io_s > r.end_s - r.start_s) {
+    record_error(index, "io_s exceeds the wall-clock interval");
+  }
+}
+
+}  // namespace
+
+std::vector<CongestionPoint> bucket_transfer_trace(
+    const std::vector<TransferRecord>& records) {
+  std::vector<CongestionPoint> points;
+  if (records.empty()) return points;
+
+  const double link_gbps = records.front().link_gbps;
+  const units::DataRate link = units::DataRate::gigabits_per_second(link_gbps);
+
+  std::size_t begin = 0;
+  while (begin < records.size()) {
+    const double level = records[begin].load_level;
+    if (!points.empty() && level < points.back().utilization) {
+      // The reader enforces this too; re-checked here so programmatic
+      // callers get the same grouped-by-level contract.
+      throw std::runtime_error(
+          "bucket_transfer_trace: load level " + std::to_string(level) +
+          " appears after level " + std::to_string(points.back().utilization) +
+          " (trace rows must be grouped by non-decreasing load_level)");
+    }
+    std::size_t end = begin;
+    double sum_net = 0.0;
+    double sum_io = 0.0;
+    double sum_bytes = 0.0;
+    double worst = 0.0;
+    while (end < records.size() && records[end].load_level == level) {
+      const TransferRecord& r = records[end];
+      validate_record(r, end);
+      if (r.link_gbps != link_gbps) {
+        record_error(end, "link_gbps differs from the trace's first record (" +
+                              std::to_string(link_gbps) + " Gbps)");
+      }
+      const double total = r.end_s - r.start_s;
+      sum_net += total - r.io_s;
+      sum_io += r.io_s;
+      sum_bytes += r.bytes;
+      worst = std::max(worst, total);
+      ++end;
+    }
+    const auto count = static_cast<double>(end - begin);
+    CongestionPoint p;
+    p.utilization = level;
+    p.measured_utilization = level;
+    p.t_mean_s = sum_net / count;
+    p.t_io_s = sum_io / count;
+    p.t_worst_s = worst;
+    p.t_theoretical_s = (units::Bytes::of(sum_bytes / count) / link).seconds();
+    p.sss = p.t_theoretical_s > 0.0 ? p.t_worst_s / p.t_theoretical_s : 0.0;
+    points.push_back(p);
+    begin = end;
+  }
+  return points;
+}
+
+AlphaThetaFit fit_alpha_theta(const std::vector<CongestionPoint>& points) {
+  if (points.empty()) {
+    throw std::invalid_argument("fit_alpha_theta: at least one congestion point required");
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const CongestionPoint& p = points[i];
+    if (!(p.t_theoretical_s > 0.0) || !(p.t_mean_s > 0.0) || p.t_io_s < 0.0) {
+      throw std::invalid_argument(
+          "fit_alpha_theta: point " + std::to_string(i) +
+          " needs t_theoretical_s > 0, t_mean_s > 0 and t_io_s >= 0");
+    }
+  }
+  const auto n = static_cast<double>(points.size());
+
+  // --- alpha channel: y = intercept + slope * u, ordinary least squares ---
+  double mean_u = 0.0;
+  double mean_y = 0.0;
+  for (const CongestionPoint& p : points) {
+    mean_u += p.utilization;
+    mean_y += p.t_mean_s / p.t_theoretical_s;
+  }
+  mean_u /= n;
+  mean_y /= n;
+
+  double s_uu = 0.0;
+  double s_uy = 0.0;
+  for (const CongestionPoint& p : points) {
+    const double du = p.utilization - mean_u;
+    s_uu += du * du;
+    s_uy += du * (p.t_mean_s / p.t_theoretical_s - mean_y);
+  }
+
+  AlphaThetaFit fit;
+  fit.point_count = points.size();
+  // Fewer than two distinct utilizations: the slope is unidentifiable, so
+  // pin it at 0 and read the intercept off the mean observation.
+  fit.congestion_slope = s_uu > 0.0 ? s_uy / s_uu : 0.0;
+  fit.intercept = mean_y - fit.congestion_slope * mean_u;
+  if (!(fit.intercept > 0.0)) {
+    throw std::invalid_argument(
+        "fit_alpha_theta: degenerate fit (non-positive intercept " +
+        std::to_string(fit.intercept) + "); the trace is faster than theoretical");
+  }
+  fit.raw_alpha = 1.0 / fit.intercept;
+  fit.alpha = std::min(1.0, std::max(1e-6, fit.raw_alpha));
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  fit.residuals.reserve(points.size());
+  for (const CongestionPoint& p : points) {
+    FitResidual r;
+    r.utilization = p.utilization;
+    r.observed = p.t_mean_s / p.t_theoretical_s;
+    r.predicted = fit.intercept + fit.congestion_slope * p.utilization;
+    fit.residuals.push_back(r);
+    ss_res += r.residual() * r.residual();
+    const double dy = r.observed - mean_y;
+    ss_tot += dy * dy;
+    fit.max_abs_residual = std::max(fit.max_abs_residual, std::fabs(r.residual()));
+  }
+  // A numerically perfect fit (including the flat-curve case, where the
+  // total variance is itself rounding noise) reports R^2 = 1 rather than
+  // the 0/0 garbage the textbook formula would produce.
+  const double perfect = 1e-18 * n * (1.0 + mean_y * mean_y);
+  fit.r_squared = ss_res <= perfect ? 1.0 : (ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0);
+  fit.rmse = std::sqrt(ss_res / n);
+
+  // --- theta channel: t_total = theta * t_mean, through the origin --------
+  double num = 0.0;
+  double den = 0.0;
+  for (const CongestionPoint& p : points) {
+    num += (p.t_mean_s + p.t_io_s) * p.t_mean_s;
+    den += p.t_mean_s * p.t_mean_s;
+  }
+  fit.raw_theta = num / den;
+  fit.theta = std::max(1.0, fit.raw_theta);
+  double theta_ss = 0.0;
+  for (const CongestionPoint& p : points) {
+    const double r = (p.t_mean_s + p.t_io_s) - fit.raw_theta * p.t_mean_s;
+    theta_ss += r * r;
+  }
+  fit.theta_rmse = std::sqrt(theta_ss / n);
+  return fit;
+}
+
+namespace {
+
+void validate_synthesis(const SynthesisSpec& spec) {
+  if (spec.load_levels.empty()) {
+    throw std::invalid_argument("SynthesisSpec: load_levels must not be empty");
+  }
+  if (!(spec.params.alpha > 0.0) || spec.params.alpha > 1.0 ||
+      !(spec.params.theta >= 1.0)) {
+    throw std::invalid_argument("SynthesisSpec: alpha in (0, 1], theta >= 1 required");
+  }
+  if (spec.congestion_slope < 0.0 || spec.worst_spread < 0.0 || spec.noise < 0.0 ||
+      spec.noise >= 1.0) {
+    throw std::invalid_argument(
+        "SynthesisSpec: slope/spread must be >= 0 and noise in [0, 1)");
+  }
+  if (spec.transfers_per_level < 1) {
+    throw std::invalid_argument("SynthesisSpec: transfers_per_level must be >= 1");
+  }
+}
+
+// The shared generative law (see the header contract).
+double net_time_s(const SynthesisSpec& spec, double u) {
+  const double t_th = (spec.params.s_unit / spec.params.bandwidth).seconds();
+  return t_th * (1.0 / spec.params.alpha + spec.congestion_slope * u);
+}
+
+}  // namespace
+
+std::vector<CongestionPoint> synthesize_congestion_points(const SynthesisSpec& spec) {
+  validate_synthesis(spec);
+  const double t_th = (spec.params.s_unit / spec.params.bandwidth).seconds();
+  std::vector<CongestionPoint> points;
+  points.reserve(spec.load_levels.size());
+  for (const double u : spec.load_levels) {
+    const double net = net_time_s(spec, u);
+    CongestionPoint p;
+    p.utilization = u;
+    p.measured_utilization = u;
+    p.t_theoretical_s = t_th;
+    p.t_mean_s = net;
+    p.t_io_s = (spec.params.theta - 1.0) * net;
+    p.t_worst_s = spec.params.theta * net * (1.0 + spec.worst_spread * u);
+    p.sss = p.t_worst_s / t_th;
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<TransferRecord> synthesize_transfer_trace(const SynthesisSpec& spec) {
+  validate_synthesis(spec);
+  stats::Random rng(spec.seed);
+  std::vector<TransferRecord> records;
+  records.reserve(spec.load_levels.size() *
+                  static_cast<std::size_t>(spec.transfers_per_level));
+  std::uint64_t id = 0;
+  for (std::size_t level = 0; level < spec.load_levels.size(); ++level) {
+    const double u = spec.load_levels[level];
+    const double net = net_time_s(spec, u);
+    const double io = (spec.params.theta - 1.0) * net;
+    for (int k = 0; k < spec.transfers_per_level; ++k) {
+      const double net_jitter = spec.noise > 0.0
+                                    ? rng.uniform(1.0 - spec.noise, 1.0 + spec.noise)
+                                    : 1.0;
+      const double io_jitter = spec.noise > 0.0
+                                   ? rng.uniform(1.0 - spec.noise, 1.0 + spec.noise)
+                                   : 1.0;
+      TransferRecord r;
+      r.transfer_id = id++;
+      r.load_level = u;
+      r.start_s = static_cast<double>(level) * 100.0 + static_cast<double>(k);
+      r.end_s = r.start_s + net * net_jitter + io * io_jitter;
+      r.bytes = spec.params.s_unit.bytes();
+      r.link_gbps = spec.params.bandwidth.gbit_per_s();
+      r.io_s = io * io_jitter;
+      records.push_back(r);
+    }
+  }
+  return records;
+}
+
+std::vector<TransferRecord> demo_transfer_trace() {
+  SynthesisSpec spec;
+  spec.params.alpha = 0.85;
+  spec.params.theta = 1.25;
+  spec.params.s_unit = units::Bytes::gigabytes(0.5);
+  spec.params.bandwidth = units::DataRate::gigabits_per_second(25.0);
+  spec.congestion_slope = 2.5;
+  spec.transfers_per_level = 8;
+  spec.noise = 0.05;
+  spec.seed = 20260730;
+  return synthesize_transfer_trace(spec);
+}
+
+TraceCalibration calibrate_transfer_trace(const std::vector<TransferRecord>& records,
+                                          const TraceCalibrationOptions& options) {
+  if (records.empty()) {
+    throw std::invalid_argument("calibrate_transfer_trace: empty trace");
+  }
+  TraceCalibration out;
+  out.points = bucket_transfer_trace(records);
+  out.profile = CongestionProfile(out.points);
+  out.fit = fit_alpha_theta(out.points);
+  out.operating_utilization = options.operating_utilization;
+
+  double sum_bytes = 0.0;
+  for (const TransferRecord& r : records) sum_bytes += r.bytes;
+  out.params.s_unit = units::Bytes::of(sum_bytes / static_cast<double>(records.size()));
+  out.params.bandwidth = units::DataRate::gigabits_per_second(records.front().link_gbps);
+  out.params.complexity = options.complexity;
+  out.params.r_local = options.r_local;
+  out.params.r_remote = options.r_remote;
+  out.params.alpha = out.fit.alpha;
+  out.params.theta = out.fit.theta;
+  out.params.validate();
+
+  out.predicted_worst_transfer = out.profile.worst_transfer_time(
+      out.params.s_unit, out.params.bandwidth, options.operating_utilization);
+  return out;
+}
+
+trace::JsonValue calibration_report_json(const TraceCalibration& calibration) {
+  trace::JsonValue report = trace::JsonValue::object();
+  report["format"] = "sss.calibration-report/1";
+  report["level_count"] = calibration.points.size();
+
+  trace::JsonValue fit = trace::JsonValue::object();
+  fit["alpha"] = calibration.fit.alpha;
+  fit["raw_alpha"] = calibration.fit.raw_alpha;
+  fit["theta"] = calibration.fit.theta;
+  fit["raw_theta"] = calibration.fit.raw_theta;
+  fit["intercept"] = calibration.fit.intercept;
+  fit["congestion_slope"] = calibration.fit.congestion_slope;
+  fit["r_squared"] = calibration.fit.r_squared;
+  fit["rmse"] = calibration.fit.rmse;
+  fit["max_abs_residual"] = calibration.fit.max_abs_residual;
+  fit["theta_rmse"] = calibration.fit.theta_rmse;
+  fit["point_count"] = calibration.fit.point_count;
+  report["fit"] = std::move(fit);
+
+  // Field names follow the experiment-plan JSON spelling of the same
+  // quantities, so fitted parameters paste into plan files directly.
+  trace::JsonValue params = trace::JsonValue::object();
+  params["s_unit_bytes"] = calibration.params.s_unit.bytes();
+  params["complexity_flop_per_byte"] = calibration.params.complexity.flop_per_byte();
+  params["r_local_flop_per_s"] = calibration.params.r_local.flop_per_s();
+  params["r_remote_flop_per_s"] = calibration.params.r_remote.flop_per_s();
+  params["bandwidth_bytes_per_s"] = calibration.params.bandwidth.bps();
+  params["alpha"] = calibration.params.alpha;
+  params["theta"] = calibration.params.theta;
+  report["model_parameters"] = std::move(params);
+
+  trace::JsonValue profile = trace::JsonValue::array();
+  for (const CongestionPoint& p : calibration.points) {
+    trace::JsonValue point = trace::JsonValue::object();
+    point["utilization"] = p.utilization;
+    point["t_mean_s"] = p.t_mean_s;
+    point["t_io_s"] = p.t_io_s;
+    point["t_worst_s"] = p.t_worst_s;
+    point["t_theoretical_s"] = p.t_theoretical_s;
+    point["sss"] = p.sss;
+    profile.push_back(std::move(point));
+  }
+  report["profile"] = std::move(profile);
+
+  report["operating_utilization"] = calibration.operating_utilization;
+  report["predicted_worst_transfer_s"] = calibration.predicted_worst_transfer.seconds();
+  return report;
+}
+
+}  // namespace sss::core

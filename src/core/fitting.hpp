@@ -1,0 +1,177 @@
+// fitting.hpp — estimating alpha/theta from measured congestion traces.
+//
+// calibration.hpp turns SIMULATED sweeps into a CongestionProfile; this
+// module closes the remaining model-layer gap (Section 4 methodology,
+// Section 5 extrapolation): ingest externally MEASURED per-transfer traces,
+// bucket them by load level, and fit the model parameters the decision
+// equations need.  The pipeline is
+//
+//   per-transfer records --> load-level buckets (CongestionPoints)
+//                        --> deterministic least-squares alpha/theta fit
+//                        --> CongestionProfile + ModelParameters + report
+//
+// The fit model (the documented contract both the fitter and the synthetic
+// generator share):
+//
+//   alpha channel   t_mean(u) / T_theoretical = 1/alpha + slope * u
+//     The mean NETWORK transfer time, normalized by the theoretical
+//     minimum, is affine in utilization: the intercept is the uncongested
+//     inflation 1/alpha (alpha = R_transfer / Bw, Section 3.1), the slope
+//     is the path's congestion sensitivity.  Ordinary least squares over
+//     the bucketed points; with fewer than two distinct utilizations the
+//     slope is fixed at 0 and the intercept is the mean observation.
+//
+//   theta channel   t_total = theta * t_mean
+//     Eq. 7 defines theta = (T_IO + T_transfer) / T_transfer, so the
+//     per-level total time (network + stage-in/out overhead t_io) against
+//     the network time is a line through the origin whose slope IS theta.
+//     Fitted as the through-origin least-squares ratio
+//     sum(t_total * t_mean) / sum(t_mean^2); exactly 1 for pure-streaming
+//     traces (t_io = 0 everywhere).
+//
+// Both channels are closed-form and deterministic: noiseless synthetic
+// points are recovered to floating-point accuracy (pinned at 1e-9 by
+// tests/core/fitting_test.cpp), and the fit is invariant under point
+// permutation up to summation rounding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/params.hpp"
+#include "trace/json.hpp"
+#include "units/units.hpp"
+
+namespace sss::core {
+
+// --- per-transfer trace records --------------------------------------------
+
+// One measured transfer from a congestion campaign (the George et al.
+// cross-facility trace shape): when it ran, how much it moved, the
+// bottleneck capacity during the measurement, and how much of the
+// wall-clock interval was file-system staging rather than network time.
+// CSV persistence lives in core/experiment_io (read_transfer_trace /
+// write_transfer_trace); rows must be grouped by non-decreasing
+// load_level — an interleaved trace is a mangled file and fails loudly.
+struct TransferRecord {
+  std::uint64_t transfer_id = 0;
+  double load_level = 0.0;  // offered load as a fraction of capacity
+  double start_s = 0.0;
+  double end_s = 0.0;       // wall-clock completion (includes io_s)
+  double bytes = 0.0;
+  double link_gbps = 0.0;   // bottleneck capacity during the measurement
+  double io_s = 0.0;        // stage-in/out overhead inside [start, end]
+};
+
+// Bucket a trace into one CongestionPoint per load level:
+//   t_mean_s  = mean network time   (end - start - io)
+//   t_io_s    = mean staging overhead
+//   t_worst_s = max wall-clock time (end - start), the paper's T_worst
+//   t_theoretical_s = mean bytes / link capacity
+// Throws std::invalid_argument on semantic violations (non-positive bytes
+// or capacity, end < start, io outside [0, end - start], inconsistent
+// link_gbps across the trace) and std::runtime_error on out-of-order load
+// levels.  An empty trace buckets to an empty vector.
+[[nodiscard]] std::vector<CongestionPoint> bucket_transfer_trace(
+    const std::vector<TransferRecord>& records);
+
+// --- the alpha/theta fit ---------------------------------------------------
+
+// One alpha-channel observation and its fit prediction.
+struct FitResidual {
+  double utilization = 0.0;
+  double observed = 0.0;   // t_mean_s / t_theoretical_s
+  double predicted = 0.0;  // intercept + slope * utilization
+
+  [[nodiscard]] double residual() const { return observed - predicted; }
+};
+
+// Fit result + goodness-of-fit diagnostics.  `alpha`/`theta` are clamped
+// into the ModelParameters domain ((0, 1] and [1, inf)); the raw estimates
+// are kept so a badly conditioned trace is visible in the report.
+struct AlphaThetaFit {
+  double alpha = 1.0;
+  double theta = 1.0;
+  double raw_alpha = 1.0;        // 1 / intercept, before clamping
+  double raw_theta = 1.0;        // through-origin ratio, before clamping
+  double intercept = 1.0;        // fitted 1/alpha
+  double congestion_slope = 0.0;
+  double r_squared = 1.0;        // alpha channel; 1 when variance is zero
+  double rmse = 0.0;             // alpha channel, in normalized-time units
+  double max_abs_residual = 0.0;
+  double theta_rmse = 0.0;       // seconds, against raw_theta predictions
+  std::size_t point_count = 0;
+  std::vector<FitResidual> residuals;  // alpha channel, in input order
+};
+
+// Deterministic least squares over congestion points (model above).
+// Throws std::invalid_argument on an empty input, on any point with
+// non-positive t_theoretical_s / t_mean_s or negative t_io_s, and on a
+// degenerate fit (non-positive intercept).
+[[nodiscard]] AlphaThetaFit fit_alpha_theta(const std::vector<CongestionPoint>& points);
+
+// --- synthetic sweeps (tests + the closed-loop scenario) -------------------
+
+// Generator following exactly the fit model: t_net(u) = T_th * (1/alpha +
+// slope * u), t_io = (theta - 1) * t_net, t_worst = theta * t_net *
+// (1 + worst_spread * u).  `noise` applies independent multiplicative
+// jitter (uniform in [1 - noise, 1 + noise], deterministic in `seed`) to
+// the per-transfer net and io times of synthesize_transfer_trace;
+// synthesize_congestion_points is always noiseless.
+struct SynthesisSpec {
+  ModelParameters params;  // alpha, theta, s_unit, bandwidth are consumed
+  std::vector<double> load_levels = {0.16, 0.32, 0.48, 0.64, 0.8, 0.96};
+  double congestion_slope = 2.5;
+  double worst_spread = 1.0;
+  int transfers_per_level = 8;
+  double noise = 0.0;
+  std::uint64_t seed = 42;
+};
+
+[[nodiscard]] std::vector<CongestionPoint> synthesize_congestion_points(
+    const SynthesisSpec& spec);
+[[nodiscard]] std::vector<TransferRecord> synthesize_transfer_trace(
+    const SynthesisSpec& spec);
+
+// The built-in demo trace: a noisy synthetic campaign over the paper
+// testbed (0.5 GB units on 25 Gbps, alpha 0.85, theta 1.25).  Checked in
+// verbatim as tests/data/calibration_trace.csv (regenerate with
+// `calibrate --write-demo-trace`); calibration scenarios fall back to it
+// when no trace_path is configured.
+[[nodiscard]] std::vector<TransferRecord> demo_transfer_trace();
+
+// --- trace -> decision-model parameters ------------------------------------
+
+struct TraceCalibrationOptions {
+  // Utilization at which the fitted profile is read out (Section 5).
+  double operating_utilization = 0.64;
+  // Compute-side parameters a network trace cannot measure.
+  units::Complexity complexity = units::Complexity::flop_per_byte(1.0);
+  units::FlopsRate r_local = units::FlopsRate::teraflops(1.0);
+  units::FlopsRate r_remote = units::FlopsRate::teraflops(10.0);
+};
+
+struct TraceCalibration {
+  std::vector<CongestionPoint> points;  // bucketed levels, in trace order
+  CongestionProfile profile;
+  AlphaThetaFit fit;
+  ModelParameters params;  // fitted alpha/theta; s_unit/bandwidth from the trace
+  double operating_utilization = 0.64;
+  units::Seconds predicted_worst_transfer;  // for s_unit at the operating point
+};
+
+// The full pipeline: bucket, fit, assemble validated ModelParameters
+// (s_unit = mean transfer size, bandwidth = the trace's link capacity).
+// Throws std::invalid_argument on an empty trace.
+[[nodiscard]] TraceCalibration calibrate_transfer_trace(
+    const std::vector<TransferRecord>& records, const TraceCalibrationOptions& options = {});
+
+// Machine-readable calibration report: fit diagnostics, plan-compatible
+// ModelParameters (field names match the experiment-plan JSON spelling of
+// quantities), the bucketed profile, and the operating-point prediction.
+// Deterministic byte-for-byte (std::map key order + exact doubles) — the
+// `calibrate` CLI's --report output is golden-pinned in CI.
+[[nodiscard]] trace::JsonValue calibration_report_json(const TraceCalibration& calibration);
+
+}  // namespace sss::core

@@ -143,6 +143,34 @@ const ParamBinding kBindings[] = {
        if (v < 0.0) bad_value(kv, "a shape >= 0 (<= 1 = exponential)");
        config.background_pareto_shape = v;
      }},
+    {"trace_path", "a per-transfer trace CSV path ('' = built-in demo trace)",
+     [](simnet::WorkloadConfig& config, const std::string&, const std::string& value) {
+       config.calibration.trace_path = value;
+     }},
+    {"fit_operating_util", "a utilization > 0",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const double v = require_double(kv, value, "a utilization > 0");
+       if (!(v > 0.0)) bad_value(kv, "a utilization > 0");
+       config.calibration.operating_util = v;
+     }},
+    {"fit_true_alpha", "an efficiency in (0, 1]",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const double v = require_double(kv, value, "an efficiency in (0, 1]");
+       if (!(v > 0.0) || v > 1.0) bad_value(kv, "an efficiency in (0, 1]");
+       config.calibration.true_alpha = v;
+     }},
+    {"fit_true_theta", "an overhead coefficient >= 1",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const double v = require_double(kv, value, "an overhead coefficient >= 1");
+       if (!(v >= 1.0)) bad_value(kv, "an overhead coefficient >= 1");
+       config.calibration.true_theta = v;
+     }},
+    {"fit_congestion_slope", "a slope >= 0",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const double v = require_double(kv, value, "a slope >= 0");
+       if (v < 0.0) bad_value(kv, "a slope >= 0");
+       config.calibration.congestion_slope = v;
+     }},
     {"mode", "simultaneous|scheduled",
      [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
        if (value == "simultaneous") {

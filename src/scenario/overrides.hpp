@@ -43,6 +43,15 @@
 //   storm<j>_until_s=<double >= 0>  storm window end (scale-1 seconds)
 //   storm<j>_mean_mb=<double > 0> storm mean flow size
 //   storm<j>_shape=<double >= 0>  storm Pareto tail shape
+//   trace_path=<path>             per-transfer trace CSV for the
+//                                 calibration scenarios ('' = the
+//                                 built-in demo trace)
+//   fit_operating_util=<double > 0>   utilization at which fitted
+//                                 parameters are read out / extrapolated
+//   fit_true_alpha=<double in (0,1]>  synthetic ground-truth alpha
+//                                 (fit_alpha_theta_synthetic)
+//   fit_true_theta=<double >= 1>  synthetic ground-truth theta
+//   fit_congestion_slope=<double >= 0>  synthetic congestion sensitivity
 //   mode=simultaneous|scheduled   spawn mode
 //   arrivals=batch|deterministic|poisson  arrival process
 //   substrate=packet|fluid        simulation substrate (RunPoint-level)

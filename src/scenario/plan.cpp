@@ -453,6 +453,26 @@ simnet::HopCrossTraffic storm_from_json(const trace::JsonValue& json) {
   return storm;
 }
 
+trace::JsonValue calibration_to_json(const simnet::CalibrationKnobs& knobs) {
+  trace::JsonValue json = trace::JsonValue::object();
+  json["trace_path"] = knobs.trace_path;
+  json["operating_util"] = knobs.operating_util;
+  json["true_alpha"] = knobs.true_alpha;
+  json["true_theta"] = knobs.true_theta;
+  json["congestion_slope"] = knobs.congestion_slope;
+  return json;
+}
+
+simnet::CalibrationKnobs calibration_from_json(const trace::JsonValue& json) {
+  simnet::CalibrationKnobs knobs;
+  knobs.trace_path = json.at("trace_path").as_string();
+  knobs.operating_util = json.at("operating_util").as_double();
+  knobs.true_alpha = json.at("true_alpha").as_double();
+  knobs.true_theta = json.at("true_theta").as_double();
+  knobs.congestion_slope = json.at("congestion_slope").as_double();
+  return knobs;
+}
+
 trace::JsonValue tcp_to_json(const simnet::TcpConfig& tcp) {
   trace::JsonValue json = trace::JsonValue::object();
   json["mss_bytes"] = static_cast<std::size_t>(tcp.mss_bytes);
@@ -520,6 +540,11 @@ trace::JsonValue workload_to_json(const simnet::WorkloadConfig& config) {
     }
     json["hop_cross_traffic"] = std::move(storms);
   }
+  // Default calibration knobs are omitted so sweep-plan dumps stay free of
+  // calibration noise; the section round-trips exactly whenever set.
+  if (!(config.calibration == simnet::CalibrationKnobs{})) {
+    json["calibration"] = calibration_to_json(config.calibration);
+  }
   json["tcp"] = tcp_to_json(config.tcp);
   return json;
 }
@@ -579,6 +604,9 @@ simnet::WorkloadConfig workload_from_json(const trace::JsonValue& json) {
     for (const trace::JsonValue& storm : storms->as_array()) {
       config.hop_cross_traffic.push_back(storm_from_json(storm));
     }
+  }
+  if (const trace::JsonValue* calibration = json.find("calibration")) {
+    config.calibration = calibration_from_json(*calibration);
   }
   config.tcp = tcp_from_json(json.at("tcp"));
   return config;

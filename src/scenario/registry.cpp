@@ -72,6 +72,7 @@ void register_builtin_scenarios() {
     register_live_scenarios(r);
     register_stress_scenarios(r);
     register_topology_scenarios(r);
+    register_calibration_scenarios(r);
     return true;
   }();
   (void)once;

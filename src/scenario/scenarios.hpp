@@ -29,6 +29,10 @@ void register_stress_scenarios(ScenarioRegistry& registry);
 // undersizing, WAN-hop cross traffic, the moving bottleneck, and the
 // LCLS -> NERSC path-aware case study.
 void register_topology_scenarios(ScenarioRegistry& registry);
+// Trace-driven calibration: fit alpha/theta from measured per-transfer
+// traces, the synthetic closed-loop check, and the Section 5 extrapolation
+// from a fitted profile.
+void register_calibration_scenarios(ScenarioRegistry& registry);
 
 // Parameterized congestion-planner factory: the registered scenario uses
 // the paper-testbed defaults (25 Gbps, 0.5 GB, 1.0 s); the example binary

@@ -103,6 +103,18 @@ void WorkloadConfig::validate() const {
       throw std::invalid_argument("hop_cross_traffic needs 0 <= start < until");
     }
   }
+  if (!(calibration.operating_util > 0.0)) {
+    throw std::invalid_argument("calibration operating_util must be > 0");
+  }
+  if (!(calibration.true_alpha > 0.0) || calibration.true_alpha > 1.0) {
+    throw std::invalid_argument("calibration true_alpha must be in (0, 1]");
+  }
+  if (!(calibration.true_theta >= 1.0)) {
+    throw std::invalid_argument("calibration true_theta must be >= 1");
+  }
+  if (calibration.congestion_slope < 0.0) {
+    throw std::invalid_argument("calibration congestion_slope must be >= 0");
+  }
 }
 
 std::vector<double> requested_arrival_times(const WorkloadConfig& config,

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "simnet/link.hpp"
@@ -70,6 +71,27 @@ struct HopCrossTraffic {
   double pareto_shape = 1.5;
 };
 
+// Knobs for the trace-driven calibration scenarios (core/fitting.hpp,
+// scenario family "calibration").  The packet/fluid simulators ignore
+// these; they ride on WorkloadConfig so the ONE name→field binding table
+// (--param / plan axes / plan JSON, scenario/overrides.hpp) reaches them
+// like any other knob.
+struct CalibrationKnobs {
+  // Per-transfer trace CSV to calibrate from ("" = the built-in demo
+  // trace, core::demo_transfer_trace()).
+  std::string trace_path;
+  // Utilization at which fitted parameters are read out / extrapolated.
+  double operating_util = 0.64;
+  // Ground truth for the synthetic closed-loop scenario
+  // (fit_alpha_theta_synthetic): the generator's alpha/theta.
+  double true_alpha = 0.85;
+  double true_theta = 1.0;
+  // Congestion sensitivity of the synthetic generator, d(t/T_th)/du.
+  double congestion_slope = 2.0;
+
+  friend bool operator==(const CalibrationKnobs&, const CalibrationKnobs&) = default;
+};
+
 struct WorkloadConfig {
   units::Seconds duration = units::Seconds::of(10.0);
   int concurrency = 4;       // clients spawned per second
@@ -104,6 +126,8 @@ struct WorkloadConfig {
   double background_pareto_shape = 1.5;
   // Windowed cross-traffic pinned to individual hops of the forward path.
   std::vector<HopCrossTraffic> hop_cross_traffic;
+  // Trace-driven calibration knobs (ignored by the simulators).
+  CalibrationKnobs calibration;
 
   // Table 2 configuration for a given (concurrency, parallel flows) cell.
   [[nodiscard]] static WorkloadConfig paper_table2(int concurrency, int parallel_flows,

@@ -38,6 +38,42 @@ TEST(CongestionProfile, EmptyProfileThrows) {
   CongestionProfile profile;
   EXPECT_TRUE(profile.empty());
   EXPECT_THROW((void)profile.sss_at(0.5), std::logic_error);
+  // worst_transfer_time rides on sss_at, so it shares the no-curve contract.
+  EXPECT_THROW((void)profile.worst_transfer_time(
+                   units::Bytes::gigabytes(1.0),
+                   units::DataRate::gigabits_per_second(25.0), 0.5),
+               std::logic_error);
+}
+
+TEST(CongestionProfile, SinglePointProfileIsTheConstantFunction) {
+  CongestionProfile profile({point(0.5, 3.0)});
+  for (double u : {0.0, 0.25, 0.5, 0.75, 2.0}) {
+    EXPECT_DOUBLE_EQ(profile.sss_at(u), 3.0) << u;
+  }
+  const auto t = profile.worst_transfer_time(
+      units::Bytes::gigabytes(1.0), units::DataRate::gigabits_per_second(8.0), 0.9);
+  EXPECT_DOUBLE_EQ(t.seconds(), 3.0);  // 1 GB at 1 GB/s, SSS 3
+}
+
+TEST(CongestionProfile, DuplicateUtilizationContract) {
+  // Stable sort keeps insertion order among duplicates: at the duplicated
+  // utilization sss_at returns the FIRST duplicate's value; immediately
+  // above it, interpolation continues from the LAST duplicate.
+  CongestionProfile profile(
+      {point(0.2, 1.0), point(0.6, 2.0), point(0.6, 4.0), point(1.0, 5.0)});
+  ASSERT_EQ(profile.points().size(), 4u);
+  EXPECT_DOUBLE_EQ(profile.points()[1].sss, 2.0);  // insertion order preserved
+  EXPECT_DOUBLE_EQ(profile.points()[2].sss, 4.0);
+  EXPECT_DOUBLE_EQ(profile.sss_at(0.6), 2.0);   // the first duplicate
+  EXPECT_DOUBLE_EQ(profile.sss_at(0.8), 4.5);   // midpoint of (0.6, 4) -> (1, 5)
+  EXPECT_DOUBLE_EQ(profile.sss_at(0.4), 1.5);   // midpoint of (0.2, 1) -> (0.6, 2)
+}
+
+TEST(CongestionProfile, DuplicatesAtTheEndsClampLikeSinglePoints) {
+  CongestionProfile low({point(0.2, 1.0), point(0.2, 3.0), point(0.8, 5.0)});
+  EXPECT_DOUBLE_EQ(low.sss_at(0.1), 1.0);  // clamp to the FIRST front duplicate
+  CongestionProfile high({point(0.2, 1.0), point(0.8, 5.0), point(0.8, 7.0)});
+  EXPECT_DOUBLE_EQ(high.sss_at(0.9), 7.0);  // clamp to the LAST back duplicate
 }
 
 TEST(CongestionProfile, WorstTransferTimeExtrapolatesLikeSection5) {
@@ -75,6 +111,8 @@ TEST(BuildCongestionProfile, FromRealSweep) {
     EXPECT_GE(p.sss, 1.0);
     EXPECT_GT(p.t_theoretical_s, 0.0);
     EXPECT_EQ(p.parallel_flows, 2);
+    // Simulated sweeps are pure streaming: no staging overhead.
+    EXPECT_DOUBLE_EQ(p.t_io_s, 0.0);
   }
 }
 

@@ -77,6 +77,7 @@ CongestionProfile sample_profile() {
     p.t_theoretical_s = 0.16;
     p.t_worst_s = 0.16 * (1.0 + u * 10.0);
     p.t_mean_s = p.t_worst_s * 0.6;
+    p.t_io_s = u * 0.05;
     p.sss = p.t_worst_s / p.t_theoretical_s;
     p.concurrency = static_cast<int>(u * 8);
     p.parallel_flows = 4;
@@ -96,6 +97,7 @@ TEST(ProfileIo, RoundTripsExactly) {
     EXPECT_DOUBLE_EQ(b.utilization, a.utilization);
     EXPECT_DOUBLE_EQ(b.sss, a.sss);
     EXPECT_DOUBLE_EQ(b.t_worst_s, a.t_worst_s);
+    EXPECT_DOUBLE_EQ(b.t_io_s, a.t_io_s);
     EXPECT_EQ(b.concurrency, a.concurrency);
     EXPECT_DOUBLE_EQ(b.loss_rate, a.loss_rate);
   }
@@ -103,6 +105,19 @@ TEST(ProfileIo, RoundTripsExactly) {
   for (double u : {0.2, 0.5, 0.8, 1.0}) {
     EXPECT_DOUBLE_EQ(restored.sss_at(u), original.sss_at(u));
   }
+}
+
+TEST(ProfileIo, LegacyProfileWithoutIoColumnReadsAsPureStreaming) {
+  // Profiles persisted before the t_io_s column existed were all pure
+  // streaming; they must stay readable, with the overhead defaulting to 0.
+  const std::string legacy =
+      "utilization,measured_utilization,t_worst_s,t_theoretical_s,t_mean_s,sss,"
+      "concurrency,parallel_flows,loss_rate\n"
+      "0.5,0.49,0.8,0.16,0.5,5,4,2,0\n";
+  const CongestionProfile profile = profile_from_csv(legacy);
+  ASSERT_EQ(profile.points().size(), 1u);
+  EXPECT_DOUBLE_EQ(profile.points()[0].t_io_s, 0.0);
+  EXPECT_DOUBLE_EQ(profile.points()[0].sss, 5.0);
 }
 
 TEST(ProfileIo, FileRoundTrip) {
@@ -116,6 +131,94 @@ TEST(ProfileIo, FileRoundTrip) {
 TEST(ProfileIo, MissingFileThrows) {
   EXPECT_THROW(read_profile("/nonexistent-dir-xyz/p.csv"), std::runtime_error);
   EXPECT_THROW(read_client_log("/nonexistent-dir-xyz/c.csv"), std::runtime_error);
+}
+
+// --- per-transfer traces ---------------------------------------------------
+
+std::vector<TransferRecord> sample_trace() {
+  std::vector<TransferRecord> records;
+  std::uint64_t id = 0;
+  for (double level : {0.25, 0.5, 0.75}) {
+    for (int k = 0; k < 3; ++k) {
+      TransferRecord r;
+      r.transfer_id = id++;
+      r.load_level = level;
+      r.start_s = level * 100.0 + k;
+      r.end_s = r.start_s + 0.4 + level * 0.8 + k * 0.003;
+      r.bytes = 0.5e9;
+      r.link_gbps = 25.0;
+      r.io_s = 0.05 + k * 0.001;
+      records.push_back(r);
+    }
+  }
+  return records;
+}
+
+TEST(TransferTraceIo, RoundTripsExactly) {
+  const auto original = sample_trace();
+  const auto restored = transfer_trace_from_csv(transfer_trace_to_csv(original));
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored[i].transfer_id, original[i].transfer_id);
+    EXPECT_DOUBLE_EQ(restored[i].load_level, original[i].load_level);
+    EXPECT_DOUBLE_EQ(restored[i].start_s, original[i].start_s);
+    EXPECT_DOUBLE_EQ(restored[i].end_s, original[i].end_s);
+    EXPECT_DOUBLE_EQ(restored[i].bytes, original[i].bytes);
+    EXPECT_DOUBLE_EQ(restored[i].link_gbps, original[i].link_gbps);
+    EXPECT_DOUBLE_EQ(restored[i].io_s, original[i].io_s);
+  }
+}
+
+TEST(TransferTraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/sss_transfer_trace.csv";
+  write_transfer_trace(path, sample_trace());
+  EXPECT_EQ(read_transfer_trace(path).size(), 9u);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_transfer_trace("/nonexistent-dir-xyz/t.csv"), std::runtime_error);
+}
+
+const char* const kTraceHeader = "transfer_id,load_level,start_s,end_s,bytes,link_gbps,io_s\n";
+
+TEST(TransferTraceIo, TruncatedRowFailsLoudly) {
+  const std::string csv = std::string(kTraceHeader) +
+                          "0,0.25,0,0.5,5e8,25,0.05\n"
+                          "1,0.25,1,1.5\n";  // row cut off mid-record
+  EXPECT_THROW(transfer_trace_from_csv(csv), std::runtime_error);
+}
+
+TEST(TransferTraceIo, NonNumericFieldsFailLoudly) {
+  EXPECT_THROW(
+      transfer_trace_from_csv(std::string(kTraceHeader) + "0,0.25,zero,0.5,5e8,25,0.05\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      transfer_trace_from_csv(std::string(kTraceHeader) + "x,0.25,0,0.5,5e8,25,0.05\n"),
+      std::runtime_error);
+  // Trailing garbage in a numeric field is garbage, not a number.
+  EXPECT_THROW(
+      transfer_trace_from_csv(std::string(kTraceHeader) + "0,0.25,0,0.5abc,5e8,25,0.05\n"),
+      std::runtime_error);
+}
+
+TEST(TransferTraceIo, OutOfOrderLoadLevelsFailLoudly) {
+  const std::string csv = std::string(kTraceHeader) +
+                          "0,0.5,0,0.6,5e8,25,0\n"
+                          "1,0.25,1,1.5,5e8,25,0\n";  // level went DOWN
+  EXPECT_THROW(transfer_trace_from_csv(csv), std::runtime_error);
+  // Non-decreasing (including repeated) levels are the valid shape.
+  const std::string ok = std::string(kTraceHeader) +
+                         "0,0.25,0,0.6,5e8,25,0\n"
+                         "1,0.25,1,1.5,5e8,25,0\n"
+                         "2,0.5,2,2.8,5e8,25,0\n";
+  EXPECT_EQ(transfer_trace_from_csv(ok).size(), 3u);
+}
+
+TEST(TransferTraceIo, MissingColumnThrows) {
+  EXPECT_THROW(transfer_trace_from_csv("transfer_id,load_level\n0,0.25\n"),
+               std::out_of_range);
+}
+
+TEST(TransferTraceIo, EmptyTraceRoundTrips) {
+  EXPECT_TRUE(transfer_trace_from_csv(transfer_trace_to_csv({})).empty());
 }
 
 TEST(ProfileIo, MeasureOnceDecideLater) {

@@ -1,0 +1,218 @@
+// Tests for the alpha/theta fitter: exact recovery from noiseless
+// synthetic points, degenerate-input contracts, residual diagnostics,
+// trace bucketing, and the end-to-end trace calibration (including the
+// checked-in demo-trace fixture staying in sync with the code).
+#include "core/fitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/experiment_io.hpp"
+
+namespace sss::core {
+namespace {
+
+SynthesisSpec spec_for(double alpha, double theta, double slope) {
+  SynthesisSpec spec;
+  spec.params.alpha = alpha;
+  spec.params.theta = theta;
+  spec.params.s_unit = units::Bytes::gigabytes(0.5);
+  spec.params.bandwidth = units::DataRate::gigabits_per_second(25.0);
+  spec.congestion_slope = slope;
+  return spec;
+}
+
+TEST(FitAlphaTheta, RecoversNoiselessSyntheticPointsExactly) {
+  for (double alpha : {0.3, 0.6, 0.85, 1.0}) {
+    for (double theta : {1.0, 1.3, 2.5}) {
+      for (double slope : {0.0, 1.7, 4.0}) {
+        const auto points = synthesize_congestion_points(spec_for(alpha, theta, slope));
+        const AlphaThetaFit fit = fit_alpha_theta(points);
+        EXPECT_NEAR(fit.alpha, alpha, 1e-9) << alpha << " " << theta << " " << slope;
+        EXPECT_NEAR(fit.theta, theta, 1e-9) << alpha << " " << theta << " " << slope;
+        EXPECT_NEAR(fit.congestion_slope, slope, 1e-9);
+        EXPECT_NEAR(fit.rmse, 0.0, 1e-9);
+        EXPECT_NEAR(fit.max_abs_residual, 0.0, 1e-9);
+        EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+        ASSERT_EQ(fit.residuals.size(), points.size());
+      }
+    }
+  }
+}
+
+TEST(FitAlphaTheta, PermutationOfPointsDoesNotChangeTheFit) {
+  auto points = synthesize_congestion_points(spec_for(0.7, 1.6, 2.0));
+  const AlphaThetaFit sorted = fit_alpha_theta(points);
+  std::reverse(points.begin(), points.end());
+  std::swap(points[1], points[3]);
+  const AlphaThetaFit shuffled = fit_alpha_theta(points);
+  EXPECT_NEAR(sorted.alpha, shuffled.alpha, 1e-12);
+  EXPECT_NEAR(sorted.theta, shuffled.theta, 1e-12);
+  EXPECT_NEAR(sorted.congestion_slope, shuffled.congestion_slope, 1e-12);
+}
+
+CongestionPoint simple_point(double u, double t_mean, double t_io = 0.0) {
+  CongestionPoint p;
+  p.utilization = u;
+  p.t_theoretical_s = 1.0;
+  p.t_mean_s = t_mean;
+  p.t_io_s = t_io;
+  p.t_worst_s = t_mean + t_io;
+  return p;
+}
+
+TEST(FitAlphaTheta, SinglePointPinsSlopeAtZero) {
+  const AlphaThetaFit fit = fit_alpha_theta({simple_point(0.5, 2.0)});
+  EXPECT_DOUBLE_EQ(fit.congestion_slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+  EXPECT_DOUBLE_EQ(fit.alpha, 0.5);
+  EXPECT_DOUBLE_EQ(fit.theta, 1.0);
+}
+
+TEST(FitAlphaTheta, DuplicateUtilizationsFallBackToInterceptOnlyFit) {
+  const AlphaThetaFit fit =
+      fit_alpha_theta({simple_point(0.5, 2.0), simple_point(0.5, 4.0)});
+  EXPECT_DOUBLE_EQ(fit.congestion_slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 3.0);  // mean observation
+}
+
+TEST(FitAlphaTheta, ClampsAlphaAndThetaIntoTheModelDomain) {
+  // Observed faster than 1x theoretical: raw alpha > 1, clamped to 1.
+  const AlphaThetaFit fast =
+      fit_alpha_theta({simple_point(0.2, 0.8), simple_point(0.4, 0.8)});
+  EXPECT_GT(fast.raw_alpha, 1.0);
+  EXPECT_DOUBLE_EQ(fast.alpha, 1.0);
+  // theta below 1 cannot happen with non-negative io: raw == clamped == 1.
+  EXPECT_DOUBLE_EQ(fast.theta, 1.0);
+}
+
+TEST(FitAlphaTheta, ResidualDiagnosticsFlagAnOutlier) {
+  auto points = synthesize_congestion_points(spec_for(0.8, 1.0, 2.0));
+  points[3].t_mean_s *= 1.5;  // corrupt one level
+  const AlphaThetaFit fit = fit_alpha_theta(points);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.rmse, 0.0);
+  // The corrupted level owns the largest residual.
+  double worst = 0.0;
+  std::size_t worst_index = 0;
+  for (std::size_t i = 0; i < fit.residuals.size(); ++i) {
+    if (std::abs(fit.residuals[i].residual()) > worst) {
+      worst = std::abs(fit.residuals[i].residual());
+      worst_index = i;
+    }
+  }
+  EXPECT_EQ(worst_index, 3u);
+  EXPECT_DOUBLE_EQ(fit.max_abs_residual, worst);
+}
+
+TEST(FitAlphaTheta, RejectsEmptyAndNonPositiveInputs) {
+  EXPECT_THROW(fit_alpha_theta({}), std::invalid_argument);
+  CongestionPoint bad = simple_point(0.5, 0.0);
+  EXPECT_THROW(fit_alpha_theta({bad}), std::invalid_argument);
+  bad = simple_point(0.5, 1.0);
+  bad.t_theoretical_s = 0.0;
+  EXPECT_THROW(fit_alpha_theta({bad}), std::invalid_argument);
+  bad = simple_point(0.5, 1.0);
+  bad.t_io_s = -0.1;
+  EXPECT_THROW(fit_alpha_theta({bad}), std::invalid_argument);
+}
+
+TEST(FitAlphaTheta, DegenerateNegativeInterceptThrows) {
+  // Times rising steeply enough from a near-zero start extrapolate to a
+  // negative uncongested intercept — unusable, so the fit refuses.
+  EXPECT_THROW(fit_alpha_theta({simple_point(0.1, 0.1), simple_point(0.9, 5.0)}),
+               std::invalid_argument);
+}
+
+// --- bucketing -------------------------------------------------------------
+
+TEST(BucketTransferTrace, NoiselessTraceBucketsToTheGenerativePoints) {
+  SynthesisSpec spec = spec_for(0.85, 1.25, 2.5);
+  const auto expected = synthesize_congestion_points(spec);
+  const auto points = bucket_transfer_trace(synthesize_transfer_trace(spec));
+  ASSERT_EQ(points.size(), expected.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_NEAR(points[i].utilization, expected[i].utilization, 1e-12);
+    EXPECT_NEAR(points[i].t_mean_s, expected[i].t_mean_s, 1e-12);
+    EXPECT_NEAR(points[i].t_io_s, expected[i].t_io_s, 1e-12);
+    EXPECT_NEAR(points[i].t_theoretical_s, expected[i].t_theoretical_s, 1e-12);
+    // The trace's worst is the max over identical records: theta * t_net.
+    EXPECT_NEAR(points[i].t_worst_s, expected[i].t_mean_s + expected[i].t_io_s, 1e-12);
+  }
+}
+
+TransferRecord record(double level, double start, double duration, double io) {
+  TransferRecord r;
+  r.load_level = level;
+  r.start_s = start;
+  r.end_s = start + duration;
+  r.bytes = 1e9;
+  r.link_gbps = 10.0;
+  r.io_s = io;
+  return r;
+}
+
+TEST(BucketTransferTrace, RejectsSemanticViolations) {
+  // io exceeding the wall-clock interval.
+  EXPECT_THROW(bucket_transfer_trace({record(0.2, 0.0, 1.0, 1.5)}),
+               std::invalid_argument);
+  // end before start.
+  EXPECT_THROW(bucket_transfer_trace({record(0.2, 5.0, -1.0, 0.0)}),
+               std::invalid_argument);
+  // inconsistent link capacity across the trace.
+  auto other_link = record(0.4, 10.0, 1.0, 0.0);
+  other_link.link_gbps = 25.0;
+  EXPECT_THROW(bucket_transfer_trace({record(0.2, 0.0, 1.0, 0.0), other_link}),
+               std::invalid_argument);
+  // out-of-order load levels.
+  EXPECT_THROW(
+      bucket_transfer_trace({record(0.4, 0.0, 1.0, 0.0), record(0.2, 1.0, 1.0, 0.0)}),
+      std::runtime_error);
+  // empty traces bucket to nothing (and calibration rejects them loudly).
+  EXPECT_TRUE(bucket_transfer_trace({}).empty());
+  EXPECT_THROW((void)calibrate_transfer_trace({}), std::invalid_argument);
+}
+
+// --- end-to-end calibration ------------------------------------------------
+
+TEST(CalibrateTransferTrace, DemoTraceRecoversItsGenerator) {
+  const TraceCalibration cal = calibrate_transfer_trace(demo_transfer_trace());
+  EXPECT_NO_THROW(cal.params.validate());
+  // Generator truth: alpha 0.85, theta 1.25, 5% multiplicative noise.
+  EXPECT_NEAR(cal.fit.alpha, 0.85, 0.85 * 0.05);
+  EXPECT_NEAR(cal.fit.theta, 1.25, 1.25 * 0.05);
+  EXPECT_GT(cal.fit.r_squared, 0.99);
+  EXPECT_DOUBLE_EQ(cal.params.s_unit.gb(), 0.5);
+  EXPECT_DOUBLE_EQ(cal.params.bandwidth.gbit_per_s(), 25.0);
+  EXPECT_GT(cal.predicted_worst_transfer.seconds(), 0.0);
+  EXPECT_EQ(cal.points.size(), 6u);
+}
+
+TEST(CalibrateTransferTrace, ReportJsonIsDeterministic) {
+  const TraceCalibration cal = calibrate_transfer_trace(demo_transfer_trace());
+  const std::string a = calibration_report_json(cal).dump(2);
+  const std::string b = calibration_report_json(cal).dump(2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"format\": \"sss.calibration-report/1\""), std::string::npos);
+  EXPECT_NE(a.find("\"model_parameters\""), std::string::npos);
+}
+
+// The checked-in fixture (tests/data/calibration_trace.csv) must stay in
+// sync with the in-code demo generator — the CI smoke and the scenario
+// golden both lean on that equivalence.  Regenerate with
+//   calibrate --write-demo-trace tests/data/calibration_trace.csv
+TEST(CalibrateTransferTrace, CheckedInFixtureMatchesTheDemoGenerator) {
+  const std::string path = std::string(SSS_SOURCE_DIR) + "/tests/data/calibration_trace.csv";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), transfer_trace_to_csv(demo_transfer_trace()));
+}
+
+}  // namespace
+}  // namespace sss::core

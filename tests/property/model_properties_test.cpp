@@ -2,8 +2,11 @@
 // monotonicity across randomized parameter sweeps (parameterized gtest).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/completion.hpp"
 #include "core/decision.hpp"
+#include "core/fitting.hpp"
 #include "core/sensitivity.hpp"
 #include "stats/rng.hpp"
 
@@ -143,6 +146,84 @@ TEST_P(ModelProperty, BestChoiceIsArgmin) {
     case ProcessingMode::kRemoteFileBased:
       EXPECT_DOUBLE_EQ(ev.t_pct_file.seconds(), best_time);
       break;
+  }
+}
+
+// --- alpha/theta fitter properties (core/fitting.hpp) ----------------------
+
+SynthesisSpec random_synthesis(std::uint64_t seed) {
+  stats::Random rng(seed ^ 0xf177ULL);
+  SynthesisSpec spec;
+  spec.params.alpha = rng.uniform(0.05, 1.0);
+  spec.params.theta = rng.uniform(1.0, 8.0);
+  spec.params.s_unit = units::Bytes::gigabytes(rng.uniform(0.1, 4.0));
+  spec.params.bandwidth = units::DataRate::gigabits_per_second(rng.uniform(1.0, 200.0));
+  spec.congestion_slope = rng.uniform(0.0, 6.0);
+  return spec;
+}
+
+TEST_P(ModelProperty, FitRecoversSynthesizedAlphaThetaExactly) {
+  const SynthesisSpec spec = random_synthesis(GetParam());
+  const AlphaThetaFit fit =
+      fit_alpha_theta(synthesize_congestion_points(spec));
+  EXPECT_NEAR(fit.alpha, spec.params.alpha, 1e-9 * (1.0 + spec.params.alpha));
+  EXPECT_NEAR(fit.theta, spec.params.theta, 1e-9 * (1.0 + spec.params.theta));
+  EXPECT_NEAR(fit.congestion_slope, spec.congestion_slope,
+              1e-9 * (1.0 + spec.congestion_slope));
+}
+
+TEST_P(ModelProperty, FitIsInvariantUnderPointPermutation) {
+  const SynthesisSpec spec = random_synthesis(GetParam());
+  std::vector<CongestionPoint> points = synthesize_congestion_points(spec);
+  const AlphaThetaFit forward = fit_alpha_theta(points);
+  stats::Random rng(GetParam());
+  for (std::size_t i = points.size(); i > 1; --i) {
+    std::swap(points[i - 1], points[rng.uniform_index(i)]);
+  }
+  const AlphaThetaFit shuffled = fit_alpha_theta(points);
+  EXPECT_NEAR(forward.alpha, shuffled.alpha, 1e-9);
+  EXPECT_NEAR(forward.theta, shuffled.theta, 1e-9);
+}
+
+TEST_P(ModelProperty, FitIsStableUnderSmallNoise) {
+  SynthesisSpec spec = random_synthesis(GetParam());
+  // Multiplicative jitter bounded by 1%; the recovered parameters must
+  // stay within 5% of the generator's truth.
+  spec.noise = 0.01;
+  spec.seed = GetParam();
+  const AlphaThetaFit fit =
+      fit_alpha_theta(bucket_transfer_trace(synthesize_transfer_trace(spec)));
+  EXPECT_NEAR(fit.alpha, spec.params.alpha, 0.05 * spec.params.alpha);
+  EXPECT_NEAR(fit.theta, spec.params.theta, 0.05 * spec.params.theta);
+}
+
+TEST_P(ModelProperty, ProfileSssIsMonotoneAndPermutationInvariant) {
+  // Random monotone profiles: sss_at must be monotone in utilization and
+  // independent of the order points were supplied in.
+  stats::Random rng(GetParam() ^ 0x550fULL);
+  std::vector<CongestionPoint> points;
+  double u = 0.05;
+  double sss = 1.0;
+  for (int i = 0; i < 8; ++i) {
+    u += rng.uniform(0.02, 0.15);
+    sss += rng.uniform(0.0, 4.0);
+    CongestionPoint p;
+    p.utilization = u;
+    p.sss = sss;
+    points.push_back(p);
+  }
+  const CongestionProfile sorted(points);
+  std::vector<CongestionPoint> shuffled = points;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.uniform_index(i)]);
+  }
+  const CongestionProfile permuted(std::move(shuffled));
+  double previous = 0.0;
+  for (double query = 0.0; query <= 1.5; query += 0.01) {
+    const double value = sorted.sss_at(query);
+    EXPECT_DOUBLE_EQ(value, permuted.sss_at(query)) << query;
+    EXPECT_GE(value, previous) << query;
+    previous = value;
   }
 }
 

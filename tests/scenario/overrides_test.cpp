@@ -132,6 +132,29 @@ TEST(Overrides, StormKeysBuildWindowedCrossTraffic) {
                std::invalid_argument);
 }
 
+TEST(Overrides, CalibrationKnobsReachTheConfig) {
+  simnet::WorkloadConfig cfg = base_config();
+  EXPECT_FALSE(apply_param_override(cfg, "trace_path=/data/campaign.csv"));
+  EXPECT_FALSE(apply_param_override(cfg, "fit_operating_util=0.8"));
+  EXPECT_FALSE(apply_param_override(cfg, "fit_true_alpha=0.7"));
+  EXPECT_FALSE(apply_param_override(cfg, "fit_true_theta=1.6"));
+  EXPECT_FALSE(apply_param_override(cfg, "fit_congestion_slope=3.5"));
+  EXPECT_EQ(cfg.calibration.trace_path, "/data/campaign.csv");
+  EXPECT_DOUBLE_EQ(cfg.calibration.operating_util, 0.8);
+  EXPECT_DOUBLE_EQ(cfg.calibration.true_alpha, 0.7);
+  EXPECT_DOUBLE_EQ(cfg.calibration.true_theta, 1.6);
+  EXPECT_DOUBLE_EQ(cfg.calibration.congestion_slope, 3.5);
+  EXPECT_NO_THROW(cfg.validate());
+  // Empty path = the built-in demo trace; out-of-domain values still fail.
+  EXPECT_FALSE(apply_param_override(cfg, "trace_path="));
+  EXPECT_TRUE(cfg.calibration.trace_path.empty());
+  EXPECT_THROW(apply_param_override(cfg, "fit_true_alpha=1.5"), std::invalid_argument);
+  EXPECT_THROW(apply_param_override(cfg, "fit_true_theta=0.9"), std::invalid_argument);
+  EXPECT_THROW(apply_param_override(cfg, "fit_operating_util=0"), std::invalid_argument);
+  EXPECT_THROW(apply_param_override(cfg, "fit_congestion_slope=-1"),
+               std::invalid_argument);
+}
+
 TEST(Overrides, SubstrateIsARunLevelKey) {
   RunPoint run;
   run.config = base_config();
@@ -154,7 +177,9 @@ TEST(Overrides, CatalogListsEveryKeyFamily) {
     return false;
   };
   for (const char* key : {"concurrency", "duration_s", "hop<k>_gbps", "storm<j>_load",
-                          "substrate", "seed", "background_shape"}) {
+                          "substrate", "seed", "background_shape", "trace_path",
+                          "fit_operating_util", "fit_true_alpha", "fit_true_theta",
+                          "fit_congestion_slope"}) {
     EXPECT_TRUE(has(key)) << key;
   }
 }

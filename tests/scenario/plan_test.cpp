@@ -221,10 +221,11 @@ TEST(PlanJsonRoundTrip, EveryGridScenarioRunsIdenticallyFromItsPlanFile) {
     expect_same_output(expected, actual, spec->name);
     std::remove(path.c_str());
   }
-  // All 18 run-producing scenarios carry plans; the remaining 6 are the
-  // analyze-only escape hatch (analytic/live scenarios).
-  EXPECT_EQ(grid_scenarios, 18u);
-  EXPECT_EQ(ScenarioRegistry::global().size(), 24u);
+  // All 21 run-producing scenarios carry plans (18 sweeps + the 3
+  // calibration scenarios whose plans carry the fit knobs); the remaining
+  // 6 are the analyze-only escape hatch (analytic/live scenarios).
+  EXPECT_EQ(grid_scenarios, 21u);
+  EXPECT_EQ(ScenarioRegistry::global().size(), 27u);
 }
 
 TEST(PlanJson, RejectsMalformedDocuments) {

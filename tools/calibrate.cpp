@@ -1,0 +1,128 @@
+// calibrate — fit decision-model parameters from a measured transfer trace.
+//
+//   calibrate --trace in.csv [--report out.json] [--operating-util U]
+//   calibrate --write-demo-trace out.csv
+//
+// Reads a per-transfer trace CSV (core/experiment_io format: transfer_id,
+// load_level, start_s, end_s, bytes, link_gbps, io_s), buckets it by load
+// level, fits alpha/theta (core/fitting.hpp), and emits the calibration
+// report as plan-compatible JSON — to --report when given, else to stdout.
+// The report is byte-deterministic; CI diffs it against the checked-in
+// golden (tests/data/calibration_report.golden.json).  --write-demo-trace
+// writes the built-in demo campaign (the same bytes as
+// tests/data/calibration_trace.csv) as a format template.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "core/experiment_io.hpp"
+#include "core/fitting.hpp"
+#include "trace/parse.hpp"
+
+namespace {
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s --trace IN.csv [--report OUT.json] [--operating-util U]\n"
+               "       %s --write-demo-trace OUT.csv\n"
+               "Fits alpha/theta from a per-transfer trace CSV (columns: transfer_id,\n"
+               "load_level, start_s, end_s, bytes, link_gbps, io_s; rows grouped by\n"
+               "non-decreasing load_level) and emits a JSON calibration report with\n"
+               "plan-compatible ModelParameters.\n",
+               argv0, argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string report_path;
+  std::string demo_path;
+  sss::core::TraceCalibrationOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      trace_path = v;
+    } else if (arg == "--report") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      report_path = v;
+    } else if (arg == "--operating-util") {
+      const char* v = next_value();
+      const std::optional<double> parsed =
+          v != nullptr ? sss::trace::parse_double(v) : std::nullopt;
+      if (!parsed.has_value() || !(*parsed > 0.0)) {
+        std::fprintf(stderr, "--operating-util requires a utilization > 0\n");
+        return 2;
+      }
+      options.operating_utilization = *parsed;
+    } else if (arg == "--write-demo-trace") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      demo_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      print_usage(stderr, argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    if (!demo_path.empty()) {
+      sss::core::write_transfer_trace(demo_path, sss::core::demo_transfer_trace());
+      std::printf("wrote the built-in demo trace to %s\n", demo_path.c_str());
+      return 0;
+    }
+    if (trace_path.empty()) {
+      print_usage(stderr, argv[0]);
+      return 2;
+    }
+
+    const auto records = sss::core::read_transfer_trace(trace_path);
+    const sss::core::TraceCalibration calibration =
+        sss::core::calibrate_transfer_trace(records, options);
+    const std::string report =
+        sss::core::calibration_report_json(calibration).dump(2) + "\n";
+
+    if (report_path.empty()) {
+      std::fputs(report.c_str(), stdout);
+    } else {
+      std::ofstream out(report_path);
+      if (!out.is_open()) {
+        std::fprintf(stderr, "cannot open %s\n", report_path.c_str());
+        return 1;
+      }
+      out << report;
+      if (!out.flush()) {
+        std::fprintf(stderr, "failed writing %s\n", report_path.c_str());
+        return 1;
+      }
+      std::printf(
+          "%s: %zu transfers, %zu load levels -> alpha %.6g (R^2 %.6g), theta %.6g; "
+          "report written to %s\n",
+          trace_path.c_str(), records.size(), calibration.points.size(),
+          calibration.fit.alpha, calibration.fit.r_squared, calibration.fit.theta,
+          report_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "calibrate: %s\n", e.what());
+    return 1;
+  }
+}
