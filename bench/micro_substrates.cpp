@@ -101,22 +101,75 @@ void BM_TcpTransfer(benchmark::State& state) {
 }
 BENCHMARK(BM_TcpTransfer)->Arg(8)->Arg(64);
 
+void BM_TcpTransferLossy(benchmark::State& state) {
+  // 8 MB transfer through a shallow-buffered bottleneck: buffer is one BDP
+  // divided by the arg, so deeper divisors force drops and push the flow
+  // through fast-recovery scoreboard scans and RTO backoff.  The loss_rate
+  // counter records how hard each point is hit; time-vs-divisor is the
+  // cost-of-loss curve (flatter = cheaper recovery).
+  simnet::LinkConfig lossy;
+  lossy.buffer = units::Bytes::of(lossy.buffer.bytes() /
+                                  static_cast<double>(state.range(0)));
+  std::uint64_t packets = 0;
+  double loss = 0.0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    simnet::Simulation sim;
+    simnet::Path fwd({lossy}), rev({simnet::LinkConfig{}});
+    simnet::TcpFlow flow(1, units::Bytes::megabytes(8.0), simnet::TcpConfig{}, fwd, rev);
+    flow.start(sim);
+    sim.run();
+    packets += flow.total_packets();
+    loss += fwd.aggregate_loss_rate();
+    ++runs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+  state.counters["loss_rate"] = loss / static_cast<double>(runs == 0 ? 1 : runs);
+}
+BENCHMARK(BM_TcpTransferLossy)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+simnet::WorkloadConfig workload_bench_config() {
+  simnet::WorkloadConfig cfg;
+  cfg.duration = units::Seconds::of(1.0);
+  cfg.concurrency = 4;
+  cfg.parallel_flows = 2;
+  cfg.transfer_size = units::Bytes::megabytes(20.0);
+  cfg.link.capacity = units::DataRate::gigabits_per_second(2.5);
+  return cfg;
+}
+
 void BM_WorkloadExperiment(benchmark::State& state) {
   // One scaled congestion cell per iteration; items = simulation events.
+  // The Workload persists across iterations, so after the first run each
+  // prepare() retraces the cell's retained arena chunks with zero heap
+  // allocations — the sweep executor's steady state.
+  simnet::Workload workload(workload_bench_config());
   std::uint64_t events = 0;
   for (auto _ : state) {
-    simnet::WorkloadConfig cfg;
-    cfg.duration = units::Seconds::of(1.0);
-    cfg.concurrency = 4;
-    cfg.parallel_flows = 2;
-    cfg.transfer_size = units::Bytes::megabytes(20.0);
-    cfg.link.capacity = units::DataRate::gigabits_per_second(2.5);
-    const auto result = simnet::run_experiment(cfg);
+    workload.prepare();
+    workload.drive();
+    const auto result = workload.finish();
     events += result.events_processed;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_WorkloadExperiment);
+
+void BM_WorkloadArena(benchmark::State& state) {
+  // Arena ablation: the same cell with every allocation routed to the
+  // global heap (arg 0) vs bump-allocated from the retained arena (arg 1).
+  // The gap is what per-cell arena allocation buys on the full hot path.
+  simnet::Workload workload(workload_bench_config(), /*use_arena=*/state.range(0) != 0);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    workload.prepare();
+    workload.drive();
+    const auto result = workload.finish();
+    events += result.events_processed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_WorkloadArena)->Arg(0)->Arg(1);
 
 void BM_FluidExperiment(benchmark::State& state) {
   for (auto _ : state) {
@@ -177,4 +230,21 @@ BENCHMARK(BM_ModelEvaluation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The library's own "library_build_type" context key reports how the
+  // *distro* benchmark package was compiled; what matters for comparing
+  // numbers is how THIS binary was compiled.  bench_baseline refuses to
+  // record baselines when this says "debug".
+  benchmark::AddCustomContext("sss_build_type",
+#if defined(NDEBUG) && defined(__OPTIMIZE__)
+                              "release"
+#else
+                              "debug"
+#endif
+  );
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

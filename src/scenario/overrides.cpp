@@ -171,6 +171,12 @@ const ParamBinding kBindings[] = {
        if (v < 0.0) bad_value(kv, "a slope >= 0");
        config.calibration.congestion_slope = v;
      }},
+    {"zipf_skew", "a Zipf exponent >= 0 (0 = uniform popularity)",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const double v = require_double(kv, value, "a Zipf exponent >= 0 (0 = uniform popularity)");
+       if (v < 0.0) bad_value(kv, "a Zipf exponent >= 0 (0 = uniform popularity)");
+       config.storage.zipf_skew = v;
+     }},
     {"mode", "simultaneous|scheduled",
      [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
        if (value == "simultaneous") {

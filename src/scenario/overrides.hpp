@@ -52,6 +52,10 @@
 //                                 (fit_alpha_theta_synthetic)
 //   fit_true_theta=<double >= 1>  synthetic ground-truth theta
 //   fit_congestion_slope=<double >= 0>  synthetic congestion sensitivity
+//   zipf_skew=<double >= 0>       storage-layer object popularity Zipf
+//                                 exponent (0 = uniform; staged-transfer
+//                                 scenarios spread bytes across files with
+//                                 weight 1/rank^s)
 //   mode=simultaneous|scheduled   spawn mode
 //   arrivals=batch|deterministic|poisson  arrival process
 //   substrate=packet|fluid        simulation substrate (RunPoint-level)

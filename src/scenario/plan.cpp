@@ -473,6 +473,18 @@ simnet::CalibrationKnobs calibration_from_json(const trace::JsonValue& json) {
   return knobs;
 }
 
+trace::JsonValue storage_to_json(const simnet::StorageKnobs& knobs) {
+  trace::JsonValue json = trace::JsonValue::object();
+  json["zipf_skew"] = knobs.zipf_skew;
+  return json;
+}
+
+simnet::StorageKnobs storage_from_json(const trace::JsonValue& json) {
+  simnet::StorageKnobs knobs;
+  knobs.zipf_skew = json.at("zipf_skew").as_double();
+  return knobs;
+}
+
 trace::JsonValue tcp_to_json(const simnet::TcpConfig& tcp) {
   trace::JsonValue json = trace::JsonValue::object();
   json["mss_bytes"] = static_cast<std::size_t>(tcp.mss_bytes);
@@ -545,6 +557,10 @@ trace::JsonValue workload_to_json(const simnet::WorkloadConfig& config) {
   if (!(config.calibration == simnet::CalibrationKnobs{})) {
     json["calibration"] = calibration_to_json(config.calibration);
   }
+  // Same omit-when-default rule as calibration.
+  if (!(config.storage == simnet::StorageKnobs{})) {
+    json["storage"] = storage_to_json(config.storage);
+  }
   json["tcp"] = tcp_to_json(config.tcp);
   return json;
 }
@@ -607,6 +623,9 @@ simnet::WorkloadConfig workload_from_json(const trace::JsonValue& json) {
   }
   if (const trace::JsonValue* calibration = json.find("calibration")) {
     config.calibration = calibration_from_json(*calibration);
+  }
+  if (const trace::JsonValue* storage = json.find("storage")) {
+    config.storage = storage_from_json(*storage);
   }
   config.tcp = tcp_from_json(json.at("tcp"));
   return config;

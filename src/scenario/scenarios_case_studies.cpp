@@ -14,6 +14,7 @@
 #include "core/sss_score.hpp"
 #include "detector/facility.hpp"
 #include "scenario/common.hpp"
+#include "scenario/overrides.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenarios.hpp"
 #include "storage/staged_transfer.hpp"
@@ -182,9 +183,18 @@ ScenarioSpec fig4_spec() {
   spec.paper_ref = "Section 4.2 (1,440 x 2048x2048x2B frames ~ 12.6 GB)";
   spec.description = "analytic streaming-vs-file comparison at two frame rates";
   spec.tags = {"figure", "analytic"};
-  spec.analyze = [](const ScenarioContext&, const std::vector<RunPoint>&,
+  spec.analyze = [](const ScenarioContext& ctx, const std::vector<RunPoint>&,
                     const std::vector<simnet::ExperimentResult>&, ScenarioOutput& out) {
+    // Analytic scenario: no RunPoints to carry --param overrides, so pull
+    // the storage knobs (zipf_skew et al.) off the shared binding table
+    // directly.  Run-level keys (substrate=...) don't apply here.
+    simnet::WorkloadConfig knobs;
+    for (const std::string& kv : ctx.param_overrides) {
+      if (kv.rfind("substrate=", 0) == 0) continue;
+      (void)apply_param_override(knobs, kv);
+    }
     storage::StagedTransferConfig staged_cfg;  // GPFS -> WAN -> Lustre presets
+    staged_cfg.object_popularity_skew = knobs.storage.zipf_skew;
     storage::StreamTransferConfig stream_cfg;
     stream_cfg.wan_bandwidth = staged_cfg.wan.bandwidth;
     stream_cfg.efficiency = staged_cfg.wan.efficiency;

@@ -1,0 +1,140 @@
+// arena.hpp — per-experiment-cell bump allocator.
+//
+// One sweep cell constructs and tears down an entire simulation world:
+// paths, links, ring buffers, thousands of TcpFlow objects, scoreboards,
+// event-queue buckets.  Allocating those piecemeal from the global heap
+// puts malloc/free on the sweep hot path and scatters per-packet state
+// across the address space.  The Arena instead hands out memory by bumping
+// a pointer through a chain of retained chunks:
+//
+//   - allocation is a pointer bump (no size classes, no free lists);
+//   - deallocation is a no-op — the cell frees everything wholesale by
+//     calling reset(), which rewinds the bump pointer but RETAINS the
+//     chunks, so the next run of the same cell allocates from memory that
+//     is already resident and touches the heap zero times;
+//   - objects with non-trivial destructors are still destroyed normally
+//     (via std::pmr::polymorphic_allocator::delete_object); only the
+//     underlying memory release is deferred to reset().
+//
+// The Arena is a std::pmr::memory_resource, so every container on the hot
+// path (EventQueue buckets, RingBuffer slots, scoreboard Bitmaps, the
+// orchestrator's flow tables) plugs into it through its allocator without
+// bespoke plumbing — and runs unchanged against the default heap resource
+// when no arena is supplied (tests, ad-hoc tool use).
+//
+// tests/simnet/alloc_free_test.cpp pins the payoff: after one warmup run,
+// Workload::drive() performs zero heap allocations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory_resource>
+#include <new>
+#include <vector>
+
+namespace sss::simnet {
+
+class Arena final : public std::pmr::memory_resource {
+ public:
+  explicit Arena(std::size_t initial_chunk_bytes = std::size_t{1} << 16)
+      : next_chunk_bytes_(initial_chunk_bytes < kMinChunk ? kMinChunk
+                                                          : initial_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() override {
+    for (const Chunk& c : chunks_) ::operator delete(c.base, std::align_val_t{kAlign});
+  }
+
+  // Rewind the bump pointer: every outstanding allocation becomes invalid,
+  // but the chunks are retained for the next run of the cell.  Callers must
+  // destroy arena-resident objects (delete_object / container destructors)
+  // BEFORE resetting.
+  void reset() {
+    active_ = 0;
+    offset_ = 0;
+    used_bytes_ = 0;
+  }
+
+  struct Stats {
+    std::size_t chunks = 0;          // retained chunk count
+    std::size_t reserved_bytes = 0;  // total retained capacity
+    std::size_t used_bytes = 0;      // bytes handed out since last reset
+    std::uint64_t allocation_count = 0;   // do_allocate calls, lifetime
+    std::uint64_t chunk_allocations = 0;  // heap hits (new chunks), lifetime
+  };
+
+  [[nodiscard]] Stats stats() const {
+    Stats s;
+    s.chunks = chunks_.size();
+    for (const Chunk& c : chunks_) s.reserved_bytes += c.size;
+    s.used_bytes = used_bytes_;
+    s.allocation_count = allocation_count_;
+    s.chunk_allocations = chunk_allocations_;
+    return s;
+  }
+
+ private:
+  // Chunks are aligned to kAlign and every bump is rounded up to a multiple
+  // of it, so any over-aligned request up to kAlign is satisfied without
+  // per-allocation alignment math.
+  static constexpr std::size_t kAlign = 64;
+  static constexpr std::size_t kMinChunk = std::size_t{1} << 12;
+
+  struct Chunk {
+    char* base = nullptr;
+    std::size_t size = 0;
+  };
+
+  void* do_allocate(std::size_t bytes, std::size_t alignment) override {
+    if (alignment > kAlign) throw std::bad_alloc();
+    const std::size_t rounded = (bytes + kAlign - 1) & ~(kAlign - 1);
+    ++allocation_count_;
+    used_bytes_ += rounded;
+    // Walk forward through retained chunks until one fits; after a reset the
+    // same allocation sequence retraces the same chunks and never touches
+    // the heap.
+    while (active_ < chunks_.size()) {
+      Chunk& c = chunks_[active_];
+      if (offset_ + rounded <= c.size) {
+        void* p = c.base + offset_;
+        offset_ += rounded;
+        return p;
+      }
+      ++active_;
+      offset_ = 0;
+    }
+    // Need a fresh chunk: geometric growth so long-lived cells settle into
+    // a handful of large slabs.
+    std::size_t chunk_size = next_chunk_bytes_;
+    if (chunk_size < rounded) chunk_size = rounded;
+    next_chunk_bytes_ = chunk_size * 2;
+    char* base =
+        static_cast<char*>(::operator new(chunk_size, std::align_val_t{kAlign}));
+    ++chunk_allocations_;
+    chunks_.push_back(Chunk{base, chunk_size});
+    active_ = chunks_.size() - 1;
+    offset_ = rounded;
+    return base;
+  }
+
+  // Wholesale reclamation only: individual frees are no-ops.
+  void do_deallocate(void* /*p*/, std::size_t /*bytes*/,
+                     std::size_t /*alignment*/) override {}
+
+  [[nodiscard]] bool do_is_equal(
+      const std::pmr::memory_resource& other) const noexcept override {
+    return this == &other;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  // chunk currently being bumped
+  std::size_t offset_ = 0;  // bump offset within the active chunk
+  std::size_t next_chunk_bytes_;
+  std::size_t used_bytes_ = 0;
+  std::uint64_t allocation_count_ = 0;
+  std::uint64_t chunk_allocations_ = 0;
+};
+
+}  // namespace sss::simnet

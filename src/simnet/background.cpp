@@ -5,9 +5,14 @@
 
 namespace sss::simnet {
 
+namespace {
+constexpr int kStartFlow = 1;
+}  // namespace
+
 BackgroundTraffic::BackgroundTraffic(BackgroundTrafficConfig config, Path& forward,
-                                     Path& reverse)
-    : config_(std::move(config)), forward_(forward), reverse_(reverse) {
+                                     Path& reverse, std::pmr::memory_resource* mem)
+    : config_(std::move(config)), forward_(forward), reverse_(reverse), mem_(mem),
+      flows_(mem) {
   if (config_.target_load < 0.0) {
     throw std::invalid_argument("BackgroundTraffic: target_load must be >= 0");
   }
@@ -20,6 +25,11 @@ BackgroundTraffic::BackgroundTraffic(BackgroundTrafficConfig config, Path& forwa
   if (config_.start.seconds() < 0.0 || config_.start >= config_.until) {
     throw std::invalid_argument("BackgroundTraffic: need 0 <= start < until");
   }
+}
+
+BackgroundTraffic::~BackgroundTraffic() {
+  std::pmr::polymorphic_allocator<> alloc(mem_);
+  for (TcpFlow* flow : flows_) alloc.delete_object(flow);
 }
 
 void BackgroundTraffic::schedule(Simulation& sim) {
@@ -40,6 +50,7 @@ void BackgroundTraffic::schedule(Simulation& sim) {
   // Background flows get IDs in a high range to avoid confusing them with
   // foreground clients in logs.
   std::uint32_t id = 1u << 30;
+  std::pmr::polymorphic_allocator<> alloc(mem_);
   for (;;) {
     t += rng.exponential(lambda);
     if (t >= config_.until.seconds()) break;
@@ -48,13 +59,17 @@ void BackgroundTraffic::schedule(Simulation& sim) {
     const double clamped = std::max(size, 1500.0);  // at least one packet
     bytes_offered_ += clamped;
 
-    auto flow = std::make_unique<TcpFlow>(id++, units::Bytes::of(clamped), config_.tcp,
-                                          forward_, reverse_, this);
-    TcpFlow* raw = flow.get();
-    flows_.push_back(std::move(flow));
-    sim.call_at(to_simtime(units::Seconds::of(t)),
-                [raw](Simulation& s) { raw->start(s); });
+    flows_.push_back(alloc.new_object<TcpFlow>(id++, units::Bytes::of(clamped),
+                                               config_.tcp, forward_, reverse_, this,
+                                               mem_));
+    sim.schedule_at(to_simtime(units::Seconds::of(t)), *this, kStartFlow,
+                    flows_.size() - 1);
   }
+}
+
+void BackgroundTraffic::on_event(Simulation& sim, int kind, std::uint64_t a,
+                                 std::uint64_t /*b*/) {
+  if (kind == kStartFlow) flows_[a]->start(sim);
 }
 
 void BackgroundTraffic::on_flow_complete(Simulation& /*sim*/, const TcpFlow& /*flow*/) {

@@ -16,7 +16,7 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <memory_resource>
 #include <vector>
 
 #include "simnet/path.hpp"
@@ -48,15 +48,21 @@ struct BackgroundTrafficConfig {
 
 // Schedules background flows on `forward`/`reverse` within `sim`.  The
 // returned object owns the flows and must outlive the simulation run.
-class BackgroundTraffic : public FlowObserver {
+// Flow objects are allocated from `mem` (a per-cell Arena keeps them off
+// the heap), and flow starts ride the non-allocating typed event queue.
+class BackgroundTraffic : public FlowObserver, public EventHandler {
  public:
-  BackgroundTraffic(BackgroundTrafficConfig config, Path& forward, Path& reverse);
+  BackgroundTraffic(BackgroundTrafficConfig config, Path& forward, Path& reverse,
+                    std::pmr::memory_resource* mem = std::pmr::get_default_resource());
+  ~BackgroundTraffic() override;
 
   // Register all arrivals up front (Poisson process realized from the
   // seed).  Call once before running the simulation.
   void schedule(Simulation& sim);
 
   void on_flow_complete(Simulation& sim, const TcpFlow& flow) override;
+  // Typed flow-start events (a = index into flows_).
+  void on_event(Simulation& sim, int kind, std::uint64_t a, std::uint64_t b) override;
 
   [[nodiscard]] std::size_t flows_started() const { return flows_.size(); }
   [[nodiscard]] std::size_t flows_completed() const { return completed_; }
@@ -66,7 +72,8 @@ class BackgroundTraffic : public FlowObserver {
   BackgroundTrafficConfig config_;
   Path& forward_;
   Path& reverse_;
-  std::vector<std::unique_ptr<TcpFlow>> flows_;
+  std::pmr::memory_resource* mem_;
+  std::pmr::vector<TcpFlow*> flows_;  // allocated from mem_
   std::size_t completed_ = 0;
   double bytes_offered_ = 0.0;
 };

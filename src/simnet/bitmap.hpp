@@ -1,0 +1,69 @@
+// bitmap.hpp — word-scanning scoreboard bitmap.
+//
+// TcpFlow keeps two per-segment booleans: `received_` (the receiver/SACK
+// scoreboard) and `retransmitted_` (Karn's rule).  As std::vector<bool>
+// these cost a masked load per bit, and — worse — the recovery path and the
+// receiver's in-order drain walk them one bit at a time, so a lossy burst
+// of W segments costs O(W) per ACK.  This bitmap stores the same bits in
+// 64-bit words and answers the only query those walks actually need —
+// "first clear bit at or after i" — with a word scan + countr_zero, turning
+// the per-ACK walk into O(W/64) touched words (and usually one).
+//
+// Semantics match std::vector<bool> exactly; the tail bits of the last
+// partial word are kept SET so find_first_clear never reports a hole past
+// size().  Cross-checked against a naive vector<bool> reference in
+// tests/simnet/bitmap_test.cpp.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory_resource>
+
+namespace sss::simnet {
+
+class Bitmap {
+ public:
+  explicit Bitmap(std::pmr::memory_resource* mem = std::pmr::get_default_resource())
+      : words_(mem) {}
+
+  // Size to n bits, all clear (tail padding set, see above).
+  void assign(std::size_t n) {
+    size_ = n;
+    words_.assign((n + 63) / 64, 0);
+    if (n % 64 != 0 && !words_.empty()) {
+      words_.back() = ~std::uint64_t{0} << (n % 64);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] bool test(std::uint64_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::uint64_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+
+  // Index of the first clear bit in [from, size()); size() when none.
+  [[nodiscard]] std::uint64_t find_first_clear(std::uint64_t from) const {
+    if (from >= size_) return size_;
+    std::size_t w = from >> 6;
+    // Treat bits below `from` as set so they cannot match.
+    std::uint64_t holes = ~words_[w] & (~std::uint64_t{0} << (from & 63));
+    while (holes == 0) {
+      if (++w == words_.size()) return size_;
+      holes = ~words_[w];
+    }
+    const std::uint64_t bit =
+        (static_cast<std::uint64_t>(w) << 6) +
+        static_cast<std::uint64_t>(std::countr_zero(holes));
+    // Tail padding guarantees bit < size_ here, but clamp defensively.
+    return bit < size_ ? bit : size_;
+  }
+
+ private:
+  std::pmr::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sss::simnet

@@ -1,54 +1,18 @@
 #include "simnet/event_queue.hpp"
 
-#include <algorithm>
 #include <bit>
-#include <stdexcept>
 #include <utility>
 
 namespace sss::simnet {
 
-EventQueue::EventQueue() { buckets_.resize(kNumBuckets); }
-
-void EventQueue::schedule(SimTime at, EventHandler& handler, int kind, std::uint64_t a,
-                          std::uint64_t b) {
-  if (at < 0) throw std::invalid_argument("EventQueue: negative event time");
-  insert(Event{at, next_seq_++, &handler, kind, a, b});
-}
-
-void EventQueue::schedule_reserved(SimTime at, std::uint64_t seq, EventHandler& handler,
-                                   int kind, std::uint64_t a, std::uint64_t b) {
-  if (at < 0) throw std::invalid_argument("EventQueue: negative event time");
-  if (seq >= next_seq_) {
-    throw std::logic_error("EventQueue: schedule_reserved with unclaimed seq");
-  }
-  insert(Event{at, seq, &handler, kind, a, b});
-}
-
-void EventQueue::insert(Event&& e) {
-  const std::int64_t w = window_of(e.at);
-  if (w < current_window_) rewind_window(e.at);
-  if (w > current_window_) {
-    far_.push_back(std::move(e));
-    std::push_heap(far_.begin(), far_.end(), Later{});
-  } else {
-    const std::size_t b = bucket_of(e.at);
-    buckets_[b].push_back(std::move(e));
-    mark_occupied(b);
-    if (b < cursor_) {
-      cursor_ = b;
-      cursor_sorted_ = false;
-    } else if (b == cursor_) {
-      cursor_sorted_ = false;
-    }
-  }
-  ++size_;
-  if (size_ > high_water_) high_water_ = size_;
+EventQueue::EventQueue(std::pmr::memory_resource* mem) : buckets_(mem), far_(mem) {
+  buckets_.resize(kNumBuckets);
 }
 
 void EventQueue::rewind_window(SimTime at) {
   bool moved = false;
   for (std::size_t b = 0; b < kNumBuckets; ++b) {
-    std::vector<Event>& bucket = buckets_[b];
+    std::pmr::vector<Event>& bucket = buckets_[b];
     if (bucket.empty()) continue;
     for (Event& e : bucket) far_.push_back(std::move(e));
     bucket.clear();
@@ -61,7 +25,7 @@ void EventQueue::rewind_window(SimTime at) {
   cursor_sorted_ = false;
 }
 
-void EventQueue::ensure_front() {
+void EventQueue::ensure_front_slow() {
   for (;;) {
     // Next occupied bucket at or after the cursor, via the bitmap.
     std::size_t word = cursor_ >> 6;
@@ -77,7 +41,10 @@ void EventQueue::ensure_front() {
       if (!cursor_sorted_) {
         // Descending sort: the earliest (time, seq) key sits at back(), so
         // draining the bucket is pop_back — no consumed-prefix bookkeeping.
-        std::sort(buckets_[cursor_].begin(), buckets_[cursor_].end(), Later{});
+        // Most buckets hold 0–2 temporally-local events; skip the sort call
+        // for the single-element case.
+        std::pmr::vector<Event>& bucket_ref = buckets_[cursor_];
+        if (bucket_ref.size() > 1) std::sort(bucket_ref.begin(), bucket_ref.end(), Later{});
         cursor_sorted_ = true;
       }
       return;
@@ -96,23 +63,6 @@ void EventQueue::ensure_front() {
       mark_occupied(b);
     }
   }
-}
-
-SimTime EventQueue::next_time() {
-  if (size_ == 0) throw std::logic_error("EventQueue::next_time on empty queue");
-  ensure_front();
-  return buckets_[cursor_].back().at;
-}
-
-Event EventQueue::pop() {
-  if (size_ == 0) throw std::logic_error("EventQueue::pop on empty queue");
-  ensure_front();
-  std::vector<Event>& bucket = buckets_[cursor_];
-  Event e = std::move(bucket.back());
-  bucket.pop_back();
-  if (bucket.empty()) mark_empty(cursor_);
-  --size_;
-  return e;
 }
 
 }  // namespace sss::simnet

@@ -38,8 +38,11 @@
 // arguments rather than a std::function: the hot path must not allocate.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
+#include <memory_resource>
+#include <stdexcept>
 #include <vector>
 
 #include "simnet/time.hpp"
@@ -67,10 +70,16 @@ struct Event {
 
 class EventQueue {
  public:
-  EventQueue();
+  // Bucket and heap storage draw from `mem` — pass a per-cell Arena
+  // (simnet/arena.hpp) to keep queue growth off the global heap.
+  explicit EventQueue(
+      std::pmr::memory_resource* mem = std::pmr::get_default_resource());
 
   void schedule(SimTime at, EventHandler& handler, int kind, std::uint64_t a = 0,
-                std::uint64_t b = 0);
+                std::uint64_t b = 0) {
+    if (at < 0) throw std::invalid_argument("EventQueue: negative event time");
+    insert(Event{at, next_seq_++, &handler, kind, a, b});
+  }
 
   // Claim the next sequence number without scheduling anything yet.  Pair
   // with schedule_reserved() to defer the insertion (delivery chaining)
@@ -78,15 +87,34 @@ class EventQueue {
   // had.
   [[nodiscard]] std::uint64_t reserve_seq() { return next_seq_++; }
   void schedule_reserved(SimTime at, std::uint64_t seq, EventHandler& handler, int kind,
-                         std::uint64_t a = 0, std::uint64_t b = 0);
+                         std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (at < 0) throw std::invalid_argument("EventQueue: negative event time");
+    if (seq >= next_seq_) {
+      throw std::logic_error("EventQueue: schedule_reserved with unclaimed seq");
+    }
+    insert(Event{at, seq, &handler, kind, a, b});
+  }
 
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] std::size_t size() const { return size_; }
   // Earliest scheduled time.  Precondition: !empty().  (Positions the
   // cursor, hence non-const.)
-  [[nodiscard]] SimTime next_time();
+  [[nodiscard]] SimTime next_time() {
+    if (size_ == 0) throw std::logic_error("EventQueue::next_time on empty queue");
+    ensure_front();
+    return buckets_[cursor_].back().at;
+  }
   // Pop the earliest event.  Precondition: !empty().
-  [[nodiscard]] Event pop();
+  [[nodiscard]] Event pop() {
+    if (size_ == 0) throw std::logic_error("EventQueue::pop on empty queue");
+    ensure_front();
+    std::pmr::vector<Event>& bucket = buckets_[cursor_];
+    Event e = std::move(bucket.back());
+    bucket.pop_back();
+    if (bucket.empty()) mark_empty(cursor_);
+    --size_;
+    return e;
+  }
   // Sequence numbers consumed so far (schedule() calls + reserve_seq()
   // claims) — the historical "events scheduled" figure.
   [[nodiscard]] std::uint64_t scheduled_total() const { return next_seq_; }
@@ -94,6 +122,15 @@ class EventQueue {
   // design keeps this O(links + flows) instead of O(packets in flight);
   // tests/simnet/queue_occupancy_test.cpp pins that bound.
   [[nodiscard]] std::size_t high_water_mark() const { return high_water_; }
+  // True when the earliest pending event's (time, seq) key precedes
+  // (at, seq) — the test Link's batched drain uses to decide whether its
+  // next chained arrival may be processed inline without perturbing the
+  // global dispatch order.  Precondition: !empty().
+  [[nodiscard]] bool front_precedes(SimTime at, std::uint64_t seq) {
+    ensure_front();
+    const Event& front = buckets_[cursor_].back();
+    return front.at < at || (front.at == at && front.seq < seq);
+  }
 
  private:
   // 1024 buckets x 16.4 us = a 16.8 ms near window: packet serialization
@@ -122,14 +159,49 @@ class EventQueue {
     return static_cast<std::size_t>(at >> kBucketShift) & (kNumBuckets - 1);
   }
 
-  void insert(Event&& e);
+  void insert(Event&& e) {
+    const std::int64_t w = window_of(e.at);
+    if (w < current_window_) rewind_window(e.at);
+    if (w > current_window_) {
+      far_.push_back(std::move(e));
+      std::push_heap(far_.begin(), far_.end(), Later{});
+    } else {
+      const std::size_t b = bucket_of(e.at);
+      std::pmr::vector<Event>& bucket = buckets_[b];
+      if (b == cursor_ && cursor_sorted_) {
+        // The cursor bucket is the one being drained: keep it sorted by
+        // inserting in place instead of dirtying it — re-sorting the whole
+        // bucket on the next pop dominated the old profile (millions of
+        // tiny std::sort calls per sweep).
+        const auto pos = std::upper_bound(bucket.begin(), bucket.end(), e, Later{});
+        bucket.insert(pos, std::move(e));
+      } else {
+        bucket.push_back(std::move(e));
+        if (b < cursor_) {
+          cursor_ = b;
+          cursor_sorted_ = false;
+        }
+      }
+      mark_occupied(b);
+    }
+    ++size_;
+    if (size_ > high_water_) high_water_ = size_;
+  }
   // Move every calendar event to the far heap and rewind the window to
   // contain `at` (only reachable by scheduling below the current window,
   // which Simulation never does; raw-queue users like benches can).
   void rewind_window(SimTime at);
   // Advance cursor_ to the next occupied, sorted bucket; refill the calendar
   // from the far heap when the window is drained.  Precondition: !empty().
-  void ensure_front();
+  // Fast path: between mutations the cursor bucket stays sorted and
+  // non-empty, so repeated calls (pop → front_precedes → pop ...) are two
+  // loads — every state change that could move the front either empties
+  // the bucket or clears cursor_sorted_.
+  void ensure_front() {
+    if (cursor_sorted_ && !buckets_[cursor_].empty()) return;
+    ensure_front_slow();
+  }
+  void ensure_front_slow();
 
   void mark_occupied(std::size_t bucket) {
     occupied_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
@@ -138,9 +210,9 @@ class EventQueue {
     occupied_[bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
   }
 
-  std::vector<std::vector<Event>> buckets_;
+  std::pmr::vector<std::pmr::vector<Event>> buckets_;
   std::array<std::uint64_t, kBitmapWords> occupied_{};
-  std::vector<Event> far_;  // min-heap via std::push_heap/pop_heap + Later
+  std::pmr::vector<Event> far_;  // min-heap via std::push_heap/pop_heap + Later
   std::int64_t current_window_ = 0;
   std::size_t cursor_ = 0;
   bool cursor_sorted_ = false;

@@ -83,12 +83,18 @@ struct LinkCounters {
   std::uint64_t bytes_dropped = 0;
 };
 
-class Link : public EventHandler {
+class Link final : public EventHandler {
  public:
   // `utilization_bucket` controls the granularity of the interface byte
-  // counters (Fig. 2's x-axis is derived from these).
+  // counters (Fig. 2's x-axis is derived from these).  `mem` backs the
+  // in-flight rings and the byte series (pass a per-cell Arena to keep
+  // ring growth off the heap).  `record_series` disables the per-packet
+  // byte-series bookkeeping for directions whose utilization is never read
+  // (the workload's ACK/reverse path).
   explicit Link(LinkConfig config,
-                units::Seconds utilization_bucket = units::Seconds::of(1.0));
+                units::Seconds utilization_bucket = units::Seconds::of(1.0),
+                std::pmr::memory_resource* mem = std::pmr::get_default_resource(),
+                bool record_series = true);
 
   // Offer a packet for transmission toward `destination`.  Returns false if
   // the drop-tail queue rejected it (the packet is silently lost, as on a
@@ -108,16 +114,22 @@ class Link : public EventHandler {
   [[nodiscard]] const stats::TimeSeries& bytes_series() const { return bytes_series_; }
   [[nodiscard]] double loss_rate() const;
   // Packets accepted but not yet delivered (wire + propagation).
-  [[nodiscard]] std::size_t in_flight_count() const { return in_flight_.size(); }
+  [[nodiscard]] std::size_t in_flight_count() const { return keys_.size(); }
   // True while a chained delivery event is scheduled (at most one per link).
   [[nodiscard]] bool delivery_pending() const { return delivery_pending_; }
 
  private:
-  struct InFlight {
+  // In-flight state, SoA: the chained-delivery decision (on_event's batch
+  // loop, the schedule_reserved handoff) touches only the 16-byte key ring;
+  // the packet payload and destination ride a parallel ring popped at
+  // delivery.  Both rings advance in lock-step (FIFO link).
+  struct ArrivalKey {
+    SimTime arrival = 0;    // precomputed delivery time
+    std::uint64_t seq = 0;  // event sequence reserved at transmit
+  };
+  struct Payload {
     Packet packet;
     PacketSink* sink = nullptr;
-    SimTime arrival = 0;     // precomputed delivery time
-    std::uint64_t seq = 0;   // event sequence reserved at transmit
   };
 
   LinkConfig config_;
@@ -125,8 +137,16 @@ class Link : public EventHandler {
   SimTime busy_until_ = 0;
   SimTime buffer_capacity_ns_;  // buffer expressed as serialization time
   SimTime propagation_ns_;      // propagation delay in integer nanoseconds
-  RingBuffer<InFlight> in_flight_;
+  // Serialization-time memo: traffic on a link is dominated by one or two
+  // distinct packet sizes (MSS data + fixed-size ACKs), so the double
+  // division in transmission_time is paid once per distinct size, not once
+  // per packet.  Same function, same operands — bit-identical times.
+  std::uint32_t memo_size_bytes_ = 0;
+  SimTime memo_tx_ = 0;
+  RingBuffer<ArrivalKey> keys_;
+  RingBuffer<Payload> payloads_;
   bool delivery_pending_ = false;
+  bool record_series_;
   stats::TimeSeries bytes_series_;
 };
 

@@ -4,31 +4,47 @@
 
 namespace sss::simnet {
 
-Path::Path(const std::vector<LinkConfig>& hops, units::Seconds utilization_bucket) {
+Path::Path(const std::vector<LinkConfig>& hops, units::Seconds utilization_bucket,
+           std::pmr::memory_resource* mem, bool record_series)
+    : mem_(mem), owned_(mem), hops_(mem), relays_(mem), pending_(mem) {
   if (hops.empty()) throw std::invalid_argument("Path: need at least one hop");
   owned_.reserve(hops.size());
   hops_.reserve(hops.size());
+  std::pmr::polymorphic_allocator<> alloc(mem_);
   for (const LinkConfig& cfg : hops) {
-    owned_.push_back(std::make_unique<Link>(cfg, utilization_bucket));
-    hops_.push_back(owned_.back().get());
+    owned_.push_back(alloc.new_object<Link>(cfg, utilization_bucket, mem_, record_series));
+    hops_.push_back(owned_.back());
   }
   init_route();
 }
 
-Path::Path(std::vector<Link*> hops) : hops_(std::move(hops)) {
-  if (hops_.empty()) throw std::invalid_argument("Path: need at least one hop");
-  for (Link* link : hops_) {
+Path::Path(const std::vector<Link*>& hops, std::pmr::memory_resource* mem)
+    : mem_(mem), owned_(mem), hops_(mem), relays_(mem), pending_(mem) {
+  if (hops.empty()) throw std::invalid_argument("Path: need at least one hop");
+  for (Link* link : hops) {
     if (link == nullptr) throw std::invalid_argument("Path: null hop");
+    hops_.push_back(link);
   }
   init_route();
+}
+
+Path::~Path() {
+  // delete_object runs destructors and releases through mem_: a real free on
+  // the heap, a no-op on an Arena (memory reclaimed wholesale at reset).
+  std::pmr::polymorphic_allocator<> alloc(mem_);
+  for (Relay* relay : relays_) alloc.delete_object(relay);
+  for (Link* link : owned_) alloc.delete_object(link);
 }
 
 void Path::init_route() {
+  std::pmr::polymorphic_allocator<> alloc(mem_);
   for (std::size_t h = 0; h + 1 < hops_.size(); ++h) {
-    relays_.push_back(std::make_unique<Relay>(*this, h));
+    relays_.push_back(alloc.new_object<Relay>(*this, h));
   }
-  pending_.resize(relays_.size());
-  for (RingBuffer<PacketSink*>& ring : pending_) ring.reserve(1024);
+  pending_.reserve(relays_.size());
+  for (std::size_t h = 0; h < relays_.size(); ++h) {
+    pending_.emplace_back(RingBuffer<PacketSink*>(1024, mem_));
+  }
   // Hop configs are immutable after construction, so the bottleneck index
   // and summed delay — queried per ACK by TcpFlow's auto-window and per
   // evaluation by the decision layer — are computed exactly once.

@@ -24,7 +24,7 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <memory_resource>
 #include <vector>
 
 #include "simnet/link.hpp"
@@ -36,14 +36,22 @@ namespace sss::simnet {
 
 class Path {
  public:
-  // Owning: constructs one Link per hop config, in order.
+  // Owning: constructs one Link per hop config, in order.  Links, relays,
+  // and pending rings are allocated from `mem` (pass a per-cell Arena to
+  // bump-allocate the whole topology; default heap otherwise).
+  // `record_series` is forwarded to every hop — the workload disables it on
+  // the ACK/reverse path, whose utilization is never read.
   explicit Path(const std::vector<LinkConfig>& hops,
-                units::Seconds utilization_bucket = units::Seconds::of(1.0));
+                units::Seconds utilization_bucket = units::Seconds::of(1.0),
+                std::pmr::memory_resource* mem = std::pmr::get_default_resource(),
+                bool record_series = true);
   // Non-owning: route over existing links (e.g. a one-hop cross-traffic
   // path sharing a link with the main forward path).  Links must outlive
   // the Path.
-  explicit Path(std::vector<Link*> hops);
+  explicit Path(const std::vector<Link*>& hops,
+                std::pmr::memory_resource* mem = std::pmr::get_default_resource());
 
+  ~Path();
   Path(const Path&) = delete;
   Path& operator=(const Path&) = delete;
 
@@ -94,12 +102,13 @@ class Path {
   // Build relays/pending rings and the bottleneck/delay caches (both ctors).
   void init_route();
 
-  std::vector<std::unique_ptr<Link>> owned_;
-  std::vector<Link*> hops_;
-  std::vector<std::unique_ptr<Relay>> relays_;  // one per hop except the last
+  std::pmr::memory_resource* mem_;
+  std::pmr::vector<Link*> owned_;  // allocated from mem_; destroyed in ~Path
+  std::pmr::vector<Link*> hops_;
+  std::pmr::vector<Relay*> relays_;  // one per hop except the last; from mem_
   // Final destinations of packets in flight on hop h, in delivery (FIFO)
   // order; parallel to the link's own in-flight queue.
-  std::vector<RingBuffer<PacketSink*>> pending_;
+  std::pmr::vector<RingBuffer<PacketSink*>> pending_;
   std::size_t bottleneck_hop_ = 0;
   units::Seconds total_propagation_delay_ = units::Seconds::of(0.0);
 };

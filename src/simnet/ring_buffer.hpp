@@ -7,11 +7,16 @@
 // into a doubled slab; pre-size with `reserve` where the steady-state depth
 // is known (Link sizes it from the drop-tail buffer's packet capacity).
 //
+// The slab comes from a std::pmr::memory_resource so a sweep cell can back
+// its rings with the per-cell Arena (simnet/arena.hpp) — growth then bumps
+// the arena instead of hitting the heap.  Default: the global heap.
+//
 // Not thread-safe; for the cross-thread frame channel see
 // pipeline/spsc_queue.hpp.
 #pragma once
 
 #include <cstddef>
+#include <memory_resource>
 #include <utility>
 #include <vector>
 
@@ -21,7 +26,12 @@ template <typename T>
 class RingBuffer {
  public:
   RingBuffer() = default;
-  explicit RingBuffer(std::size_t initial_capacity) { reserve(initial_capacity); }
+  explicit RingBuffer(std::pmr::memory_resource* mem) : slots_(mem) {}
+  explicit RingBuffer(std::size_t initial_capacity,
+                      std::pmr::memory_resource* mem = std::pmr::get_default_resource())
+      : slots_(mem) {
+    reserve(initial_capacity);
+  }
 
   [[nodiscard]] bool empty() const { return count_ == 0; }
   [[nodiscard]] std::size_t size() const { return count_; }
@@ -64,7 +74,7 @@ class RingBuffer {
   }
 
   void grow(std::size_t new_capacity) {
-    std::vector<T> next(new_capacity);
+    std::pmr::vector<T> next(new_capacity, slots_.get_allocator());
     for (std::size_t i = 0; i < count_; ++i) {
       next[i] = std::move(slots_[(head_ + i) & (slots_.size() - 1)]);
     }
@@ -72,7 +82,7 @@ class RingBuffer {
     head_ = 0;
   }
 
-  std::vector<T> slots_;
+  std::pmr::vector<T> slots_;
   std::size_t head_ = 0;
   std::size_t count_ = 0;
 };

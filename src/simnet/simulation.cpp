@@ -5,8 +5,7 @@
 
 namespace sss::simnet {
 
-Simulation::Simulation()
-    : function_dispatcher_(std::make_unique<FunctionDispatcher>(*this)) {}
+Simulation::Simulation(std::pmr::memory_resource* mem) : queue_(mem) {}
 
 void Simulation::schedule_at(SimTime at, EventHandler& handler, int kind, std::uint64_t a,
                              std::uint64_t b) {
@@ -35,7 +34,7 @@ void Simulation::call_at(SimTime at, std::function<void(Simulation&)> fn) {
     slot = pending_functions_.size();
     pending_functions_.push_back(std::move(fn));
   }
-  schedule_at(at, *function_dispatcher_, /*kind=*/0, /*a=*/slot);
+  schedule_at(at, function_dispatcher_, /*kind=*/0, /*a=*/slot);
 }
 
 void Simulation::FunctionDispatcher::on_event(Simulation& sim, int /*kind*/, std::uint64_t a,
@@ -67,9 +66,14 @@ void Simulation::run() {
 }
 
 void Simulation::run_until(SimTime deadline) {
+  // Bound batched inline dispatch at the deadline so a link drain cannot
+  // process arrivals this loop would not have popped.
+  const SimTime saved_horizon = batch_horizon_;
+  batch_horizon_ = deadline;
   while (!queue_.empty() && queue_.next_time() <= deadline) {
     step();
   }
+  batch_horizon_ = saved_horizon;
   if (now_ < deadline) now_ = deadline;
 }
 

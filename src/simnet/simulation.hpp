@@ -8,7 +8,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
+#include <limits>
+#include <memory_resource>
 #include <vector>
 
 #include "simnet/event_queue.hpp"
@@ -18,7 +19,10 @@ namespace sss::simnet {
 
 class Simulation {
  public:
-  Simulation();
+  // Event-queue storage draws from `mem` (default: the global heap); a
+  // sweep cell passes its Arena so queue growth stays off the heap.
+  explicit Simulation(
+      std::pmr::memory_resource* mem = std::pmr::get_default_resource());
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -44,6 +48,24 @@ class Simulation {
   void call_in(SimTime delay, std::function<void(Simulation&)> fn) {
     call_at(now_ + delay, std::move(fn));
   }
+
+  // Batched dispatch support (see Link::on_event): when the link's next
+  // chained arrival carries the globally-earliest (time, seq) key and lies
+  // within the batch horizon, the link may process it inline instead of
+  // round-tripping through the queue.  This advances the clock and counts
+  // the event as processed, so the dispatch order and events_processed are
+  // exactly what one-event-per-arrival dispatch would produce.
+  [[nodiscard]] bool try_advance_for_batch(SimTime at, std::uint64_t seq) {
+    if (at > batch_horizon_) return false;
+    if (!queue_.empty() && queue_.front_precedes(at, seq)) return false;
+    now_ = at;
+    ++processed_;
+    return true;
+  }
+  // Ceiling for batched inline dispatch.  Drivers that stop at a deadline
+  // (Workload::drive, run_until) set this so a batch never runs past the
+  // point where the unbatched loop would have stopped popping.
+  void set_batch_horizon(SimTime horizon) { batch_horizon_ = horizon; }
 
   // Run one event.  Returns false when the queue is empty.
   bool step();
@@ -78,10 +100,11 @@ class Simulation {
 
   EventQueue queue_;
   SimTime now_ = 0;
+  SimTime batch_horizon_ = std::numeric_limits<SimTime>::max();
   std::uint64_t processed_ = 0;
   std::vector<std::function<void(Simulation&)>> pending_functions_;
   std::vector<std::size_t> free_slots_;
-  std::unique_ptr<FunctionDispatcher> function_dispatcher_;
+  FunctionDispatcher function_dispatcher_{*this};
 };
 
 }  // namespace sss::simnet

@@ -14,7 +14,7 @@ constexpr int kRtoEvent = 1;
 }  // namespace
 
 TcpFlow::TcpFlow(std::uint32_t id, units::Bytes total, const TcpConfig& config, Path& forward,
-                 Path& reverse, FlowObserver* observer)
+                 Path& reverse, FlowObserver* observer, std::pmr::memory_resource* mem)
     : id_(id),
       config_(config),
       forward_(forward),
@@ -22,14 +22,16 @@ TcpFlow::TcpFlow(std::uint32_t id, units::Bytes total, const TcpConfig& config, 
       observer_(observer),
       total_bytes_(total),
       cwnd_(config.initial_cwnd),
-      rto_(to_simtime(config.initial_rto)) {
+      retransmitted_(mem),
+      rto_(to_simtime(config.initial_rto)),
+      received_(mem) {
   if (!(total.bytes() > 0.0)) throw std::invalid_argument("TcpFlow: total bytes must be > 0");
   if (config_.mss_bytes == 0) throw std::invalid_argument("TcpFlow: MSS must be > 0");
 
   total_packets_ = static_cast<std::uint64_t>(
       std::ceil(total.bytes() / static_cast<double>(config_.mss_bytes)));
-  retransmitted_.assign(total_packets_, false);
-  received_.assign(total_packets_, false);
+  retransmitted_.assign(total_packets_);
+  received_.assign(total_packets_);
   // Final-segment payload, computed once: payload_of sits on the
   // per-packet send path and must not redo floating-point size math.
   const double whole = static_cast<double>(total_packets_ - 1) *
@@ -46,6 +48,14 @@ TcpFlow::TcpFlow(std::uint32_t id, units::Bytes total, const TcpConfig& config, 
         std::max(4.0, 2.0 * bdp_bytes / static_cast<double>(config_.mss_bytes));
   }
   ssthresh_ = config_.max_cwnd_packets;
+
+  // Timer-constant conversions hoisted off the per-ACK path (sample_rtt and
+  // handle_rto run per ACK / per timeout; to_simtime is exact, so the
+  // precomputed values are bit-identical to converting in place).
+  min_rto_ns_ = to_simtime(config_.min_rto);
+  max_rto_ns_ = to_simtime(config_.max_rto);
+  hystart_min_ns_ = to_simtime(config_.hystart_delay_min);
+  hystart_max_ns_ = to_simtime(config_.hystart_delay_max);
 }
 
 std::uint32_t TcpFlow::payload_of(std::uint64_t seq) const {
@@ -74,11 +84,11 @@ void TcpFlow::send_packet(Simulation& sim, std::uint64_t seq, bool is_retransmit
   if (is_retransmit) {
     ++retransmits_;
     ++retx_unconfirmed_;
-    retransmitted_[seq] = true;
+    retransmitted_.set(seq);
     p.retransmit = true;
   } else {
     // Karn's rule also applies to segments that were ever retransmitted.
-    p.retransmit = retransmitted_[seq];
+    p.retransmit = retransmitted_.test(seq);
   }
   // Drop result intentionally ignored: a real sender cannot observe a
   // drop-tail loss; it discovers it through dupacks or RTO.
@@ -93,10 +103,16 @@ void TcpFlow::maybe_send(Simulation& sim) {
     // retx_unconfirmed_ (inside send_packet), growing pipe() until the
     // window is full.
     while (pipe() < effective_window()) {
-      // Advance the cursor past everything the receiver already holds.
-      while (recovery_cursor_ < recover_seq_ &&
-             (recovery_cursor_ < highest_acked_ || received_[recovery_cursor_])) {
-        ++recovery_cursor_;
+      // Advance the cursor past everything the receiver already holds:
+      // cumulatively-acked prefix first, then the next scoreboard hole via
+      // the word-scanning bitmap (the old per-bit walk made this O(burst)
+      // per ACK under heavy loss).
+      if (recovery_cursor_ < highest_acked_) {
+        recovery_cursor_ = std::min(highest_acked_, recover_seq_);
+      }
+      if (recovery_cursor_ < recover_seq_) {
+        recovery_cursor_ =
+            std::min(recover_seq_, received_.find_first_clear(recovery_cursor_));
       }
       // SACK loss rule (RFC 6675-style): a hole is retransmittable only
       // when dupack_threshold packets above it have been delivered —
@@ -136,17 +152,17 @@ void TcpFlow::on_packet(Simulation& sim, const Packet& packet) {
 }
 
 void TcpFlow::handle_data(Simulation& sim, const Packet& packet) {
-  if (packet.seq < total_packets_ && !received_[packet.seq]) {
-    received_[packet.seq] = true;
+  if (packet.seq < total_packets_ && !received_.test(packet.seq)) {
+    received_.set(packet.seq);
     highest_received_end_ = std::max(highest_received_end_, packet.seq + 1);
     if (packet.retransmit && retx_unconfirmed_ > 0) --retx_unconfirmed_;
     if (packet.seq == rcv_next_) {
-      ++rcv_next_;
-      // Drain the out-of-order buffer behind the new edge.
-      while (rcv_next_ < total_packets_ && received_[rcv_next_]) {
-        ++rcv_next_;
-        if (receiver_buffered_ > 0) --receiver_buffered_;
-      }
+      // Drain the out-of-order buffer behind the new edge in one bitmap
+      // scan: the new edge is the first un-received index past seq.
+      const std::uint64_t edge = received_.find_first_clear(rcv_next_ + 1);
+      const std::uint64_t drained = edge - (rcv_next_ + 1);
+      receiver_buffered_ -= std::min(receiver_buffered_, drained);
+      rcv_next_ = edge;
     } else {
       ++receiver_buffered_;
     }
@@ -229,7 +245,7 @@ void TcpFlow::handle_rto(Simulation& sim) {
   in_fast_recovery_ = false;
   retx_unconfirmed_ = 0;
   // Exponential backoff, capped.
-  rto_ = std::min(rto_ * 2, to_simtime(config_.max_rto));
+  rto_ = std::min(rto_ * 2, max_rto_ns_);
   // Go-back-N: rewind the send pointer; cumulative ACKs from the receiver's
   // buffer fast-forward past anything it already holds, and maybe_send tags
   // the resends as retransmissions via the high-water mark.
@@ -245,9 +261,7 @@ void TcpFlow::sample_rtt(SimTime sample) {
   // HyStart: leave slow start when queuing delay builds, before the buffer
   // overflows (what a modern CUBIC sender does).
   if (config_.hystart && cwnd_ < ssthresh_) {
-    const SimTime threshold =
-        std::clamp(min_rtt_ / 8, to_simtime(config_.hystart_delay_min),
-                   to_simtime(config_.hystart_delay_max));
+    const SimTime threshold = std::clamp(min_rtt_ / 8, hystart_min_ns_, hystart_max_ns_);
     if (sample >= min_rtt_ + threshold) ssthresh_ = cwnd_;
   }
 
@@ -261,24 +275,38 @@ void TcpFlow::sample_rtt(SimTime sample) {
     srtt_ = (7 * srtt_ + sample) / 8;
   }
   SimTime rto = srtt_ + std::max<SimTime>(4 * rttvar_, 1);
-  rto = std::max(rto, to_simtime(config_.min_rto));
-  rto = std::min(rto, to_simtime(config_.max_rto));
+  rto = std::max(rto, min_rto_ns_);
+  rto = std::min(rto, max_rto_ns_);
   rto_ = rto;
 }
 
+SimTime TcpFlow::timer_deadline() const {
+  if (!deadline_cached_) {
+    // Deterministic per-flow jitter of up to RTO/8, standing in for kernel
+    // timer granularity.  Without it, exponential backoff in a simulator
+    // with second-aligned batch arrivals resonates: every retransmission of
+    // an unlucky flow lands exactly when the queue refills, locking the
+    // flow out for hundreds of seconds.
+    stats::SplitMix64 hash((static_cast<std::uint64_t>(id_) << 32) ^ timer_arm_count_);
+    const SimTime jitter = static_cast<SimTime>(hash.next() % (arm_rto_ / 8 + 1));
+    timer_deadline_ = arm_now_ + arm_rto_ + jitter;
+    deadline_cached_ = true;
+  }
+  return timer_deadline_;
+}
+
 void TcpFlow::arm_timer(Simulation& sim) {
+  // Snapshot only: arm_timer runs per packet and per ACK, but the jittered
+  // deadline (a SplitMix64 hash + modulo) is derived lazily in
+  // timer_deadline() — only when a timer event is scheduled or fires.
   timer_armed_ = true;
-  // Deterministic per-flow jitter of up to RTO/8, standing in for kernel
-  // timer granularity.  Without it, exponential backoff in a simulator with
-  // second-aligned batch arrivals resonates: every retransmission of an
-  // unlucky flow lands exactly when the queue refills, locking the flow out
-  // for hundreds of seconds.
-  stats::SplitMix64 hash((static_cast<std::uint64_t>(id_) << 32) ^ ++timer_arm_count_);
-  const SimTime jitter = static_cast<SimTime>(hash.next() % (rto_ / 8 + 1));
-  timer_deadline_ = sim.now() + rto_ + jitter;
+  arm_now_ = sim.now();
+  arm_rto_ = rto_;
+  ++timer_arm_count_;
+  deadline_cached_ = false;
   if (!timer_event_outstanding_) {
     timer_event_outstanding_ = true;
-    sim.schedule_at(timer_deadline_, *this, kRtoEvent);
+    sim.schedule_at(timer_deadline(), *this, kRtoEvent);
   }
 }
 
@@ -288,7 +316,7 @@ void TcpFlow::on_event(Simulation& sim, int kind, std::uint64_t /*a*/, std::uint
   if (kind != kRtoEvent) throw std::logic_error("TcpFlow: unexpected event kind");
   timer_event_outstanding_ = false;
   if (!timer_armed_) return;
-  if (sim.now() < timer_deadline_) {
+  if (sim.now() < timer_deadline()) {
     // Deadline moved forward since this event was scheduled; chase it.
     timer_event_outstanding_ = true;
     sim.schedule_at(timer_deadline_, *this, kRtoEvent);

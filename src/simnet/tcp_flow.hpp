@@ -29,8 +29,9 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <memory_resource>
 
+#include "simnet/bitmap.hpp"
 #include "simnet/link.hpp"
 #include "simnet/path.hpp"
 #include "simnet/simulation.hpp"
@@ -71,11 +72,14 @@ class FlowObserver {
   virtual void on_flow_complete(Simulation& sim, const TcpFlow& flow) = 0;
 };
 
-class TcpFlow : public PacketSink, public EventHandler {
+class TcpFlow final : public PacketSink, public EventHandler {
  public:
   // `forward` carries data from sender to receiver; `reverse` carries ACKs.
+  // The per-segment scoreboards are sized once here, from `mem` (pass a
+  // per-cell Arena to bump-allocate them; default heap otherwise).
   TcpFlow(std::uint32_t id, units::Bytes total, const TcpConfig& config, Path& forward,
-          Path& reverse, FlowObserver* observer = nullptr);
+          Path& reverse, FlowObserver* observer = nullptr,
+          std::pmr::memory_resource* mem = std::pmr::get_default_resource());
 
   // Begin transmitting.  May only be called once.
   void start(Simulation& sim);
@@ -127,25 +131,39 @@ class TcpFlow : public PacketSink, public EventHandler {
   // Retransmissions sent but not yet observed at the receiver; occupies
   // pipe so recovery bursts stay window-limited.
   std::uint64_t retx_unconfirmed_ = 0;
-  std::vector<bool> retransmitted_;
+  Bitmap retransmitted_;
 
   // --- RTO state ---
   // Lazy timer: at most one outstanding timer event; when it fires early
   // (the deadline moved forward), it reschedules itself instead of acting.
   // This keeps timer maintenance O(1) events per RTO interval instead of
   // one event per transmitted packet.
+  //
+  // Lazy deadline: arm_timer runs once per transmitted packet and per ACK,
+  // but the jittered deadline only matters when a timer event is scheduled
+  // or fires (rare).  arm_timer therefore just snapshots (now, rto, arm
+  // count); timer_deadline() derives the deterministic-jitter deadline from
+  // the snapshot on demand — the same value eager hashing produced.
   SimTime rto_;
+  // Converted-once timer constants (see ctor); hot in sample_rtt.
+  SimTime min_rto_ns_ = 0;
+  SimTime max_rto_ns_ = 0;
+  SimTime hystart_min_ns_ = 0;
+  SimTime hystart_max_ns_ = 0;
   SimTime srtt_ = 0;
   SimTime rttvar_ = 0;
   bool have_rtt_sample_ = false;
-  SimTime timer_deadline_ = 0;
+  SimTime arm_now_ = 0;        // sim.now() at the latest arm
+  SimTime arm_rto_ = 0;        // rto_ at the latest arm
+  mutable SimTime timer_deadline_ = 0;
+  mutable bool deadline_cached_ = false;
   bool timer_armed_ = false;
   bool timer_event_outstanding_ = false;
   std::uint64_t timer_arm_count_ = 0;  // feeds deterministic RTO jitter
 
   // --- receiver state ---
   std::uint64_t rcv_next_ = 0;
-  std::vector<bool> received_;
+  Bitmap received_;
   // Packets buffered out of order (> rcv_next_); the sender's SACK view.
   std::uint64_t receiver_buffered_ = 0;
   // One past the highest sequence ever received; drives the SACK loss rule
@@ -177,6 +195,7 @@ class TcpFlow : public PacketSink, public EventHandler {
   }
   [[nodiscard]] double effective_window() const;
 
+  [[nodiscard]] SimTime timer_deadline() const;
   void send_packet(Simulation& sim, std::uint64_t seq, bool is_retransmit);
   void maybe_send(Simulation& sim);
   void handle_data(Simulation& sim, const Packet& packet);

@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
-#include <memory>
+#include <memory_resource>
 #include <stdexcept>
 
 #include "simnet/background.hpp"
@@ -170,20 +169,42 @@ std::vector<double> requested_arrival_times(const WorkloadConfig& config,
   return times;
 }
 
-namespace {
+namespace detail {
 
 // Book-keeping that maps completed flows back to their client records, and
 // — in scheduled mode — the reservation calendar: a client is admitted at
 // max(its slot, completion of the previous reservation), modeling the
 // paper's "scheduled to a specific time slot with network bandwidth
 // reserved" setup where scheduled transfers never contend with each other.
-class Orchestrator : public FlowObserver {
+//
+// An EventHandler so flow starts and reservation-slot checks ride the
+// non-allocating typed event queue instead of call_at's std::function path;
+// flow objects and every table are drawn from the cell's memory resource.
+// (Named namespace, not anonymous: an anonymous-namespace member type
+// inside the externally-visible Workload::Cell trips -Wsubobject-linkage.)
+class Orchestrator : public FlowObserver, public EventHandler {
  public:
+  static constexpr int kStartFlow = 1;  // a = index into flows_
+  static constexpr int kTryAdmit = 2;
+
   Orchestrator(const WorkloadConfig& config, Path& forward, Path& reverse,
-               stats::Random& rng)
-      : config_(config), forward_(forward), reverse_(reverse), rng_(rng) {}
+               stats::Random& rng, std::pmr::memory_resource* mem)
+      : config_(config), forward_(forward), reverse_(reverse), rng_(rng), mem_(mem),
+        flows_(mem), flow_client_(mem), clients_(mem), reservations_(mem) {}
+
+  ~Orchestrator() override {
+    std::pmr::polymorphic_allocator<> alloc(mem_);
+    for (TcpFlow* flow : flows_) alloc.delete_object(flow);
+  }
 
   void spawn_all(Simulation& sim, const std::vector<double>& arrivals) {
+    // Client ids are assigned 0..N-1 in arrival order, so the client table
+    // is a flat vector; scheduled-mode entries stay unspawned until their
+    // reservation admits them.  Sizing every table up front keeps the
+    // admission-time spawns in the drive loop allocation-free.
+    clients_.resize(arrivals.size());
+    flows_.reserve(arrivals.size() * static_cast<std::size_t>(config_.parallel_flows));
+    flow_client_.reserve(flows_.capacity());
     std::uint32_t client_id = 0;
     for (const double at : arrivals) {
       if (config_.mode == SpawnMode::kScheduled) {
@@ -194,9 +215,16 @@ class Orchestrator : public FlowObserver {
     }
     if (config_.mode == SpawnMode::kScheduled) {
       for (const Reservation& r : reservations_) {
-        sim.call_at(to_simtime(units::Seconds::of(r.slot_s)),
-                    [this](Simulation& s) { try_admit(s); });
+        sim.schedule_at(to_simtime(units::Seconds::of(r.slot_s)), *this, kTryAdmit);
       }
+    }
+  }
+
+  void on_event(Simulation& sim, int kind, std::uint64_t a, std::uint64_t /*b*/) override {
+    if (kind == kStartFlow) {
+      flows_[a]->start(sim);
+    } else if (kind == kTryAdmit) {
+      try_admit(sim);
     }
   }
 
@@ -214,34 +242,33 @@ class Orchestrator : public FlowObserver {
 
   void spawn_client(Simulation& sim, std::uint32_t client_id, units::Seconds at,
                     double requested_s) {
-    ClientState state;
+    ClientState& state = clients_[client_id];
     state.record.client_id = client_id;
     state.record.requested_s = requested_s;
     state.record.start_s = at.seconds();
     state.record.bytes = config_.transfer_size.bytes();
     state.record.flow_count = static_cast<std::uint32_t>(config_.parallel_flows);
     state.remaining = config_.parallel_flows;
-    clients_.emplace(client_id, state);
+    state.spawned = true;
 
     const units::Bytes per_flow =
         config_.transfer_size / static_cast<double>(config_.parallel_flows);
+    std::pmr::polymorphic_allocator<> alloc(mem_);
     for (int f = 0; f < config_.parallel_flows; ++f) {
       const auto flow_id = static_cast<std::uint32_t>(flows_.size());
-      flow_client_[flow_id] = client_id;
-      auto flow = std::make_unique<TcpFlow>(flow_id, per_flow, config_.tcp, forward_,
-                                            reverse_, this);
-      TcpFlow* raw = flow.get();
-      flows_.push_back(std::move(flow));
+      flow_client_.push_back(client_id);
+      flows_.push_back(alloc.new_object<TcpFlow>(flow_id, per_flow, config_.tcp,
+                                                 forward_, reverse_, this, mem_));
       const double jitter = rng_.uniform(0.0, config_.start_jitter.seconds());
       const SimTime start_at = to_simtime(at + units::Seconds::of(jitter));
-      sim.call_at(std::max<SimTime>(start_at, sim.now()),
-                  [raw](Simulation& s) { raw->start(s); });
+      sim.schedule_at(std::max<SimTime>(start_at, sim.now()), *this, kStartFlow,
+                      flow_id);
     }
   }
 
   void on_flow_complete(Simulation& sim, const TcpFlow& flow) override {
-    const std::uint32_t client_id = flow_client_.at(flow.id());
-    auto& state = clients_.at(client_id);
+    const std::uint32_t client_id = flow_client_[flow.id()];
+    ClientState& state = clients_[client_id];
     state.record.end_s =
         std::max(state.record.end_s, to_seconds(flow.end_time()).seconds());
     --state.remaining;
@@ -257,10 +284,10 @@ class Orchestrator : public FlowObserver {
   ExperimentMetrics collect(SimTime deadline, const Path& forward) const {
     ExperimentMetrics m;
     m.flows.reserve(flows_.size());
-    for (const auto& flow : flows_) {
+    for (const TcpFlow* flow : flows_) {
       FlowRecord r;
       r.flow_id = flow->id();
-      r.client_id = flow_client_.at(flow->id());
+      r.client_id = flow_client_[flow->id()];
       r.start_s = to_seconds(flow->start_time()).seconds();
       r.bytes = flow->total_bytes().bytes();
       r.retransmits = flow->retransmit_count();
@@ -275,8 +302,9 @@ class Orchestrator : public FlowObserver {
       m.total_rto_events += r.rto_events;
       m.flows.push_back(r);
     }
-    m.clients.reserve(clients_.size() + (reservations_.size() - next_reservation_));
-    for (const auto& [id, state] : clients_) {
+    m.clients.reserve(clients_.size());
+    for (const ClientState& state : clients_) {
+      if (!state.spawned) continue;
       ClientRecord r = state.record;
       if (state.remaining > 0) {
         r.censored = true;
@@ -325,14 +353,16 @@ class Orchestrator : public FlowObserver {
   }
 
   [[nodiscard]] bool all_complete() const {
-    return std::all_of(clients_.begin(), clients_.end(),
-                       [](const auto& kv) { return kv.second.remaining == 0; });
+    return std::all_of(clients_.begin(), clients_.end(), [](const ClientState& s) {
+      return !s.spawned || s.remaining == 0;
+    });
   }
 
  private:
   struct ClientState {
     ClientRecord record;
     int remaining = 0;
+    bool spawned = false;
   };
   struct Reservation {
     std::uint32_t client_id;
@@ -343,83 +373,153 @@ class Orchestrator : public FlowObserver {
   Path& forward_;
   Path& reverse_;
   stats::Random& rng_;
-  std::vector<std::unique_ptr<TcpFlow>> flows_;
-  std::map<std::uint32_t, std::uint32_t> flow_client_;
-  std::map<std::uint32_t, ClientState> clients_;
-  std::vector<Reservation> reservations_;
+  std::pmr::memory_resource* mem_;
+  std::pmr::vector<TcpFlow*> flows_;             // allocated from mem_
+  std::pmr::vector<std::uint32_t> flow_client_;  // parallel to flows_
+  std::pmr::vector<ClientState> clients_;        // indexed by client_id
+  std::pmr::vector<Reservation> reservations_;
   std::size_t next_reservation_ = 0;
   bool reservation_active_ = false;
   std::uint32_t active_reserved_client_ = 0;
 };
 
-}  // namespace
+}  // namespace detail
 
-ExperimentResult run_experiment(const WorkloadConfig& config) {
-  config.validate();
-
+// The world one experiment cell simulates.  Everything here draws from the
+// cell's memory resource; destruction order (reverse of declaration) tears
+// down background traffic and cross paths before the paths they ride on.
+struct Workload::Cell {
   Simulation sim;
-  const std::vector<LinkConfig> hops = config.effective_hops();
-  Path forward(hops);
-  // ACK path: same capacities in reverse order, effectively uncontended.
-  // Generous buffers so ACK loss never originates here (matching the
-  // paper's uncontended server side).
-  Path reverse(reverse_hops(hops));
+  Path forward;
+  Path reverse;  // ACK path: utilization series disabled — never read
+  stats::Random rng;
+  detail::Orchestrator orchestrator;
+  std::pmr::vector<Path*> cross_paths;
+  std::pmr::vector<BackgroundTraffic*> backgrounds;
+  std::pmr::memory_resource* mem;
+  SimTime deadline = 0;
 
-  stats::Random rng(config.seed);
-  const std::vector<double> arrivals = requested_arrival_times(config, rng);
-  Orchestrator orchestrator(config, forward, reverse, rng);
-  orchestrator.spawn_all(sim, arrivals);
+  Cell(const WorkloadConfig& config, const std::vector<LinkConfig>& hops,
+       std::pmr::memory_resource* m)
+      : sim(m),
+        forward(hops, units::Seconds::of(1.0), m, /*record_series=*/true),
+        // Generous buffers so ACK loss never originates here (matching the
+        // paper's uncontended server side).
+        reverse(reverse_hops(hops), units::Seconds::of(1.0), m, /*record_series=*/false),
+        rng(config.seed),
+        orchestrator(config, forward, reverse, rng, m),
+        cross_paths(m),
+        backgrounds(m),
+        mem(m) {}
 
-  std::vector<std::unique_ptr<Path>> cross_paths;
-  std::vector<std::unique_ptr<BackgroundTraffic>> backgrounds;
-  if (config.background_load > 0.0) {
+  ~Cell() {
+    std::pmr::polymorphic_allocator<> alloc(mem);
+    for (BackgroundTraffic* bg : backgrounds) alloc.delete_object(bg);
+    for (Path* path : cross_paths) alloc.delete_object(path);
+  }
+};
+
+Workload::Workload(WorkloadConfig config, bool use_arena)
+    : config_(std::move(config)),
+      mem_(use_arena ? static_cast<std::pmr::memory_resource*>(&arena_)
+                     : std::pmr::get_default_resource()) {
+  config_.validate();
+}
+
+Workload::~Workload() {
+  if (cell_ != nullptr) std::pmr::polymorphic_allocator<>(mem_).delete_object(cell_);
+}
+
+void Workload::prepare() {
+  std::pmr::polymorphic_allocator<> alloc(mem_);
+  if (cell_ != nullptr) {
+    // Destructors must run while the arena memory is still valid; the
+    // wholesale release is the reset() below.
+    alloc.delete_object(cell_);
+    cell_ = nullptr;
+    arena_.reset();
+  }
+
+  const std::vector<LinkConfig> hops = config_.effective_hops();
+  cell_ = alloc.new_object<Cell>(config_, hops, mem_);
+  Cell& cell = *cell_;
+
+  const std::vector<double> arrivals = requested_arrival_times(config_, cell.rng);
+  cell.orchestrator.spawn_all(cell.sim, arrivals);
+
+  std::pmr::polymorphic_allocator<> cell_alloc(mem_);
+  if (config_.background_load > 0.0) {
     BackgroundTrafficConfig bg;
-    bg.target_load = config.background_load;
-    bg.mean_flow_size = config.background_mean_flow_size;
-    bg.pareto_shape = config.background_pareto_shape;
-    bg.until = config.duration;
-    bg.tcp = config.tcp;
-    bg.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
-    backgrounds.push_back(std::make_unique<BackgroundTraffic>(bg, forward, reverse));
-    backgrounds.back()->schedule(sim);
+    bg.target_load = config_.background_load;
+    bg.mean_flow_size = config_.background_mean_flow_size;
+    bg.pareto_shape = config_.background_pareto_shape;
+    bg.until = config_.duration;
+    bg.tcp = config_.tcp;
+    bg.seed = config_.seed ^ 0x9e3779b97f4a7c15ULL;
+    cell.backgrounds.push_back(cell_alloc.new_object<BackgroundTraffic>(
+        bg, cell.forward, cell.reverse, mem_));
+    cell.backgrounds.back()->schedule(cell.sim);
   }
   // Hop-local cross traffic: a one-hop path over the target hop (and the
   // matching reverse hop for its ACKs), entering and leaving at the hop's
   // endpoints.
-  for (std::size_t i = 0; i < config.hop_cross_traffic.size(); ++i) {
-    const HopCrossTraffic& x = config.hop_cross_traffic[i];
+  for (std::size_t i = 0; i < config_.hop_cross_traffic.size(); ++i) {
+    const HopCrossTraffic& x = config_.hop_cross_traffic[i];
     if (x.load == 0.0) continue;
     const auto h = static_cast<std::size_t>(x.hop);
-    cross_paths.push_back(std::make_unique<Path>(std::vector<Link*>{&forward.hop(h)}));
-    Path& xf = *cross_paths.back();
-    cross_paths.push_back(std::make_unique<Path>(
-        std::vector<Link*>{&reverse.hop(hops.size() - 1 - h)}));
-    Path& xr = *cross_paths.back();
+    cell.cross_paths.push_back(cell_alloc.new_object<Path>(
+        std::vector<Link*>{&cell.forward.hop(h)}, mem_));
+    Path& xf = *cell.cross_paths.back();
+    cell.cross_paths.push_back(cell_alloc.new_object<Path>(
+        std::vector<Link*>{&cell.reverse.hop(hops.size() - 1 - h)}, mem_));
+    Path& xr = *cell.cross_paths.back();
     BackgroundTrafficConfig bg;
     bg.target_load = x.load;
     bg.mean_flow_size = x.mean_flow_size;
     bg.pareto_shape = x.pareto_shape;
     bg.start = x.start;
     bg.until = x.until;
-    bg.tcp = config.tcp;
-    bg.seed = stats::SplitMix64(config.seed ^ (0xa24baed4963ee407ULL + i)).next();
-    backgrounds.push_back(std::make_unique<BackgroundTraffic>(bg, xf, xr));
-    backgrounds.back()->schedule(sim);
+    bg.tcp = config_.tcp;
+    bg.seed = stats::SplitMix64(config_.seed ^ (0xa24baed4963ee407ULL + i)).next();
+    cell.backgrounds.push_back(
+        cell_alloc.new_object<BackgroundTraffic>(bg, xf, xr, mem_));
+    cell.backgrounds.back()->schedule(cell.sim);
   }
 
-  const SimTime deadline = to_simtime(config.duration) + to_simtime(config.drain_timeout);
-  while (!sim.empty() && sim.now() <= deadline) {
-    sim.step();
-  }
+  cell.deadline = to_simtime(config_.duration) + to_simtime(config_.drain_timeout);
+}
 
+void Workload::drive() {
+  Cell& cell = *cell_;
+  // Batched link drains may dispatch chained arrivals inline; capping them
+  // at the deadline keeps the stop point identical to the unbatched loop
+  // (which runs at most one event past the deadline).
+  cell.sim.set_batch_horizon(cell.deadline);
+  while (!cell.sim.empty() && cell.sim.now() <= cell.deadline) {
+    cell.sim.step();
+  }
+}
+
+ExperimentResult Workload::finish() {
+  Cell& cell = *cell_;
   ExperimentResult result;
-  result.config = config;
-  result.offered_load = config.offered_load();
-  result.metrics = orchestrator.collect(deadline, forward);
-  result.events_processed = sim.events_processed();
-  result.queue_high_water = sim.queue_high_water();
-  result.sim_duration_s = sim.now_seconds().seconds();
+  result.config = config_;
+  result.offered_load = config_.offered_load();
+  result.metrics = cell.orchestrator.collect(cell.deadline, cell.forward);
+  result.events_processed = cell.sim.events_processed();
+  result.queue_high_water = cell.sim.queue_high_water();
+  result.sim_duration_s = cell.sim.now_seconds().seconds();
   return result;
+}
+
+ExperimentResult Workload::run() {
+  prepare();
+  drive();
+  return finish();
+}
+
+ExperimentResult run_experiment(const WorkloadConfig& config) {
+  return Workload(config).run();
 }
 
 }  // namespace sss::simnet

@@ -30,9 +30,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <string>
 #include <vector>
 
+#include "simnet/arena.hpp"
 #include "simnet/link.hpp"
 #include "simnet/metrics.hpp"
 #include "simnet/path.hpp"
@@ -92,6 +94,19 @@ struct CalibrationKnobs {
   friend bool operator==(const CalibrationKnobs&, const CalibrationKnobs&) = default;
 };
 
+// Knobs for the storage-layer scenarios (the Fig. 4 staged-vs-stream
+// family).  The network simulators ignore these; like CalibrationKnobs
+// they ride on WorkloadConfig so the ONE name→field binding table
+// (--param / plan axes / plan JSON) reaches them like any other knob.
+struct StorageKnobs {
+  // Zipf exponent for object popularity in the staged-transfer generator:
+  // file k receives a frame share ∝ 1/(k+1)^s.  0 = uniform (the
+  // historical even split).  See storage/object_popularity.hpp.
+  double zipf_skew = 0.0;
+
+  friend bool operator==(const StorageKnobs&, const StorageKnobs&) = default;
+};
+
 struct WorkloadConfig {
   units::Seconds duration = units::Seconds::of(10.0);
   int concurrency = 4;       // clients spawned per second
@@ -128,6 +143,8 @@ struct WorkloadConfig {
   std::vector<HopCrossTraffic> hop_cross_traffic;
   // Trace-driven calibration knobs (ignored by the simulators).
   CalibrationKnobs calibration;
+  // Storage-layer workload knobs (ignored by the simulators).
+  StorageKnobs storage;
 
   // Table 2 configuration for a given (concurrency, parallel flows) cell.
   [[nodiscard]] static WorkloadConfig paper_table2(int concurrency, int parallel_flows,
@@ -171,6 +188,48 @@ struct ExperimentResult {
   [[nodiscard]] double t_theoretical_s() const {
     return config.theoretical_transfer_time().seconds();
   }
+};
+
+// One experiment cell with an owned allocation arena.
+//
+// The entire simulated world — event queue, paths, links, ring buffers,
+// TcpFlow objects, scoreboard bitmaps, orchestrator bookkeeping — is
+// bump-allocated from the cell's Arena during prepare() and freed wholesale
+// afterwards (destructors run; memory release is one reset()).  Because the
+// Arena retains its chunks across reset, re-running the same cell touches
+// the heap zero times after the first run: drive() is allocation-free
+// (pinned by tests/simnet/alloc_free_test.cpp).
+//
+// Lifecycle: prepare() builds the world, drive() runs it to the drain
+// deadline, finish() collects metrics (finish allocates ordinary
+// heap-backed records — it is outside the hot loop).  run() does all three.
+// Calling prepare() again tears down the previous world and rebuilds from
+// the rewound arena, which is how sweep executors and benchmarks reuse one
+// cell across repetitions.
+class Workload {
+ public:
+  // `use_arena = false` routes every allocation to the global heap instead
+  // (the ablation baseline measured by BM_WorkloadArena in the benches).
+  explicit Workload(WorkloadConfig config, bool use_arena = true);
+  ~Workload();
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  void prepare();
+  void drive();
+  [[nodiscard]] ExperimentResult finish();
+  [[nodiscard]] ExperimentResult run();
+
+  [[nodiscard]] const WorkloadConfig& config() const { return config_; }
+  [[nodiscard]] const Arena& arena() const { return arena_; }
+
+ private:
+  struct Cell;
+
+  WorkloadConfig config_;
+  Arena arena_;
+  std::pmr::memory_resource* mem_;
+  Cell* cell_ = nullptr;  // allocated from mem_; rebuilt by prepare()
 };
 
 // Run one experiment cell.  Deterministic for a given config (including

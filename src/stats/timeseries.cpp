@@ -7,7 +7,8 @@
 
 namespace sss::stats {
 
-TimeSeries::TimeSeries(units::Seconds bucket) : bucket_(bucket) {
+TimeSeries::TimeSeries(units::Seconds bucket, std::pmr::memory_resource* mem)
+    : bucket_(bucket), buckets_(mem) {
   if (!(bucket.seconds() > 0.0)) {
     throw std::invalid_argument("TimeSeries bucket width must be positive");
   }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory_resource>
 #include <vector>
 
 #include "units/units.hpp"
@@ -16,7 +17,10 @@ namespace sss::stats {
 class TimeSeries {
  public:
   // `bucket` is the sampling interval (e.g. 1 s interface counters).
-  explicit TimeSeries(units::Seconds bucket);
+  // Bucket storage draws from `mem` (default: the global heap), so callers
+  // that own an arena can keep on-demand bucket growth off the heap.
+  explicit TimeSeries(units::Seconds bucket,
+                      std::pmr::memory_resource* mem = std::pmr::get_default_resource());
 
   // Record `amount` at time `t` (t >= 0).  Buckets grow on demand.
   void record(units::Seconds t, double amount);
@@ -37,7 +41,7 @@ class TimeSeries {
 
  private:
   units::Seconds bucket_;
-  std::vector<double> buckets_;
+  std::pmr::vector<double> buckets_;
 };
 
 }  // namespace sss::stats

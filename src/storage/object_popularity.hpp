@@ -1,0 +1,53 @@
+// object_popularity.hpp — Zipf/heavy-tailed object popularity for the
+// storage-layer workload generator.
+//
+// Real beamline archives are not accessed (or sized) uniformly: a few hot
+// objects carry most of the bytes.  The staged-transfer generator models
+// that by spreading the scan's frames across its files with rank-weighted
+// shares w_k ∝ 1/(k+1)^s instead of an even split — s = 0 reproduces the
+// historical uniform split bit-for-bit, larger s concentrates frames into
+// the first files (one elephant plus a long tail of mice), which shifts
+// the aggregation-wait and per-file-overhead balance the Fig. 4 family
+// measures.  ZipfSampler additionally supports request-stream generators
+// that need to DRAW object ranks (inverse-CDF over the same weights).
+//
+// Everything here is deterministic: weights and partitions are pure
+// functions, and sampling is driven by a caller-supplied uniform variate
+// so seed policy stays with the caller's RNG.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sss::storage {
+
+// Normalized popularity weights for `n` ranked objects at Zipf exponent
+// `s >= 0`: weight[k] = (1/(k+1)^s) / H where H normalizes the sum to 1.
+// s = 0 gives the uniform distribution.  n must be >= 1.
+[[nodiscard]] std::vector<double> zipf_weights(std::uint64_t n, double s);
+
+// Apportion `items` indivisible units across `bins` ranked bins with Zipf
+// weights, every bin receiving at least one unit (requires
+// items >= bins >= 1).  s = 0 reproduces the historical even split
+// exactly: base = items / bins everywhere, the first items % bins bins
+// get one extra.  s > 0 uses largest-remainder apportionment on top of
+// the one-per-bin floor (ties broken toward lower ranks), so totals are
+// conserved exactly.
+[[nodiscard]] std::vector<std::uint64_t> zipf_partition(std::uint64_t items,
+                                                        std::uint64_t bins, double s);
+
+// Inverse-CDF sampler over zipf_weights(n, s).  sample(u) maps a uniform
+// variate u in [0, 1) to an object rank in [0, n): monotone in u, rank 0
+// is the most popular object.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+
+  [[nodiscard]] std::uint64_t object_count() const { return cdf_.size(); }
+  [[nodiscard]] std::uint64_t sample(double u) const;
+
+ private:
+  std::vector<double> cdf_;  // inclusive prefix sums; back() == 1.0
+};
+
+}  // namespace sss::storage

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "storage/object_popularity.hpp"
+
 namespace sss::storage {
 
 StagedTimeline simulate_staged(const StagedTransferConfig& config,
@@ -25,9 +27,13 @@ StagedTimeline simulate_staged(const StagedTransferConfig& config,
   // --- Stage 1: source PFS write serializer over frames -------------------
   // Frame i can be written once generated; writes are sequential on the
   // staging node.  Each file pays its create cost before its first frame.
+  // Frame shares per file: uniform split historically; Zipf-weighted when
+  // the popularity knob is set (rank 0 = hottest/largest object).  The
+  // skew-0 path of zipf_partition reproduces the old base + (k < remainder)
+  // layout exactly.
   const std::uint64_t frames = scan.frame_count;
-  const std::uint64_t base = frames / file_count;
-  const std::uint64_t remainder = frames % file_count;
+  const std::vector<std::uint64_t> frames_per_file =
+      zipf_partition(frames, file_count, config.object_popularity_skew);
 
   const double frame_bytes = scan.frame_size.bytes();
   const double src_eff_bw = source.effective_write_bandwidth(scan.frame_size).bps();
@@ -41,7 +47,7 @@ StagedTimeline simulate_staged(const StagedTransferConfig& config,
     StagedFileEvent ev;
     ev.file_index = k;
     ev.frame_begin = frame_cursor;
-    const std::uint64_t frames_in_file = base + (k < remainder ? 1 : 0);
+    const std::uint64_t frames_in_file = frames_per_file[k];
     ev.frame_end = frame_cursor + frames_in_file;
     ev.bytes = static_cast<double>(frames_in_file) * frame_bytes;
 

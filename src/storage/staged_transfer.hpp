@@ -35,6 +35,12 @@ struct StagedTransferConfig {
   // Include the destination-side read by the compute job in the completion
   // time (the data is not "available for processing" until readable).
   bool include_dest_read = true;
+  // Zipf exponent for object popularity: file k receives a frame share
+  // ∝ 1/(k+1)^skew (storage/object_popularity.hpp).  0 = the historical
+  // uniform split; larger values concentrate bytes into the first files
+  // (one elephant, long tail of mice).  Exposed on the scenario binding
+  // table as `zipf_skew`.
+  double object_popularity_skew = 0.0;
 };
 
 struct StagedFileEvent {

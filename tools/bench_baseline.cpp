@@ -15,6 +15,15 @@
 //                   when run from there)
 //   --smoke         cut benchmark min-time and scenario scale for CI
 //   --filter R      forwarded as --benchmark_filter=R
+//   --allow-debug   record numbers from a non-Release build anyway (the
+//                   default is to refuse: debug timings poison the
+//                   committed perf history)
+//   --check-against F  compare the guarded benches (BM_WorkloadExperiment,
+//                   BM_TcpTransfer/64) against a previously committed
+//                   BENCH_micro.json; exit 1 on a regression beyond
+//                   --tolerance
+//   --tolerance T   allowed fractional real_time regression for
+//                   --check-against (default 0.25 = +25%)
 //
 // Committing the refreshed BENCH_micro.json alongside optimization PRs is
 // what gives the repo a recorded before/after history (README "Performance").
@@ -24,6 +33,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 namespace {
@@ -66,13 +76,90 @@ std::string shell_quote(const std::string& s) {
   return out;
 }
 
+// Value of a top-level `"key": "value"` string in `json`; "" when absent.
+// Hand-rolled (like the writer below): the tool deliberately has no
+// dependencies beyond the shell, and the google-benchmark JSON it reads is
+// machine-generated with stable quoting.
+std::string extract_string(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = json.find('"', begin);
+  if (end == std::string::npos) return "";
+  return json.substr(begin, end - begin);
+}
+
+// real_time of the FIRST benchmark entry named exactly `bench`; negative
+// when absent.
+double extract_real_time(const std::string& json, const std::string& bench) {
+  const std::string name_needle = "\"name\": \"" + bench + "\"";
+  const std::size_t at = json.find(name_needle);
+  if (at == std::string::npos) return -1.0;
+  const std::string rt_needle = "\"real_time\":";
+  const std::size_t rt = json.find(rt_needle, at);
+  if (rt == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + rt + rt_needle.size(), nullptr);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// The perf-guarded benches: the workload hot loop and the lossy-free
+// single-transfer path.  CI fails when either regresses past tolerance.
+const char* const kGuardedBenches[] = {"BM_WorkloadExperiment", "BM_TcpTransfer/64"};
+
+// Returns the number of guarded benches that regressed beyond `tolerance`.
+int check_against(const std::string& baseline_path, const std::string& micro_json,
+                  double tolerance) {
+  const std::string baseline = read_file(baseline_path);
+  if (baseline.empty()) {
+    std::cerr << "bench_baseline: cannot read baseline " << baseline_path << "\n";
+    return 1;
+  }
+  int regressions = 0;
+  for (const char* bench : kGuardedBenches) {
+    const double before = extract_real_time(baseline, bench);
+    const double after = extract_real_time(micro_json, bench);
+    if (before <= 0.0) {
+      std::cerr << "bench_baseline: baseline has no entry for " << bench
+                << " — skipping\n";
+      continue;
+    }
+    if (after <= 0.0) {
+      std::cerr << "bench_baseline: current run has no entry for " << bench
+                << " (regression check needs it)\n";
+      ++regressions;
+      continue;
+    }
+    const double ratio = after / before;
+    std::cerr << "bench_baseline: " << bench << " " << before << " -> " << after
+              << " ns (x" << ratio << ")\n";
+    if (ratio > 1.0 + tolerance) {
+      std::cerr << "bench_baseline: REGRESSION: " << bench << " slowed by "
+                << (ratio - 1.0) * 100.0 << "% (tolerance "
+                << tolerance * 100.0 << "%)\n";
+      ++regressions;
+    }
+  }
+  return regressions;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string build_dir = "build";
   std::string out_path = "BENCH_micro.json";
   std::string filter;
+  std::string check_path;
+  double tolerance = 0.25;
   bool smoke = false;
+  bool allow_debug = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* flag) -> std::string {
@@ -88,8 +175,18 @@ int main(int argc, char** argv) {
       out_path = value("--out");
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--allow-debug") {
+      allow_debug = true;
     } else if (arg == "--filter") {
       filter = value("--filter");
+    } else if (arg == "--check-against") {
+      check_path = value("--check-against");
+    } else if (arg == "--tolerance") {
+      tolerance = std::strtod(value("--tolerance").c_str(), nullptr);
+      if (!(tolerance > 0.0)) {
+        std::cerr << "bench_baseline: --tolerance must be > 0\n";
+        return 2;
+      }
     } else {
       std::cerr << "bench_baseline: unknown argument '" << arg << "'\n";
       return 2;
@@ -110,6 +207,19 @@ int main(int argc, char** argv) {
     std::cerr << "bench_baseline: micro_substrates failed (exit " << micro_exit
               << "); is it built in " << build_dir << "/bench and google-benchmark "
               << "installed?\n";
+    return 1;
+  }
+
+  // --- build-type gate ------------------------------------------------------
+  // micro_substrates stamps its compile mode into the benchmark context
+  // (AddCustomContext "sss_build_type").  Numbers from a debug / -O0 build
+  // are 10-30x off and must never land in the committed history.
+  std::string build_type = extract_string(micro_json, "sss_build_type");
+  if (build_type.empty()) build_type = "unknown";
+  if (build_type != "release" && !allow_debug) {
+    std::cerr << "bench_baseline: refusing to record a '" << build_type
+              << "' build (configure with -DCMAKE_BUILD_TYPE=Release, or pass "
+                 "--allow-debug to record anyway)\n";
     return 1;
   }
 
@@ -138,6 +248,7 @@ int main(int argc, char** argv) {
   out << "{\n"
       << "  \"schema\": 1,\n"
       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"build_type\": \"" << build_type << "\",\n"
       << "  \"scenario_smoke\": {\n"
       << "    \"name\": \"" << scenario << "\",\n"
       << "    \"scale\": " << scale << ",\n"
@@ -147,6 +258,18 @@ int main(int argc, char** argv) {
       << "}\n";
   out.close();
   std::cerr << "bench_baseline: wrote " << out_path << " (scenario " << wall_s
-            << " s wall)\n";
+            << " s wall, build " << build_type << ")\n";
+
+  // --- perf-regression guard ------------------------------------------------
+  if (!check_path.empty()) {
+    const int regressions = check_against(check_path, micro_json, tolerance);
+    if (regressions > 0) {
+      std::cerr << "bench_baseline: " << regressions
+                << " guarded benchmark(s) regressed vs " << check_path << "\n";
+      return 1;
+    }
+    std::cerr << "bench_baseline: regression check vs " << check_path
+              << " passed (tolerance " << tolerance * 100.0 << "%)\n";
+  }
   return 0;
 }
