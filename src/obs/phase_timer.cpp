@@ -1,0 +1,68 @@
+#include "obs/phase_timer.hpp"
+
+#include <cstdio>
+
+namespace sss::obs {
+
+namespace detail {
+std::atomic<bool> g_phase_timing_enabled{false};
+std::array<PhaseSlot, kPhaseCount> g_phase_slots{};
+}  // namespace detail
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kPrepare:
+      return "prepare";
+    case Phase::kDrive:
+      return "drive";
+    case Phase::kFinish:
+      return "finish";
+    case Phase::kTransmit:
+      return "transmit";
+    case Phase::kLinkDrain:
+      return "link-drain";
+    case Phase::kTcpProcess:
+      return "tcp-process";
+  }
+  return "unknown";
+}
+
+void set_phase_timing_enabled(bool enabled) {
+  detail::g_phase_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void reset_phase_totals() {
+  for (auto& slot : detail::g_phase_slots) {
+    slot.ns.store(0, std::memory_order_relaxed);
+    slot.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::array<PhaseTotal, kPhaseCount> phase_totals() {
+  std::array<PhaseTotal, kPhaseCount> totals;
+  for (int p = 0; p < kPhaseCount; ++p) {
+    totals[p].ns = detail::g_phase_slots[p].ns.load(std::memory_order_relaxed);
+    totals[p].count = detail::g_phase_slots[p].count.load(std::memory_order_relaxed);
+  }
+  return totals;
+}
+
+std::string phase_report() {
+  const auto totals = phase_totals();
+  bool any = false;
+  for (const PhaseTotal& t : totals) any = any || t.count > 0;
+  if (!any) return "";
+  std::string report = "phase timers (inclusive host time):\n";
+  for (int p = 0; p < kPhaseCount; ++p) {
+    if (totals[p].count == 0) continue;
+    char line[128];
+    std::snprintf(line, sizeof(line), "  %-12s %12.3f ms  (%llu scopes)\n",
+                  to_string(static_cast<Phase>(p)),
+                  static_cast<double>(totals[p].ns) / 1e6,
+                  static_cast<unsigned long long>(totals[p].count));
+    report += line;
+  }
+  return report;
+}
+
+}  // namespace sss::obs

@@ -1,0 +1,102 @@
+#include "obs/timeline.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sss::obs {
+
+TimelineRecorder::TrackId TimelineRecorder::add_track(std::string name) {
+  tracks_.push_back(std::move(name));
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+void TimelineRecorder::begin_span(TrackId track, std::string name, std::int64_t t_ns) {
+  events_.push_back(Event{'B', track, std::move(name), t_ns, 0, 0.0});
+}
+
+void TimelineRecorder::end_span(TrackId track, std::int64_t t_ns) {
+  events_.push_back(Event{'E', track, std::string(), t_ns, 0, 0.0});
+}
+
+void TimelineRecorder::complete_span(TrackId track, std::string name,
+                                     std::int64_t begin_ns, std::int64_t end_ns) {
+  if (end_ns < begin_ns) throw std::invalid_argument("complete_span: end before begin");
+  events_.push_back(Event{'X', track, std::move(name), begin_ns, end_ns - begin_ns, 0.0});
+}
+
+void TimelineRecorder::instant(TrackId track, std::string name, std::int64_t t_ns) {
+  events_.push_back(Event{'i', track, std::move(name), t_ns, 0, 0.0});
+}
+
+void TimelineRecorder::counter(TrackId track, const std::string& series,
+                               std::int64_t t_ns, double value) {
+  events_.push_back(Event{'C', track, tracks_[static_cast<std::size_t>(track)] + ":" +
+                                          series,
+                          t_ns, 0, value});
+}
+
+namespace {
+// Chrome trace timestamps are microseconds; sim time is integer ns.
+double to_us(std::int64_t ns) { return static_cast<double>(ns) / 1000.0; }
+}  // namespace
+
+trace::JsonValue TimelineRecorder::to_chrome_json() const {
+  trace::JsonValue events = trace::JsonValue::array();
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    trace::JsonValue meta = trace::JsonValue::object();
+    trace::JsonValue args = trace::JsonValue::object();
+    args["name"] = tracks_[t];
+    meta["args"] = std::move(args);
+    meta["name"] = "thread_name";
+    meta["ph"] = "M";
+    meta["pid"] = 1;
+    meta["tid"] = t;
+    events.push_back(std::move(meta));
+    // Pin the render order to registration order (Perfetto otherwise sorts
+    // rows by first event time).
+    trace::JsonValue sort = trace::JsonValue::object();
+    trace::JsonValue sort_args = trace::JsonValue::object();
+    sort_args["sort_index"] = t;
+    sort["args"] = std::move(sort_args);
+    sort["name"] = "thread_sort_index";
+    sort["ph"] = "M";
+    sort["pid"] = 1;
+    sort["tid"] = t;
+    events.push_back(std::move(sort));
+  }
+  for (const Event& e : events_) {
+    trace::JsonValue j = trace::JsonValue::object();
+    if (!e.name.empty()) j["name"] = e.name;
+    j["ph"] = std::string(1, e.ph);
+    j["pid"] = 1;
+    j["tid"] = e.track;
+    j["ts"] = to_us(e.ts_ns);
+    switch (e.ph) {
+      case 'X':
+        j["dur"] = to_us(e.dur_ns);
+        break;
+      case 'i':
+        j["s"] = "t";  // thread-scoped instant
+        break;
+      case 'C': {
+        trace::JsonValue args = trace::JsonValue::object();
+        args["value"] = e.value;
+        j["args"] = std::move(args);
+        break;
+      }
+      default:
+        break;
+    }
+    events.push_back(std::move(j));
+  }
+  trace::JsonValue doc = trace::JsonValue::object();
+  doc["displayTimeUnit"] = "ms";
+  doc["traceEvents"] = std::move(events);
+  return doc;
+}
+
+std::string TimelineRecorder::to_chrome_json_text() const {
+  return to_chrome_json().dump(1) + "\n";
+}
+
+}  // namespace sss::obs

@@ -1,0 +1,81 @@
+// timeline.hpp — simulated-time timeline capture, exported as Chrome
+// trace-event JSON.
+//
+// The paper's argument is about WHERE transfer time goes — slow start,
+// congestion collapse, aggregation waits, staging I/O — and end-of-run
+// aggregates cannot show that.  A TimelineRecorder collects spans, instants
+// and counter samples on named tracks, all stamped in SIMULATION time, and
+// serializes them in the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+// so a run opens directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+// Determinism: because timestamps are simulation time and one recorder is
+// only ever fed by one sweep cell (which runs on exactly one worker
+// thread), the exported JSON is byte-identical at any executor thread
+// count.  Serialization goes through trace::JsonValue, whose number
+// formatting is shortest-round-trip and whose object keys are ordered —
+// the same properties the plan-file round trip relies on.
+//
+// Producers attach via raw pointers (simnet::Link / simnet::TcpFlow /
+// simnet::Workload probes); a null recorder means observability is off and
+// costs one pointer compare on the paths that would record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/json.hpp"
+
+namespace sss::obs {
+
+class TimelineRecorder {
+ public:
+  using TrackId = int;
+
+  // Register a named track (one Perfetto "thread" row).  Tracks render in
+  // registration order.
+  TrackId add_track(std::string name);
+
+  // Nested span on `track` opened at `t_ns`; close with end_span.
+  void begin_span(TrackId track, std::string name, std::int64_t t_ns);
+  void end_span(TrackId track, std::int64_t t_ns);
+  // One complete span [begin_ns, end_ns] (Chrome "X" event).
+  void complete_span(TrackId track, std::string name, std::int64_t begin_ns,
+                     std::int64_t end_ns);
+  // Point-in-time marker (Chrome "i" event, thread scope).
+  void instant(TrackId track, std::string name, std::int64_t t_ns);
+  // Counter sample; the series renders as "<track name>:<series>" so equal
+  // series names on different tracks stay separate counters.
+  void counter(TrackId track, const std::string& series, std::int64_t t_ns,
+               double value);
+
+  [[nodiscard]] std::size_t track_count() const { return tracks_.size(); }
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+
+  // {"displayTimeUnit":"ms","traceEvents":[...]} — thread_name metadata for
+  // every track, then the recorded events in insertion order.  Timestamps
+  // are microseconds (the format's unit); sim time is nanoseconds, so the
+  // conversion is an exact-by-IEEE division by 1000.
+  [[nodiscard]] trace::JsonValue to_chrome_json() const;
+  // to_chrome_json() dumped with indent 1 plus a trailing newline — the
+  // exact bytes `scenario_runner --timeline` writes and the golden test
+  // pins.
+  [[nodiscard]] std::string to_chrome_json_text() const;
+
+ private:
+  struct Event {
+    char ph = 'X';       // B / E / X / i / C
+    TrackId track = 0;
+    std::string name;    // empty for E
+    std::int64_t ts_ns = 0;
+    std::int64_t dur_ns = 0;  // X only
+    double value = 0.0;       // C only
+  };
+
+  std::vector<std::string> tracks_;
+  std::vector<Event> events_;
+};
+
+}  // namespace sss::obs

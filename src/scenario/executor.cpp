@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
 
+#include "obs/timeline.hpp"
 #include "pipeline/thread_pool.hpp"
 #include "stats/rng.hpp"
 
@@ -10,12 +14,39 @@ namespace sss::scenario {
 
 namespace {
 
-simnet::ExperimentResult execute_one(const RunPoint& run) {
+simnet::ExperimentResult execute_one(const RunPoint& run,
+                                     obs::TimelineRecorder* timeline) {
   switch (run.substrate) {
-    case Substrate::kFluid:
-      return simnet::run_fluid_experiment(run.config);
+    case Substrate::kFluid: {
+      simnet::ExperimentResult result = simnet::run_fluid_experiment(run.config);
+      if (timeline != nullptr) {
+        // The fluid substrate has no packet events to sample, so its
+        // timeline is synthesized from the result records: the spawn/drain
+        // window plus one transfer span per client.
+        obs::TimelineRecorder& rec = *timeline;
+        const int workload = rec.add_track("workload (fluid)");
+        const auto spawn_end =
+            static_cast<std::int64_t>(run.config.duration.seconds() * 1e9 + 0.5);
+        rec.complete_span(workload, "spawn-window", 0, spawn_end);
+        const auto sim_end = static_cast<std::int64_t>(result.sim_duration_s * 1e9 + 0.5);
+        if (sim_end > spawn_end) rec.complete_span(workload, "drain", spawn_end, sim_end);
+        for (const simnet::ClientRecord& client : result.metrics.clients) {
+          const int track = rec.add_track("client " + std::to_string(client.client_id));
+          rec.complete_span(track,
+                            client.censored ? "transfer (censored)" : "transfer",
+                            static_cast<std::int64_t>(client.start_s * 1e9 + 0.5),
+                            static_cast<std::int64_t>(client.end_s * 1e9 + 0.5));
+        }
+      }
+      return result;
+    }
     case Substrate::kPacket:
       break;
+  }
+  if (timeline != nullptr) {
+    simnet::TimelineProbe probe;
+    probe.recorder = timeline;
+    return simnet::run_experiment(run.config, probe);
   }
   return simnet::run_experiment(run.config);
 }
@@ -36,16 +67,28 @@ int SweepExecutor::effective_threads(std::size_t run_count) const {
 
 std::vector<simnet::ExperimentResult> SweepExecutor::execute(
     std::vector<RunPoint> runs) const {
+  if (timeline != nullptr && timeline_index >= runs.size() && !runs.empty()) {
+    throw std::invalid_argument("timeline cell " + std::to_string(timeline_index) +
+                                " out of range (sweep has " +
+                                std::to_string(runs.size()) + " cells)");
+  }
   const std::vector<std::uint64_t> seeds = derive_seeds(runs.size());
   for (std::size_t i = 0; i < runs.size(); ++i) {
     if (runs[i].reseed) runs[i].config.seed = seeds[i];
   }
 
   std::vector<simnet::ExperimentResult> results(runs.size());
+  wall_ms_.assign(runs.size(), 0.0);
   const int threads = effective_threads(runs.size());
   std::atomic<std::size_t> completed{0};
   auto run_index = [&](std::size_t i) {
-    results[i] = execute_one(runs[i]);
+    obs::TimelineRecorder* recorder =
+        (timeline != nullptr && i == timeline_index) ? timeline : nullptr;
+    const auto t0 = std::chrono::steady_clock::now();
+    results[i] = execute_one(runs[i], recorder);
+    wall_ms_[i] =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
     if (on_progress) on_progress(completed.fetch_add(1) + 1, runs.size());
   };
 

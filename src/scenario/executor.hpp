@@ -21,6 +21,10 @@
 
 #include "scenario/spec.hpp"
 
+namespace sss::obs {
+class TimelineRecorder;  // obs/timeline.hpp
+}
+
 namespace sss::scenario {
 
 struct SweepOptions {
@@ -49,11 +53,28 @@ class SweepExecutor {
   // completes with (completed_count, total).  Must be thread-safe.
   std::function<void(std::size_t, std::size_t)> on_progress;
 
+  // Optional timeline attachment: record run `timeline_index` (an index
+  // into the `runs` passed to execute) into `timeline`.  Exactly one cell
+  // is recorded, and that cell executes on exactly one worker thread, so
+  // the recorder's contents are bit-identical at any thread count.  The
+  // packet substrate records live (per-flow phases, per-hop counters); the
+  // fluid substrate synthesizes client spans from its results.
+  obs::TimelineRecorder* timeline = nullptr;
+  std::size_t timeline_index = 0;
+
   // Threads the executor will actually use for `run_count` runs.
   [[nodiscard]] int effective_threads(std::size_t run_count) const;
 
+  // Host wall time of each run from the latest execute(), in ms, indexed
+  // like its results.  This is the "timing" half of the run manifest
+  // (obs/manifest.hpp) — host-dependent by nature, never compared exactly.
+  [[nodiscard]] const std::vector<double>& last_cell_wall_ms() const {
+    return wall_ms_;
+  }
+
  private:
   SweepOptions options_;
+  mutable std::vector<double> wall_ms_;
 };
 
 }  // namespace sss::scenario

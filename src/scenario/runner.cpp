@@ -1,19 +1,28 @@
 #include "scenario/runner.hpp"
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <system_error>
 #include <vector>
 
+#include "obs/manifest.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/timeline.hpp"
 #include "scenario/env.hpp"
 #include "scenario/executor.hpp"
 #include "scenario/overrides.hpp"
 #include "scenario/plan.hpp"
 #include "scenario/registry.hpp"
 #include "trace/csv.hpp"
+#include "trace/json.hpp"
 #include "trace/table.hpp"
 
 namespace sss::scenario {
@@ -73,12 +82,61 @@ SweepExecutor make_executor(const ScenarioContext& context) {
   return SweepExecutor(sweep);
 }
 
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+// Per-cell metrics for the manifest: deterministic fields from the results,
+// wall times from the executor, GLOBAL indices via `offset` (shard begin).
+void fill_manifest(obs::RunManifest& manifest, const ScenarioSpec& spec,
+                   const ScenarioContext& context, std::size_t total_cells,
+                   std::size_t offset, const std::vector<RunPoint>& runs,
+                   const std::vector<simnet::ExperimentResult>& results,
+                   const std::vector<double>& wall_ms) {
+  manifest = obs::RunManifest{};
+  manifest.scenario = spec.name;
+  manifest.scale = context.scale;
+  manifest.seed = context.seed;
+  manifest.threads = context.threads;
+  manifest.total_cells = total_cells;
+  manifest.cells.resize(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    obs::CellMetrics& cell = manifest.cells[i];
+    cell.index = offset + i;
+    cell.label = runs[i].label;
+    cell.events_processed = results[i].events_processed;
+    cell.queue_high_water = results[i].queue_high_water;
+    cell.arena_reserved_bytes = results[i].arena_reserved_bytes;
+    cell.sim_duration_s = results[i].sim_duration_s;
+    cell.wall_ms = i < wall_ms.size() ? wall_ms[i] : 0.0;
+  }
+}
+
 }  // namespace
 
-ScenarioOutput execute_scenario(const ScenarioSpec& spec, const ScenarioContext& context) {
+ScenarioOutput execute_scenario(const ScenarioSpec& spec, const ScenarioContext& context,
+                                obs::RunManifest* manifest) {
   std::vector<RunPoint> runs = expand_runs(spec, context);
-  const std::vector<simnet::ExperimentResult> results =
-      make_executor(context).execute(runs);
+  SweepExecutor executor = make_executor(context);
+  executor.timeline = context.timeline;
+  executor.timeline_index = context.timeline_cell;  // unsharded: global == local
+  executor.on_progress = context.progress;
+  const std::vector<simnet::ExperimentResult> results = executor.execute(runs);
+  if (manifest != nullptr) {
+    fill_manifest(*manifest, spec, context, runs.size(), 0, runs, results,
+                  executor.last_cell_wall_ms());
+  }
 
   ScenarioOutput output;
   if (spec.has_declarative_output()) {
@@ -96,7 +154,8 @@ ScenarioOutput execute_scenario(const ScenarioSpec& spec, const ScenarioContext&
 
 ScenarioOutput execute_scenario_shard(const ScenarioSpec& spec,
                                       const ScenarioContext& context,
-                                      const ShardSpec& shard) {
+                                      const ShardSpec& shard,
+                                      obs::RunManifest* manifest) {
   if (!spec.has_declarative_output()) {
     throw std::invalid_argument(
         "scenario '" + spec.name +
@@ -104,7 +163,7 @@ ScenarioOutput execute_scenario_shard(const ScenarioSpec& spec,
         "computed per shard");
   }
   std::vector<RunPoint> runs = expand_runs(spec, context);
-  const SweepExecutor executor = make_executor(context);
+  SweepExecutor executor = make_executor(context);
 
   // Pin every cell's seed from its GLOBAL grid index before slicing — the
   // exact streams the executor would derive in a single-process run — so
@@ -120,7 +179,20 @@ ScenarioOutput execute_scenario_shard(const ScenarioSpec& spec,
   std::vector<RunPoint> slice(runs.begin() + static_cast<std::ptrdiff_t>(begin),
                               runs.begin() + static_cast<std::ptrdiff_t>(end));
 
+  executor.on_progress = context.progress;
+  // context.timeline_cell is a GLOBAL index; attach the recorder only when
+  // the requested cell falls inside this shard's slice.
+  if (context.timeline != nullptr && context.timeline_cell >= begin &&
+      context.timeline_cell < end) {
+    executor.timeline = context.timeline;
+    executor.timeline_index = context.timeline_cell - begin;
+  }
+
   const std::vector<simnet::ExperimentResult> results = executor.execute(slice);
+  if (manifest != nullptr) {
+    fill_manifest(*manifest, spec, context, runs.size(), begin, slice, results,
+                  executor.last_cell_wall_ms());
+  }
   ScenarioOutput output;
   render_plan_output(spec.plan->output, slice, results, output);
   validate_output(spec, output);
@@ -135,6 +207,37 @@ RunnerOptions options_from_env() {
 }
 
 int run_scenario(const ScenarioSpec& spec, const RunnerOptions& options) {
+  // Observability attachments live here so the library entries stay pure:
+  // the recorder/manifest are locals, wired into the context by pointer.
+  obs::TimelineRecorder recorder;
+  obs::RunManifest manifest;
+  const bool want_manifest = options.metrics_path.has_value() || options.cost_report;
+  ScenarioContext context = options.context;
+  if (options.timeline_path.has_value()) {
+    context.timeline = &recorder;
+    context.timeline_cell = options.timeline_cell;
+  }
+  // Live progress: stderr only, suppressed by --quiet and for non-TTY
+  // stderr (logs/CI capture the final table, not a \r ticker).
+  if (!options.quiet && isatty(fileno(stderr)) != 0) {
+    const auto sweep_start = std::chrono::steady_clock::now();
+    context.progress = [sweep_start](std::size_t done, std::size_t total) {
+      const double elapsed_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+              .count();
+      const double rate = elapsed_s > 0.0 ? static_cast<double>(done) / elapsed_s : 0.0;
+      const double eta_s =
+          rate > 0.0 ? static_cast<double>(total - done) / rate : 0.0;
+      std::fprintf(stderr, "\r%zu/%zu cells, %.1f cells/s, ETA %.0fs   %s", done,
+                   total, rate, eta_s, done == total ? "\n" : "");
+      std::fflush(stderr);
+    };
+  }
+  if (options.phase_timers) {
+    obs::reset_phase_totals();
+    obs::set_phase_timing_enabled(true);
+  }
+
   ScenarioOutput output;
   try {
     if (!options.quiet) {
@@ -162,12 +265,16 @@ int run_scenario(const ScenarioSpec& spec, const RunnerOptions& options) {
       }
     }
     output = options.shard.has_value()
-                 ? execute_scenario_shard(spec, options.context, *options.shard)
-                 : execute_scenario(spec, options.context);
+                 ? execute_scenario_shard(spec, context, *options.shard,
+                                          want_manifest ? &manifest : nullptr)
+                 : execute_scenario(spec, context,
+                                    want_manifest ? &manifest : nullptr);
   } catch (const std::exception& e) {
+    if (options.phase_timers) obs::set_phase_timing_enabled(false);
     std::fprintf(stderr, "scenario '%s' failed: %s\n", spec.name.c_str(), e.what());
     return 1;
   }
+  if (options.phase_timers) obs::set_phase_timing_enabled(false);
 
   if (!output.header.empty()) {
     trace::ConsoleTable table(output.header);
@@ -177,6 +284,35 @@ int run_scenario(const ScenarioSpec& spec, const RunnerOptions& options) {
   for (const auto& note : output.notes) std::printf("%s\n", note.c_str());
   if (options.csv_dir.has_value()) {
     write_csv(spec, output, *options.csv_dir, options.shard);
+  }
+
+  try {
+    if (options.timeline_path.has_value()) {
+      write_text_file(*options.timeline_path, recorder.to_chrome_json_text());
+      if (!options.quiet) {
+        std::printf("timeline: %zu events on %zu tracks -> %s\n", recorder.event_count(),
+                    recorder.track_count(), options.timeline_path->c_str());
+      }
+    }
+    if (options.metrics_path.has_value()) {
+      write_text_file(*options.metrics_path, manifest.to_json_text());
+      if (!options.quiet) {
+        std::printf("metrics: %zu cells -> %s\n", manifest.cells.size(),
+                    options.metrics_path->c_str());
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "observability export failed: %s\n", e.what());
+    return 1;
+  }
+  if (options.cost_report) {
+    trace::ConsoleTable table(obs::cost_report_header());
+    for (const auto& row : obs::cost_report_rows(manifest, 10)) table.add_row(row);
+    std::printf("cost report (slowest cells first):\n%s\n", table.render().c_str());
+  }
+  if (options.phase_timers) {
+    const std::string report = obs::phase_report();
+    if (!report.empty()) std::fputs(report.c_str(), stderr);
   }
   return 0;
 }
@@ -240,7 +376,87 @@ int merge_csv_files(const std::string& out_path, const std::vector<std::string>&
   }
 }
 
+int merge_manifest_files(const std::string& out_path,
+                         const std::vector<std::string>& inputs) {
+  try {
+    std::vector<obs::RunManifest> parts;
+    parts.reserve(inputs.size());
+    for (const std::string& path : inputs) {
+      parts.push_back(obs::RunManifest::from_json_text(read_text_file(path)));
+    }
+    const obs::RunManifest merged = obs::merge_manifests(parts);
+    write_text_file(out_path, merged.to_json_text());
+    std::printf("merged %zu cells from %zu shard manifest%s into %s\n",
+                merged.cells.size(), inputs.size(), inputs.size() == 1 ? "" : "s",
+                out_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--merge failed: %s\n", e.what());
+    return 1;
+  }
+}
+
 namespace {
+
+// `--cost-report metrics.json` without a run: load a saved manifest and rank.
+int standalone_cost_report(const std::string& metrics_path) {
+  try {
+    const obs::RunManifest manifest =
+        obs::RunManifest::from_json_text(read_text_file(metrics_path));
+    std::printf("scenario %s (scale %g, seed %llu): %zu of %zu cells\n",
+                manifest.scenario.c_str(), manifest.scale,
+                static_cast<unsigned long long>(manifest.seed), manifest.cells.size(),
+                manifest.total_cells);
+    trace::ConsoleTable table(obs::cost_report_header());
+    for (const auto& row : obs::cost_report_rows(manifest, 0)) table.add_row(row);
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--cost-report %s: %s\n", metrics_path.c_str(), e.what());
+    return 1;
+  }
+}
+
+// CI smoke: re-parse a timeline + manifest with the in-repo JSON parser and
+// assert the shape downstream tools rely on.
+int check_obs_files(const std::string& timeline_path, const std::string& metrics_path) {
+  try {
+    const trace::JsonValue doc = trace::JsonValue::parse(read_text_file(timeline_path));
+    if (doc.at("displayTimeUnit").as_string() != "ms") {
+      throw std::runtime_error("timeline displayTimeUnit is not \"ms\"");
+    }
+    const trace::JsonValue::Array& events = doc.at("traceEvents").as_array();
+    if (events.empty()) throw std::runtime_error("timeline has no traceEvents");
+    for (const trace::JsonValue& event : events) {
+      // Every event carries the keys Perfetto keys on ("E" span-ends have
+      // no name by design — they close the most recent "B" on the track).
+      const std::string& ph = event.at("ph").as_string();
+      (void)event.at("pid").as_double();
+      (void)event.at("tid").as_double();
+      if (ph != "E") (void)event.at("name").as_string();
+    }
+    const obs::RunManifest manifest =
+        obs::RunManifest::from_json_text(read_text_file(metrics_path));
+    if (manifest.cells.empty()) throw std::runtime_error("manifest has no cells");
+    for (const obs::CellMetrics& cell : manifest.cells) {
+      if (cell.index >= manifest.total_cells) {
+        throw std::runtime_error("cell index " + std::to_string(cell.index) +
+                                 " out of range");
+      }
+    }
+    std::printf("check-obs OK: %zu trace events, %zu manifest cells (scenario %s)\n",
+                events.size(), manifest.cells.size(), manifest.scenario.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--check-obs failed: %s\n", e.what());
+    return 1;
+  }
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
 
 void print_list(const std::string& tag_filter) {
   const ScenarioRegistry& registry = ScenarioRegistry::global();
@@ -268,6 +484,9 @@ void print_usage(std::FILE* out, const char* argv0) {
                "       %s --plan FILE.json [options]\n"
                "       %s --dump-plan NAME\n"
                "       %s --merge OUT.csv SHARD.csv [SHARD.csv...]\n"
+               "       %s --merge OUT.json SHARD.json [...]   (metrics manifests)\n"
+               "       %s --cost-report METRICS.json          (report a saved manifest)\n"
+               "       %s --check-obs TIMELINE.json METRICS.json\n"
                "options:\n"
                "  --threads N   sweep worker threads (0 = hardware, 1 = serial)\n"
                "  --scale S     duration scale in (0, 1]\n"
@@ -280,10 +499,18 @@ void print_usage(std::FILE* out, const char* argv0) {
                "                streams follow the GLOBAL cell index, so --merge of\n"
                "                all shards is bit-identical to the unsharded run\n"
                "                (needs a scenario with a declarative output spec)\n"
+               "observability:\n"
+               "  --timeline F        record a Chrome trace-event timeline of one grid\n"
+               "                      cell to F (open in Perfetto / chrome://tracing)\n"
+               "  --timeline-cell K   which GLOBAL grid cell to record (default 0)\n"
+               "  --metrics-out F     write the per-cell runtime manifest (JSON) to F\n"
+               "  --cost-report       print the slowest cells after the run\n"
+               "  --phase-timers      host-time phase accounting report on stderr\n"
+               "  --quiet             suppress banner and live progress\n"
                "environment:    SSS_BENCH_SCALE, SSS_BENCH_CSV_DIR,\n"
                "                SSS_SWEEP_THREADS, SSS_SWEEP_SEED,\n"
                "                SSS_SCENARIO_PARAMS=k=v,k=v (flags win)\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 // Argument error: usage on stderr, non-zero exit.
@@ -316,6 +543,7 @@ int main_from_args(int argc, char** argv) {
   std::string plan_path;
   std::string dump_name;
   std::string tag;
+  std::string cost_report_path;
   RunnerOptions options = options_from_env();
 
   for (int i = 1; i < argc; ++i) {
@@ -344,15 +572,51 @@ int main_from_args(int argc, char** argv) {
       if (v == nullptr) return usage(argv[0]);
       dump_name = v;
     } else if (arg == "--merge") {
-      // Consumes the rest of the argument list: OUT.csv SHARD.csv...
+      // Consumes the rest of the argument list: OUT SHARD [SHARD...].
+      // The output suffix picks the format: .json merges metrics
+      // manifests, anything else merges scenario CSVs.
       if (i + 2 >= argc) {
-        std::fprintf(stderr, "--merge requires OUT.csv and at least one shard CSV\n");
+        std::fprintf(stderr, "--merge requires OUT and at least one shard file\n");
         return usage(argv[0]);
       }
       const std::string out_path = argv[++i];
       std::vector<std::string> inputs;
       while (++i < argc) inputs.emplace_back(argv[i]);
-      return merge_csv_files(out_path, inputs);
+      return ends_with(out_path, ".json") ? merge_manifest_files(out_path, inputs)
+                                          : merge_csv_files(out_path, inputs);
+    } else if (arg == "--timeline") {
+      const char* v = next_value("--timeline");
+      if (v == nullptr) return usage(argv[0]);
+      options.timeline_path = std::string(v);
+    } else if (arg == "--timeline-cell") {
+      const char* v = next_value("--timeline-cell");
+      const auto parsed = v ? parse_uint64(v) : std::nullopt;
+      if (!parsed.has_value()) return usage(argv[0]);
+      options.timeline_cell = static_cast<std::size_t>(*parsed);
+    } else if (arg == "--metrics-out") {
+      const char* v = next_value("--metrics-out");
+      if (v == nullptr) return usage(argv[0]);
+      options.metrics_path = std::string(v);
+    } else if (arg == "--cost-report") {
+      // With a following path: standalone report over a saved manifest.
+      // Bare: print the report after this invocation's run.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        cost_report_path = argv[++i];
+      } else {
+        options.cost_report = true;
+      }
+    } else if (arg == "--phase-timers") {
+      options.phase_timers = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--check-obs") {
+      if (i + 2 >= argc) {
+        std::fprintf(stderr, "--check-obs requires TIMELINE.json METRICS.json\n");
+        return usage(argv[0]);
+      }
+      const std::string timeline_path = argv[++i];
+      const std::string metrics_path = argv[++i];
+      return check_obs_files(timeline_path, metrics_path);
     } else if (arg == "--shard") {
       const char* v = next_value("--shard");
       const auto parsed = v ? parse_shard(v) : std::nullopt;
@@ -403,6 +667,9 @@ int main_from_args(int argc, char** argv) {
     }
   }
 
+  if (!cost_report_path.empty()) {
+    return standalone_cost_report(cost_report_path);
+  }
   if (list) {
     print_list(tag);
     return 0;

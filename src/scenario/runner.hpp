@@ -15,6 +15,10 @@
 
 #include "scenario/spec.hpp"
 
+namespace sss::obs {
+struct RunManifest;  // obs/manifest.hpp
+}
+
 namespace sss::scenario {
 
 // One slice of a sharded sweep: shard `index` of `count`.
@@ -24,18 +28,23 @@ struct ShardSpec {
 };
 
 // Expand, execute (parallel, deterministic), analyze.  Throws on scenario
-// errors.
+// errors.  When `manifest` is non-null it is filled with the per-cell
+// runtime metrics of this run (obs/manifest.hpp).
 [[nodiscard]] ScenarioOutput execute_scenario(const ScenarioSpec& spec,
-                                              const ScenarioContext& context);
+                                              const ScenarioContext& context,
+                                              obs::RunManifest* manifest = nullptr);
 
 // Execute only this shard's contiguous block of grid cells.  Every cell
 // keeps the Xoshiro jump-stream seed of its GLOBAL grid index, so the
 // concatenation of all shards' rows (in shard order) is bit-identical to a
 // single-process run.  Requires a declarative output spec (per-run rows);
 // throws std::invalid_argument for scenarios that reduce across runs.
+// A shard manifest carries GLOBAL cell indices, so `--merge` can stitch
+// the per-shard manifests back into one cost report.
 [[nodiscard]] ScenarioOutput execute_scenario_shard(const ScenarioSpec& spec,
                                                     const ScenarioContext& context,
-                                                    const ShardSpec& shard);
+                                                    const ShardSpec& shard,
+                                                    obs::RunManifest* manifest = nullptr);
 
 struct RunnerOptions {
   ScenarioContext context;
@@ -46,6 +55,18 @@ struct RunnerOptions {
   bool quiet = false;
   // Run only this slice of the grid.
   std::optional<ShardSpec> shard;
+
+  // --- observability outputs (obs/), all off by default ---
+  // Write a Chrome trace-event timeline of grid cell `timeline_cell`
+  // (GLOBAL index) to this path.  Open the file in Perfetto / chrome://tracing.
+  std::optional<std::string> timeline_path;
+  std::size_t timeline_cell = 0;
+  // Write the per-cell runtime manifest (obs::RunManifest JSON) here.
+  std::optional<std::string> metrics_path;
+  // Print the slowest-cells cost report after the run.
+  bool cost_report = false;
+  // Enable the scoped phase timers and print their report after the run.
+  bool phase_timers = false;
 };
 
 // Options assembled from the SSS_* environment knobs (env.hpp).
@@ -69,14 +90,25 @@ int run_named(const std::string& name);
 // argument order) through the trace layer.  Returns a process exit code.
 int merge_csv_files(const std::string& out_path, const std::vector<std::string>& inputs);
 
+// Merge sharded metrics manifests (obs::merge_manifests: cells re-sorted
+// by global index, run metadata must agree).  Returns a process exit code.
+int merge_manifest_files(const std::string& out_path,
+                         const std::vector<std::string>& inputs);
+
 // The scenario_runner CLI:
 //   scenario_runner --list [--tag <tag>]
 //   scenario_runner --run <name>[,<name>...] [--threads N] [--scale S]
 //                   [--seed K] [--csv-dir DIR] [--param k=v] [--shard I/N]
+//                   [--timeline FILE [--timeline-cell K]]
+//                   [--metrics-out FILE] [--cost-report] [--phase-timers]
+//                   [--quiet]
 //   scenario_runner --all [--tag <tag>] [...same knobs]
 //   scenario_runner --plan <file.json> [...same knobs]
 //   scenario_runner --dump-plan <name>
 //   scenario_runner --merge <out.csv> <shard.csv> [<shard.csv>...]
+//   scenario_runner --merge <out.json> <shard.json> [...]   (metrics manifests)
+//   scenario_runner --cost-report <metrics.json>            (standalone report)
+//   scenario_runner --check-obs <timeline.json> <metrics.json>
 int main_from_args(int argc, char** argv);
 
 }  // namespace sss::scenario

@@ -17,6 +17,7 @@
 #include "scenario/overrides.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenarios.hpp"
+#include "storage/staged_obs.hpp"
 #include "storage/staged_transfer.hpp"
 #include "storage/stream_transfer.hpp"
 
@@ -209,6 +210,13 @@ ScenarioSpec fig4_spec() {
         const auto staged = storage::simulate_staged(staged_cfg, scan, files);
         out.add_row({fmt(spf), "file-based", fmt(files), fmt(staged.total_s),
                      fmt(staged.total_s / stream.total_s), fmt(staged.theta())});
+        if (ctx.timeline != nullptr) {
+          // Analytic scenarios have no grid cells, so --timeline renders
+          // every staged variant: one summary track plus per-file tracks.
+          storage::append_staged_timeline(
+              *ctx.timeline, staged,
+              "staged spf=" + fmt(spf) + " files=" + fmt(files));
+        }
       }
     }
 

@@ -39,6 +39,10 @@
 #include "simnet/fluid.hpp"
 #include "simnet/workload.hpp"
 
+namespace sss::obs {
+class TimelineRecorder;  // obs/timeline.hpp
+}
+
 namespace sss::scenario {
 
 struct ExperimentPlan;  // scenario/plan.hpp
@@ -77,6 +81,17 @@ struct ScenarioContext {
   // plan expansion.  See scenario/overrides.hpp for the key catalog;
   // unknown keys and malformed values abort the run.
   std::vector<std::string> param_overrides;
+
+  // --- observability attachments (obs/), all off by default.  None of
+  // these affect simulation results; they only observe them. ---
+  // Record grid cell `timeline_cell` (GLOBAL index) into this recorder;
+  // analyze hooks with post-hoc timelines (fig4's staged transfers) render
+  // into it too.
+  obs::TimelineRecorder* timeline = nullptr;
+  std::size_t timeline_cell = 0;
+  // Progress hook, invoked from worker threads as (cells_done, total).
+  // Must be thread-safe.
+  std::function<void(std::size_t, std::size_t)> progress;
 };
 
 // What a scenario produces: one table (header + rows, also exported as

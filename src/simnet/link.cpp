@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/phase_timer.hpp"
+#include "obs/timeline.hpp"
+
 namespace sss::simnet {
 
 namespace {
@@ -77,6 +80,7 @@ bool Link::transmit(Simulation& sim, const Packet& packet, PacketSink& destinati
   if (backlog_ns > buffer_capacity_ns_) {
     ++counters_.packets_dropped;
     counters_.bytes_dropped += packet.size_bytes;
+    if (probe_ != nullptr) probe_drop(now);
     return false;
   }
 
@@ -92,6 +96,7 @@ bool Link::transmit(Simulation& sim, const Packet& packet, PacketSink& destinati
   if (record_series_) {
     bytes_series_.record(to_seconds(start), static_cast<double>(packet.size_bytes));
   }
+  if (probe_ != nullptr) probe_sample(now);
 
   // Reserve the delivery event's sequence number NOW (the old design
   // scheduled the event here); the chained schedule below or in on_event
@@ -109,6 +114,7 @@ bool Link::transmit(Simulation& sim, const Packet& packet, PacketSink& destinati
 }
 
 void Link::on_event(Simulation& sim, int kind, std::uint64_t /*a*/, std::uint64_t /*b*/) {
+  const obs::ScopedPhase phase(obs::Phase::kLinkDrain);
   if (kind != kDeliverEvent) throw std::logic_error("Link: unexpected event kind");
   if (keys_.empty()) throw std::logic_error("Link: delivery with empty in-flight queue");
   // Batched drain: deliver the front packet, then keep delivering chained
@@ -133,6 +139,37 @@ void Link::on_event(Simulation& sim, int kind, std::uint64_t /*a*/, std::uint64_
     return;
   }
 }
+
+void Link::attach_probe(obs::TimelineRecorder* recorder, int track,
+                        SimTime sample_interval) {
+  probe_ = recorder;
+  probe_track_ = track;
+  probe_interval_ = std::max<SimTime>(sample_interval, 1);
+  probe_next_sample_ = 0;
+  probe_last_sample_ = 0;
+  probe_last_forwarded_bytes_ = counters_.bytes_forwarded;
+}
+
+// Sampled on accepted transmits, rate-limited to the probe interval:
+// queue depth straight from the serialization backlog, utilization as the
+// forwarded-byte delta over the window since the previous sample.
+void Link::probe_sample(SimTime now) {
+  if (now < probe_next_sample_) return;
+  probe_->counter(probe_track_, "queue_bytes", now, backlog_bytes(now));
+  const double dt_s = static_cast<double>(now - probe_last_sample_) / 1e9;
+  if (dt_s > 0.0) {
+    const double bits =
+        static_cast<double>(counters_.bytes_forwarded - probe_last_forwarded_bytes_) *
+        8.0;
+    probe_->counter(probe_track_, "utilization", now,
+                    bits / dt_s / config_.capacity.bps());
+  }
+  probe_last_sample_ = now;
+  probe_last_forwarded_bytes_ = counters_.bytes_forwarded;
+  probe_next_sample_ = now + probe_interval_;
+}
+
+void Link::probe_drop(SimTime now) { probe_->instant(probe_track_, "drop", now); }
 
 double Link::peak_utilization() const {
   return bytes_series_.peak_rate() / config_.capacity.bps();

@@ -33,6 +33,10 @@
 #include "stats/timeseries.hpp"
 #include "units/units.hpp"
 
+namespace sss::obs {
+class TimelineRecorder;  // obs/timeline.hpp — forward-declared: the probe is
+}                        // a pointer, and transmit() must stay include-light
+
 namespace sss::simnet {
 
 struct Packet {
@@ -118,6 +122,13 @@ class Link final : public EventHandler {
   // True while a chained delivery event is scheduled (at most one per link).
   [[nodiscard]] bool delivery_pending() const { return delivery_pending_; }
 
+  // Attach a timeline probe: queue-depth / utilization counter samples on
+  // `track` at most every `sample_interval` (sampled on transmit, i.e. in
+  // simulation time), plus an instant per drop-tail loss.  Null recorder =
+  // off; the hot path then pays one pointer compare.
+  void attach_probe(obs::TimelineRecorder* recorder, int track,
+                    SimTime sample_interval);
+
  private:
   // In-flight state, SoA: the chained-delivery decision (on_event's batch
   // loop, the schedule_reserved handoff) touches only the 16-byte key ring;
@@ -148,6 +159,17 @@ class Link final : public EventHandler {
   bool delivery_pending_ = false;
   bool record_series_;
   stats::TimeSeries bytes_series_;
+
+  // Timeline probe (null = observability off).
+  obs::TimelineRecorder* probe_ = nullptr;
+  int probe_track_ = 0;
+  SimTime probe_interval_ = 0;
+  SimTime probe_next_sample_ = 0;
+  SimTime probe_last_sample_ = 0;
+  std::uint64_t probe_last_forwarded_bytes_ = 0;
+
+  void probe_sample(SimTime now);
+  void probe_drop(SimTime now);
 };
 
 }  // namespace sss::simnet

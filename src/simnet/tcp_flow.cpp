@@ -5,12 +5,30 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/phase_timer.hpp"
+#include "obs/timeline.hpp"
 #include "stats/rng.hpp"
 
 namespace sss::simnet {
 
 namespace {
 constexpr int kRtoEvent = 1;
+
+// Congestion phases reported by the timeline probe.  Stored in
+// probe_phase_ as the index of the currently open span.
+enum ProbePhase : std::uint8_t { kPhaseSlowStart = 0, kPhaseSteady, kPhaseRecovery };
+
+const char* probe_phase_name(std::uint8_t phase) {
+  switch (phase) {
+    case kPhaseSlowStart:
+      return "slow-start";
+    case kPhaseSteady:
+      return "steady";
+    case kPhaseRecovery:
+      return "recovery";
+  }
+  return "unknown";
+}
 }  // namespace
 
 TcpFlow::TcpFlow(std::uint32_t id, units::Bytes total, const TcpConfig& config, Path& forward,
@@ -70,6 +88,7 @@ void TcpFlow::start(Simulation& sim) {
   if (started_) throw std::logic_error("TcpFlow::start called twice");
   started_ = true;
   start_time_ = sim.now();
+  if (probe_ != nullptr) probe_start(sim);
   maybe_send(sim);
 }
 
@@ -97,6 +116,7 @@ void TcpFlow::send_packet(Simulation& sim, std::uint64_t seq, bool is_retransmit
 }
 
 void TcpFlow::maybe_send(Simulation& sim) {
+  const obs::ScopedPhase phase(obs::Phase::kTransmit);
   if (in_fast_recovery_) {
     // SACK-style recovery: pipe-limited; repair scoreboard holes first,
     // then keep the window full with new data.  Each retransmit bumps
@@ -144,6 +164,7 @@ void TcpFlow::maybe_send(Simulation& sim) {
 }
 
 void TcpFlow::on_packet(Simulation& sim, const Packet& packet) {
+  const obs::ScopedPhase phase(obs::Phase::kTcpProcess);
   if (packet.is_ack) {
     handle_ack(sim, packet);
   } else {
@@ -208,6 +229,7 @@ void TcpFlow::handle_ack(Simulation& sim, const Packet& packet) {
       finish(sim);
       return;
     }
+    if (probe_ != nullptr) probe_note_phase(sim);
     arm_timer(sim);
     maybe_send(sim);
     return;
@@ -233,6 +255,10 @@ void TcpFlow::enter_fast_retransmit(Simulation& sim) {
   recover_seq_ = highest_sent_;
   recovery_cursor_ = highest_acked_;
   retx_unconfirmed_ = 0;
+  if (probe_ != nullptr) {
+    probe_instant(sim, "fast-retransmit");
+    probe_note_phase(sim);
+  }
   maybe_send(sim);
 }
 
@@ -250,6 +276,10 @@ void TcpFlow::handle_rto(Simulation& sim) {
   // buffer fast-forward past anything it already holds, and maybe_send tags
   // the resends as retransmissions via the high-water mark.
   next_seq_ = highest_acked_;
+  if (probe_ != nullptr) {
+    probe_instant(sim, "rto");
+    probe_note_phase(sim);
+  }
   maybe_send(sim);
 }
 
@@ -329,7 +359,45 @@ void TcpFlow::finish(Simulation& sim) {
   complete_ = true;
   end_time_ = sim.now();
   cancel_timer();
+  if (probe_ != nullptr) probe_finish(sim);
   if (observer_ != nullptr) observer_->on_flow_complete(sim, *this);
+}
+
+void TcpFlow::attach_probe(obs::TimelineRecorder* recorder, int track) {
+  if (started_) throw std::logic_error("TcpFlow::attach_probe after start");
+  probe_ = recorder;
+  probe_track_ = track;
+}
+
+void TcpFlow::probe_start(Simulation& sim) {
+  // With hystart the initial ssthresh is the receiver window, so every flow
+  // opens in slow start.
+  probe_phase_ = cwnd_ < ssthresh_ ? kPhaseSlowStart : kPhaseSteady;
+  probe_->begin_span(probe_track_, probe_phase_name(probe_phase_), sim.now());
+}
+
+// Close/open phase spans on congestion-state transitions.  Called per ACK
+// when attached; the common case (no transition) is two compares.
+void TcpFlow::probe_note_phase(Simulation& sim) {
+  std::uint8_t phase = kPhaseSteady;
+  if (in_fast_recovery_) {
+    phase = kPhaseRecovery;
+  } else if (cwnd_ < ssthresh_) {
+    phase = kPhaseSlowStart;
+  }
+  if (phase == probe_phase_) return;
+  probe_->end_span(probe_track_, sim.now());
+  probe_->begin_span(probe_track_, probe_phase_name(phase), sim.now());
+  probe_phase_ = phase;
+}
+
+void TcpFlow::probe_instant(Simulation& sim, const char* name) {
+  probe_->instant(probe_track_, name, sim.now());
+}
+
+void TcpFlow::probe_finish(Simulation& sim) {
+  probe_->end_span(probe_track_, sim.now());
+  probe_->instant(probe_track_, "complete", sim.now());
 }
 
 }  // namespace sss::simnet

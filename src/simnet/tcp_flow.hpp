@@ -38,6 +38,10 @@
 #include "stats/summary.hpp"
 #include "units/units.hpp"
 
+namespace sss::obs {
+class TimelineRecorder;  // obs/timeline.hpp
+}
+
 namespace sss::simnet {
 
 struct TcpConfig {
@@ -106,6 +110,12 @@ class TcpFlow final : public PacketSink, public EventHandler {
   [[nodiscard]] const stats::Summary& rtt_samples() const { return rtt_stats_; }
   // Smoothed RTT estimate; initial_rto-derived before the first sample.
   [[nodiscard]] units::Seconds current_rto() const { return to_seconds(rto_); }
+
+  // Attach a timeline probe: congestion-phase spans (slow-start / steady /
+  // recovery) plus fast-retransmit and rto instants on `track`, in
+  // simulation time.  Must be called before start(); null = off (the
+  // default — per-ACK cost is then one pointer compare).
+  void attach_probe(obs::TimelineRecorder* recorder, int track);
 
  private:
   // --- identity & wiring ---
@@ -181,6 +191,16 @@ class TcpFlow final : public PacketSink, public EventHandler {
   std::uint64_t retransmits_ = 0;
   std::uint64_t rto_events_ = 0;
   stats::Summary rtt_stats_;
+
+  // --- timeline probe (null = off) ---
+  obs::TimelineRecorder* probe_ = nullptr;
+  int probe_track_ = 0;
+  std::uint8_t probe_phase_ = 0;  // ProbePhase of the currently open span
+
+  void probe_start(Simulation& sim);
+  void probe_note_phase(Simulation& sim);
+  void probe_instant(Simulation& sim, const char* name);
+  void probe_finish(Simulation& sim);
 
   [[nodiscard]] std::uint32_t payload_of(std::uint64_t seq) const;
   [[nodiscard]] double in_flight() const {

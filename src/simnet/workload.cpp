@@ -5,7 +5,10 @@
 #include <limits>
 #include <memory_resource>
 #include <stdexcept>
+#include <string>
 
+#include "obs/phase_timer.hpp"
+#include "obs/timeline.hpp"
 #include "simnet/background.hpp"
 
 namespace sss::simnet {
@@ -188,9 +191,11 @@ class Orchestrator : public FlowObserver, public EventHandler {
   static constexpr int kTryAdmit = 2;
 
   Orchestrator(const WorkloadConfig& config, Path& forward, Path& reverse,
-               stats::Random& rng, std::pmr::memory_resource* mem)
+               stats::Random& rng, std::pmr::memory_resource* mem,
+               obs::TimelineRecorder* probe = nullptr)
       : config_(config), forward_(forward), reverse_(reverse), rng_(rng), mem_(mem),
-        flows_(mem), flow_client_(mem), clients_(mem), reservations_(mem) {}
+        probe_(probe), flows_(mem), flow_client_(mem), clients_(mem),
+        reservations_(mem) {}
 
   ~Orchestrator() override {
     std::pmr::polymorphic_allocator<> alloc(mem_);
@@ -259,6 +264,13 @@ class Orchestrator : public FlowObserver, public EventHandler {
       flow_client_.push_back(client_id);
       flows_.push_back(alloc.new_object<TcpFlow>(flow_id, per_flow, config_.tcp,
                                                  forward_, reverse_, this, mem_));
+      if (probe_ != nullptr) {
+        // Track names allocate from the recorder's heap, not the arena;
+        // timeline capture is opt-in and outside the zero-alloc contract.
+        flows_.back()->attach_probe(
+            probe_, probe_->add_track("flow " + std::to_string(flow_id) + " (client " +
+                                      std::to_string(client_id) + ")"));
+      }
       const double jitter = rng_.uniform(0.0, config_.start_jitter.seconds());
       const SimTime start_at = to_simtime(at + units::Seconds::of(jitter));
       sim.schedule_at(std::max<SimTime>(start_at, sim.now()), *this, kStartFlow,
@@ -374,6 +386,7 @@ class Orchestrator : public FlowObserver, public EventHandler {
   Path& reverse_;
   stats::Random& rng_;
   std::pmr::memory_resource* mem_;
+  obs::TimelineRecorder* probe_;  // null = timeline off
   std::pmr::vector<TcpFlow*> flows_;             // allocated from mem_
   std::pmr::vector<std::uint32_t> flow_client_;  // parallel to flows_
   std::pmr::vector<ClientState> clients_;        // indexed by client_id
@@ -400,14 +413,14 @@ struct Workload::Cell {
   SimTime deadline = 0;
 
   Cell(const WorkloadConfig& config, const std::vector<LinkConfig>& hops,
-       std::pmr::memory_resource* m)
+       std::pmr::memory_resource* m, obs::TimelineRecorder* probe)
       : sim(m),
         forward(hops, units::Seconds::of(1.0), m, /*record_series=*/true),
         // Generous buffers so ACK loss never originates here (matching the
         // paper's uncontended server side).
         reverse(reverse_hops(hops), units::Seconds::of(1.0), m, /*record_series=*/false),
         rng(config.seed),
-        orchestrator(config, forward, reverse, rng, m),
+        orchestrator(config, forward, reverse, rng, m, probe),
         cross_paths(m),
         backgrounds(m),
         mem(m) {}
@@ -431,6 +444,7 @@ Workload::~Workload() {
 }
 
 void Workload::prepare() {
+  const obs::ScopedPhase obs_phase(obs::Phase::kPrepare);
   std::pmr::polymorphic_allocator<> alloc(mem_);
   if (cell_ != nullptr) {
     // Destructors must run while the arena memory is still valid; the
@@ -441,8 +455,21 @@ void Workload::prepare() {
   }
 
   const std::vector<LinkConfig> hops = config_.effective_hops();
-  cell_ = alloc.new_object<Cell>(config_, hops, mem_);
+  cell_ = alloc.new_object<Cell>(config_, hops, mem_, probe_.recorder);
   Cell& cell = *cell_;
+
+  if (probe_.recorder != nullptr) {
+    // Track order fixes the Perfetto row order: workload summary first,
+    // then one counter track per forward hop, then flows as they spawn
+    // (and per-client spans appended by finish()).
+    probe_workload_track_ = probe_.recorder->add_track("workload");
+    for (std::size_t h = 0; h < hops.size(); ++h) {
+      const int track =
+          probe_.recorder->add_track("hop" + std::to_string(h) + " " + hops[h].name);
+      cell.forward.hop(h).attach_probe(probe_.recorder, track,
+                                       to_simtime(probe_.hop_sample_interval));
+    }
+  }
 
   const std::vector<double> arrivals = requested_arrival_times(config_, cell.rng);
   cell.orchestrator.spawn_all(cell.sim, arrivals);
@@ -490,6 +517,7 @@ void Workload::prepare() {
 }
 
 void Workload::drive() {
+  const obs::ScopedPhase obs_phase(obs::Phase::kDrive);
   Cell& cell = *cell_;
   // Batched link drains may dispatch chained arrivals inline; capping them
   // at the deadline keeps the stop point identical to the unbatched loop
@@ -501,6 +529,7 @@ void Workload::drive() {
 }
 
 ExperimentResult Workload::finish() {
+  const obs::ScopedPhase obs_phase(obs::Phase::kFinish);
   Cell& cell = *cell_;
   ExperimentResult result;
   result.config = config_;
@@ -509,6 +538,24 @@ ExperimentResult Workload::finish() {
   result.events_processed = cell.sim.events_processed();
   result.queue_high_water = cell.sim.queue_high_water();
   result.sim_duration_s = cell.sim.now_seconds().seconds();
+  result.arena_reserved_bytes = arena_.stats().reserved_bytes;
+
+  if (probe_.recorder != nullptr) {
+    obs::TimelineRecorder& rec = *probe_.recorder;
+    const SimTime spawn_end = to_simtime(config_.duration);
+    rec.complete_span(probe_workload_track_, "spawn-window", 0, spawn_end);
+    if (cell.sim.now() > spawn_end) {
+      rec.complete_span(probe_workload_track_, "drain", spawn_end, cell.sim.now());
+    }
+    // Client-level transfer spans, synthesized from the collected records
+    // (finish is outside the hot loop, so ordinary allocation is fine).
+    for (const ClientRecord& client : result.metrics.clients) {
+      const int track = rec.add_track("client " + std::to_string(client.client_id));
+      rec.complete_span(track, client.censored ? "transfer (censored)" : "transfer",
+                        to_simtime(units::Seconds::of(client.start_s)),
+                        to_simtime(units::Seconds::of(client.end_s)));
+    }
+  }
   return result;
 }
 
@@ -520,6 +567,12 @@ ExperimentResult Workload::run() {
 
 ExperimentResult run_experiment(const WorkloadConfig& config) {
   return Workload(config).run();
+}
+
+ExperimentResult run_experiment(const WorkloadConfig& config, const TimelineProbe& probe) {
+  Workload workload(config);
+  workload.set_probe(probe);
+  return workload.run();
 }
 
 }  // namespace sss::simnet

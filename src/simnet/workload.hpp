@@ -43,6 +43,10 @@
 #include "stats/rng.hpp"
 #include "units/units.hpp"
 
+namespace sss::obs {
+class TimelineRecorder;  // obs/timeline.hpp
+}
+
 namespace sss::simnet {
 
 enum class SpawnMode {
@@ -182,12 +186,26 @@ struct ExperimentResult {
   // in flight (pinned by tests/simnet/queue_occupancy_test.cpp).
   std::uint64_t queue_high_water = 0;
   double sim_duration_s = 0.0;  // virtual time at drain
+  // Retained arena capacity after the run (0 for the fluid substrate and
+  // heap-backed ablation runs) — the per-cell memory figure the run
+  // manifest records (obs/manifest.hpp).
+  std::uint64_t arena_reserved_bytes = 0;
 
   // Streaming Speed Score inputs (Section 4.1).
   [[nodiscard]] double t_worst_s() const { return metrics.max_client_fct_s(); }
   [[nodiscard]] double t_theoretical_s() const {
     return config.theoretical_transfer_time().seconds();
   }
+};
+
+// Timeline attachment for one experiment cell (obs/timeline.hpp).  A null
+// recorder is the default "off" state: the hot paths then pay one pointer
+// compare per would-be record.  All recording is in simulation time, so an
+// attached recorder never perturbs results — only observes them.
+struct TimelineProbe {
+  obs::TimelineRecorder* recorder = nullptr;
+  // Rate limit for per-hop queue-depth / utilization counter samples.
+  units::Seconds hop_sample_interval = units::Seconds::millis(100.0);
 };
 
 // One experiment cell with an owned allocation arena.
@@ -223,12 +241,19 @@ class Workload {
   [[nodiscard]] const WorkloadConfig& config() const { return config_; }
   [[nodiscard]] const Arena& arena() const { return arena_; }
 
+  // Attach a timeline recorder before prepare(): forward hops get counter
+  // tracks, every TCP flow gets a lifecycle track, and finish() adds
+  // workload-level spawn/drain spans plus per-client transfer spans.
+  void set_probe(TimelineProbe probe) { probe_ = probe; }
+
  private:
   struct Cell;
 
   WorkloadConfig config_;
   Arena arena_;
   std::pmr::memory_resource* mem_;
+  TimelineProbe probe_;
+  int probe_workload_track_ = 0;  // "workload" summary track, set by prepare()
   Cell* cell_ = nullptr;  // allocated from mem_; rebuilt by prepare()
 };
 
@@ -236,5 +261,9 @@ class Workload {
 // seed).  Full Table-2 sweeps are expressed as scenarios and fanned out by
 // scenario::SweepExecutor (see scenario::detail::table2_grid).
 [[nodiscard]] ExperimentResult run_experiment(const WorkloadConfig& config);
+
+// Same, with a timeline attached (scenario --timeline path).
+[[nodiscard]] ExperimentResult run_experiment(const WorkloadConfig& config,
+                                              const TimelineProbe& probe);
 
 }  // namespace sss::simnet

@@ -1,0 +1,51 @@
+#include "storage/staged_obs.hpp"
+
+#include <algorithm>
+
+namespace sss::storage {
+
+namespace {
+// StagedTimeline stamps are seconds; the recorder wants integer ns.
+std::int64_t to_ns(double seconds) {
+  return static_cast<std::int64_t>(seconds * 1e9 + 0.5);
+}
+}  // namespace
+
+void append_staged_timeline(obs::TimelineRecorder& recorder,
+                            const StagedTimeline& timeline, const std::string& label,
+                            std::size_t max_file_tracks) {
+  const int summary = recorder.add_track(label);
+  recorder.complete_span(summary, "generation", 0, to_ns(timeline.generation_done_s));
+  recorder.complete_span(summary, "staging (source PFS)", 0,
+                         to_ns(timeline.staging_done_s));
+  // The WAN stage starts when the first file hits the wire (with overlap
+  // enabled that is long before staging completes).
+  double wan_start_s = timeline.transfer_done_s;
+  for (const StagedFileEvent& file : timeline.files) {
+    wan_start_s = std::min(wan_start_s, file.transfer_start_s);
+  }
+  recorder.complete_span(summary, "wan transfer", to_ns(wan_start_s),
+                         to_ns(timeline.transfer_done_s));
+  if (timeline.read_done_s > timeline.transfer_done_s) {
+    recorder.complete_span(summary, "dest read", to_ns(timeline.transfer_done_s),
+                           to_ns(timeline.read_done_s));
+  }
+  recorder.instant(summary, "complete", to_ns(timeline.total_s));
+
+  const std::size_t shown =
+      max_file_tracks == 0 ? timeline.files.size()
+                           : std::min(timeline.files.size(), max_file_tracks);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const StagedFileEvent& file = timeline.files[i];
+    const int track =
+        recorder.add_track(label + " file " + std::to_string(file.file_index));
+    if (file.transfer_start_s > file.staged_at_s) {
+      recorder.complete_span(track, "aggregation wait", to_ns(file.staged_at_s),
+                             to_ns(file.transfer_start_s));
+    }
+    recorder.complete_span(track, "wan copy", to_ns(file.transfer_start_s),
+                           to_ns(file.landed_at_s));
+  }
+}
+
+}  // namespace sss::storage

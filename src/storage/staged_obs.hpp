@@ -1,0 +1,27 @@
+// staged_obs.hpp — timeline capture for the staged (file-based) path.
+//
+// The staged pipeline of Fig. 1(a) is an analytic chain (generation →
+// source-PFS write → WAN copy → destination read), so its timeline is
+// synthesized after the fact from the StagedTimeline record rather than
+// sampled live like the packet simulator's.  One call renders a finished
+// staged run onto a TimelineRecorder: a summary track with the four global
+// stages, plus a per-file track pair showing each file's aggregation wait
+// (staged but not yet on the wire — the delay that sinks K=10) and its WAN
+// copy (the per-file overhead that sinks K=1,440).
+#pragma once
+
+#include <string>
+
+#include "obs/timeline.hpp"
+#include "storage/staged_transfer.hpp"
+
+namespace sss::storage {
+
+// Append `timeline` under tracks prefixed with `label` (e.g. "staged K=10
+// spf=0.033").  Caps per-file tracks at `max_file_tracks` so K=1,440 runs
+// stay loadable (the summary track always covers all files); 0 = no cap.
+void append_staged_timeline(obs::TimelineRecorder& recorder,
+                            const StagedTimeline& timeline, const std::string& label,
+                            std::size_t max_file_tracks = 16);
+
+}  // namespace sss::storage

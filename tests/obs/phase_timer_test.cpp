@@ -1,0 +1,111 @@
+// phase_timer_test.cpp — scoped phase accounting: off by default, accurate
+// accumulation when enabled, and a parsable report.
+//
+// The zero-ALLOCATION half of the disabled-path contract is pinned where
+// the arena guarantee already lives (tests/simnet/alloc_free_test.cpp);
+// here we pin the accounting semantics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/phase_timer.hpp"
+
+namespace sss::obs {
+namespace {
+
+class PhaseTimerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_phase_timing_enabled(false);
+    reset_phase_totals();
+  }
+  void TearDown() override {
+    set_phase_timing_enabled(false);
+    reset_phase_totals();
+  }
+};
+
+TEST_F(PhaseTimerTest, DisabledScopesRecordNothing) {
+  ASSERT_FALSE(phase_timing_enabled());
+  {
+    ScopedPhase drive(Phase::kDrive);
+    ScopedPhase transmit(Phase::kTransmit);
+  }
+  for (const PhaseTotal& total : phase_totals()) {
+    EXPECT_EQ(total.ns, 0u);
+    EXPECT_EQ(total.count, 0u);
+  }
+  EXPECT_TRUE(phase_report().empty());
+}
+
+TEST_F(PhaseTimerTest, EnabledScopesAccumulatePerPhase) {
+  set_phase_timing_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    ScopedPhase scope(Phase::kLinkDrain);
+  }
+  { ScopedPhase scope(Phase::kDrive); }
+  const auto totals = phase_totals();
+  EXPECT_EQ(totals[static_cast<int>(Phase::kLinkDrain)].count, 3u);
+  EXPECT_EQ(totals[static_cast<int>(Phase::kDrive)].count, 1u);
+  EXPECT_EQ(totals[static_cast<int>(Phase::kTransmit)].count, 0u);
+}
+
+TEST_F(PhaseTimerTest, ScopeArmedBeforeDisableStillRecords) {
+  set_phase_timing_enabled(true);
+  {
+    ScopedPhase scope(Phase::kFinish);
+    // Flipping the switch mid-scope must not lose the armed measurement —
+    // the runner disables timers right after execute() returns.
+    set_phase_timing_enabled(false);
+  }
+  EXPECT_EQ(phase_totals()[static_cast<int>(Phase::kFinish)].count, 1u);
+}
+
+TEST_F(PhaseTimerTest, ResetClearsTotals) {
+  set_phase_timing_enabled(true);
+  { ScopedPhase scope(Phase::kPrepare); }
+  reset_phase_totals();
+  for (const PhaseTotal& total : phase_totals()) EXPECT_EQ(total.count, 0u);
+}
+
+TEST_F(PhaseTimerTest, ConcurrentScopesAreAllCounted) {
+  set_phase_timing_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kScopesPerThread = 1000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kScopesPerThread; ++i) {
+        ScopedPhase scope(Phase::kTcpProcess);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(phase_totals()[static_cast<int>(Phase::kTcpProcess)].count,
+            static_cast<std::uint64_t>(kThreads) * kScopesPerThread);
+}
+
+TEST_F(PhaseTimerTest, ReportNamesEveryRecordedPhase) {
+  set_phase_timing_enabled(true);
+  { ScopedPhase scope(Phase::kDrive); }
+  { ScopedPhase scope(Phase::kLinkDrain); }
+  const std::string report = phase_report();
+  EXPECT_NE(report.find("drive"), std::string::npos);
+  EXPECT_NE(report.find("link-drain"), std::string::npos);
+  EXPECT_NE(report.find("ms"), std::string::npos);
+}
+
+TEST_F(PhaseTimerTest, PhaseNamesAreStable) {
+  EXPECT_STREQ(to_string(Phase::kPrepare), "prepare");
+  EXPECT_STREQ(to_string(Phase::kDrive), "drive");
+  EXPECT_STREQ(to_string(Phase::kFinish), "finish");
+  EXPECT_STREQ(to_string(Phase::kTransmit), "transmit");
+  EXPECT_STREQ(to_string(Phase::kLinkDrain), "link-drain");
+  EXPECT_STREQ(to_string(Phase::kTcpProcess), "tcp-process");
+}
+
+}  // namespace
+}  // namespace sss::obs

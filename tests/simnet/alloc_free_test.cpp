@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/phase_timer.hpp"
 #include "simnet/arena.hpp"
 #include "simnet/workload.hpp"
 #include "units/units.hpp"
@@ -107,6 +108,51 @@ TEST(AllocFree, WarmPrepareAddsNoArenaChunks) {
   const auto rerun = workload.arena().stats();
   EXPECT_EQ(rerun.chunk_allocations, warm.chunk_allocations);
   EXPECT_EQ(rerun.reserved_bytes, warm.reserved_bytes);
+}
+
+TEST(AllocFree, DriveWithPhaseTimersDisabledIsAllocationFree) {
+  // The observability off-switch must be ZERO-cost on this axis: with
+  // timers disabled (the default) every ScopedPhase on the hot path is a
+  // relaxed load plus a branch — no stores, no heap.  This is the same
+  // assertion as the base test but stated explicitly against the obs layer
+  // so a future ScopedPhase change that allocates fails loudly here.
+  ASSERT_FALSE(obs::phase_timing_enabled());
+  Workload workload(small_config());
+  (void)workload.run();
+
+  workload.prepare();
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  workload.drive();
+  g_counting.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), 0u)
+      << "drive() with phase timers disabled reached the global heap";
+}
+
+TEST(AllocFree, DriveWithPhaseTimersEnabledIsAllocationFree) {
+  // The ENABLED path accumulates into fixed global atomic slots, so even a
+  // fully instrumented run stays allocation-free — the arena contract holds
+  // with the timers on.
+  Workload workload(small_config());
+  (void)workload.run();
+
+  workload.prepare();
+  obs::reset_phase_totals();
+  obs::set_phase_timing_enabled(true);
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  workload.drive();
+  g_counting.store(false, std::memory_order_relaxed);
+  obs::set_phase_timing_enabled(false);
+
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), 0u)
+      << "drive() with phase timers ENABLED reached the global heap";
+  // And the timers actually measured the instrumented phases.
+  const auto totals = obs::phase_totals();
+  EXPECT_GT(totals[static_cast<int>(obs::Phase::kLinkDrain)].count, 0u);
+  EXPECT_GT(totals[static_cast<int>(obs::Phase::kTcpProcess)].count, 0u);
+  obs::reset_phase_totals();
 }
 
 TEST(AllocFree, ScheduledModeDriveIsAlsoAllocationFree) {

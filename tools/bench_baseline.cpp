@@ -27,10 +27,13 @@
 //
 // Committing the refreshed BENCH_micro.json alongside optimization PRs is
 // what gives the repo a recorded before/after history (README "Performance").
+#include <unistd.h>
+
 #include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -108,6 +111,38 @@ std::string read_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+// Provenance stamps: a committed baseline is only comparable when you know
+// which commit and machine produced it and when.
+
+// Short git SHA of HEAD (with "-dirty" when the tree has changes); "" when
+// not in a git checkout.
+std::string git_sha() {
+  int exit_code = 0;
+  std::string sha = capture("git rev-parse --short HEAD 2>/dev/null", exit_code);
+  strip_trailing_whitespace(sha);
+  if (exit_code != 0 || sha.empty()) return "";
+  std::string status = capture("git status --porcelain 2>/dev/null", exit_code);
+  strip_trailing_whitespace(status);
+  if (exit_code == 0 && !status.empty()) sha += "-dirty";
+  return sha;
+}
+
+std::string host_name() {
+  std::array<char, 256> buf{};
+  if (gethostname(buf.data(), buf.size() - 1) != 0) return "";
+  return std::string(buf.data());
+}
+
+// ISO-8601 UTC, e.g. "2026-08-08T12:34:56Z".
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  if (gmtime_r(&now, &tm) == nullptr) return "";
+  std::array<char, 32> buf{};
+  if (std::strftime(buf.data(), buf.size(), "%Y-%m-%dT%H:%M:%SZ", &tm) == 0) return "";
+  return std::string(buf.data());
 }
 
 // The perf-guarded benches: the workload hot loop and the lossy-free
@@ -249,6 +284,9 @@ int main(int argc, char** argv) {
       << "  \"schema\": 1,\n"
       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
       << "  \"build_type\": \"" << build_type << "\",\n"
+      << "  \"git_sha\": \"" << git_sha() << "\",\n"
+      << "  \"hostname\": \"" << host_name() << "\",\n"
+      << "  \"timestamp\": \"" << utc_timestamp() << "\",\n"
       << "  \"scenario_smoke\": {\n"
       << "    \"name\": \"" << scenario << "\",\n"
       << "    \"scale\": " << scale << ",\n"
