@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "trace/atomic_io.hpp"
 #include "trace/csv.hpp"
 #include "trace/parse.hpp"
 
@@ -31,9 +32,10 @@ double parse_double(const std::string& field, const char* context) {
 }
 
 void write_text_file(const std::string& path, const std::string& text) {
-  std::ofstream out(path);
-  if (!out.is_open()) throw std::runtime_error("experiment_io: cannot open " + path);
-  out << text;
+  // Atomic (temp + rename): measurement artifacts must never be readable
+  // half-written — a truncated trace would throw on re-ingest anyway, but
+  // a truncated profile CSV could silently drop congestion points.
+  trace::write_text_file_atomic(path, text);
 }
 
 std::string read_text_file(const std::string& path) {

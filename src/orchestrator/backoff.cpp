@@ -1,0 +1,34 @@
+#include "orchestrator/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace sss::orchestrator {
+
+std::uint64_t backoff_delay_ms(const RetryPolicy& policy, std::size_t shard,
+                               int attempt) {
+  if (attempt <= 1) return 0;
+
+  // Exponential envelope, capped before jitter so max_ms really is a cap.
+  const double exponent = static_cast<double>(attempt - 2);
+  double envelope =
+      static_cast<double>(policy.base_ms) * std::pow(policy.multiplier, exponent);
+  envelope = std::min(envelope, static_cast<double>(policy.max_ms));
+
+  // Jitter in [0.5, 1): decorrelates shards without ever collapsing the
+  // delay to zero.  Keyed on (seed, shard, attempt) through SplitMix64 —
+  // mixing the key through the stream keeps nearby shard/attempt pairs
+  // statistically unrelated.
+  stats::SplitMix64 mix(policy.seed ^
+                        (static_cast<std::uint64_t>(shard) * 0x9e3779b97f4a7c15ULL) ^
+                        (static_cast<std::uint64_t>(attempt) << 32));
+  const double unit =
+      static_cast<double>(mix.next() >> 11) * 0x1.0p-53;  // [0, 1)
+  const double jitter = 0.5 + 0.5 * unit;
+
+  return static_cast<std::uint64_t>(envelope * jitter);
+}
+
+}  // namespace sss::orchestrator

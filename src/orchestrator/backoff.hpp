@@ -1,0 +1,38 @@
+// backoff.hpp — retry budget and backoff schedule for shard attempts.
+//
+// When a shard attempt fails (crash, non-zero exit, timeout, invalid
+// artifact) the supervisor waits before relaunching so a transient cause —
+// an OOM-killed sibling, a filesystem hiccup, a busy batch queue — has
+// time to clear.  The delay grows exponentially per attempt and carries a
+// deterministic jitter so a fleet of shards that failed together does not
+// relaunch in lockstep (thundering herd), yet every delay is a pure
+// function of (policy, shard, attempt): the schedule is pinnable in tests
+// and identical on resume.
+#pragma once
+
+#include <cstdint>
+
+namespace sss::orchestrator {
+
+struct RetryPolicy {
+  // Total attempts allowed per shard, including the first (so 3 means the
+  // initial launch plus two retries).  Must be >= 1.
+  int max_attempts = 3;
+  // Delay before retry k (the k-th relaunch, k >= 1) is
+  //   min(base_ms * multiplier^(k-1), max_ms) * jitter,  jitter in [0.5, 1)
+  std::uint64_t base_ms = 500;
+  double multiplier = 2.0;
+  std::uint64_t max_ms = 60'000;
+  // Seed for the jitter stream (deterministic; see backoff_delay_ms).
+  std::uint64_t seed = 42;
+};
+
+// Delay in ms before launching attempt `attempt` (1-based; attempt 1 is
+// the initial launch and always returns 0) of shard `shard`.  Pure
+// function: the jitter factor is drawn from a SplitMix64 stream keyed on
+// (policy.seed, shard, attempt), so schedules are reproducible across
+// processes and after a resume.
+[[nodiscard]] std::uint64_t backoff_delay_ms(const RetryPolicy& policy,
+                                             std::size_t shard, int attempt);
+
+}  // namespace sss::orchestrator

@@ -1,0 +1,97 @@
+// ledger.hpp — the orchestrator's crash-safe work journal.
+//
+// Every state transition of the sweep (plan computed, attempt launched,
+// attempt done/failed, shard exhausted) is appended to a JSONL file and
+// flushed before the orchestrator acts on it.  If the orchestrator itself
+// is killed, a `--resume` run replays the journal, reconstructs the
+// per-shard state machine, and relaunches only the work that was not
+// finished — completed shards keep their promoted artifacts and are never
+// recomputed.  Append-only JSONL is the simplest format that survives a
+// crash mid-write: a torn final line (no trailing newline, truncated JSON)
+// is tolerated and dropped on replay, because the action it recorded can
+// at worst be repeated, never lost.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sss::orchestrator {
+
+// The immutable header record (first line of the journal).  On resume the
+// replayed plan must match the configured one field for field — resuming a
+// different sweep into an old workdir must fail loudly, not silently merge
+// incompatible shards.
+struct LedgerPlan {
+  std::string scenario;
+  std::uint64_t seed = 42;
+  double scale = 1.0;
+  std::size_t total_cells = 0;
+  // One [begin, end) per shard, in shard-id order.
+  std::vector<std::pair<std::size_t, std::size_t>> shards;
+
+  friend bool operator==(const LedgerPlan&, const LedgerPlan&) = default;
+};
+
+// One replayed journal event.
+struct LedgerEvent {
+  enum class Kind { kLaunch, kDone, kFail, kExhausted };
+  Kind kind = Kind::kLaunch;
+  std::size_t shard = 0;
+  int attempt = 0;
+  std::string detail;  // failure reason / artifact path, free-form
+};
+
+// Per-shard state reconstructed from a replay.
+struct ShardReplay {
+  bool done = false;
+  bool exhausted = false;
+  int failures = 0;      // count of kFail events (the spent retry budget)
+  int last_attempt = 0;  // highest attempt number seen in any event
+};
+
+class Ledger {
+ public:
+  // Opens `path` for appending, creating it (and writing the plan record)
+  // when absent.  When the file already exists:
+  //   - with resume_expected the journal is replayed — `replay()` exposes
+  //     the per-shard state, and std::invalid_argument is thrown when the
+  //     recorded plan record does not match `plan_record` (resuming a
+  //     different sweep into an old workdir);
+  //   - without resume_expected std::invalid_argument is thrown: an
+  //     existing journal is never silently clobbered.
+  // Throws std::runtime_error on I/O errors or a corrupt journal (a torn
+  // FINAL line is tolerated and dropped; garbage anywhere else is
+  // corruption).
+  Ledger(const std::string& path, const LedgerPlan& plan_record,
+         bool resume_expected);
+  ~Ledger();
+
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+
+  [[nodiscard]] const LedgerPlan& plan() const { return plan_; }
+  // True when the journal already existed and was replayed.
+  [[nodiscard]] bool resumed() const { return resumed_; }
+  [[nodiscard]] const std::vector<ShardReplay>& replay() const { return replay_; }
+
+  // Append one event and flush.  Each append is durable before the
+  // orchestrator performs the action it records.
+  void record_launch(std::size_t shard, int attempt);
+  void record_done(std::size_t shard, int attempt, const std::string& artifact);
+  void record_fail(std::size_t shard, int attempt, const std::string& reason);
+  void record_exhausted(std::size_t shard);
+
+ private:
+  void append(const LedgerEvent& event);
+
+  std::string path_;
+  LedgerPlan plan_;
+  bool resumed_ = false;
+  std::vector<ShardReplay> replay_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace sss::orchestrator

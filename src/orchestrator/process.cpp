@@ -1,0 +1,130 @@
+#include "orchestrator/process.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <signal.h>
+#include <stdexcept>
+#include <string_view>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace sss::orchestrator {
+
+namespace {
+
+// Shared fork/exec path.  Everything between fork and exec is
+// async-signal-safe (open/dup2/setpgid/_exit only — no allocation, no
+// stdio), because the child of a multithreaded parent may only call
+// async-signal-safe functions before exec.
+WorkerHandle spawn(const std::vector<const char*>& argv_c,
+                   const std::string& log_path) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child.  Own process group so the supervisor can kill(-pgid, ...).
+    ::setpgid(0, 0);
+    const int fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      if (fd > STDERR_FILENO) ::close(fd);
+    }
+    ::execv(argv_c[0], const_cast<char* const*>(argv_c.data()));
+    ::_exit(127);  // exec failed; 127 is the shell's "command not found"
+  }
+  // Parent: set the group here too, so the kill path cannot race the
+  // child's own setpgid (whichever runs first wins; both set pgid = pid).
+  ::setpgid(pid, pid);
+  return WorkerHandle{pid};
+}
+
+}  // namespace
+
+WorkerHandle spawn_process(const std::vector<std::string>& argv,
+                           const std::string& log_path) {
+  if (argv.empty()) throw std::runtime_error("spawn_process: empty argv");
+  std::vector<const char*> argv_c;
+  argv_c.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) argv_c.push_back(arg.c_str());
+  argv_c.push_back(nullptr);
+  return spawn(argv_c, log_path);
+}
+
+WorkerHandle spawn_shell(const std::string& command, const std::string& log_path) {
+  const std::vector<const char*> argv_c = {"/bin/sh", "-c", command.c_str(), nullptr};
+  return spawn(argv_c, log_path);
+}
+
+std::optional<int> poll_worker(WorkerHandle& handle) {
+  if (!handle.valid()) return std::nullopt;
+  int status = 0;
+  const pid_t got = ::waitpid(handle.pid, &status, WNOHANG);
+  if (got == 0) return std::nullopt;  // still running
+  handle.pid = -1;                    // reaped (or lost): terminal either way
+  if (got < 0) return 128;            // ECHILD etc. — treat as failure
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return 128;
+}
+
+void kill_worker(WorkerHandle& handle) {
+  if (!handle.valid()) return;
+  ::kill(-handle.pid, SIGKILL);  // the whole process group
+  int status = 0;
+  ::waitpid(handle.pid, &status, 0);
+  handle.pid = -1;
+}
+
+std::string render_command_template(const std::string& tmpl,
+                                    const std::string& command, std::size_t begin,
+                                    std::size_t end, std::size_t shard) {
+  std::string out;
+  out.reserve(tmpl.size() + command.size());
+  std::size_t pos = 0;
+  while (pos < tmpl.size()) {
+    const std::size_t open = tmpl.find('{', pos);
+    if (open == std::string::npos) {
+      out.append(tmpl, pos, std::string::npos);
+      break;
+    }
+    out.append(tmpl, pos, open - pos);
+    const std::size_t close = tmpl.find('}', open);
+    if (close == std::string::npos) {
+      out.append(tmpl, open, std::string::npos);
+      break;
+    }
+    const std::string_view key(tmpl.data() + open + 1, close - open - 1);
+    if (key == "command") {
+      out += command;
+    } else if (key == "begin") {
+      out += std::to_string(begin);
+    } else if (key == "end") {
+      out += std::to_string(end);
+    } else if (key == "shard") {
+      out += std::to_string(shard);
+    } else {
+      out.append(tmpl, open, close - open + 1);  // verbatim passthrough
+    }
+    pos = close + 1;
+  }
+  return out;
+}
+
+std::string shell_quote(const std::string& word) {
+  std::string out = "'";
+  for (const char c : word) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += '\'';
+  return out;
+}
+
+}  // namespace sss::orchestrator

@@ -1,0 +1,67 @@
+// process.hpp — how the orchestrator launches and polices worker processes.
+//
+// Two backends behind one WorkerHandle interface:
+//
+//   spawn_process  — fork/exec of an argv, the local backend.  The child is
+//       placed in its own process group so a timeout kill reaps the whole
+//       subtree (a worker that itself forked helpers cannot leak them), and
+//       stdout/stderr are redirected into a per-attempt log file so a
+//       hundred workers do not interleave on the orchestrator's console.
+//   spawn_shell    — `/bin/sh -c COMMAND` for command-template backends
+//       (ssh wrappers, batch-queue submit scripts): the orchestrator
+//       substitutes {command}/{begin}/{end}/{shard} into a user template
+//       (render_command_template) and hands the result to the shell.
+//
+// Liveness is polled with waitpid(WNOHANG) — the supervisor's event loop
+// owns the schedule, no SIGCHLD handlers — and exit status is normalized
+// to the shell convention (128+signal for signal deaths) so "worker was
+// SIGKILLed" and "worker exited 137" read the same everywhere.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace sss::orchestrator {
+
+struct WorkerHandle {
+  pid_t pid = -1;
+  // The child runs in its own process group (pgid == pid).
+  [[nodiscard]] bool valid() const { return pid > 0; }
+};
+
+// fork/exec `argv` (argv[0] is the executable path; PATH is not searched)
+// with stdout+stderr appended to `log_path`.  Throws std::runtime_error
+// when the fork fails; exec failure surfaces as exit code 127 through
+// poll_worker (the classic shell convention).
+[[nodiscard]] WorkerHandle spawn_process(const std::vector<std::string>& argv,
+                                         const std::string& log_path);
+
+// `/bin/sh -c command`, same process-group and log handling.
+[[nodiscard]] WorkerHandle spawn_shell(const std::string& command,
+                                       const std::string& log_path);
+
+// Non-blocking status check.  nullopt while running; otherwise the
+// normalized exit code (0 = success, 1-255 = exit status, 128+N = killed
+// by signal N).  A handle reports its terminal status exactly once.
+[[nodiscard]] std::optional<int> poll_worker(WorkerHandle& handle);
+
+// SIGKILL the worker's whole process group and reap it (blocking, but a
+// SIGKILLed group dies promptly).  Safe to call on an already-dead worker.
+void kill_worker(WorkerHandle& handle);
+
+// Substitute {command}, {begin}, {end}, {shard} into a backend template.
+// Values for begin/end/shard are decimal; {command} is the fully-quoted
+// local worker command line.  Unknown {placeholders} are left verbatim so
+// templates can pass braces through to the remote shell.
+[[nodiscard]] std::string render_command_template(const std::string& tmpl,
+                                                  const std::string& command,
+                                                  std::size_t begin, std::size_t end,
+                                                  std::size_t shard);
+
+// POSIX-shell single-quote `word` so a template's {command} survives the
+// `/bin/sh -c` round trip (and an ssh hop) byte for byte.
+[[nodiscard]] std::string shell_quote(const std::string& word);
+
+}  // namespace sss::orchestrator

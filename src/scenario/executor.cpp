@@ -82,6 +82,7 @@ std::vector<simnet::ExperimentResult> SweepExecutor::execute(
   const int threads = effective_threads(runs.size());
   std::atomic<std::size_t> completed{0};
   auto run_index = [&](std::size_t i) {
+    if (on_run_start) on_run_start(i);
     obs::TimelineRecorder* recorder =
         (timeline != nullptr && i == timeline_index) ? timeline : nullptr;
     const auto t0 = std::chrono::steady_clock::now();

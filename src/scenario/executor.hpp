@@ -53,6 +53,12 @@ class SweepExecutor {
   // completes with (completed_count, total).  Must be thread-safe.
   std::function<void(std::size_t, std::size_t)> on_progress;
 
+  // Optional hook invoked on the worker thread right before run `i`
+  // executes (index into the `runs` passed to execute).  Must be
+  // thread-safe.  The runner wires ScenarioContext::on_cell_start through
+  // this for fault injection.
+  std::function<void(std::size_t)> on_run_start;
+
   // Optional timeline attachment: record run `timeline_index` (an index
   // into the `runs` passed to execute) into `timeline`.  Exactly one cell
   // is recorded, and that cell executes on exactly one worker thread, so

@@ -2,15 +2,17 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
 #include <vector>
 
 #include "obs/manifest.hpp"
@@ -21,6 +23,7 @@
 #include "scenario/overrides.hpp"
 #include "scenario/plan.hpp"
 #include "scenario/registry.hpp"
+#include "trace/atomic_io.hpp"
 #include "trace/csv.hpp"
 #include "trace/json.hpp"
 #include "trace/table.hpp"
@@ -38,13 +41,20 @@ void print_banner(const ScenarioSpec& spec) {
 
 std::string csv_name(const ScenarioSpec& spec, const std::optional<ShardSpec>& shard) {
   if (!shard.has_value()) return spec.name + ".csv";
+  if (shard->cells.has_value()) {
+    return spec.name + ".cells" + std::to_string(shard->cells->first) + "-" +
+           std::to_string(shard->cells->second) + ".csv";
+  }
   return spec.name + ".shard" + std::to_string(shard->index) + "of" +
          std::to_string(shard->count) + ".csv";
 }
 
-void write_csv(const ScenarioSpec& spec, const ScenarioOutput& output,
-               const std::string& dir, const std::optional<ShardSpec>& shard) {
-  if (output.header.empty()) return;
+// Returns the written path so the truncate fault can corrupt it afterwards.
+std::optional<std::string> write_csv(const ScenarioSpec& spec,
+                                     const ScenarioOutput& output,
+                                     const std::string& dir,
+                                     const std::optional<ShardSpec>& shard) {
+  if (output.header.empty()) return std::nullopt;
   const std::string path = dir + "/" + csv_name(spec, shard);
   try {
     std::error_code ec;
@@ -52,7 +62,9 @@ void write_csv(const ScenarioSpec& spec, const ScenarioOutput& output,
     trace::write_csv_file(path, output.header, output.rows);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "CSV export disabled: %s\n", e.what());
+    return std::nullopt;
   }
+  return path;
 }
 
 void validate_output(const ScenarioSpec& spec, const ScenarioOutput& output) {
@@ -82,19 +94,27 @@ SweepExecutor make_executor(const ScenarioContext& context) {
   return SweepExecutor(sweep);
 }
 
-std::string read_text_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return std::move(buffer).str();
+using trace::read_text_file;
+using trace::write_text_file_atomic;
+
+// One-shot fault arm: SSS_FAULT_INJECTION names a file whose existence
+// arms the injected fault; firing consumes it.  unlink(2) succeeds for
+// exactly one caller, so even racing speculative attempts fire it once.
+bool consume_fault_arm() {
+  const char* arm = std::getenv("SSS_FAULT_INJECTION");
+  if (arm == nullptr || *arm == '\0') return false;
+  return ::unlink(arm) == 0;
 }
 
-void write_text_file(const std::string& path, const std::string& text) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
-  if (!out) throw std::runtime_error("short write to " + path);
+// The truncate fault: chop the tail off a finished artifact, leaving the
+// kind of mid-row cut a non-atomic writer would produce when killed.
+void truncate_file_for_fault(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return;
+  if (::truncate(path.c_str(), static_cast<off_t>(size * 2 / 3)) == 0) {
+    std::fprintf(stderr, "fault-injection: truncated %s\n", path.c_str());
+  }
 }
 
 // Per-cell metrics for the manifest: deterministic fields from the results,
@@ -125,6 +145,40 @@ void fill_manifest(obs::RunManifest& manifest, const ScenarioSpec& spec,
 
 }  // namespace
 
+std::pair<std::size_t, std::size_t> ShardSpec::resolve(std::size_t total) const {
+  if (cells.has_value()) {
+    const auto [begin, end] = *cells;
+    if (begin >= end || end > total) {
+      throw std::invalid_argument(
+          "--cells " + std::to_string(begin) + ":" + std::to_string(end) +
+          " is not a non-empty range inside this grid (" + std::to_string(total) +
+          " cells)");
+    }
+    return {begin, end};
+  }
+  return shard_range(index, count, total);
+}
+
+std::optional<FaultSpec> parse_fault_spec(std::string_view text) {
+  const std::size_t at = text.find("@cell=");
+  if (at == std::string_view::npos) return std::nullopt;
+  const std::string_view kind = text.substr(0, at);
+  FaultSpec fault;
+  if (kind == "crash") {
+    fault.kind = FaultSpec::Kind::kCrash;
+  } else if (kind == "hang") {
+    fault.kind = FaultSpec::Kind::kHang;
+  } else if (kind == "truncate") {
+    fault.kind = FaultSpec::Kind::kTruncate;
+  } else {
+    return std::nullopt;
+  }
+  const auto cell = parse_uint64(text.substr(at + 6));
+  if (!cell.has_value()) return std::nullopt;
+  fault.cell = static_cast<std::size_t>(*cell);
+  return fault;
+}
+
 ScenarioOutput execute_scenario(const ScenarioSpec& spec, const ScenarioContext& context,
                                 obs::RunManifest* manifest) {
   std::vector<RunPoint> runs = expand_runs(spec, context);
@@ -132,6 +186,7 @@ ScenarioOutput execute_scenario(const ScenarioSpec& spec, const ScenarioContext&
   executor.timeline = context.timeline;
   executor.timeline_index = context.timeline_cell;  // unsharded: global == local
   executor.on_progress = context.progress;
+  executor.on_run_start = context.on_cell_start;  // unsharded: global == local
   const std::vector<simnet::ExperimentResult> results = executor.execute(runs);
   if (manifest != nullptr) {
     fill_manifest(*manifest, spec, context, runs.size(), 0, runs, results,
@@ -175,11 +230,16 @@ ScenarioOutput execute_scenario_shard(const ScenarioSpec& spec,
       runs[i].reseed = false;
     }
   }
-  const auto [begin, end] = shard_range(shard.index, shard.count, runs.size());
+  const auto [begin, end] = shard.resolve(runs.size());
   std::vector<RunPoint> slice(runs.begin() + static_cast<std::ptrdiff_t>(begin),
                               runs.begin() + static_cast<std::ptrdiff_t>(end));
 
   executor.on_progress = context.progress;
+  if (context.on_cell_start) {
+    // The hook's contract is GLOBAL indices; translate from slice-local.
+    executor.on_run_start = [hook = context.on_cell_start,
+                             begin = begin](std::size_t local) { hook(begin + local); };
+  }
   // context.timeline_cell is a GLOBAL index; attach the recorder only when
   // the requested cell falls inside this shard's slice.
   if (context.timeline != nullptr && context.timeline_cell >= begin &&
@@ -237,6 +297,22 @@ int run_scenario(const ScenarioSpec& spec, const RunnerOptions& options) {
     obs::reset_phase_totals();
     obs::set_phase_timing_enabled(true);
   }
+  // crash/hang faults fire just before the target cell executes; the
+  // truncate fault corrupts the CSV after export (below).  All of them
+  // no-op unless the SSS_FAULT_INJECTION arm file still exists.
+  if (options.inject_fault.has_value() &&
+      options.inject_fault->kind != FaultSpec::Kind::kTruncate) {
+    const FaultSpec fault = *options.inject_fault;
+    context.on_cell_start = [fault](std::size_t global_cell) {
+      if (global_cell != fault.cell || !consume_fault_arm()) return;
+      if (fault.kind == FaultSpec::Kind::kCrash) {
+        std::fprintf(stderr, "fault-injection: SIGKILL at cell %zu\n", global_cell);
+        std::raise(SIGKILL);
+      }
+      std::fprintf(stderr, "fault-injection: hanging at cell %zu\n", global_cell);
+      for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+    };
+  }
 
   ScenarioOutput output;
   try {
@@ -248,11 +324,14 @@ int run_scenario(const ScenarioSpec& spec, const RunnerOptions& options) {
       const std::size_t grid = spec.plan != nullptr ? spec.plan->cell_count() : 0;
       std::size_t run_count = grid;
       if (options.shard.has_value()) {
-        const auto [begin, end] =
-            shard_range(options.shard->index, options.shard->count, grid);
+        const auto [begin, end] = options.shard->resolve(grid);
         run_count = end - begin;
-        std::printf("shard %d/%d: cells [%zu, %zu) of %zu\n", options.shard->index,
-                    options.shard->count, begin, end, grid);
+        if (options.shard->cells.has_value()) {
+          std::printf("cells [%zu, %zu) of %zu\n", begin, end, grid);
+        } else {
+          std::printf("shard %d/%d: cells [%zu, %zu) of %zu\n", options.shard->index,
+                      options.shard->count, begin, end, grid);
+        }
       }
       if (run_count > 0) {
         SweepOptions sweep;
@@ -283,19 +362,33 @@ int run_scenario(const ScenarioSpec& spec, const RunnerOptions& options) {
   }
   for (const auto& note : output.notes) std::printf("%s\n", note.c_str());
   if (options.csv_dir.has_value()) {
-    write_csv(spec, output, *options.csv_dir, options.shard);
+    const std::optional<std::string> csv_path =
+        write_csv(spec, output, *options.csv_dir, options.shard);
+    if (csv_path.has_value() && options.inject_fault.has_value() &&
+        options.inject_fault->kind == FaultSpec::Kind::kTruncate) {
+      // Only the worker whose slice contains the target cell corrupts its
+      // artifact, mirroring how crash/hang pick their victim.
+      const std::size_t grid = spec.plan != nullptr ? spec.plan->cell_count() : 0;
+      const auto [begin, end] = options.shard.has_value()
+                                    ? options.shard->resolve(grid)
+                                    : std::pair<std::size_t, std::size_t>{0, grid};
+      const std::size_t cell = options.inject_fault->cell;
+      if (cell >= begin && cell < end && consume_fault_arm()) {
+        truncate_file_for_fault(*csv_path);
+      }
+    }
   }
 
   try {
     if (options.timeline_path.has_value()) {
-      write_text_file(*options.timeline_path, recorder.to_chrome_json_text());
+      write_text_file_atomic(*options.timeline_path, recorder.to_chrome_json_text());
       if (!options.quiet) {
         std::printf("timeline: %zu events on %zu tracks -> %s\n", recorder.event_count(),
                     recorder.track_count(), options.timeline_path->c_str());
       }
     }
     if (options.metrics_path.has_value()) {
-      write_text_file(*options.metrics_path, manifest.to_json_text());
+      write_text_file_atomic(*options.metrics_path, manifest.to_json_text());
       if (!options.quiet) {
         std::printf("metrics: %zu cells -> %s\n", manifest.cells.size(),
                     options.metrics_path->c_str());
@@ -360,12 +453,155 @@ ScenarioSpec spec_from_plan_file(const std::string& path) {
   return spec;
 }
 
+namespace {
+
+// A shard-part file name as the runner writes it:
+//   <scenario>.shard<I>of<N>.csv   (--shard I/N block partition)
+//   <scenario>.cells<A>-<B>.csv    (--cells A:B explicit range)
+// nullopt for anything else (plain CSVs merge without structural checks).
+struct PartName {
+  std::string scenario;
+  bool block = false;  // shard<I>of<N> form (else cells form)
+  int index = 0;
+  int count = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+std::optional<PartName> parse_part_name(std::string_view path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string_view base =
+      slash == std::string_view::npos ? path : path.substr(slash + 1);
+  if (!base.ends_with(".csv")) return std::nullopt;
+  base.remove_suffix(4);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot == std::string_view::npos || dot == 0) return std::nullopt;
+  std::string_view tail = base.substr(dot + 1);
+  PartName part;
+  part.scenario = std::string(base.substr(0, dot));
+  if (tail.starts_with("shard")) {
+    tail.remove_prefix(5);
+    const std::size_t of = tail.find("of");
+    if (of == std::string_view::npos) return std::nullopt;
+    const auto index = parse_int(tail.substr(0, of));
+    const auto count = parse_int(tail.substr(of + 2));
+    if (!index.has_value() || !count.has_value() || *count < 1 || *index < 0 ||
+        *index >= *count) {
+      return std::nullopt;
+    }
+    part.block = true;
+    part.index = *index;
+    part.count = *count;
+    return part;
+  }
+  if (tail.starts_with("cells")) {
+    tail.remove_prefix(5);
+    const std::size_t dash = tail.find('-');
+    if (dash == std::string_view::npos) return std::nullopt;
+    const auto begin = parse_uint64(tail.substr(0, dash));
+    const auto end = parse_uint64(tail.substr(dash + 1));
+    if (!begin.has_value() || !end.has_value() || *begin >= *end) return std::nullopt;
+    part.begin = static_cast<std::size_t>(*begin);
+    part.end = static_cast<std::size_t>(*end);
+    return part;
+  }
+  return std::nullopt;
+}
+
+// Structural validation for shard-named inputs: scenario prefixes must
+// agree and the parts must cover the grid exactly once.  Returns the order
+// in which the parts must be concatenated (by shard index / cell begin),
+// so argument order cannot scramble the merged table.
+std::vector<std::size_t> validate_shard_parts(const std::vector<std::string>& inputs,
+                                              const std::vector<trace::CsvTable>& parts) {
+  std::vector<std::optional<PartName>> names;
+  names.reserve(inputs.size());
+  std::size_t named = 0;
+  for (const std::string& input : inputs) {
+    names.push_back(parse_part_name(input));
+    if (names.back().has_value()) ++named;
+  }
+  std::vector<std::size_t> order(inputs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (named == 0) return order;  // plain CSVs: concatenate in argument order
+  if (named != inputs.size()) {
+    throw std::invalid_argument(
+        "mix of shard-named and plain inputs — refusing to guess the cell order");
+  }
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    if (names[i]->scenario != names[0]->scenario) {
+      throw std::invalid_argument("scenario names disagree: '" + names[0]->scenario +
+                                  "' vs '" + names[i]->scenario + "'");
+    }
+    if (names[i]->block != names[0]->block) {
+      throw std::invalid_argument("mix of shard<I>of<N> and cells<A>-<B> inputs");
+    }
+  }
+  if (names[0]->block) {
+    const int count = names[0]->count;
+    if (static_cast<int>(inputs.size()) != count) {
+      throw std::invalid_argument("expected " + std::to_string(count) +
+                                  " shard files, got " + std::to_string(inputs.size()));
+    }
+    std::vector<int> seen(static_cast<std::size_t>(count), -1);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i]->count != count) {
+        throw std::invalid_argument("shard counts disagree: of" + std::to_string(count) +
+                                    " vs of" + std::to_string(names[i]->count));
+      }
+      const auto index = static_cast<std::size_t>(names[i]->index);
+      if (seen[index] >= 0) {
+        throw std::invalid_argument("duplicate shard index " + std::to_string(index));
+      }
+      seen[index] = static_cast<int>(i);
+    }
+    // Every index in 0..N-1 appears exactly once (duplicates already
+    // refused, sizes match), so `seen` is the concatenation order.
+    std::vector<std::size_t> by_index;
+    by_index.reserve(seen.size());
+    for (int input : seen) by_index.push_back(static_cast<std::size_t>(input));
+    return by_index;
+  }
+  // cells form: ranges must tile [0, max_end) without gap or overlap, and
+  // each part must hold exactly one row per cell — a shard that lost rows
+  // to a crash is refused here, not silently merged.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return names[a]->begin < names[b]->begin;
+  });
+  std::size_t expected_begin = 0;
+  for (std::size_t position : order) {
+    const PartName& name = *names[position];
+    if (name.begin != expected_begin) {
+      throw std::invalid_argument(
+          name.begin > expected_begin
+              ? "missing cells [" + std::to_string(expected_begin) + ", " +
+                    std::to_string(name.begin) + ")"
+              : "overlapping cell ranges at cell " + std::to_string(name.begin));
+    }
+    const std::size_t cells = name.end - name.begin;
+    if (parts[position].rows.size() != cells) {
+      throw std::invalid_argument(
+          inputs[position] + " has " + std::to_string(parts[position].rows.size()) +
+          " rows for cells [" + std::to_string(name.begin) + ", " +
+          std::to_string(name.end) + ") — expected " + std::to_string(cells));
+    }
+    expected_begin = name.end;
+  }
+  return order;
+}
+
+}  // namespace
+
 int merge_csv_files(const std::string& out_path, const std::vector<std::string>& inputs) {
   try {
     std::vector<trace::CsvTable> parts;
     parts.reserve(inputs.size());
     for (const std::string& path : inputs) parts.push_back(trace::read_csv_file(path));
-    const trace::CsvTable merged = trace::merge_csv_tables(parts);
+    const std::vector<std::size_t> order = validate_shard_parts(inputs, parts);
+    std::vector<trace::CsvTable> ordered;
+    ordered.reserve(parts.size());
+    for (std::size_t position : order) ordered.push_back(std::move(parts[position]));
+    const trace::CsvTable merged = trace::merge_csv_tables(ordered);
     trace::write_csv_file(out_path, merged.header, merged.rows);
     std::printf("merged %zu rows from %zu shard file%s into %s\n", merged.rows.size(),
                 inputs.size(), inputs.size() == 1 ? "" : "s", out_path.c_str());
@@ -385,7 +621,7 @@ int merge_manifest_files(const std::string& out_path,
       parts.push_back(obs::RunManifest::from_json_text(read_text_file(path)));
     }
     const obs::RunManifest merged = obs::merge_manifests(parts);
-    write_text_file(out_path, merged.to_json_text());
+    write_text_file_atomic(out_path, merged.to_json_text());
     std::printf("merged %zu cells from %zu shard manifest%s into %s\n",
                 merged.cells.size(), inputs.size(), inputs.size() == 1 ? "" : "s",
                 out_path.c_str());
@@ -499,6 +735,12 @@ void print_usage(std::FILE* out, const char* argv0) {
                "                streams follow the GLOBAL cell index, so --merge of\n"
                "                all shards is bit-identical to the unsharded run\n"
                "                (needs a scenario with a declarative output spec)\n"
+               "  --cells A:B   run only the explicit GLOBAL cell range [A, B)\n"
+               "                (same determinism contract; used by the sweep\n"
+               "                orchestrator's cost-aware partitions)\n"
+               "  --inject-fault crash|hang|truncate@cell=K\n"
+               "                deliberately fail at GLOBAL cell K; refused unless\n"
+               "                SSS_FAULT_INJECTION names an arm file (test/CI only)\n"
                "observability:\n"
                "  --timeline F        record a Chrome trace-event timeline of one grid\n"
                "                      cell to F (open in Perfetto / chrome://tracing)\n"
@@ -519,17 +761,58 @@ int usage(const char* argv0) {
   return 2;
 }
 
-// "I/N" with 0 <= I < N.
+// "I/N" with 0 <= I < N.  Each rejection names the actual problem — a bad
+// shard argument on one host of a fleet must fail fast and legibly, not
+// run the wrong slice.
 std::optional<ShardSpec> parse_shard(std::string_view text) {
   const std::size_t slash = text.find('/');
-  if (slash == std::string_view::npos) return std::nullopt;
-  const auto index = parse_int(text.substr(0, slash));
-  const auto count = parse_int(text.substr(slash + 1));
-  if (!index.has_value() || !count.has_value() || *count < 1 || *index < 0 ||
-      *index >= *count) {
+  if (slash == std::string_view::npos) {
+    std::fprintf(stderr, "--shard '%.*s': expected I/N (e.g. 0/4)\n",
+                 static_cast<int>(text.size()), text.data());
     return std::nullopt;
   }
-  return ShardSpec{*index, *count};
+  const auto index = parse_int(text.substr(0, slash));
+  const auto count = parse_int(text.substr(slash + 1));
+  if (!index.has_value() || !count.has_value()) {
+    std::fprintf(stderr, "--shard '%.*s': I and N must be decimal integers\n",
+                 static_cast<int>(text.size()), text.data());
+    return std::nullopt;
+  }
+  if (*count < 1) {
+    std::fprintf(stderr, "--shard '%.*s': N must be >= 1\n",
+                 static_cast<int>(text.size()), text.data());
+    return std::nullopt;
+  }
+  if (*index < 0 || *index >= *count) {
+    std::fprintf(stderr, "--shard '%.*s': need 0 <= I < N\n",
+                 static_cast<int>(text.size()), text.data());
+    return std::nullopt;
+  }
+  ShardSpec shard;
+  shard.index = *index;
+  shard.count = *count;
+  return shard;
+}
+
+// "A:B" with A < B — an explicit global cell range.
+std::optional<ShardSpec> parse_cells(std::string_view text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    std::fprintf(stderr, "--cells '%.*s': expected BEGIN:END (e.g. 4:9)\n",
+                 static_cast<int>(text.size()), text.data());
+    return std::nullopt;
+  }
+  const auto begin = parse_uint64(text.substr(0, colon));
+  const auto end = parse_uint64(text.substr(colon + 1));
+  if (!begin.has_value() || !end.has_value() || *begin >= *end) {
+    std::fprintf(stderr,
+                 "--cells '%.*s': BEGIN and END must be integers with BEGIN < END\n",
+                 static_cast<int>(text.size()), text.data());
+    return std::nullopt;
+  }
+  ShardSpec shard;
+  shard.cells = {static_cast<std::size_t>(*begin), static_cast<std::size_t>(*end)};
+  return shard;
 }
 
 }  // namespace
@@ -618,13 +901,39 @@ int main_from_args(int argc, char** argv) {
       const std::string metrics_path = argv[++i];
       return check_obs_files(timeline_path, metrics_path);
     } else if (arg == "--shard") {
+      if (options.shard.has_value() && options.shard->cells.has_value()) {
+        std::fprintf(stderr, "--shard and --cells are mutually exclusive\n");
+        return 2;
+      }
       const char* v = next_value("--shard");
       const auto parsed = v ? parse_shard(v) : std::nullopt;
-      if (!parsed.has_value()) {
-        std::fprintf(stderr, "--shard requires I/N with 0 <= I < N\n");
-        return usage(argv[0]);
-      }
+      if (!parsed.has_value()) return 2;  // parse_shard printed the reason
       options.shard = *parsed;
+    } else if (arg == "--cells") {
+      if (options.shard.has_value() && !options.shard->cells.has_value()) {
+        std::fprintf(stderr, "--shard and --cells are mutually exclusive\n");
+        return 2;
+      }
+      const char* v = next_value("--cells");
+      const auto parsed = v ? parse_cells(v) : std::nullopt;
+      if (!parsed.has_value()) return 2;  // parse_cells printed the reason
+      options.shard = *parsed;
+    } else if (arg == "--inject-fault") {
+      const char* v = next_value("--inject-fault");
+      const auto parsed = v ? parse_fault_spec(v) : std::nullopt;
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "--inject-fault requires crash|hang|truncate@cell=K\n");
+        return 2;
+      }
+      const char* arm = std::getenv("SSS_FAULT_INJECTION");
+      if (arm == nullptr || *arm == '\0') {
+        std::fprintf(stderr,
+                     "--inject-fault is a test-harness flag; set "
+                     "SSS_FAULT_INJECTION=<arm-file> to enable it\n");
+        return 2;
+      }
+      options.inject_fault = *parsed;
     } else if (arg == "--tag") {
       const char* v = next_value("--tag");
       if (v == nullptr) return usage(argv[0]);

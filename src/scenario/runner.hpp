@@ -21,11 +21,45 @@ struct RunManifest;  // obs/manifest.hpp
 
 namespace sss::scenario {
 
-// One slice of a sharded sweep: shard `index` of `count`.
+// One slice of a sharded sweep.  Two forms:
+//   --shard I/N  — shard `index` of `count`, the balanced contiguous block
+//                  partition of plan::shard_range;
+//   --cells A:B  — an explicit contiguous range [A, B) of GLOBAL grid
+//                  cells (`cells` set), which is what the cost-aware sweep
+//                  orchestrator launches so block boundaries can follow
+//                  measured per-cell wall times instead of cell counts.
+// Either way every cell keeps the RNG stream of its GLOBAL index.
 struct ShardSpec {
   int index = 0;
   int count = 1;
+  std::optional<std::pair<std::size_t, std::size_t>> cells;
+
+  // The [begin, end) slice of `total` grid cells this spec selects.
+  // Throws std::invalid_argument when an explicit range is empty or
+  // reaches past the grid.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> resolve(std::size_t total) const;
 };
+
+// Fault-injection harness (`--inject-fault KIND@cell=K`): deliberately
+// break this worker at global grid cell K so the orchestrator's recovery
+// paths (retry, timeout, merge validation) can be exercised end to end.
+//   kCrash    — raise(SIGKILL) right before cell K executes: the process
+//               dies mid-run exactly like an OOM-kill or node failure;
+//   kHang     — sleep forever before cell K executes (straggler/deadlock);
+//   kTruncate — complete normally, then cut the written CSV short
+//               (simulates a corrupted artifact reaching the merge).
+// Safety gate: the flag is refused unless SSS_FAULT_INJECTION names an
+// existing "arm" file, and firing consumes (unlinks) that file — so a
+// retried attempt with the identical command line runs clean, and a fault
+// can never trigger outside a test/CI harness that armed it.
+struct FaultSpec {
+  enum class Kind { kCrash, kHang, kTruncate };
+  Kind kind = Kind::kCrash;
+  std::size_t cell = 0;
+};
+
+// "KIND@cell=K" with KIND in {crash, hang, truncate}; nullopt when malformed.
+[[nodiscard]] std::optional<FaultSpec> parse_fault_spec(std::string_view text);
 
 // Expand, execute (parallel, deterministic), analyze.  Throws on scenario
 // errors.  When `manifest` is non-null it is filled with the per-cell
@@ -67,6 +101,9 @@ struct RunnerOptions {
   bool cost_report = false;
   // Enable the scoped phase timers and print their report after the run.
   bool phase_timers = false;
+  // Fault-injection harness (test/CI only; see FaultSpec).  Requires the
+  // SSS_FAULT_INJECTION arm file.
+  std::optional<FaultSpec> inject_fault;
 };
 
 // Options assembled from the SSS_* environment knobs (env.hpp).
@@ -86,8 +123,18 @@ int run_named(const std::string& name);
 // when the result could not render any output.
 [[nodiscard]] ScenarioSpec spec_from_plan_file(const std::string& path);
 
-// Merge sharded scenario CSVs (identical headers, rows concatenated in
-// argument order) through the trace layer.  Returns a process exit code.
+// Merge sharded scenario CSVs through the trace layer and write the result
+// atomically.  Validation (hard errors, never a silent gap):
+//   - headers must agree and every row must match the header width
+//     (truncated shard files are refused);
+//   - when the inputs follow the runner's shard naming
+//     (<scenario>.shard<I>of<N>.csv or <scenario>.cells<A>-<B>.csv), the
+//     scenario prefixes must agree, shard indices must cover 0..N-1
+//     exactly once (block form) or the cell ranges must tile [0, end)
+//     without gap/overlap with row counts matching range sizes (cells
+//     form) — inputs are re-ordered by shard/cell position, so argument
+//     order cannot scramble the merged table.
+// Returns a process exit code.
 int merge_csv_files(const std::string& out_path, const std::vector<std::string>& inputs);
 
 // Merge sharded metrics manifests (obs::merge_manifests: cells re-sorted

@@ -92,6 +92,11 @@ struct ScenarioContext {
   // Progress hook, invoked from worker threads as (cells_done, total).
   // Must be thread-safe.
   std::function<void(std::size_t, std::size_t)> progress;
+  // Invoked on the worker thread immediately before a cell executes, with
+  // the cell's GLOBAL grid index (sharded execution translates).  Must be
+  // thread-safe.  Used by the runner's fault-injection harness
+  // (--inject-fault) to crash/hang a shard at a precise cell.
+  std::function<void(std::size_t)> on_cell_start;
 };
 
 // What a scenario produces: one table (header + rows, also exported as

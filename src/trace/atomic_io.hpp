@@ -1,0 +1,27 @@
+// atomic_io.hpp — crash-safe file persistence.
+//
+// Every artifact the toolchain persists (scenario CSVs, metrics manifests,
+// timelines, calibration reports, merged sweep outputs) goes through
+// write_text_file_atomic: the bytes land in `<path>.tmp` first and reach
+// `path` only via rename(2), which POSIX guarantees is atomic on one
+// filesystem.  A process killed mid-write therefore leaves either the old
+// file or no file — never a truncated artifact that a later `--merge` or
+// resume pass would silently ingest.  The fault-tolerant sweep orchestrator
+// (src/orchestrator/) leans on this: shard workers can be SIGKILLed at any
+// instant and whatever survives on disk is valid by construction.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sss::trace {
+
+// Write `text` to `path` atomically (temp file + rename).  Throws
+// std::runtime_error when the temp file cannot be opened, the write fails,
+// or the rename fails (the temp file is removed on failure).
+void write_text_file_atomic(const std::string& path, std::string_view text);
+
+// Read a whole file as bytes.  Throws std::runtime_error when unreadable.
+[[nodiscard]] std::string read_text_file(const std::string& path);
+
+}  // namespace sss::trace

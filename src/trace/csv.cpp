@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "trace/atomic_io.hpp"
+
 namespace sss::trace {
 
 CsvWriter::CsvWriter(const std::string& path)
@@ -113,9 +115,13 @@ CsvTable parse_csv(std::string_view text) {
 
 void write_csv_file(const std::string& path, const std::vector<std::string>& header,
                     const std::vector<std::vector<std::string>>& rows) {
-  CsvWriter writer(path);
+  // Serialize in memory and persist atomically (temp file + rename): a
+  // crash mid-export leaves no truncated CSV for a later merge to ingest.
+  std::ostringstream buffer;
+  CsvWriter writer(buffer);
   writer.write_header(header);
   for (const auto& row : rows) writer.write_row(row);
+  write_text_file_atomic(path, buffer.str());
 }
 
 CsvTable read_csv_file(const std::string& path) {
@@ -136,6 +142,17 @@ CsvTable merge_csv_tables(const std::vector<CsvTable>& parts) {
     if (parts[i].header != merged.header) {
       throw std::invalid_argument("merge_csv_tables: part " + std::to_string(i) +
                                   " has a different header");
+    }
+    // A crashed writer can leave a row cut mid-field; refuse to merge it
+    // rather than propagate a silently corrupt table.
+    for (std::size_t r = 0; r < parts[i].rows.size(); ++r) {
+      if (parts[i].rows[r].size() != merged.header.size()) {
+        throw std::invalid_argument(
+            "merge_csv_tables: part " + std::to_string(i) + " row " +
+            std::to_string(r + 1) + " has " + std::to_string(parts[i].rows[r].size()) +
+            " fields, expected " + std::to_string(merged.header.size()) +
+            " (truncated file?)");
+      }
     }
     merged.rows.insert(merged.rows.end(), parts[i].rows.begin(), parts[i].rows.end());
   }

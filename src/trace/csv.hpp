@@ -49,8 +49,9 @@ struct CsvTable {
 };
 
 // Write a whole table (header + rows) to `path` in one call — the
-// scenario runner's CSV export.  Throws std::runtime_error when the file
-// cannot be opened.
+// scenario runner's CSV export.  The write is atomic (temp file + rename,
+// trace/atomic_io.hpp), so a killed process never leaves a truncated CSV.
+// Throws std::runtime_error when the file cannot be written.
 void write_csv_file(const std::string& path, const std::vector<std::string>& header,
                     const std::vector<std::vector<std::string>>& rows);
 
@@ -64,7 +65,8 @@ void write_csv_file(const std::string& path, const std::vector<std::string>& hea
 // Concatenate tables that share an identical header, preserving part order
 // and row order within each part — the merge step for sharded scenario
 // sweeps (`scenario_runner --merge`).  Throws std::invalid_argument on an
-// empty part list or a header mismatch.
+// empty part list, a header mismatch, or a ragged row (a truncated shard
+// file must fail the merge loudly, never produce a silent gap).
 [[nodiscard]] CsvTable merge_csv_tables(const std::vector<CsvTable>& parts);
 
 }  // namespace sss::trace

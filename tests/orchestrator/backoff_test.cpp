@@ -1,0 +1,83 @@
+// Tests for the retry backoff schedule: deterministic, jittered, capped.
+#include "orchestrator/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sss::orchestrator {
+namespace {
+
+TEST(Backoff, FirstAttemptLaunchesImmediately) {
+  const RetryPolicy policy;
+  EXPECT_EQ(backoff_delay_ms(policy, 0, 1), 0u);
+  EXPECT_EQ(backoff_delay_ms(policy, 7, 1), 0u);
+  EXPECT_EQ(backoff_delay_ms(policy, 0, 0), 0u);  // degenerate input
+}
+
+TEST(Backoff, DelayIsAPureFunctionOfPolicyShardAttempt) {
+  const RetryPolicy policy;
+  for (std::size_t shard = 0; shard < 8; ++shard) {
+    for (int attempt = 2; attempt <= 6; ++attempt) {
+      EXPECT_EQ(backoff_delay_ms(policy, shard, attempt),
+                backoff_delay_ms(policy, shard, attempt));
+    }
+  }
+}
+
+TEST(Backoff, JitterStaysInsideTheHalfToFullEnvelope) {
+  RetryPolicy policy;
+  policy.base_ms = 1000;
+  policy.multiplier = 2.0;
+  policy.max_ms = 1'000'000;
+  for (std::size_t shard = 0; shard < 32; ++shard) {
+    for (int attempt = 2; attempt <= 8; ++attempt) {
+      const double envelope =
+          1000.0 * std::pow(2.0, static_cast<double>(attempt - 2));
+      const std::uint64_t delay = backoff_delay_ms(policy, shard, attempt);
+      EXPECT_GE(delay, static_cast<std::uint64_t>(envelope * 0.5));
+      EXPECT_LT(delay, static_cast<std::uint64_t>(envelope));
+    }
+  }
+}
+
+TEST(Backoff, MaxMsCapsTheEnvelopeBeforeJitter) {
+  RetryPolicy policy;
+  policy.base_ms = 1000;
+  policy.multiplier = 10.0;
+  policy.max_ms = 5000;
+  for (int attempt = 4; attempt <= 10; ++attempt) {
+    const std::uint64_t delay = backoff_delay_ms(policy, 3, attempt);
+    EXPECT_GE(delay, 2500u);  // 0.5 x cap
+    EXPECT_LE(delay, 5000u);  // never past the cap
+  }
+}
+
+TEST(Backoff, ShardsAndAttemptsDecorrelate) {
+  // Not a statistical test — just pin that distinct keys give distinct
+  // delays (the thundering-herd property the jitter exists for).
+  const RetryPolicy policy;
+  EXPECT_NE(backoff_delay_ms(policy, 0, 3), backoff_delay_ms(policy, 1, 3));
+  EXPECT_NE(backoff_delay_ms(policy, 0, 3) * 2, backoff_delay_ms(policy, 0, 4));
+}
+
+TEST(Backoff, DefaultScheduleIsPinned) {
+  // The exact default schedule for shard 0.  These values are load-bearing:
+  // a resumed orchestrator must compute the SAME delays as the killed one,
+  // so any change here is a behavioral break, not test churn.
+  const RetryPolicy policy;
+  const std::uint64_t retry1 = backoff_delay_ms(policy, 0, 2);
+  const std::uint64_t retry2 = backoff_delay_ms(policy, 0, 3);
+  // envelope: 500ms then 1000ms, jitter in [0.5, 1)
+  EXPECT_GE(retry1, 250u);
+  EXPECT_LT(retry1, 500u);
+  EXPECT_GE(retry2, 500u);
+  EXPECT_LT(retry2, 1000u);
+  // Cross-process stability: the same call in a fresh process (e.g. after
+  // --resume) must reproduce these exact values.
+  EXPECT_EQ(retry1, backoff_delay_ms(RetryPolicy{}, 0, 2));
+  EXPECT_EQ(retry2, backoff_delay_ms(RetryPolicy{}, 0, 3));
+}
+
+}  // namespace
+}  // namespace sss::orchestrator

@@ -1,0 +1,118 @@
+// Tests for the worker process backends: spawn/poll/kill, templates.
+#include "orchestrator/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+namespace sss::orchestrator {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_log(const char* tag) {
+  return (fs::temp_directory_path() /
+          ("sss_process_test_" + std::to_string(::getpid()) + "_" + tag + ".log"))
+      .string();
+}
+
+// Poll until the worker reports a terminal status (bounded wait).
+int wait_for(WorkerHandle& handle) {
+  for (int i = 0; i < 500; ++i) {
+    if (const auto status = poll_worker(handle)) return *status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ADD_FAILURE() << "worker did not exit within 5s";
+  kill_worker(handle);
+  return -1;
+}
+
+TEST(Process, SpawnPollExitZero) {
+  const std::string log = temp_log("exit0");
+  WorkerHandle handle = spawn_process({"/bin/true"}, log);
+  ASSERT_TRUE(handle.valid());
+  EXPECT_EQ(wait_for(handle), 0);
+  fs::remove(log);
+}
+
+TEST(Process, NonZeroExitIsReported) {
+  const std::string log = temp_log("exit7");
+  WorkerHandle handle = spawn_shell("exit 7", log);
+  EXPECT_EQ(wait_for(handle), 7);
+  fs::remove(log);
+}
+
+TEST(Process, ExecFailureReads127) {
+  const std::string log = temp_log("noexec");
+  WorkerHandle handle = spawn_process({"/nonexistent-binary-xyz"}, log);
+  EXPECT_EQ(wait_for(handle), 127);
+  fs::remove(log);
+}
+
+TEST(Process, SignalDeathIsNormalizedTo128PlusSig) {
+  const std::string log = temp_log("sigkill");
+  WorkerHandle handle = spawn_shell("kill -KILL $$", log);
+  EXPECT_EQ(wait_for(handle), 128 + 9);
+  fs::remove(log);
+}
+
+TEST(Process, KillWorkerReapsAHungProcess) {
+  const std::string log = temp_log("hang");
+  WorkerHandle handle = spawn_shell("sleep 1000", log);
+  ASSERT_TRUE(handle.valid());
+  EXPECT_FALSE(poll_worker(handle).has_value());  // still running
+  kill_worker(handle);
+  EXPECT_FALSE(handle.valid());
+  // Safe to call again on the dead handle.
+  kill_worker(handle);
+  fs::remove(log);
+}
+
+TEST(Process, OutputIsRedirectedToTheLogFile) {
+  const std::string log = temp_log("redirect");
+  WorkerHandle handle = spawn_shell("echo out; echo err 1>&2", log);
+  EXPECT_EQ(wait_for(handle), 0);
+  std::ifstream in(log);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("out"), std::string::npos);
+  EXPECT_NE(text.find("err"), std::string::npos);
+  fs::remove(log);
+}
+
+TEST(CommandTemplate, SubstitutesAllPlaceholders) {
+  EXPECT_EQ(render_command_template("ssh host{shard} '{command}' # {begin}-{end}",
+                                    "run --cells 2:5", 2, 5, 1),
+            "ssh host1 'run --cells 2:5' # 2-5");
+}
+
+TEST(CommandTemplate, UnknownPlaceholdersPassThroughVerbatim) {
+  EXPECT_EQ(render_command_template("echo ${HOME} {command}", "x", 0, 1, 0),
+            "echo ${HOME} x");
+  EXPECT_EQ(render_command_template("{unclosed", "x", 0, 1, 0), "{unclosed");
+}
+
+TEST(ShellQuote, SurvivesTheShellRoundTrip) {
+  EXPECT_EQ(shell_quote("plain"), "'plain'");
+  EXPECT_EQ(shell_quote("has space"), "'has space'");
+  EXPECT_EQ(shell_quote("it's"), "'it'\\''s'");
+
+  // End to end: a quoted argument travels through /bin/sh -c unchanged.
+  const std::string log = temp_log("quote");
+  const std::string payload = "a b'c$d\"e";
+  WorkerHandle handle = spawn_shell("printf %s " + shell_quote(payload), log);
+  EXPECT_EQ(wait_for(handle), 0);
+  std::ifstream in(log);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text, payload);
+  fs::remove(log);
+}
+
+}  // namespace
+}  // namespace sss::orchestrator

@@ -1,0 +1,211 @@
+// End-to-end tests for the fault-tolerant sweep orchestrator: real
+// scenario_runner worker subprocesses, injected crashes/hangs/corruption,
+// and the byte-identical-merge determinism contract.
+//
+// The reference output is the committed golden for hop_bottleneck_sweep
+// (4 cells, scale 0.1, seed 42, threads 1) — the same bytes
+// tests/scenario/topology_differential_test.cpp pins for the unsharded
+// run, so "orchestrated merge == golden" IS "sharded == unsharded".
+#include "orchestrator/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+
+#include "obs/manifest.hpp"
+#include "trace/atomic_io.hpp"
+#include "trace/json.hpp"
+
+namespace sss::orchestrator {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kRunner = SSS_BINARY_DIR "/bench/scenario_runner";
+constexpr const char* kGolden =
+    SSS_SOURCE_DIR "/tests/data/topology_golden/hop_bottleneck_sweep.csv";
+constexpr const char* kScenario = "hop_bottleneck_sweep";  // 4 grid cells
+
+std::string read_file(const std::string& path) {
+  return trace::read_text_file(path);
+}
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fs::exists(kRunner)) {
+      GTEST_SKIP() << "scenario_runner not built at " << kRunner;
+    }
+    dir_ = fs::temp_directory_path() /
+           ("sss_supervisor_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    ::unsetenv("SSS_FAULT_INJECTION");
+  }
+  void TearDown() override {
+    ::unsetenv("SSS_FAULT_INJECTION");
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  // The baseline config every test starts from: 2 shards, 2 workers,
+  // golden-matching context, fast retries.
+  OrchestratorConfig base_config() {
+    OrchestratorConfig config;
+    config.scenario = kScenario;
+    config.runner = kRunner;
+    config.workdir = (dir_ / "work").string();
+    config.shards = 2;
+    config.max_parallel = 2;
+    config.scale = 0.1;
+    config.seed = 42;
+    config.threads_per_worker = 1;
+    config.retry.base_ms = 10;  // keep failure tests fast
+    config.quiet = true;
+    return config;
+  }
+
+  // Arm the one-shot fault-injection gate and return the arm-file path.
+  std::string arm_fault() {
+    const std::string arm = (dir_ / "fault.arm").string();
+    std::ofstream(arm) << "armed\n";
+    ::setenv("SSS_FAULT_INJECTION", arm.c_str(), 1);
+    return arm;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(SupervisorTest, CleanRunMergesByteIdenticalToUnshardedGolden) {
+  const OrchestratorReport report = orchestrate(base_config());
+  EXPECT_EQ(report.exit_code, 0);
+  ASSERT_FALSE(report.merged_csv.empty());
+  EXPECT_EQ(read_file(report.merged_csv), read_file(kGolden));
+  EXPECT_TRUE(report.missing_cells.empty());
+}
+
+TEST_F(SupervisorTest, InjectedCrashIsRetriedAndStillMatchesGolden) {
+  arm_fault();
+  OrchestratorConfig config = base_config();
+  // The worker owning global cell 1 SIGKILLs itself mid-run on its first
+  // attempt; the arm file is consumed, so the retry runs clean.
+  config.worker_args = {"--inject-fault", "crash@cell=1"};
+  const OrchestratorReport report = orchestrate(config);
+  EXPECT_EQ(report.exit_code, 0);
+  EXPECT_EQ(read_file(report.merged_csv), read_file(kGolden));
+  int total_attempts = 0;
+  for (const ShardOutcome& shard : report.shards) total_attempts += shard.attempts;
+  EXPECT_GT(total_attempts, static_cast<int>(report.shards.size()));
+}
+
+TEST_F(SupervisorTest, TruncatedArtifactIsRejectedAndRetried) {
+  arm_fault();
+  OrchestratorConfig config = base_config();
+  // The worker exits 0 but its CSV is cut short: only artifact validation
+  // can catch this, and it must, loudly, then retry.
+  config.worker_args = {"--inject-fault", "truncate@cell=1"};
+  const OrchestratorReport report = orchestrate(config);
+  EXPECT_EQ(report.exit_code, 0);
+  EXPECT_EQ(read_file(report.merged_csv), read_file(kGolden));
+}
+
+TEST_F(SupervisorTest, HungWorkerIsKilledAtTheDeadlineAndRetried) {
+  arm_fault();
+  OrchestratorConfig config = base_config();
+  config.worker_args = {"--inject-fault", "hang@cell=2"};
+  config.timeout_s = 1.5;
+  const OrchestratorReport report = orchestrate(config);
+  EXPECT_EQ(report.exit_code, 0);
+  EXPECT_EQ(read_file(report.merged_csv), read_file(kGolden));
+}
+
+TEST_F(SupervisorTest, ExhaustedShardDegradesToPartialMergeWithReport) {
+  OrchestratorConfig config = base_config();
+  // Command-template backend whose shard [2, 4) always fails — retries
+  // can never save it, so the sweep must degrade gracefully.
+  config.command_template = "if [ {begin} -ge 2 ]; then exit 7; fi; {command}";
+  config.retry.max_attempts = 2;
+  const OrchestratorReport report = orchestrate(config);
+  EXPECT_EQ(report.exit_code, 3);
+
+  // The surviving shard is merged...
+  ASSERT_FALSE(report.merged_csv.empty());
+  const std::string golden = read_file(kGolden);
+  const std::string partial = read_file(report.merged_csv);
+  EXPECT_TRUE(golden.starts_with(partial));  // rows 0-1 only, byte-exact
+  EXPECT_LT(partial.size(), golden.size());
+
+  // ...and the missing cells are named machine-readably.
+  ASSERT_FALSE(report.missing_cells_path.empty());
+  const trace::JsonValue doc =
+      trace::JsonValue::parse(read_file(report.missing_cells_path));
+  EXPECT_EQ(doc.at("scenario").as_string(), kScenario);
+  EXPECT_EQ(doc.at("total_cells").as_double(), 4.0);
+  const auto& missing = doc.at("missing_cells").as_array();
+  ASSERT_EQ(missing.size(), 2u);
+  EXPECT_EQ(missing[0].as_double(), 2.0);
+  EXPECT_EQ(missing[1].as_double(), 3.0);
+  EXPECT_EQ(report.missing_cells, (std::vector<std::size_t>{2, 3}));
+}
+
+TEST_F(SupervisorTest, ResumeSkipsFinishedShardsEntirely) {
+  OrchestratorConfig config = base_config();
+  const OrchestratorReport first = orchestrate(config);
+  ASSERT_EQ(first.exit_code, 0);
+
+  // A killed-after-completion orchestrator restarts: nothing relaunches.
+  const std::string ledger_path = config.workdir + "/ledger.jsonl";
+  const auto size_before = fs::file_size(ledger_path);
+  config.resume = true;
+  const OrchestratorReport second = orchestrate(config);
+  EXPECT_EQ(second.exit_code, 0);
+  EXPECT_EQ(fs::file_size(ledger_path), size_before);  // no new journal events
+  EXPECT_EQ(read_file(second.merged_csv), read_file(kGolden));
+}
+
+TEST_F(SupervisorTest, FreshWorkdirRefusesAnExistingLedgerWithoutResume) {
+  OrchestratorConfig config = base_config();
+  ASSERT_EQ(orchestrate(config).exit_code, 0);
+  EXPECT_THROW((void)orchestrate(config), std::invalid_argument);
+}
+
+TEST_F(SupervisorTest, CostModelPartitionStillMergesByteIdentical) {
+  // A skewed cost manifest moves the shard boundary; the merge contract
+  // must hold for ANY contiguous partition.
+  obs::RunManifest manifest;
+  manifest.scenario = kScenario;
+  manifest.scale = 0.1;
+  manifest.seed = 42;
+  manifest.total_cells = 4;
+  for (std::size_t i = 0; i < 4; ++i) {
+    obs::CellMetrics cell;
+    cell.index = i;
+    cell.label = "cell" + std::to_string(i);
+    cell.wall_ms = i == 0 ? 100.0 : 1.0;  // cell 0 dominates
+    manifest.cells.push_back(cell);
+  }
+  const std::string cost_path = (dir_ / "costs.json").string();
+  trace::write_text_file_atomic(cost_path, manifest.to_json_text());
+
+  OrchestratorConfig config = base_config();
+  config.cost_model_path = cost_path;
+  const OrchestratorReport report = orchestrate(config);
+  EXPECT_EQ(report.exit_code, 0);
+  EXPECT_EQ(read_file(report.merged_csv), read_file(kGolden));
+  // The hot cell got its own shard.
+  ASSERT_FALSE(report.shards.empty());
+  EXPECT_EQ(report.shards.front().range, (CellRange{0, 1}));
+}
+
+TEST_F(SupervisorTest, UnknownScenarioIsAConfigurationError) {
+  OrchestratorConfig config = base_config();
+  config.scenario = "no_such_scenario";
+  EXPECT_THROW((void)orchestrate(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sss::orchestrator

@@ -1,0 +1,67 @@
+// Tests for atomic text-file writes: temp+rename, no droppings, failures.
+#include "trace/atomic_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <unistd.h>
+
+namespace sss::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AtomicIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sss_atomic_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  fs::path dir_;
+};
+
+TEST_F(AtomicIoTest, RoundTripsContentExactly) {
+  const std::string path = (dir_ / "out.txt").string();
+  const std::string payload = "line1\nline2\n\xE2\x9C\x93 bytes\n";
+  write_text_file_atomic(path, payload);
+  EXPECT_EQ(read_text_file(path), payload);
+}
+
+TEST_F(AtomicIoTest, LeavesNoTempFileBehind) {
+  const std::string path = (dir_ / "out.txt").string();
+  write_text_file_atomic(path, "data\n");
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  std::size_t entries = 0;
+  for ([[maybe_unused]] const auto& entry : fs::directory_iterator(dir_)) ++entries;
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST_F(AtomicIoTest, OverwritesExistingFileAtomically) {
+  const std::string path = (dir_ / "out.txt").string();
+  write_text_file_atomic(path, "old old old old\n");
+  write_text_file_atomic(path, "new\n");
+  EXPECT_EQ(read_text_file(path), "new\n");  // never a mix of the two
+}
+
+TEST_F(AtomicIoTest, UnwritableDirectoryThrowsAndLeavesNoTarget) {
+  const std::string path = (dir_ / "missing-subdir" / "out.txt").string();
+  EXPECT_THROW(write_text_file_atomic(path, "x"), std::runtime_error);
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST_F(AtomicIoTest, ReadMissingFileThrows) {
+  EXPECT_THROW((void)read_text_file((dir_ / "absent.txt").string()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sss::trace

@@ -275,12 +275,10 @@ int main(int argc, char** argv) {
   }
 
   // --- merged document ------------------------------------------------------
-  std::ofstream out(out_path);
-  if (!out) {
-    std::cerr << "bench_baseline: cannot write " << out_path << "\n";
-    return 1;
-  }
-  out << "{\n"
+  // Written via temp + rename so an interrupted run can't truncate the
+  // committed trajectory file when --out points at BENCH_micro.json.
+  std::ostringstream doc;
+  doc << "{\n"
       << "  \"schema\": 1,\n"
       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
       << "  \"build_type\": \"" << build_type << "\",\n"
@@ -294,7 +292,28 @@ int main(int argc, char** argv) {
       << "  },\n"
       << "  \"micro\": " << micro_json << "\n"
       << "}\n";
-  out.close();
+  const std::string tmp_path = out_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "bench_baseline: cannot write " << tmp_path << "\n";
+      return 1;
+    }
+    const std::string text = doc.str();
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.flush();
+    if (!out) {
+      std::cerr << "bench_baseline: short write to " << tmp_path << "\n";
+      std::remove(tmp_path.c_str());
+      return 1;
+    }
+  }
+  if (std::rename(tmp_path.c_str(), out_path.c_str()) != 0) {
+    std::cerr << "bench_baseline: cannot rename " << tmp_path << " to " << out_path
+              << "\n";
+    std::remove(tmp_path.c_str());
+    return 1;
+  }
   std::cerr << "bench_baseline: wrote " << out_path << " (scenario " << wall_s
             << " s wall, build " << build_type << ")\n";
 

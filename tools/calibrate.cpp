@@ -20,6 +20,7 @@
 
 #include "core/experiment_io.hpp"
 #include "core/fitting.hpp"
+#include "trace/atomic_io.hpp"
 #include "trace/parse.hpp"
 
 namespace {
@@ -103,14 +104,10 @@ int main(int argc, char** argv) {
     if (report_path.empty()) {
       std::fputs(report.c_str(), stdout);
     } else {
-      std::ofstream out(report_path);
-      if (!out.is_open()) {
-        std::fprintf(stderr, "cannot open %s\n", report_path.c_str());
-        return 1;
-      }
-      out << report;
-      if (!out.flush()) {
-        std::fprintf(stderr, "failed writing %s\n", report_path.c_str());
+      try {
+        sss::trace::write_text_file_atomic(report_path, report);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "failed writing %s: %s\n", report_path.c_str(), e.what());
         return 1;
       }
       std::printf(

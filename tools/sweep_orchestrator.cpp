@@ -1,0 +1,204 @@
+// sweep_orchestrator — fault-tolerant multi-process sweep driver.
+//
+// Thin CLI over orchestrator::orchestrate (src/orchestrator/supervisor.hpp):
+// split a scenario's grid into shard ranges, launch scenario_runner
+// workers, retry/kill/speculate around failures, and merge the shard CSVs
+// into one table that is byte-identical to an unsharded run.
+//
+//   sweep_orchestrator --scenario hop_bottleneck_sweep
+//       --runner build/bench/scenario_runner --workdir /tmp/sweep
+//       --shards 4 --workers 2 --scale 0.1 --seed 42
+//
+// Exit codes: 0 full merge, 2 usage error, 3 partial merge (some shards
+// exhausted their retries; see <workdir>/missing_cells.json), 1 hard error.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "orchestrator/supervisor.hpp"
+#include "trace/parse.hpp"
+
+namespace {
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s --scenario NAME --runner PATH --workdir DIR [options]\n"
+               "required:\n"
+               "  --scenario NAME    registered scenario with a declarative output spec\n"
+               "  --runner PATH      scenario_runner binary the workers exec\n"
+               "  --workdir DIR      attempt sandboxes, ledger, logs, merged.csv\n"
+               "partitioning:\n"
+               "  --shards N         shard count (default 2)\n"
+               "  --cost-model F     merged metrics manifest from a prior run; shard\n"
+               "                     boundaries then follow measured per-cell wall\n"
+               "                     times instead of equal cell counts\n"
+               "workers:\n"
+               "  --workers N        concurrently running attempts (default 2)\n"
+               "  --threads-per-worker N   forwarded as --threads (default 1)\n"
+               "  --scale S          forwarded as --scale (default 1.0)\n"
+               "  --seed K           forwarded as --seed (default 42)\n"
+               "  --param K=V        forwarded as --param (repeatable)\n"
+               "  --worker-arg ARG   appended verbatim to the worker argv (repeatable)\n"
+               "  --template T       run workers via `/bin/sh -c` of T with {command}\n"
+               "                     {begin} {end} {shard} substituted (ssh/batch\n"
+               "                     backends); default is local fork/exec\n"
+               "robustness:\n"
+               "  --retries N        attempts per shard incl. the first (default 3)\n"
+               "  --backoff-ms MS    base retry delay (default 500)\n"
+               "  --backoff-mult M   exponential multiplier (default 2.0)\n"
+               "  --timeout-s S      hard per-attempt deadline; default derives\n"
+               "                     from the cost model when one is given\n"
+               "  --speculate-after-s S   duplicate a straggler attempt after S;\n"
+               "                     default derives from the cost model\n"
+               "bookkeeping:\n"
+               "  --resume           continue an existing workdir ledger\n"
+               "  --out F            merged CSV path (default <workdir>/merged.csv)\n"
+               "  --quiet            suppress progress chatter\n",
+               argv0);
+}
+
+int usage(const char* argv0) {
+  print_usage(stderr, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using sss::trace::parse_double;
+  using sss::trace::parse_int;
+  using sss::trace::parse_uint64;
+
+  sss::orchestrator::OrchestratorConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      const char* v = next_value("--scenario");
+      if (v == nullptr) return usage(argv[0]);
+      config.scenario = v;
+    } else if (arg == "--runner") {
+      const char* v = next_value("--runner");
+      if (v == nullptr) return usage(argv[0]);
+      config.runner = v;
+    } else if (arg == "--workdir") {
+      const char* v = next_value("--workdir");
+      if (v == nullptr) return usage(argv[0]);
+      config.workdir = v;
+    } else if (arg == "--shards") {
+      const char* v = next_value("--shards");
+      const auto parsed = v ? parse_int(v) : std::nullopt;
+      if (!parsed.has_value() || *parsed < 1) {
+        std::fprintf(stderr, "--shards requires an integer >= 1\n");
+        return 2;
+      }
+      config.shards = *parsed;
+    } else if (arg == "--workers") {
+      const char* v = next_value("--workers");
+      const auto parsed = v ? parse_int(v) : std::nullopt;
+      if (!parsed.has_value() || *parsed < 1) {
+        std::fprintf(stderr, "--workers requires an integer >= 1\n");
+        return 2;
+      }
+      config.max_parallel = *parsed;
+    } else if (arg == "--threads-per-worker") {
+      const char* v = next_value("--threads-per-worker");
+      const auto parsed = v ? parse_int(v) : std::nullopt;
+      if (!parsed.has_value() || *parsed < 0) return usage(argv[0]);
+      config.threads_per_worker = *parsed;
+    } else if (arg == "--scale") {
+      const char* v = next_value("--scale");
+      const auto parsed = v ? parse_double(v) : std::nullopt;
+      if (!parsed.has_value() || !(*parsed > 0.0) || *parsed > 1.0) return usage(argv[0]);
+      config.scale = *parsed;
+    } else if (arg == "--seed") {
+      const char* v = next_value("--seed");
+      const auto parsed = v ? parse_uint64(v) : std::nullopt;
+      if (!parsed.has_value()) return usage(argv[0]);
+      config.seed = *parsed;
+    } else if (arg == "--param") {
+      const char* v = next_value("--param");
+      if (v == nullptr) return usage(argv[0]);
+      config.params.emplace_back(v);
+    } else if (arg == "--worker-arg") {
+      const char* v = next_value("--worker-arg");
+      if (v == nullptr) return usage(argv[0]);
+      config.worker_args.emplace_back(v);
+    } else if (arg == "--template") {
+      const char* v = next_value("--template");
+      if (v == nullptr) return usage(argv[0]);
+      config.command_template = std::string(v);
+    } else if (arg == "--cost-model") {
+      const char* v = next_value("--cost-model");
+      if (v == nullptr) return usage(argv[0]);
+      config.cost_model_path = std::string(v);
+    } else if (arg == "--retries") {
+      const char* v = next_value("--retries");
+      const auto parsed = v ? parse_int(v) : std::nullopt;
+      if (!parsed.has_value() || *parsed < 1) {
+        std::fprintf(stderr, "--retries requires an integer >= 1\n");
+        return 2;
+      }
+      config.retry.max_attempts = *parsed;
+    } else if (arg == "--backoff-ms") {
+      const char* v = next_value("--backoff-ms");
+      const auto parsed = v ? parse_uint64(v) : std::nullopt;
+      if (!parsed.has_value()) return usage(argv[0]);
+      config.retry.base_ms = *parsed;
+    } else if (arg == "--backoff-mult") {
+      const char* v = next_value("--backoff-mult");
+      const auto parsed = v ? parse_double(v) : std::nullopt;
+      if (!parsed.has_value() || !(*parsed >= 1.0)) return usage(argv[0]);
+      config.retry.multiplier = *parsed;
+    } else if (arg == "--timeout-s") {
+      const char* v = next_value("--timeout-s");
+      const auto parsed = v ? parse_double(v) : std::nullopt;
+      if (!parsed.has_value() || !(*parsed > 0.0)) return usage(argv[0]);
+      config.timeout_s = *parsed;
+    } else if (arg == "--speculate-after-s") {
+      const char* v = next_value("--speculate-after-s");
+      const auto parsed = v ? parse_double(v) : std::nullopt;
+      if (!parsed.has_value() || !(*parsed > 0.0)) return usage(argv[0]);
+      config.speculate_after_s = *parsed;
+    } else if (arg == "--resume") {
+      config.resume = true;
+    } else if (arg == "--out") {
+      const char* v = next_value("--out");
+      if (v == nullptr) return usage(argv[0]);
+      config.out_path = std::string(v);
+    } else if (arg == "--quiet") {
+      config.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+
+  if (config.scenario.empty() || config.runner.empty() || config.workdir.empty()) {
+    std::fprintf(stderr, "--scenario, --runner and --workdir are required\n");
+    return usage(argv[0]);
+  }
+
+  try {
+    const sss::orchestrator::OrchestratorReport report =
+        sss::orchestrator::orchestrate(config);
+    return report.exit_code;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_orchestrator: %s\n", e.what());
+    return 1;
+  }
+}
