@@ -1,6 +1,7 @@
 #include "scenario/plan.hpp"
 
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -775,6 +776,11 @@ trace::JsonValue ExperimentPlan::to_json() const {
 }
 
 ExperimentPlan ExperimentPlan::from_json(const trace::JsonValue& json) {
+  if (json.find("include") != nullptr) {
+    plan_error(
+        "\"include\" is resolved by load_plan_file (it needs the including "
+        "file's directory); from_json only accepts fully composed plans");
+  }
   const trace::JsonValue* format = json.find("format");
   if (format == nullptr || format->as_string() != kFormatTag) {
     plan_error(std::string("expected \"format\": \"") + kFormatTag + "\"");
@@ -803,12 +809,129 @@ ExperimentPlan ExperimentPlan::from_json_text(std::string_view text) {
   return from_json(trace::JsonValue::parse(text));
 }
 
-ExperimentPlan load_plan_file(const std::string& path) {
+// --- plan-file composition ("include") -------------------------------------
+
+namespace {
+
+// Overriding identity of an axis: the override-catalog key for value axes,
+// the name for tuples axes.  Empty = no identity (always appended).
+std::string axis_identity(const trace::JsonValue& axis_json) {
+  if (!axis_json.is_object()) return "";
+  if (const trace::JsonValue* key = axis_json.find("key")) {
+    if (key->is_string() && !key->as_string().empty()) return key->as_string();
+  }
+  if (const trace::JsonValue* name = axis_json.find("name")) {
+    if (name->is_string() && !name->as_string().empty()) return name->as_string();
+  }
+  return "";
+}
+
+// Overlay `fragment` (the including file, minus its "include" key) onto
+// `merged` (the composed included plan), with the key-by-key "base" merge
+// and the identity-matched "axes" override described in plan.hpp.
+void overlay_plan_json(trace::JsonValue& merged, const trace::JsonValue& fragment,
+                       const std::string& fragment_path) {
+  for (const auto& [key, value] : fragment.as_object()) {
+    if (key == "include") continue;
+    if (key == "base" && value.is_object()) {
+      const trace::JsonValue* included_base = merged.find("base");
+      if (included_base != nullptr && included_base->is_object()) {
+        trace::JsonValue base = *included_base;
+        for (const auto& [field, field_value] : value.as_object()) {
+          base[field] = field_value;
+        }
+        merged["base"] = std::move(base);
+        continue;
+      }
+    }
+    if (key == "axes" && value.is_array()) {
+      const trace::JsonValue* included_axes = merged.find("axes");
+      if (included_axes != nullptr && included_axes->is_array()) {
+        trace::JsonValue::Array axes = included_axes->as_array();
+        std::map<std::string, bool> overridden;
+        for (const trace::JsonValue& axis_json : value.as_array()) {
+          const std::string identity = axis_identity(axis_json);
+          if (!identity.empty()) {
+            if (overridden.count(identity) != 0) {
+              plan_error("include conflict in " + fragment_path +
+                         ": two axes override '" + identity + "'");
+            }
+            overridden[identity] = true;
+          }
+          bool replaced = false;
+          if (!identity.empty()) {
+            for (trace::JsonValue& existing : axes) {
+              if (axis_identity(existing) == identity) {
+                existing = axis_json;
+                replaced = true;
+                break;
+              }
+            }
+          }
+          if (!replaced) axes.push_back(axis_json);
+        }
+        merged["axes"] = trace::JsonValue(std::move(axes));
+        continue;
+      }
+    }
+    merged[key] = value;
+  }
+}
+
+trace::JsonValue load_plan_json_chain(const std::string& path,
+                                      std::vector<std::string>& chain) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path canonical = fs::weakly_canonical(path, ec);
+  if (ec) canonical = path;
+  for (const std::string& visited : chain) {
+    if (visited == canonical.string()) {
+      std::string cycle;
+      for (const std::string& link : chain) {
+        cycle += fs::path(link).filename().string() + " -> ";
+      }
+      cycle += canonical.filename().string();
+      plan_error("plan include cycle: " + cycle);
+    }
+  }
+  chain.push_back(canonical.string());
+
   std::ifstream in(path);
-  if (!in.is_open()) throw std::runtime_error("cannot open plan file " + path);
+  if (!in.is_open()) plan_error("cannot open plan file " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ExperimentPlan::from_json_text(buffer.str());
+  trace::JsonValue json = trace::JsonValue::parse(buffer.str());
+  if (!json.is_object()) plan_error("plan file " + path + " is not a JSON object");
+
+  const trace::JsonValue* include = json.find("include");
+  if (include == nullptr) {
+    chain.pop_back();
+    return json;
+  }
+  if (!include->is_string() || include->as_string().empty()) {
+    plan_error("\"include\" in " + path + " must be a non-empty file path");
+  }
+  // Resolve relative to the including file, so a plan directory is
+  // relocatable as a unit.
+  fs::path include_path(include->as_string());
+  if (include_path.is_relative()) {
+    include_path = fs::path(path).parent_path() / include_path;
+  }
+  trace::JsonValue merged = load_plan_json_chain(include_path.string(), chain);
+  overlay_plan_json(merged, json, path);
+  chain.pop_back();
+  return merged;
+}
+
+}  // namespace
+
+trace::JsonValue load_plan_json(const std::string& path) {
+  std::vector<std::string> chain;
+  return load_plan_json_chain(path, chain);
+}
+
+ExperimentPlan load_plan_file(const std::string& path) {
+  return ExperimentPlan::from_json(load_plan_json(path));
 }
 
 }  // namespace sss::scenario

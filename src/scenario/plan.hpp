@@ -148,8 +148,24 @@ struct ExperimentPlan {
   friend bool operator==(const ExperimentPlan&, const ExperimentPlan&) = default;
 };
 
-// Load a plan from a JSON file.  Throws std::runtime_error on I/O or
-// parse/validation errors.
+// Load a plan file's JSON with "include" composition resolved.  A plan file
+// may carry `"include": "base_plan.json"` (resolved relative to the
+// including file's directory, includes may nest): the included file is
+// loaded first and the including file's other keys override it —
+//   - "base" merges key-by-key (the fragment's workload fields win, the
+//     rest of the included base survives);
+//   - "axes" override by identity (an axis's "key", or "name" for tuples
+//     axes): a fragment axis replaces the included axis with the same
+//     identity and is appended otherwise.  Two fragment axes targeting the
+//     same identity is a conflict error naming the identity;
+//   - every other top-level key replaces the included value wholesale.
+// Include cycles are detected and reported as the full chain
+// ("plan include cycle: a.json -> b.json -> a.json").  Returns the merged
+// JSON with no "include" key remaining.
+[[nodiscard]] trace::JsonValue load_plan_json(const std::string& path);
+
+// Load a plan from a JSON file ("include" composition resolved as above).
+// Throws std::runtime_error on I/O or parse/validation errors.
 [[nodiscard]] ExperimentPlan load_plan_file(const std::string& path);
 
 // Render the declarative table: one row per run, columns from the metric

@@ -1,0 +1,124 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace sss::serve {
+
+int connect_tcp(const std::string& host, std::uint16_t port, bool nonblocking) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("connect_tcp: bad address " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("connect_tcp: socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("connect_tcp: connect " + resolved + ":" +
+                             std::to_string(port) + ": " + std::strerror(err));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (nonblocking) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  return fd;
+}
+
+void send_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error(std::string("send_all: ") + std::strerror(errno));
+  }
+}
+
+std::optional<Frame> recv_frame(int fd, FrameReader& reader) {
+  while (true) {
+    if (reader.error() != ErrorCode::kNone) {
+      throw std::runtime_error(std::string("recv_frame: malformed stream: ") +
+                               to_string(reader.error()));
+    }
+    const std::optional<Frame> frame = reader.next();
+    if (frame.has_value()) return frame;
+    char buf[16384];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      reader.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return std::nullopt;  // clean EOF
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("recv_frame: read: ") + std::strerror(errno));
+  }
+}
+
+DecideClient::DecideClient(const std::string& host, std::uint16_t port)
+    : fd_(connect_tcp(host, port, /*nonblocking=*/false)) {}
+
+DecideClient::~DecideClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+DecideResponse DecideClient::decide(const DecideRequest& request) {
+  std::string out;
+  append_decide_request(out, request);
+  send_all(fd_, out);
+  const std::optional<Frame> frame = recv_frame(fd_, reader_);
+  if (!frame.has_value()) {
+    throw std::runtime_error("decide: server closed the connection");
+  }
+  if (static_cast<MessageType>(frame->header.type) == MessageType::kErrorResponse) {
+    const std::optional<ErrorResponse> error =
+        decode_error_response(frame->payload, frame->payload_size);
+    DecideResponse response;
+    response.status = static_cast<std::uint32_t>(
+        error.has_value() ? error->code : ErrorCode::kInternal);
+    return response;
+  }
+  if (static_cast<MessageType>(frame->header.type) != MessageType::kDecideResponse) {
+    throw std::runtime_error("decide: unexpected response type");
+  }
+  const std::optional<DecideResponse> response =
+      decode_decide_response(frame->payload, frame->payload_size);
+  if (!response.has_value()) {
+    throw std::runtime_error("decide: malformed response payload");
+  }
+  return *response;
+}
+
+std::string DecideClient::stats() {
+  std::string out;
+  append_stats_request(out);
+  send_all(fd_, out);
+  const std::optional<Frame> frame = recv_frame(fd_, reader_);
+  if (!frame.has_value()) {
+    throw std::runtime_error("stats: server closed the connection");
+  }
+  if (static_cast<MessageType>(frame->header.type) != MessageType::kStatsResponse) {
+    throw std::runtime_error("stats: unexpected response type");
+  }
+  return std::string(reinterpret_cast<const char*>(frame->payload), frame->payload_size);
+}
+
+}  // namespace sss::serve

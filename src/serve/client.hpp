@@ -1,0 +1,63 @@
+// client.hpp — the reusable decide_server client layer.
+//
+// Two pieces, both reused by anything that talks to a serve endpoint:
+//
+//   DecideClient — a blocking request/response client over one TCP
+//   connection.  The convenience surface for tools, tests, and scripts:
+//   connect, decide(), stats(), done.  One outstanding request at a time.
+//
+//   raw socket helpers (connect_tcp, send_all, recv_frame) — used by both
+//   the blocking client and the open-loop load generator
+//   (serve/loadgen.hpp), which manages many nonblocking connections
+//   itself but shares the connect/encode/decode path, so a protocol
+//   change lands in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace sss::serve {
+
+// Connect to host:port (IPv4 dotted quad or "localhost").  Returns the
+// connected fd; throws std::runtime_error on failure.  `nonblocking`
+// controls O_NONBLOCK on the returned socket; TCP_NODELAY is always set
+// (a request is one small frame — Nagle would serialize the protocol).
+[[nodiscard]] int connect_tcp(const std::string& host, std::uint16_t port,
+                              bool nonblocking);
+
+// Blocking write of the whole buffer.  Throws on connection failure.
+void send_all(int fd, std::string_view bytes);
+
+// One decoded frame from a blocking socket, or nullopt on clean EOF.
+// Throws std::runtime_error on a malformed stream (the reader's latched
+// error) or a socket error.
+[[nodiscard]] std::optional<Frame> recv_frame(int fd, FrameReader& reader);
+
+// The blocking convenience client.
+class DecideClient {
+ public:
+  DecideClient(const std::string& host, std::uint16_t port);
+  ~DecideClient();
+
+  DecideClient(const DecideClient&) = delete;
+  DecideClient& operator=(const DecideClient&) = delete;
+
+  // One decide round trip.  Throws on transport errors; protocol-level
+  // rejections come back as a DecideResponse with nonzero status when the
+  // server answered with an ErrorResponse instead of a DecideResponse.
+  [[nodiscard]] DecideResponse decide(const DecideRequest& request);
+
+  // One stats round trip: the server's stats JSON payload, verbatim.
+  [[nodiscard]] std::string stats();
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace sss::serve

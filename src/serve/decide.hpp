@@ -1,0 +1,28 @@
+// decide.hpp — one request against one snapshot: the serving entry point.
+//
+// This is the bridge between the wire protocol and the paper's decision
+// model, and it REUSES core::evaluate (Eqs. 3-10 + the worst-case-transfer
+// recommendation) rather than re-deriving it: the request's transfer size
+// becomes S_unit, the profile's fitted SSS curve supplies the measured
+// worst-case transfer time at the requested utilization, the streaming
+// option is judged at theta = 1 and the staged option at the trace-fitted
+// theta.  Everything the server does per request goes through the pure
+// function below, so the decision semantics are unit-testable without a
+// socket and identical between the server and any future in-process caller.
+#pragma once
+
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace sss::serve {
+
+// Validate + answer `request` against `snapshot`.  Never throws: semantic
+// problems come back as a DecideResponse whose status is the ErrorCode
+// (kUnknownFacility, kMalformedRequest, kEmptySnapshot), matching what the
+// server puts on the wire.  On success, status == 0 and the response
+// carries the decision, the predicted stream/stage/local times, the SSS
+// read-out, and the snapshot's generation.
+[[nodiscard]] DecideResponse decide(const ServiceSnapshot& snapshot,
+                                    const DecideRequest& request);
+
+}  // namespace sss::serve

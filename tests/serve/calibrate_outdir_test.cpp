@@ -1,0 +1,93 @@
+// Calibrate → serve handoff: `calibrate --out-dir` must emit exactly the
+// profile directory layout decide_server loads.  Runs the real calibrate
+// binary on the built-in demo trace and loads its output with the same
+// load_profile_dir the server uses.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "serve/decide.hpp"
+#include "serve/registry.hpp"
+#include "trace/json.hpp"
+#include "trace/parse.hpp"
+
+namespace sss::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kCalibrate = SSS_BINARY_DIR "/tools/calibrate";
+
+class CalibrateOutDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fs::exists(kCalibrate)) {
+      GTEST_SKIP() << "calibrate not built at " << kCalibrate;
+    }
+    dir_ = fs::temp_directory_path() /
+           ("sss_calibrate_outdir_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] int run(const std::string& args) const {
+    const std::string command = std::string(kCalibrate) + " " + args + " >/dev/null";
+    return std::system(command.c_str());
+  }
+  [[nodiscard]] std::string path_of(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CalibrateOutDirTest, EmittedProfilesLoadAndServeDecisions) {
+  ASSERT_EQ(run("--write-demo-trace " + path_of("aps.csv")), 0);
+  fs::copy_file(path_of("aps.csv"), path_of("second.csv"));
+  ASSERT_EQ(run("--trace " + path_of("aps.csv") + " --trace " +
+                path_of("second.csv") + " --facility lcls-ii --out-dir " +
+                path_of("profiles")),
+            0);
+
+  // One file per trace, named by facility (stem default vs explicit name).
+  EXPECT_TRUE(fs::exists(path_of("profiles/aps.json")));
+  EXPECT_TRUE(fs::exists(path_of("profiles/lcls-ii.json")));
+
+  // The server's own loader accepts the directory and keeps the embedded
+  // facility names.
+  const auto profiles = load_profile_dir(path_of("profiles"));
+  ASSERT_EQ(profiles.size(), 2u);
+  const ServiceSnapshot snapshot(1, profiles);
+  ASSERT_NE(snapshot.find("aps"), nullptr);
+  ASSERT_NE(snapshot.find("lcls-ii"), nullptr);
+
+  // A calibrated profile answers decide() cleanly at its operating point.
+  DecideRequest request;
+  request.facility = "lcls-ii";
+  const DecideResponse result = decide(snapshot, request);
+  EXPECT_EQ(result.status, static_cast<std::uint32_t>(ErrorCode::kNone));
+  EXPECT_GT(result.sss, 0.0);
+}
+
+TEST_F(CalibrateOutDirTest, ReportAndOutDirAreMutuallyExclusive) {
+  ASSERT_EQ(run("--write-demo-trace " + path_of("aps.csv")), 0);
+  EXPECT_NE(run("--trace " + path_of("aps.csv") + " --report " +
+                path_of("r.json") + " --out-dir " + path_of("profiles") +
+                " 2>/dev/null"),
+            0);
+  // Multiple traces without --out-dir have nowhere to go.
+  EXPECT_NE(run("--trace " + path_of("aps.csv") + " --trace " +
+                path_of("aps.csv") + " 2>/dev/null"),
+            0);
+}
+
+}  // namespace
+}  // namespace sss::serve

@@ -1,0 +1,298 @@
+// Wire-protocol framing tests: round trips, truncated/oversized/mismatched
+// frames, incremental reassembly, and a deterministic mutation fuzz.  All
+// pure byte-level — no sockets — which is the point of the explicit
+// little-endian encode/decode layer.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace sss::serve {
+namespace {
+
+const unsigned char* bytes_of(const std::string& s) {
+  return reinterpret_cast<const unsigned char*>(s.data());
+}
+
+DecideRequest sample_request() {
+  DecideRequest request;
+  request.facility = "aps";
+  request.transfer_size_bytes = 2'000'000'000;
+  request.operating_utilization = 0.64;
+  request.path_hops = 3;
+  return request;
+}
+
+TEST(ProtocolTest, DecideRequestRoundTrips) {
+  std::string wire;
+  append_decide_request(wire, sample_request());
+  ASSERT_EQ(wire.size(), kHeaderSize + kDecideRequestSize);
+
+  const MessageHeader header = decode_header(bytes_of(wire));
+  EXPECT_EQ(header.magic, kMagic);
+  EXPECT_EQ(header.version, kProtocolVersion);
+  EXPECT_EQ(header.type, static_cast<std::uint16_t>(MessageType::kDecideRequest));
+  EXPECT_EQ(header.payload_length, kDecideRequestSize);
+
+  const auto decoded =
+      decode_decide_request(bytes_of(wire) + kHeaderSize, kDecideRequestSize);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->facility, "aps");
+  EXPECT_EQ(decoded->transfer_size_bytes, 2'000'000'000u);
+  EXPECT_DOUBLE_EQ(decoded->operating_utilization, 0.64);
+  EXPECT_EQ(decoded->path_hops, 3u);
+}
+
+TEST(ProtocolTest, DecideResponseRoundTrips) {
+  DecideResponse response;
+  response.status = 0;
+  response.decision = WireDecision::kStream;
+  response.t_stream_s = 0.125;
+  response.t_stage_s = 0.25;
+  response.t_local_s = 1.5;
+  response.t_worst_transfer_s = 0.8;
+  response.sss = 3.62;
+  response.profile_generation = 7;
+  response.operating_utilization = 0.64;
+  response.path_hops = 3;
+  response.flags = kFlagUtilizationClamped;
+
+  std::string wire;
+  append_decide_response(wire, response);
+  ASSERT_EQ(wire.size(), kHeaderSize + kDecideResponseSize);
+
+  const auto decoded =
+      decode_decide_response(bytes_of(wire) + kHeaderSize, kDecideResponseSize);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->decision, WireDecision::kStream);
+  EXPECT_DOUBLE_EQ(decoded->t_stream_s, 0.125);
+  EXPECT_DOUBLE_EQ(decoded->t_stage_s, 0.25);
+  EXPECT_DOUBLE_EQ(decoded->t_local_s, 1.5);
+  EXPECT_DOUBLE_EQ(decoded->t_worst_transfer_s, 0.8);
+  EXPECT_DOUBLE_EQ(decoded->sss, 3.62);
+  EXPECT_EQ(decoded->profile_generation, 7u);
+  EXPECT_EQ(decoded->path_hops, 3u);
+  EXPECT_EQ(decoded->flags, kFlagUtilizationClamped);
+}
+
+TEST(ProtocolTest, ErrorResponseRoundTrips) {
+  std::string wire;
+  append_error_response(wire, ErrorCode::kUnknownFacility, "no such facility 'x'");
+  const MessageHeader header = decode_header(bytes_of(wire));
+  EXPECT_EQ(header.type, static_cast<std::uint16_t>(MessageType::kErrorResponse));
+  const auto decoded =
+      decode_error_response(bytes_of(wire) + kHeaderSize, header.payload_length);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->code, ErrorCode::kUnknownFacility);
+  EXPECT_EQ(decoded->message, "no such facility 'x'");
+}
+
+TEST(ProtocolTest, FacilityNameAtMaxLengthRoundTrips) {
+  DecideRequest request = sample_request();
+  request.facility = std::string(kFacilityNameSize - 1, 'f');
+  std::string wire;
+  append_decide_request(wire, request);
+  const auto decoded =
+      decode_decide_request(bytes_of(wire) + kHeaderSize, kDecideRequestSize);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->facility, request.facility);
+}
+
+TEST(ProtocolTest, RejectsWrongPayloadSize) {
+  std::string wire;
+  append_decide_request(wire, sample_request());
+  EXPECT_FALSE(
+      decode_decide_request(bytes_of(wire) + kHeaderSize, kDecideRequestSize - 1));
+  EXPECT_FALSE(decode_decide_response(bytes_of(wire) + kHeaderSize, 8));
+}
+
+TEST(ProtocolTest, RejectsBytesAfterFacilityTerminator) {
+  std::string wire;
+  append_decide_request(wire, sample_request());
+  // "aps\0" then garbage inside the fixed-width name field: the decoder
+  // must reject, not silently truncate (a corrupted name is not a request
+  // for a different facility).
+  wire[kHeaderSize + 5] = 'X';
+  EXPECT_FALSE(
+      decode_decide_request(bytes_of(wire) + kHeaderSize, kDecideRequestSize));
+}
+
+TEST(ProtocolTest, RejectsMissingFacilityTerminator) {
+  std::string wire;
+  append_decide_request(wire, sample_request());
+  for (std::size_t i = 0; i < kFacilityNameSize; ++i) wire[kHeaderSize + i] = 'a';
+  EXPECT_FALSE(
+      decode_decide_request(bytes_of(wire) + kHeaderSize, kDecideRequestSize));
+}
+
+TEST(ProtocolTest, RejectsNonzeroReservedField) {
+  std::string wire;
+  append_decide_request(wire, sample_request());
+  wire[wire.size() - 1] = 1;  // last u32 is the reserved field
+  EXPECT_FALSE(
+      decode_decide_request(bytes_of(wire) + kHeaderSize, kDecideRequestSize));
+}
+
+TEST(FrameReaderTest, ReassemblesByteAtATime) {
+  std::string wire;
+  append_decide_request(wire, sample_request());
+  append_stats_request(wire);
+
+  FrameReader reader;
+  int frames = 0;
+  for (const char byte : wire) {
+    reader.feed(&byte, 1);
+    while (const auto frame = reader.next()) {
+      ++frames;
+      if (frames == 1) {
+        EXPECT_EQ(frame->header.type,
+                  static_cast<std::uint16_t>(MessageType::kDecideRequest));
+        EXPECT_TRUE(decode_decide_request(frame->payload, frame->payload_size));
+      } else {
+        EXPECT_EQ(frame->header.type,
+                  static_cast<std::uint16_t>(MessageType::kStatsRequest));
+        EXPECT_EQ(frame->payload_size, 0u);
+      }
+    }
+  }
+  EXPECT_EQ(frames, 2);
+  EXPECT_EQ(reader.error(), ErrorCode::kNone);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReaderTest, TruncatedHeaderYieldsNoFrame) {
+  std::string wire;
+  append_decide_request(wire, sample_request());
+  FrameReader reader;
+  reader.feed(wire.data(), kHeaderSize - 1);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.error(), ErrorCode::kNone);  // need more bytes, not an error
+  // The remaining bytes complete the frame.
+  reader.feed(wire.data() + kHeaderSize - 1, wire.size() - (kHeaderSize - 1));
+  EXPECT_TRUE(reader.next().has_value());
+}
+
+TEST(FrameReaderTest, TruncatedPayloadYieldsNoFrame) {
+  std::string wire;
+  append_decide_request(wire, sample_request());
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size() - 1);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.error(), ErrorCode::kNone);
+}
+
+TEST(FrameReaderTest, OversizedLengthLatchesBadLength) {
+  std::string wire;
+  put_u32(wire, kMagic);
+  put_u16(wire, kProtocolVersion);
+  put_u16(wire, static_cast<std::uint16_t>(MessageType::kDecideRequest));
+  put_u32(wire, kMaxPayloadLength + 1);
+
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.error(), ErrorCode::kBadLength);
+  // Latched: even a subsequent valid frame is never parsed.
+  std::string valid;
+  append_stats_request(valid);
+  reader.feed(valid.data(), valid.size());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.error(), ErrorCode::kBadLength);
+}
+
+TEST(FrameReaderTest, BadMagicLatchesBadMagic) {
+  std::string wire;
+  append_stats_request(wire);
+  wire[0] = 'X';
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.error(), ErrorCode::kBadMagic);
+}
+
+TEST(FrameReaderTest, VersionMismatchIsReadableNotLatched) {
+  // The server must be able to READ a version-mismatched frame to answer it
+  // with a clean kUnsupportedVersion error, so the reader yields it.
+  std::string wire;
+  put_u32(wire, kMagic);
+  put_u16(wire, kProtocolVersion + 1);
+  put_u16(wire, static_cast<std::uint16_t>(MessageType::kStatsRequest));
+  put_u32(wire, 0);
+
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->header.version, kProtocolVersion + 1);
+  EXPECT_EQ(reader.error(), ErrorCode::kNone);
+}
+
+TEST(FrameReaderTest, FatalErrorTaxonomy) {
+  EXPECT_TRUE(is_fatal(ErrorCode::kBadMagic));
+  EXPECT_TRUE(is_fatal(ErrorCode::kUnsupportedVersion));
+  EXPECT_TRUE(is_fatal(ErrorCode::kBadType));
+  EXPECT_TRUE(is_fatal(ErrorCode::kBadLength));
+  EXPECT_FALSE(is_fatal(ErrorCode::kMalformedRequest));
+  EXPECT_FALSE(is_fatal(ErrorCode::kUnknownFacility));
+  EXPECT_FALSE(is_fatal(ErrorCode::kEmptySnapshot));
+}
+
+// Deterministic mutation fuzz: corrupt one byte of a valid two-frame stream
+// at every position with several values.  The reader must never crash, never
+// mis-frame (a yielded frame is either byte-identical to an original frame
+// or the stream latched an error at/after the corrupt byte), and decoding a
+// corrupted payload must fail cleanly rather than fabricate fields.
+TEST(FrameReaderTest, SingleByteMutationsNeverCrashOrMisframe) {
+  std::string wire;
+  append_decide_request(wire, sample_request());
+  append_stats_request(wire);
+
+  for (std::size_t pos = 0; pos < wire.size(); ++pos) {
+    for (const unsigned char value : {0x00, 0xFF, 0x01, 0x80}) {
+      std::string mutated = wire;
+      if (static_cast<unsigned char>(mutated[pos]) == value) continue;
+      mutated[pos] = static_cast<char>(value);
+
+      FrameReader reader;
+      reader.feed(mutated.data(), mutated.size());
+      int frames = 0;
+      while (const auto frame = reader.next()) {
+        ++frames;
+        ASSERT_LE(frames, 2) << "mutation at " << pos << " produced extra frames";
+        // Whatever the reader yields must be structurally sound.
+        EXPECT_LE(frame->payload_size, kMaxPayloadLength);
+        if (frame->header.type ==
+                static_cast<std::uint16_t>(MessageType::kDecideRequest) &&
+            frame->payload_size == kDecideRequestSize) {
+          (void)decode_decide_request(frame->payload, frame->payload_size);
+        }
+      }
+      if (reader.error() != ErrorCode::kNone) {
+        EXPECT_TRUE(reader.error() == ErrorCode::kBadMagic ||
+                    reader.error() == ErrorCode::kBadLength)
+            << "mutation at " << pos;
+      }
+    }
+  }
+}
+
+TEST(ProtocolTest, LittleEndianPrimitivesRoundTrip) {
+  std::string out;
+  put_u16(out, 0xBEEF);
+  put_u32(out, 0xDEADBEEFu);
+  put_u64(out, 0x0123456789ABCDEFull);
+  put_f64(out, -2.5e-3);
+  const unsigned char* p = bytes_of(out);
+  EXPECT_EQ(get_u16(p), 0xBEEF);
+  EXPECT_EQ(get_u32(p + 2), 0xDEADBEEFu);
+  EXPECT_EQ(get_u64(p + 6), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(get_f64(p + 14), -2.5e-3);
+  // Explicit little-endian byte order, not host order.
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0xEF);
+  EXPECT_EQ(static_cast<unsigned char>(out[1]), 0xBE);
+}
+
+}  // namespace
+}  // namespace sss::serve

@@ -1,0 +1,324 @@
+// Profile loading, snapshot registry, and decide() semantics — everything
+// the server does per request, tested without a socket.
+#include "serve/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unistd.h>
+
+#include "serve/decide.hpp"
+#include "trace/atomic_io.hpp"
+#include "trace/json.hpp"
+
+namespace sss::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A synthetic calibration report in the exact format `calibrate --out-dir`
+// emits.  Parameters chosen so local processing wins at the calibrated
+// operating point: the 3.125 GB/s link feeds the remote at an effective
+// 3.125 Gflop/s against 1 Tflop/s local compute.
+trace::JsonValue make_report(const std::string& facility_field = "") {
+  trace::JsonValue report = trace::JsonValue::object();
+  report["format"] = trace::JsonValue("sss.calibration-report/1");
+  if (!facility_field.empty()) report["facility"] = trace::JsonValue(facility_field);
+  trace::JsonValue params = trace::JsonValue::object();
+  params["alpha"] = trace::JsonValue(0.85);
+  params["theta"] = trace::JsonValue(1.25);
+  params["bandwidth_bytes_per_s"] = trace::JsonValue(3.125e9);
+  params["s_unit_bytes"] = trace::JsonValue(5.0e8);
+  params["complexity_flop_per_byte"] = trace::JsonValue(1.0);
+  params["r_local_flop_per_s"] = trace::JsonValue(1.0e12);
+  params["r_remote_flop_per_s"] = trace::JsonValue(1.0e13);
+  report["model_parameters"] = params;
+  report["operating_utilization"] = trace::JsonValue(0.64);
+  trace::JsonValue profile = trace::JsonValue::array();
+  for (const auto& [u, sss] :
+       {std::pair{0.16, 2.0}, std::pair{0.64, 3.6}, std::pair{0.96, 4.6}}) {
+    trace::JsonValue point = trace::JsonValue::object();
+    point["utilization"] = trace::JsonValue(u);
+    point["sss"] = trace::JsonValue(sss);
+    point["t_worst_s"] = trace::JsonValue(sss * 0.16);
+    point["t_theoretical_s"] = trace::JsonValue(0.16);
+    point["t_mean_s"] = trace::JsonValue(sss * 0.1);
+    point["t_io_s"] = trace::JsonValue(0.0);
+    profile.push_back(point);
+  }
+  report["profile"] = profile;
+  return report;
+}
+
+// Parameters where streaming to the remote facility wins: a fat link
+// (100 GB/s) and a 1000x remote compute advantage.
+trace::JsonValue make_streaming_report() {
+  trace::JsonValue report = make_report("fast");
+  report["model_parameters"]["bandwidth_bytes_per_s"] = trace::JsonValue(1.0e11);
+  report["model_parameters"]["r_local_flop_per_s"] = trace::JsonValue(1.0e9);
+  report["model_parameters"]["r_remote_flop_per_s"] = trace::JsonValue(1.0e12);
+  return report;
+}
+
+class ProfileDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sss_registry_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  void write_report(const std::string& filename, const trace::JsonValue& report) {
+    trace::write_text_file_atomic((dir_ / filename).string(), report.dump(2) + "\n");
+  }
+  fs::path dir_;
+};
+
+TEST(ProfileFromReportTest, ParsesGoldenCalibrationReport) {
+  const std::string text =
+      trace::read_text_file(std::string(SSS_SOURCE_DIR) +
+                            "/tests/data/calibration_report.golden.json");
+  const FacilityProfile profile =
+      profile_from_report_json(trace::JsonValue::parse(text), "golden");
+  EXPECT_EQ(profile.name, "golden");  // golden report has no facility field
+  EXPECT_DOUBLE_EQ(profile.operating_utilization, 0.64);
+  EXPECT_EQ(profile.profile.points().size(), 6u);
+  EXPECT_GT(profile.params.theta, 1.0);
+}
+
+TEST(ProfileFromReportTest, FacilityFieldOverridesFallback) {
+  const FacilityProfile profile = profile_from_report_json(make_report("lcls"), "stem");
+  EXPECT_EQ(profile.name, "lcls");
+}
+
+TEST(ProfileFromReportTest, RejectsWrongFormatTag) {
+  trace::JsonValue report = make_report();
+  report["format"] = trace::JsonValue("sss.other/9");
+  EXPECT_THROW(
+      {
+        try {
+          (void)profile_from_report_json(report, "x");
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("format"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ProfileFromReportTest, RejectsMissingNumericFieldByName) {
+  trace::JsonValue report = make_report();
+  report["model_parameters"] = [] {
+    trace::JsonValue params = make_report()["model_parameters"];
+    params["alpha"] = trace::JsonValue("not a number");
+    return params;
+  }();
+  EXPECT_THROW(
+      {
+        try {
+          (void)profile_from_report_json(report, "x");
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("alpha"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ProfileFromReportTest, RejectsEmptyProfileArray) {
+  trace::JsonValue report = make_report();
+  report["profile"] = trace::JsonValue::array();
+  EXPECT_THROW((void)profile_from_report_json(report, "x"), std::runtime_error);
+}
+
+TEST_F(ProfileDirTest, EmptyDirectoryYieldsEmptyVector) {
+  EXPECT_TRUE(load_profile_dir(dir_.string()).empty());
+}
+
+TEST_F(ProfileDirTest, MissingDirectoryThrows) {
+  EXPECT_THROW((void)load_profile_dir((dir_ / "nope").string()), std::runtime_error);
+}
+
+TEST_F(ProfileDirTest, LoadsSortedByFacilityName) {
+  write_report("z.json", make_report("zeta"));
+  write_report("a.json", make_report("alpha"));
+  const auto profiles = load_profile_dir(dir_.string());
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].name, "alpha");
+  EXPECT_EQ(profiles[1].name, "zeta");
+}
+
+TEST_F(ProfileDirTest, FilenameStemIsFallbackFacilityName) {
+  write_report("aps.json", make_report());
+  const auto profiles = load_profile_dir(dir_.string());
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_EQ(profiles[0].name, "aps");
+}
+
+TEST_F(ProfileDirTest, DuplicateFacilityNamesErrorNamesBothFiles) {
+  write_report("one.json", make_report("aps"));
+  write_report("two.json", make_report("aps"));
+  try {
+    (void)load_profile_dir(dir_.string());
+    FAIL() << "expected duplicate-facility error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one.json"), std::string::npos) << what;
+    EXPECT_NE(what.find("two.json"), std::string::npos) << what;
+    EXPECT_NE(what.find("aps"), std::string::npos) << what;
+  }
+}
+
+TEST_F(ProfileDirTest, MalformedFileErrorNamesTheFile) {
+  trace::write_text_file_atomic((dir_ / "bad.json").string(), "{not json\n");
+  try {
+    (void)load_profile_dir(dir_.string());
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad.json"), std::string::npos);
+  }
+}
+
+TEST(SnapshotRegistryTest, StartsAtGenerationZeroEmpty) {
+  SnapshotRegistry registry;
+  EXPECT_EQ(registry.generation(), 0u);
+  EXPECT_TRUE(registry.snapshot()->empty());
+}
+
+TEST(SnapshotRegistryTest, SwapIncrementsGenerationMonotonically) {
+  SnapshotRegistry registry;
+  std::vector<FacilityProfile> profiles;
+  profiles.push_back(profile_from_report_json(make_report("aps"), "aps"));
+  for (std::uint64_t expected = 1; expected <= 5; ++expected) {
+    const auto snapshot = registry.swap(profiles);
+    EXPECT_EQ(snapshot->generation(), expected);
+    EXPECT_EQ(registry.generation(), expected);
+  }
+}
+
+TEST(SnapshotRegistryTest, PinnedSnapshotSurvivesSwap) {
+  SnapshotRegistry registry;
+  std::vector<FacilityProfile> profiles;
+  profiles.push_back(profile_from_report_json(make_report("aps"), "aps"));
+  registry.swap(profiles);
+
+  // An in-flight request pins the snapshot it started with; a reload must
+  // not tear it.
+  const std::shared_ptr<const ServiceSnapshot> pinned = registry.snapshot();
+  registry.swap({});
+  EXPECT_EQ(registry.generation(), 2u);
+  EXPECT_TRUE(registry.snapshot()->empty());
+  EXPECT_EQ(pinned->generation(), 1u);
+  ASSERT_NE(pinned->find("aps"), nullptr);
+  EXPECT_EQ(pinned->find("aps")->name, "aps");
+}
+
+TEST(SnapshotFindTest, UnknownNameIsNull) {
+  ServiceSnapshot snapshot(1, {profile_from_report_json(make_report("aps"), "aps")});
+  EXPECT_NE(snapshot.find("aps"), nullptr);
+  EXPECT_EQ(snapshot.find("nope"), nullptr);
+}
+
+// --- decide() semantics ----------------------------------------------------
+
+DecideRequest request_for(const std::string& facility) {
+  DecideRequest request;
+  request.facility = facility;
+  return request;
+}
+
+TEST(DecideTest, EmptySnapshotAnswersEmptySnapshotStatus) {
+  ServiceSnapshot snapshot(0, {});
+  const DecideResponse response = decide(snapshot, request_for("aps"));
+  EXPECT_EQ(response.status, static_cast<std::uint32_t>(ErrorCode::kEmptySnapshot));
+  EXPECT_EQ(response.profile_generation, 0u);
+}
+
+TEST(DecideTest, UnknownFacilityAnswersUnknownFacility) {
+  ServiceSnapshot snapshot(1, {profile_from_report_json(make_report("aps"), "aps")});
+  const DecideResponse response = decide(snapshot, request_for("nope"));
+  EXPECT_EQ(response.status, static_cast<std::uint32_t>(ErrorCode::kUnknownFacility));
+}
+
+TEST(DecideTest, NegativeUtilizationIsMalformed) {
+  ServiceSnapshot snapshot(1, {profile_from_report_json(make_report("aps"), "aps")});
+  DecideRequest request = request_for("aps");
+  request.operating_utilization = -0.5;
+  const DecideResponse response = decide(snapshot, request);
+  EXPECT_EQ(response.status, static_cast<std::uint32_t>(ErrorCode::kMalformedRequest));
+}
+
+TEST(DecideTest, DefaultsToCalibratedOperatingPoint) {
+  ServiceSnapshot snapshot(3, {profile_from_report_json(make_report("aps"), "aps")});
+  const DecideResponse response = decide(snapshot, request_for("aps"));
+  EXPECT_EQ(response.status, 0u);
+  EXPECT_DOUBLE_EQ(response.operating_utilization, 0.64);
+  EXPECT_EQ(response.flags & kFlagUtilizationClamped, 0u);
+  EXPECT_EQ(response.profile_generation, 3u);
+  // This profile's pipe is the bottleneck: local wins at every size.
+  EXPECT_EQ(response.decision, WireDecision::kLocal);
+  EXPECT_DOUBLE_EQ(response.sss, 3.6);  // exact profile point at u = 0.64
+}
+
+TEST(DecideTest, UtilizationOutsideMeasuredRangeIsClampedAndFlagged) {
+  ServiceSnapshot snapshot(1, {profile_from_report_json(make_report("aps"), "aps")});
+  DecideRequest request = request_for("aps");
+  request.operating_utilization = 0.05;  // below the measured 0.16 floor
+  const DecideResponse low = decide(snapshot, request);
+  EXPECT_EQ(low.status, 0u);
+  EXPECT_DOUBLE_EQ(low.operating_utilization, 0.16);
+  EXPECT_EQ(low.flags & kFlagUtilizationClamped, kFlagUtilizationClamped);
+
+  request.operating_utilization = 2.0;  // above the measured 0.96 ceiling
+  const DecideResponse high = decide(snapshot, request);
+  EXPECT_DOUBLE_EQ(high.operating_utilization, 0.96);
+  EXPECT_EQ(high.flags & kFlagUtilizationClamped, kFlagUtilizationClamped);
+}
+
+TEST(DecideTest, StreamingWinsOnFatLinkWithFastRemote) {
+  ServiceSnapshot snapshot(1, {profile_from_report_json(make_streaming_report(), "fast")});
+  const DecideResponse response = decide(snapshot, request_for("fast"));
+  EXPECT_EQ(response.status, 0u);
+  EXPECT_EQ(response.decision, WireDecision::kStream);
+  EXPECT_LT(response.t_stream_s, response.t_local_s);
+  // The staged option pays theta > 1 on the transfer leg, so it is priced
+  // strictly above pure streaming.
+  EXPECT_GT(response.t_stage_s, response.t_stream_s);
+}
+
+TEST(DecideTest, RequestSizeOverridesCalibratedUnit) {
+  ServiceSnapshot snapshot(1, {profile_from_report_json(make_report("aps"), "aps")});
+  DecideRequest request = request_for("aps");
+  const DecideResponse at_unit = decide(snapshot, request);
+  request.transfer_size_bytes = 1'000'000'000;  // 2x the calibrated 0.5 GB unit
+  const DecideResponse at_double = decide(snapshot, request);
+  EXPECT_EQ(at_double.status, 0u);
+  // Worst-case transfer scales linearly in S (SSS(u) * S / Bw).
+  EXPECT_NEAR(at_double.t_worst_transfer_s, 2.0 * at_unit.t_worst_transfer_s, 1e-12);
+}
+
+TEST(DecideTest, WorstTransferMatchesProfileExtrapolation) {
+  const FacilityProfile facility = profile_from_report_json(make_report("aps"), "aps");
+  ServiceSnapshot snapshot(1, {facility});
+  const DecideResponse response = decide(snapshot, request_for("aps"));
+  // SSS(0.64) * S_unit / Bw = 3.6 * 5e8 / 3.125e9.
+  EXPECT_NEAR(response.t_worst_transfer_s, 3.6 * 5.0e8 / 3.125e9, 1e-12);
+}
+
+TEST(DecideTest, TooManyPathHopsIsMalformed) {
+  ServiceSnapshot snapshot(1, {profile_from_report_json(make_report("aps"), "aps")});
+  DecideRequest request = request_for("aps");
+  request.path_hops = kMaxPathHops + 1;
+  const DecideResponse response = decide(snapshot, request);
+  EXPECT_EQ(response.status, static_cast<std::uint32_t>(ErrorCode::kMalformedRequest));
+}
+
+}  // namespace
+}  // namespace sss::serve

@@ -1,46 +1,66 @@
-// calibrate — fit decision-model parameters from a measured transfer trace.
+// calibrate — fit decision-model parameters from measured transfer traces.
 //
 //   calibrate --trace in.csv [--report out.json] [--operating-util U]
+//   calibrate --trace a.csv [--facility NAME] [--trace b.csv ...] --out-dir DIR
 //   calibrate --write-demo-trace out.csv
 //
-// Reads a per-transfer trace CSV (core/experiment_io format: transfer_id,
-// load_level, start_s, end_s, bytes, link_gbps, io_s), buckets it by load
-// level, fits alpha/theta (core/fitting.hpp), and emits the calibration
-// report as plan-compatible JSON — to --report when given, else to stdout.
-// The report is byte-deterministic; CI diffs it against the checked-in
-// golden (tests/data/calibration_report.golden.json).  --write-demo-trace
+// Reads per-transfer trace CSVs (core/experiment_io format: transfer_id,
+// load_level, start_s, end_s, bytes, link_gbps, io_s), buckets each by load
+// level, fits alpha/theta (core/fitting.hpp), and emits calibration reports
+// as plan-compatible JSON.
+//
+// Single-trace mode (--report / stdout) is byte-deterministic; CI diffs it
+// against the checked-in golden (tests/data/calibration_report.golden.json).
+//
+// --out-dir DIR writes one report per trace as DIR/<facility>.json with a
+// "facility" field added — the exact directory layout `decide_server
+// --profiles DIR` loads and hot-reloads.  --facility names the facility of
+// the PRECEDING --trace (default: the trace file's stem).  --write-demo-trace
 // writes the built-in demo campaign (the same bytes as
 // tests/data/calibration_trace.csv) as a format template.
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/experiment_io.hpp"
 #include "core/fitting.hpp"
 #include "trace/atomic_io.hpp"
+#include "trace/json.hpp"
 #include "trace/parse.hpp"
 
 namespace {
 
+struct TraceJob {
+  std::string trace_path;
+  std::string facility;  // "" = trace file stem
+};
+
 void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
                "usage: %s --trace IN.csv [--report OUT.json] [--operating-util U]\n"
+               "       %s --trace IN.csv [--facility NAME] [--trace ...] --out-dir DIR\n"
                "       %s --write-demo-trace OUT.csv\n"
-               "Fits alpha/theta from a per-transfer trace CSV (columns: transfer_id,\n"
+               "Fits alpha/theta from per-transfer trace CSVs (columns: transfer_id,\n"
                "load_level, start_s, end_s, bytes, link_gbps, io_s; rows grouped by\n"
-               "non-decreasing load_level) and emits a JSON calibration report with\n"
-               "plan-compatible ModelParameters.\n",
-               argv0, argv0);
+               "non-decreasing load_level) and emits JSON calibration reports with\n"
+               "plan-compatible ModelParameters.  --out-dir writes one\n"
+               "DIR/<facility>.json per trace, the profile directory decide_server\n"
+               "serves from; --facility names the facility of the preceding --trace\n"
+               "(default: the trace file's stem).\n",
+               argv0, argv0, argv0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_path;
+  std::vector<TraceJob> jobs;
   std::string report_path;
+  std::string out_dir;
   std::string demo_path;
   sss::core::TraceCalibrationOptions options;
 
@@ -56,11 +76,28 @@ int main(int argc, char** argv) {
     if (arg == "--trace") {
       const char* v = next_value();
       if (v == nullptr) return 2;
-      trace_path = v;
+      jobs.push_back({v, ""});
+    } else if (arg == "--facility") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      if (jobs.empty()) {
+        std::fprintf(stderr, "--facility must follow the --trace it names\n");
+        return 2;
+      }
+      if (!jobs.back().facility.empty()) {
+        std::fprintf(stderr, "--facility given twice for %s\n",
+                     jobs.back().trace_path.c_str());
+        return 2;
+      }
+      jobs.back().facility = v;
     } else if (arg == "--report") {
       const char* v = next_value();
       if (v == nullptr) return 2;
       report_path = v;
+    } else if (arg == "--out-dir") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      out_dir = v;
     } else if (arg == "--operating-util") {
       const char* v = next_value();
       const std::optional<double> parsed =
@@ -84,18 +121,58 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!report_path.empty() && !out_dir.empty()) {
+    std::fprintf(stderr,
+                 "--report and --out-dir are mutually exclusive (one report vs a "
+                 "profile directory)\n");
+    return 2;
+  }
+  if (jobs.size() > 1 && out_dir.empty()) {
+    std::fprintf(stderr, "multiple --trace inputs require --out-dir DIR\n");
+    return 2;
+  }
+
   try {
     if (!demo_path.empty()) {
       sss::core::write_transfer_trace(demo_path, sss::core::demo_transfer_trace());
       std::printf("wrote the built-in demo trace to %s\n", demo_path.c_str());
       return 0;
     }
-    if (trace_path.empty()) {
+    if (jobs.empty()) {
       print_usage(stderr, argv[0]);
       return 2;
     }
 
-    const auto records = sss::core::read_transfer_trace(trace_path);
+    if (!out_dir.empty()) {
+      namespace fs = std::filesystem;
+      fs::create_directories(out_dir);
+      for (const TraceJob& job : jobs) {
+        const std::string facility =
+            !job.facility.empty() ? job.facility
+                                  : fs::path(job.trace_path).stem().string();
+        if (facility.empty()) {
+          std::fprintf(stderr, "cannot derive a facility name from '%s'\n",
+                       job.trace_path.c_str());
+          return 2;
+        }
+        const auto records = sss::core::read_transfer_trace(job.trace_path);
+        const sss::core::TraceCalibration calibration =
+            sss::core::calibrate_transfer_trace(records, options);
+        // The facility name is serving metadata, added here at the CLI
+        // layer: calibration_report_json stays byte-identical to the golden.
+        sss::trace::JsonValue report = sss::core::calibration_report_json(calibration);
+        report["facility"] = facility;
+        const std::string path = (fs::path(out_dir) / (facility + ".json")).string();
+        sss::trace::write_text_file_atomic(path, report.dump(2) + "\n");
+        std::printf("%s: %zu transfers, %zu load levels -> %s\n",
+                    job.trace_path.c_str(), records.size(), calibration.points.size(),
+                    path.c_str());
+      }
+      return 0;
+    }
+
+    const TraceJob& job = jobs.front();
+    const auto records = sss::core::read_transfer_trace(job.trace_path);
     const sss::core::TraceCalibration calibration =
         sss::core::calibrate_transfer_trace(records, options);
     const std::string report =
@@ -113,7 +190,7 @@ int main(int argc, char** argv) {
       std::printf(
           "%s: %zu transfers, %zu load levels -> alpha %.6g (R^2 %.6g), theta %.6g; "
           "report written to %s\n",
-          trace_path.c_str(), records.size(), calibration.points.size(),
+          job.trace_path.c_str(), records.size(), calibration.points.size(),
           calibration.fit.alpha, calibration.fit.r_squared, calibration.fit.theta,
           report_path.c_str());
     }

@@ -1,0 +1,259 @@
+// decide_load — open-loop tail-latency harness for decide_server.
+//
+//   decide_load --port P [--host H] --facility NAME [--rate R] [--duration S]
+//               [--warmup S] [--cooldown S] [--connections N] [--seed S]
+//               [--size BYTES] [--utilization U] [--hops N]
+//               [--json OUT.json] [--sweep R1,R2,... --sweep-csv OUT.csv]
+//               [--fetch-stats] [--quiet]
+//
+// One run measures exact p50/p90/p99/p999 latencies at a target offered
+// rate (exponential inter-arrival, warmup/cooldown excluded, latencies
+// from scheduled send times — see serve/loadgen.hpp for the measurement
+// discipline).  --json writes the machine-readable report atomically;
+// --fetch-stats appends the server's stats JSON into the report, so one
+// artifact carries both sides of the measurement (the CI smoke asserts
+// the reload generation from it).  --sweep runs the same measurement at
+// each rate and writes the latency-vs-throughput curve as CSV.
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/loadgen.hpp"
+#include "trace/atomic_io.hpp"
+#include "trace/json.hpp"
+#include "trace/parse.hpp"
+
+namespace {
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(
+      out,
+      "usage: %s --port P --facility NAME [--host H] [--rate R] [--duration S]\n"
+      "          [--warmup S] [--cooldown S] [--connections N] [--seed S]\n"
+      "          [--size BYTES] [--utilization U] [--hops N] [--json OUT.json]\n"
+      "          [--sweep R1,R2,...] [--sweep-csv OUT.csv] [--fetch-stats] [--quiet]\n"
+      "Open-loop load generator for decide_server: exponential inter-arrival at\n"
+      "the offered rate, exact p50/p99/p999 from a full latency reservoir,\n"
+      "warmup/cooldown windows excluded, achieved-vs-offered rate check.\n",
+      argv0);
+}
+
+std::optional<double> parse_positive(const char* value) {
+  if (value == nullptr) return std::nullopt;
+  const std::optional<double> parsed = sss::trace::parse_double(value);
+  if (!parsed.has_value() || !(*parsed > 0.0)) return std::nullopt;
+  return parsed;
+}
+
+void print_result(const sss::serve::LoadResult& result) {
+  std::printf(
+      "offered %.0f req/s -> achieved %.0f req/s (ratio %.3f%s), %llu measured, "
+      "%llu errors\n",
+      result.offered_rate, result.achieved_rate, result.rate_ratio,
+      result.saturated ? ", SATURATED" : "",
+      static_cast<unsigned long long>(result.measured_count),
+      static_cast<unsigned long long>(result.errors_total));
+  std::printf(
+      "latency: p50 %.1f us  p90 %.1f us  p99 %.1f us  p999 %.1f us  max %.1f us\n",
+      result.latency.p50_s * 1e6, result.latency.p90_s * 1e6, result.latency.p99_s * 1e6,
+      result.latency.p999_s * 1e6, result.latency.max_s * 1e6);
+  std::printf("generations observed: %llu..%llu\n",
+              static_cast<unsigned long long>(result.generation_min),
+              static_cast<unsigned long long>(result.generation_max));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sss::serve::LoadConfig config;
+  config.target_rate = 10000.0;
+  config.duration_s = 5.0;
+  config.warmup_s = 1.0;
+  config.cooldown_s = 0.5;
+  std::string json_path;
+  std::string sweep_csv_path;
+  std::vector<double> sweep_rates;
+  bool fetch_stats = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      config.host = v;
+    } else if (arg == "--port") {
+      const std::optional<double> v = parse_positive(next_value());
+      if (!v.has_value() || *v > 65535) {
+        std::fprintf(stderr, "--port requires a port number in (0, 65535]\n");
+        return 2;
+      }
+      config.port = static_cast<std::uint16_t>(*v);
+    } else if (arg == "--facility") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      config.request.facility = v;
+    } else if (arg == "--rate") {
+      const std::optional<double> v = parse_positive(next_value());
+      if (!v.has_value()) {
+        std::fprintf(stderr, "--rate requires req/s > 0\n");
+        return 2;
+      }
+      config.target_rate = *v;
+    } else if (arg == "--duration") {
+      const std::optional<double> v = parse_positive(next_value());
+      if (!v.has_value()) {
+        std::fprintf(stderr, "--duration requires seconds > 0\n");
+        return 2;
+      }
+      config.duration_s = *v;
+    } else if (arg == "--warmup") {
+      const char* raw = next_value();
+      const std::optional<double> v =
+          raw != nullptr ? sss::trace::parse_double(raw) : std::nullopt;
+      if (!v.has_value() || *v < 0) {
+        std::fprintf(stderr, "--warmup requires seconds >= 0\n");
+        return 2;
+      }
+      config.warmup_s = *v;
+    } else if (arg == "--cooldown") {
+      const char* raw = next_value();
+      const std::optional<double> v =
+          raw != nullptr ? sss::trace::parse_double(raw) : std::nullopt;
+      if (!v.has_value() || *v < 0) {
+        std::fprintf(stderr, "--cooldown requires seconds >= 0\n");
+        return 2;
+      }
+      config.cooldown_s = *v;
+    } else if (arg == "--connections") {
+      const std::optional<double> v = parse_positive(next_value());
+      if (!v.has_value() || *v > 10000) {
+        std::fprintf(stderr, "--connections requires a count in [1, 10000]\n");
+        return 2;
+      }
+      config.connections = static_cast<int>(*v);
+    } else if (arg == "--seed") {
+      const char* raw = next_value();
+      const std::optional<double> v =
+          raw != nullptr ? sss::trace::parse_double(raw) : std::nullopt;
+      if (!v.has_value() || *v < 0) {
+        std::fprintf(stderr, "--seed requires an integer >= 0\n");
+        return 2;
+      }
+      config.seed = static_cast<std::uint64_t>(*v);
+    } else if (arg == "--size") {
+      const std::optional<double> v = parse_positive(next_value());
+      if (!v.has_value()) {
+        std::fprintf(stderr, "--size requires bytes > 0\n");
+        return 2;
+      }
+      config.request.transfer_size_bytes = static_cast<std::uint64_t>(*v);
+    } else if (arg == "--utilization") {
+      const std::optional<double> v = parse_positive(next_value());
+      if (!v.has_value()) {
+        std::fprintf(stderr, "--utilization requires a value > 0\n");
+        return 2;
+      }
+      config.request.operating_utilization = *v;
+    } else if (arg == "--hops") {
+      const std::optional<double> v = parse_positive(next_value());
+      if (!v.has_value() || *v > sss::serve::kMaxPathHops) {
+        std::fprintf(stderr, "--hops requires a count in [1, %u]\n",
+                     sss::serve::kMaxPathHops);
+        return 2;
+      }
+      config.request.path_hops = static_cast<std::uint32_t>(*v);
+    } else if (arg == "--json") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      json_path = v;
+    } else if (arg == "--sweep") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      std::string list = v;
+      std::size_t begin = 0;
+      while (begin <= list.size()) {
+        const std::size_t comma = list.find(',', begin);
+        const std::string item =
+            list.substr(begin, comma == std::string::npos ? comma : comma - begin);
+        const std::optional<double> rate = sss::trace::parse_double(item);
+        if (!rate.has_value() || !(*rate > 0)) {
+          std::fprintf(stderr, "--sweep: bad rate '%s'\n", item.c_str());
+          return 2;
+        }
+        sweep_rates.push_back(*rate);
+        if (comma == std::string::npos) break;
+        begin = comma + 1;
+      }
+    } else if (arg == "--sweep-csv") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      sweep_csv_path = v;
+    } else if (arg == "--fetch-stats") {
+      fetch_stats = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      print_usage(stderr, argv[0]);
+      return 2;
+    }
+  }
+
+  if (config.port == 0 || config.request.facility.empty()) {
+    print_usage(stderr, argv[0]);
+    return 2;
+  }
+  if (!sweep_rates.empty() && sweep_csv_path.empty()) {
+    std::fprintf(stderr, "--sweep requires --sweep-csv OUT.csv\n");
+    return 2;
+  }
+
+  try {
+    if (!sweep_rates.empty()) {
+      std::string csv = sss::serve::sweep_csv_header();
+      for (const double rate : sweep_rates) {
+        sss::serve::LoadConfig cell = config;
+        cell.target_rate = rate;
+        const sss::serve::LoadResult result = sss::serve::run_load(cell);
+        csv += sss::serve::sweep_csv_row(result);
+        if (!quiet) print_result(result);
+      }
+      sss::trace::write_text_file_atomic(sweep_csv_path, csv);
+      if (!quiet) std::printf("sweep curve written to %s\n", sweep_csv_path.c_str());
+      return 0;
+    }
+
+    const sss::serve::LoadResult result = sss::serve::run_load(config);
+    if (!quiet) print_result(result);
+
+    if (!json_path.empty()) {
+      sss::trace::JsonValue report = sss::serve::load_result_json(result);
+      if (fetch_stats) {
+        sss::serve::DecideClient client(config.host, config.port);
+        report["server_stats"] = sss::trace::JsonValue::parse(client.stats());
+      }
+      sss::trace::write_text_file_atomic(json_path, report.dump(2) + "\n");
+      if (!quiet) std::printf("report written to %s\n", json_path.c_str());
+    }
+    // A saturated run is a successful measurement of an overloaded server,
+    // not a tool failure; errors are.
+    return result.errors_total == 0 ? 0 : 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "decide_load: %s\n", e.what());
+    return 1;
+  }
+}

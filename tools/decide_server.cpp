@@ -1,0 +1,181 @@
+// decide_server — serve stream-vs-stage decisions from calibrated profiles.
+//
+//   decide_server --profiles DIR [--port P] [--bind ADDR] [--workers N]
+//                 [--watch SECONDS] [--port-file PATH] [--stats-out PATH]
+//
+// Loads every *.json calibration report in DIR (one facility per file, the
+// exact format `calibrate --out-dir` emits), binds a TCP listener, and
+// answers the serve/protocol.hpp binary protocol until SIGINT/SIGTERM.
+// SIGHUP — or a changed mtime under --watch — re-scans DIR and atomically
+// swaps the profile snapshot without dropping a single in-flight request;
+// every response carries the snapshot generation so clients can observe
+// the reload land.  --port-file writes the bound port (atomic rename) so
+// scripts can use --port 0 and discover the kernel-assigned port.
+// --stats-out dumps the stats JSON to a file on exit.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "trace/atomic_io.hpp"
+#include "trace/parse.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_reload_requested = 0;
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void on_sighup(int) { g_reload_requested = 1; }
+void on_stop(int) { g_stop_requested = 1; }
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s --profiles DIR [--port P] [--bind ADDR] [--workers N]\n"
+               "          [--watch SECONDS] [--port-file PATH] [--stats-out PATH]\n"
+               "Serves stream-vs-stage decisions over the SSS1 binary protocol from\n"
+               "calibrated facility profiles (calibrate --out-dir output).  SIGHUP or\n"
+               "--watch hot-reloads the profile directory without dropping requests.\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sss::serve::ServerConfig config;
+  double watch_interval_s = 0.0;
+  std::string port_file;
+  std::string stats_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--profiles") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      config.profile_dir = v;
+    } else if (arg == "--port") {
+      const char* v = next_value();
+      const std::optional<double> parsed =
+          v != nullptr ? sss::trace::parse_double(v) : std::nullopt;
+      if (!parsed.has_value() || *parsed < 0 || *parsed > 65535) {
+        std::fprintf(stderr, "--port requires a port number in [0, 65535]\n");
+        return 2;
+      }
+      config.port = static_cast<std::uint16_t>(*parsed);
+    } else if (arg == "--bind") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      config.bind_address = v;
+    } else if (arg == "--workers") {
+      const char* v = next_value();
+      const std::optional<double> parsed =
+          v != nullptr ? sss::trace::parse_double(v) : std::nullopt;
+      if (!parsed.has_value() || *parsed < 1 || *parsed > 1024) {
+        std::fprintf(stderr, "--workers requires a count in [1, 1024]\n");
+        return 2;
+      }
+      config.workers = static_cast<int>(*parsed);
+    } else if (arg == "--watch") {
+      const char* v = next_value();
+      const std::optional<double> parsed =
+          v != nullptr ? sss::trace::parse_double(v) : std::nullopt;
+      if (!parsed.has_value() || !(*parsed > 0)) {
+        std::fprintf(stderr, "--watch requires a poll interval in seconds > 0\n");
+        return 2;
+      }
+      watch_interval_s = *parsed;
+    } else if (arg == "--port-file") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      port_file = v;
+    } else if (arg == "--stats-out") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      stats_out = v;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      print_usage(stderr, argv[0]);
+      return 2;
+    }
+  }
+
+  if (config.profile_dir.empty()) {
+    print_usage(stderr, argv[0]);
+    return 2;
+  }
+
+  try {
+    sss::serve::DecideServer server(config);
+    server.start();
+    std::fprintf(stderr,
+                 "decide_server: listening on %s:%u, %d worker(s), generation %llu\n",
+                 config.bind_address.c_str(), static_cast<unsigned>(server.port()),
+                 server.worker_count(),
+                 static_cast<unsigned long long>(server.registry().generation()));
+    if (!port_file.empty()) {
+      sss::trace::write_text_file_atomic(port_file,
+                                         std::to_string(server.port()) + "\n");
+    }
+
+    std::signal(SIGHUP, on_sighup);
+    std::signal(SIGINT, on_stop);
+    std::signal(SIGTERM, on_stop);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    sss::serve::ProfileDirWatcher watcher(config.profile_dir);
+    if (watch_interval_s > 0.0) (void)watcher.changed();  // prime the mtime state
+
+    const auto tick = std::chrono::milliseconds(50);
+    auto next_watch = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(watch_interval_s));
+    while (g_stop_requested == 0) {
+      std::this_thread::sleep_for(tick);
+      bool want_reload = false;
+      if (g_reload_requested != 0) {
+        g_reload_requested = 0;
+        want_reload = true;
+      }
+      if (watch_interval_s > 0.0 && std::chrono::steady_clock::now() >= next_watch) {
+        next_watch += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(watch_interval_s));
+        if (watcher.changed()) want_reload = true;
+      }
+      if (want_reload) {
+        try {
+          const std::uint64_t generation = server.reload();
+          std::fprintf(stderr, "decide_server: reloaded profiles, generation %llu\n",
+                       static_cast<unsigned long long>(generation));
+        } catch (const std::exception& e) {
+          // Keep serving the old snapshot; a broken profile dir must not
+          // take the service down.
+          std::fprintf(stderr, "decide_server: reload failed: %s\n", e.what());
+        }
+      }
+    }
+
+    if (!stats_out.empty()) {
+      sss::trace::write_text_file_atomic(stats_out, server.stats_json() + "\n");
+    }
+    server.stop();
+    std::fprintf(stderr, "decide_server: stopped\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "decide_server: %s\n", e.what());
+    return 1;
+  }
+}
