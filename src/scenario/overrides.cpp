@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "simnet/topology.hpp"
 #include "trace/parse.hpp"
 
 namespace sss::scenario {
@@ -177,6 +178,53 @@ const ParamBinding kBindings[] = {
        if (v < 0.0) bad_value(kv, "a Zipf exponent >= 0 (0 = uniform popularity)");
        config.storage.zipf_skew = v;
      }},
+    {"topology", "a topology preset name ('' = single link / path_hops)",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       if (!value.empty()) {
+         try {
+           (void)simnet::topology_preset(value);
+         } catch (const std::invalid_argument&) {
+           bad_value(kv, "a topology preset name (see topology_preset_names())");
+         }
+       }
+       config.topology = value;
+     }},
+    {"sched_policy", "none|fifo|fair|edf|backoff",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const auto policy = simnet::sched_policy_from_string(value);
+       if (!policy.has_value()) bad_value(kv, "none|fifo|fair|edf|backoff");
+       config.scheduler.policy = *policy;
+     }},
+    {"sched_slots", "an integer >= 1 (concurrent admitted transfers)",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const int v = require_int(kv, value, "an integer >= 1 (concurrent admitted transfers)");
+       if (v < 1) bad_value(kv, "an integer >= 1 (concurrent admitted transfers)");
+       config.scheduler.slots = v;
+     }},
+    {"sched_deadline_s", "a relative deadline > 0 (s)",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const double v = require_double(kv, value, "a relative deadline > 0 (s)");
+       if (!(v > 0.0)) bad_value(kv, "a relative deadline > 0 (s)");
+       config.scheduler.deadline_s = v;
+     }},
+    {"sched_burst_window_s", "a window > 0 (s)",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const double v = require_double(kv, value, "a window > 0 (s)");
+       if (!(v > 0.0)) bad_value(kv, "a window > 0 (s)");
+       config.scheduler.burst_window_s = v;
+     }},
+    {"sched_burst_limit", "an integer >= 1 (admissions per window)",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const int v = require_int(kv, value, "an integer >= 1 (admissions per window)");
+       if (v < 1) bad_value(kv, "an integer >= 1 (admissions per window)");
+       config.scheduler.burst_limit = v;
+     }},
+    {"sched_backoff_s", "a spacing >= 0 (s)",
+     [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
+       const double v = require_double(kv, value, "a spacing >= 0 (s)");
+       if (v < 0.0) bad_value(kv, "a spacing >= 0 (s)");
+       config.scheduler.backoff_s = v;
+     }},
     {"mode", "simultaneous|scheduled",
      [](simnet::WorkloadConfig& config, const std::string& kv, const std::string& value) {
        if (value == "simultaneous") {
@@ -245,6 +293,46 @@ void apply_storm_field(simnet::WorkloadConfig& config, const std::string& kv,
     storm.pareto_shape = v;
   } else {
     throw std::invalid_argument("--param " + kv + ": unknown storm field '" + field +
+                                "' (see scenario/overrides.hpp)");
+  }
+}
+
+// tenant<j>_<field>: facility tenants, auto-extending the tenant list to
+// index j (same bound rationale as storms).
+constexpr std::size_t kMaxTenantIndex = 63;
+
+void apply_tenant_field(simnet::WorkloadConfig& config, const std::string& kv,
+                        std::size_t index, const std::string& field,
+                        const std::string& value) {
+  if (index > kMaxTenantIndex) {
+    throw std::invalid_argument("--param " + kv + ": tenant index " +
+                                std::to_string(index) + " exceeds the limit of " +
+                                std::to_string(kMaxTenantIndex));
+  }
+  if (config.tenants.size() <= index) {
+    config.tenants.resize(index + 1);
+  }
+  simnet::TenantSpec& tenant = config.tenants[index];
+  if (field == "name") {
+    tenant.name = value;
+  } else if (field == "src") {
+    tenant.src = value;  // node names are validated against the topology
+  } else if (field == "dst") {
+    tenant.dst = value;
+  } else if (field == "concurrency") {
+    const int v = require_int(kv, value, "an integer >= 0 (0 = inherit)");
+    if (v < 0) bad_value(kv, "an integer >= 0 (0 = inherit)");
+    tenant.concurrency = v;
+  } else if (field == "size_mb") {
+    const double v = require_double(kv, value, "a size >= 0 (MB, 0 = inherit)");
+    if (v < 0.0) bad_value(kv, "a size >= 0 (MB, 0 = inherit)");
+    tenant.transfer_size = units::Bytes::megabytes(v);
+  } else if (field == "deadline_s") {
+    const double v = require_double(kv, value, "a deadline >= 0 (s, 0 = inherit)");
+    if (v < 0.0) bad_value(kv, "a deadline >= 0 (s, 0 = inherit)");
+    tenant.deadline_s = v;
+  } else {
+    throw std::invalid_argument("--param " + kv + ": unknown tenant field '" + field +
                                 "' (see scenario/overrides.hpp)");
   }
 }
@@ -318,6 +406,10 @@ bool apply_param_override(simnet::WorkloadConfig& config, const std::string& kv)
     apply_storm_field(config, kv, index, field, value);
     return false;
   }
+  if (split_indexed_key(key, "tenant", index, field)) {
+    apply_tenant_field(config, kv, index, field, value);
+    return false;
+  }
   if (key == "seed") {
     const auto v = trace::parse_uint64(value);
     if (!v.has_value()) bad_value(kv, "an unsigned integer");
@@ -361,6 +453,12 @@ const std::vector<ParamBindingInfo>& param_binding_catalog() {
     out.push_back({"storm<j>_until_s", "a time >= 0 (s)"});
     out.push_back({"storm<j>_mean_mb", "a size > 0 (MB)"});
     out.push_back({"storm<j>_shape", "a shape >= 0 (<= 1 = exponential)"});
+    out.push_back({"tenant<j>_name", "a tenant display name"});
+    out.push_back({"tenant<j>_src", "a topology node name ('' = canonical source)"});
+    out.push_back({"tenant<j>_dst", "a topology node name ('' = canonical sink)"});
+    out.push_back({"tenant<j>_concurrency", "an integer >= 0 (0 = inherit)"});
+    out.push_back({"tenant<j>_size_mb", "a size >= 0 (MB, 0 = inherit)"});
+    out.push_back({"tenant<j>_deadline_s", "a deadline >= 0 (s, 0 = inherit)"});
     out.push_back({"substrate", "packet|fluid"});
     out.push_back({"seed", "an unsigned integer (pins the run seed)"});
     return out;

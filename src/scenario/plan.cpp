@@ -12,6 +12,8 @@
 #include "core/sss_score.hpp"
 #include "scenario/overrides.hpp"
 #include "simnet/metrics.hpp"
+#include "simnet/scheduler.hpp"
+#include "stats/percentile.hpp"
 #include "trace/parse.hpp"
 #include "trace/table.hpp"
 
@@ -336,6 +338,43 @@ const std::map<std::string, MetricFn, std::less<>>& metric_catalog() {
          return yes_no(sss_value(r) * (window / r.config.bottleneck_capacity()).seconds() <=
                        10.0);
        }},
+      // --- facility-contention columns (simnet/scheduler.hpp reductions) ---
+      {"topology", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return r.config.topology.empty() ? std::string("-") : r.config.topology;
+       }},
+      {"sched_policy", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return std::string(simnet::to_string(r.config.scheduler.policy));
+       }},
+      {"jain_fairness", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(simnet::facility_jain_fairness(r.config, r.metrics));
+       }},
+      {"worst_tenant_p99_slowdown", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         return pretty(simnet::facility_worst_p99_slowdown(r.config, r.metrics));
+       }},
+      // Pooled p99 slowdown: every client's total latency over ITS tenant's
+      // theoretical time (queue wait included), quantiled across the whole
+      // population.
+      {"p99_slowdown", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         const auto tenants = simnet::facility_tenant_stats(r.config, r.metrics);
+         std::vector<double> slowdowns;
+         slowdowns.reserve(r.metrics.clients.size());
+         for (const simnet::ClientRecord& client : r.metrics.clients) {
+           const std::size_t j = std::min<std::size_t>(client.tenant, tenants.size() - 1);
+           if (tenants[j].t_theoretical_s > 0.0) {
+             slowdowns.push_back(client.total_latency_s() / tenants[j].t_theoretical_s);
+           }
+         }
+         return pretty(slowdowns.empty() ? 0.0 : stats::quantile(slowdowns, 0.99));
+       }},
+      {"mean_queue_wait_s", [](const RunPoint&, const simnet::ExperimentResult& r) {
+         double wait = 0.0;
+         for (const simnet::ClientRecord& client : r.metrics.clients) {
+           wait += client.queue_wait_s();
+         }
+         return pretty(r.metrics.clients.empty()
+                           ? 0.0
+                           : wait / static_cast<double>(r.metrics.clients.size()));
+       }},
   };
   return catalog;
 }
@@ -486,6 +525,56 @@ simnet::StorageKnobs storage_from_json(const trace::JsonValue& json) {
   return knobs;
 }
 
+trace::JsonValue tenant_to_json(const simnet::TenantSpec& tenant) {
+  trace::JsonValue json = trace::JsonValue::object();
+  json["name"] = tenant.name;
+  json["src"] = tenant.src;
+  json["dst"] = tenant.dst;
+  json["concurrency"] = tenant.concurrency;
+  json["transfer_size_bytes"] = tenant.transfer_size.bytes();
+  json["deadline_s"] = tenant.deadline_s;
+  return json;
+}
+
+simnet::TenantSpec tenant_from_json(const trace::JsonValue& json) {
+  simnet::TenantSpec tenant;
+  tenant.name = json.at("name").as_string();
+  tenant.src = json.at("src").as_string();
+  tenant.dst = json.at("dst").as_string();
+  tenant.concurrency = static_cast<int>(
+      as_integer(json.at("concurrency"), "tenant concurrency", 0, 1000000000));
+  tenant.transfer_size = units::Bytes::of(json.at("transfer_size_bytes").as_double());
+  tenant.deadline_s = json.at("deadline_s").as_double();
+  return tenant;
+}
+
+trace::JsonValue scheduler_to_json(const simnet::SchedulerConfig& scheduler) {
+  trace::JsonValue json = trace::JsonValue::object();
+  json["policy"] = simnet::to_string(scheduler.policy);
+  json["slots"] = scheduler.slots;
+  json["deadline_s"] = scheduler.deadline_s;
+  json["burst_window_s"] = scheduler.burst_window_s;
+  json["burst_limit"] = scheduler.burst_limit;
+  json["backoff_s"] = scheduler.backoff_s;
+  return json;
+}
+
+simnet::SchedulerConfig scheduler_from_json(const trace::JsonValue& json) {
+  simnet::SchedulerConfig scheduler;
+  const std::string& policy = json.at("policy").as_string();
+  const auto parsed = simnet::sched_policy_from_string(policy);
+  if (!parsed.has_value()) plan_error("unknown scheduler policy '" + policy + "'");
+  scheduler.policy = *parsed;
+  scheduler.slots = static_cast<int>(
+      as_integer(json.at("slots"), "scheduler slots", 1, 1000000000));
+  scheduler.deadline_s = json.at("deadline_s").as_double();
+  scheduler.burst_window_s = json.at("burst_window_s").as_double();
+  scheduler.burst_limit = static_cast<int>(
+      as_integer(json.at("burst_limit"), "scheduler burst_limit", 1, 1000000000));
+  scheduler.backoff_s = json.at("backoff_s").as_double();
+  return scheduler;
+}
+
 trace::JsonValue tcp_to_json(const simnet::TcpConfig& tcp) {
   trace::JsonValue json = trace::JsonValue::object();
   json["mss_bytes"] = static_cast<std::size_t>(tcp.mss_bytes);
@@ -562,6 +651,18 @@ trace::JsonValue workload_to_json(const simnet::WorkloadConfig& config) {
   if (!(config.storage == simnet::StorageKnobs{})) {
     json["storage"] = storage_to_json(config.storage);
   }
+  // Facility sections, omitted when default for the same reason.
+  if (!config.topology.empty()) json["topology"] = config.topology;
+  if (!config.tenants.empty()) {
+    trace::JsonValue tenants = trace::JsonValue::array();
+    for (const simnet::TenantSpec& tenant : config.tenants) {
+      tenants.push_back(tenant_to_json(tenant));
+    }
+    json["tenants"] = std::move(tenants);
+  }
+  if (!(config.scheduler == simnet::SchedulerConfig{})) {
+    json["scheduler"] = scheduler_to_json(config.scheduler);
+  }
   json["tcp"] = tcp_to_json(config.tcp);
   return json;
 }
@@ -627,6 +728,17 @@ simnet::WorkloadConfig workload_from_json(const trace::JsonValue& json) {
   }
   if (const trace::JsonValue* storage = json.find("storage")) {
     config.storage = storage_from_json(*storage);
+  }
+  if (const trace::JsonValue* topology = json.find("topology")) {
+    config.topology = topology->as_string();
+  }
+  if (const trace::JsonValue* tenants = json.find("tenants")) {
+    for (const trace::JsonValue& tenant : tenants->as_array()) {
+      config.tenants.push_back(tenant_from_json(tenant));
+    }
+  }
+  if (const trace::JsonValue* scheduler = json.find("scheduler")) {
+    config.scheduler = scheduler_from_json(*scheduler);
   }
   config.tcp = tcp_from_json(json.at("tcp"));
   return config;

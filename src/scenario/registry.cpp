@@ -73,6 +73,7 @@ void register_builtin_scenarios() {
     register_stress_scenarios(r);
     register_topology_scenarios(r);
     register_calibration_scenarios(r);
+    register_facility_scenarios(r);
     return true;
   }();
   (void)once;

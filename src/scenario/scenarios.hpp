@@ -33,6 +33,10 @@ void register_topology_scenarios(ScenarioRegistry& registry);
 // traces, the synthetic closed-loop check, and the Section 5 extrapolation
 // from a fitted profile.
 void register_calibration_scenarios(ScenarioRegistry& registry);
+// Facility-scale contention: multi-tenant branched-topology workloads with
+// admission-policy sweeps (Jain fairness / worst-tenant p99 slowdown) and
+// the "choose WHICH facility" dispatch comparison.
+void register_facility_scenarios(ScenarioRegistry& registry);
 
 // Parameterized congestion-planner factory: the registered scenario uses
 // the paper-testbed defaults (25 Gbps, 0.5 GB, 1.0 s); the example binary

@@ -1,0 +1,196 @@
+// scenarios_facility.cpp — facility-scale contention: multi-tenant workloads
+// over branched topologies, with the admission scheduler as an experimental
+// axis.
+//
+//   facility_policy_matrix   — three tenants (heavy local, light local,
+//                              remote) share the dual-facility fan-out while
+//                              the admission policy sweeps FIFO / fair-share /
+//                              EDF / backoff; Jain fairness and the worst
+//                              tenant's p99 slowdown make the policy cost
+//                              visible.
+//   facility_dispatch_choice — the paper's "choose WHICH facility" decision:
+//                              the same instrument stream dispatched to the
+//                              congested near facility vs the idle far one.
+//   facility_load_ladder     — FIFO vs fair-share as per-tenant concurrency
+//                              climbs; shows where fairness starts to matter.
+//
+// Everything here is declarative: tenants and the scheduler knobs are plain
+// override keys (tenant<j>_*, sched_*) in the unified catalog, so these
+// sweeps shard and resume exactly like the single-path families.
+#include <string>
+#include <vector>
+
+#include "scenario/common.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenarios.hpp"
+#include "simnet/scheduler.hpp"
+#include "simnet/workload.hpp"
+#include "units/units.hpp"
+
+namespace sss::scenario {
+
+namespace {
+
+// The shared facility foreground: three instruments feed two facilities
+// through one site DTN and a WAN hub (preset `dual_facility_fanout`).
+//   tenant0 "heavy"  ins0 -> fac_a, 4 clients x 0.5 GB  (the elephant)
+//   tenant1 "light"  ins1 -> fac_a, 2 clients x 128 MB  (shares fac_a ingest)
+//   tenant2 "remote" ins2 -> fac_b, 2 clients x 128 MB  (only the WAN is shared)
+// Offered load stays under the 25 Gbps fac_a ingest so queues drain and the
+// policy — not raw saturation — sets the tails.
+simnet::WorkloadConfig facility_workload() {
+  simnet::WorkloadConfig cfg;
+  cfg.duration = units::Seconds::of(10.0);
+  cfg.concurrency = 4;
+  cfg.parallel_flows = 4;
+  cfg.transfer_size = units::Bytes::gigabytes(0.5);
+  cfg.mode = simnet::SpawnMode::kSimultaneousBatches;
+  cfg.topology = "dual_facility_fanout";
+
+  simnet::TenantSpec heavy;
+  heavy.name = "heavy";
+  heavy.src = "ins0";
+  heavy.dst = "fac_a";
+  heavy.concurrency = 4;
+  heavy.deadline_s = 60.0;
+
+  simnet::TenantSpec light;
+  light.name = "light";
+  light.src = "ins1";
+  light.dst = "fac_a";
+  light.concurrency = 2;
+  light.transfer_size = units::Bytes::megabytes(128.0);
+  light.deadline_s = 5.0;
+
+  simnet::TenantSpec remote;
+  remote.name = "remote";
+  remote.src = "ins2";
+  remote.dst = "fac_b";
+  remote.concurrency = 2;
+  remote.transfer_size = units::Bytes::megabytes(128.0);
+  remote.deadline_s = 5.0;
+
+  cfg.tenants = {heavy, light, remote};
+  return cfg;
+}
+
+ScenarioSpec facility_policy_matrix_spec() {
+  ScenarioSpec spec;
+  spec.name = "facility_policy_matrix";
+  spec.title = "Facility policy matrix: three tenants, one fan-out, four admission policies";
+  spec.paper_ref = "extends Section 5 to facility-scale contention (ROADMAP item 3)";
+  spec.description = "Jain fairness and worst-tenant p99 slowdown per admission policy";
+  spec.tags = {"facility", "sweep", "new"};
+
+  ExperimentPlan plan;
+  plan.scenario = spec.name;
+  plan.base = facility_workload();
+  plan.base.scheduler.policy = simnet::SchedPolicy::kFifo;
+  plan.base.scheduler.slots = 2;
+  plan.axes.push_back(ParamAxis::tuples(
+      "policy", {{"fifo", {"sched_policy=fifo"}},
+                 {"fair", {"sched_policy=fair"}},
+                 {"edf", {"sched_policy=edf"}},
+                 {"backoff", {"sched_policy=backoff", "sched_backoff_s=0.05"}}}));
+  plan.output.columns = {{"policy", "label"},
+                         {"jain_fairness", "jain_fairness"},
+                         {"worst_tenant_p99_slowdown", "worst_tenant_p99_slowdown"},
+                         {"p99_slowdown", "p99_slowdown"},
+                         {"mean_queue_wait_s", "mean_queue_wait_s"},
+                         {"t_worst_s", "t_worst_s"}};
+  plan.output.hop_columns = 6;
+  plan.output.notes = {
+      "reading: FIFO admits the heavy tenant's batch first every second, so "
+      "the light tenants pay the whole queue; fair-share round-robins the "
+      "slots and the worst tenant's p99 slowdown drops while the heavy "
+      "tenant barely notices.  EDF recovers most of that with explicit "
+      "deadlines; backoff trades fairness for burst protection."};
+  spec.plan = detail::share(std::move(plan));
+  return spec;
+}
+
+ScenarioSpec facility_dispatch_choice_spec() {
+  ScenarioSpec spec;
+  spec.name = "facility_dispatch_choice";
+  spec.title = "Facility dispatch choice: stream to the congested near facility or the idle far one";
+  spec.paper_ref = "the paper's 'choose WHICH facility' dispatch decision (Section 5)";
+  spec.description = "same instrument stream, destination swept across facilities";
+  spec.tags = {"facility", "case-study", "new"};
+
+  ExperimentPlan plan;
+  plan.scenario = spec.name;
+  plan.base = facility_workload();
+  // tenant0 is the dispatch subject; tenant1 stays parked on fac_a as the
+  // resident congestor (8 x 0.5 GB/s offered = 32 Gbps onto the 25 Gbps
+  // ingest, so the near facility is genuinely overloaded); tenant2 is
+  // dropped to keep fac_b idle by default.
+  plan.base.tenants[0].name = "dispatch";
+  plan.base.tenants[0].concurrency = 2;
+  plan.base.tenants[0].transfer_size = units::Bytes::megabytes(512.0);
+  plan.base.tenants[1].name = "resident";
+  plan.base.tenants[1].concurrency = 8;
+  plan.base.tenants[1].transfer_size = units::Bytes::gigabytes(0.5);
+  plan.base.tenants.pop_back();
+  plan.axes.push_back(ParamAxis::tuples(
+      "dispatch", {{"fac_a", {"tenant0_dst=fac_a"}},
+                   {"fac_b", {"tenant0_dst=fac_b"}}}));
+  plan.output.columns = {{"dispatch", "label"},
+                         {"t_worst_s", "t_worst_s"},
+                         {"t_mean_s", "t_mean_s"},
+                         {"p99_slowdown", "p99_slowdown"},
+                         {"jain_fairness", "jain_fairness"}};
+  plan.output.hop_columns = 6;
+  plan.output.notes = {
+      "reading: dispatching to fac_a lands the stream behind the resident "
+      "tenant's queue at the overloaded 25 Gbps ingest; fac_b cuts the "
+      "worst case by ~20-35 % — but it is not free, because both 40 Gbps "
+      "NICs can burst past the shared 50 Gbps site uplink, so the idle "
+      "facility buys queue relief at the price of WAN loss.  The right "
+      "facility is a property of the contention, and only the simulation "
+      "sees both effects."};
+  spec.plan = detail::share(std::move(plan));
+  return spec;
+}
+
+ScenarioSpec facility_load_ladder_spec() {
+  ScenarioSpec spec;
+  spec.name = "facility_load_ladder";
+  spec.title = "Facility load ladder: FIFO vs fair-share as per-tenant concurrency climbs";
+  spec.paper_ref = "extends the Table-2 concurrency axis to multi-tenant admission";
+  spec.description = "where fairness starts to matter as the fan-out saturates";
+  spec.tags = {"facility", "sweep", "new"};
+
+  ExperimentPlan plan;
+  plan.scenario = spec.name;
+  plan.base = facility_workload();
+  plan.base.scheduler.policy = simnet::SchedPolicy::kFifo;
+  plan.base.scheduler.slots = 2;
+  // All tenants inherit the swept workload concurrency (0 = inherit).
+  for (simnet::TenantSpec& tenant : plan.base.tenants) tenant.concurrency = 0;
+  plan.axes.push_back(ParamAxis::tuples(
+      "policy", {{"fifo", {"sched_policy=fifo"}}, {"fair", {"sched_policy=fair"}}}));
+  plan.axes.push_back(ParamAxis::list("concurrency", {2.0, 4.0, 8.0}, "c="));
+  plan.output.columns = {{"cell", "label"},
+                         {"concurrency", "concurrency"},
+                         {"jain_fairness", "jain_fairness"},
+                         {"worst_tenant_p99_slowdown", "worst_tenant_p99_slowdown"},
+                         {"mean_queue_wait_s", "mean_queue_wait_s"},
+                         {"t_worst_s", "t_worst_s"}};
+  plan.output.notes = {
+      "reading: at c=2 the slots keep up and the policies tie; past the "
+      "ingest's saturation point FIFO lets the biggest batch monopolize "
+      "admission and Jain fairness falls away from 1.0 while fair-share "
+      "holds it."};
+  spec.plan = detail::share(std::move(plan));
+  return spec;
+}
+
+}  // namespace
+
+void register_facility_scenarios(ScenarioRegistry& registry) {
+  registry.add(facility_policy_matrix_spec());
+  registry.add(facility_dispatch_choice_spec());
+  registry.add(facility_load_ladder_spec());
+}
+
+}  // namespace sss::scenario

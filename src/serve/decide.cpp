@@ -22,7 +22,8 @@ DecideResponse decide(const ServiceSnapshot& snapshot, const DecideRequest& requ
     return response;
   }
   if (!std::isfinite(request.operating_utilization) ||
-      request.operating_utilization < 0.0 || request.path_hops > kMaxPathHops) {
+      request.operating_utilization < 0.0 || request.path_hops > kMaxPathHops ||
+      request.transfer_size_bytes > kMaxTransferSizeBytes) {
     response.status = static_cast<std::uint32_t>(ErrorCode::kMalformedRequest);
     return response;
   }
@@ -47,11 +48,32 @@ DecideResponse decide(const ServiceSnapshot& snapshot, const DecideRequest& requ
     params.s_unit = units::Bytes::of(static_cast<double>(request.transfer_size_bytes));
   }
 
+  // path_hops prices the request's path depth into the profile: the
+  // calibrated alpha is treated as per-hop efficiency and composed across
+  // the path (with_contended_path), so a 4-hop request sees a slower
+  // effective rate than the 1-hop calibration and the local <-> stream
+  // boundary moves accordingly.  0 (or 1) means "the calibrated path".
+  const std::uint32_t hops = std::max<std::uint32_t>(request.path_hops, 1);
+  if (hops > 1) {
+    const std::vector<simnet::LinkConfig> chain(
+        hops, simnet::LinkConfig{"hop", params.bandwidth,
+                                 units::Seconds::millis(8.0) / static_cast<double>(hops),
+                                 units::Bytes::megabytes(50.0)});
+    params = core::with_contended_path(params, core::profile_path(chain));
+  }
+
   // The paper's central recommendation: judge feasibility on the measured
   // worst case, not the optimistic alpha-scaled time.  SSS(u) * S / Bw is
   // exactly the Section 5 extrapolation the profile was calibrated for.
-  const units::Seconds t_worst =
+  // The congestion excess over the theoretical time scales with path depth
+  // too: each extra hop is one more queue the worst case can hit.
+  units::Seconds t_worst =
       facility->profile.worst_transfer_time(params.s_unit, params.bandwidth, utilization);
+  if (hops > 1) {
+    const double t_th = (params.s_unit / params.bandwidth).seconds();
+    const double excess = std::max(t_worst.seconds() - t_th, 0.0);
+    t_worst = units::Seconds::of(t_th + static_cast<double>(hops) * excess);
+  }
 
   core::DecisionInput input;
   input.params = params;

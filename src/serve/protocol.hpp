@@ -56,6 +56,10 @@ inline constexpr std::size_t kDecideResponseSize = 72;
 // cannot make the server reserve 4 GB).
 inline constexpr std::uint32_t kMaxPayloadLength = 1 << 20;
 inline constexpr std::uint32_t kMaxPathHops = 64;
+// Request-level sanity bound on transfer_size_bytes: an exabyte-scale size
+// is a corrupt or hostile field, not a workload — and past this point the
+// double conversion in the model would silently lose integer precision.
+inline constexpr std::uint64_t kMaxTransferSizeBytes = 1ull << 60;
 
 enum class MessageType : std::uint16_t {
   kDecideRequest = 1,

@@ -114,6 +114,12 @@ std::vector<FluidFlowRecord> FluidSimulator::run() {
 
 ExperimentResult run_fluid_experiment(const WorkloadConfig& config) {
   config.validate();
+  if (config.facility_mode()) {
+    // Per-tenant routing has no single bottleneck pipe to collapse onto;
+    // facility workloads are packet-substrate only.
+    throw std::invalid_argument(
+        "fluid substrate does not support facility workloads (tenants set)");
+  }
 
   // The fluid model sees the path as its bottleneck pipe: slowest hop's
   // capacity, summed one-way propagation delay.  (Single-link configs

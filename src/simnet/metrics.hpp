@@ -39,12 +39,17 @@ struct ClientRecord {
   // When the client wanted to start (its spawn instant or reserved slot).
   double requested_s = 0.0;
   // When its transfer actually began.  Equal to requested_s except in
-  // scheduled-with-reservation mode, where admission waits for the previous
-  // reservation to finish.
+  // scheduled-with-reservation mode (admission waits for the previous
+  // reservation to finish) and under a facility admission scheduler
+  // (admission waits for a policy dispatch; see simnet/scheduler.hpp).
   double start_s = 0.0;
   double end_s = 0.0;  // completion of the last parallel flow
   double bytes = 0.0;  // total across parallel flows
   std::uint32_t flow_count = 0;
+  // Facility-workload tenant index (0 for single-tenant / legacy runs) —
+  // the partition key for per-tenant fairness reductions
+  // (simnet/scheduler.hpp facility_tenant_stats).
+  std::uint16_t tenant = 0;
   bool censored = false;
 
   // The per-client transfer time the paper logs ("detailed transfer time

@@ -28,6 +28,17 @@ TopologyLink hop(std::string from, std::string to, std::string name, double gbps
   return l;
 }
 
+// Comma-joined node list for error messages: a typo'd endpoint error that
+// names the candidates is fixable from the message alone.
+std::string join_nodes(const std::vector<std::string>& nodes) {
+  std::string out;
+  for (const std::string& node : nodes) {
+    if (!out.empty()) out += ", ";
+    out += node;
+  }
+  return out;
+}
+
 }  // namespace
 
 Topology::Topology(TopologyConfig config) : config_(std::move(config)) {
@@ -38,6 +49,7 @@ Topology::Topology(TopologyConfig config) : config_(std::move(config)) {
     throw std::invalid_argument("Topology '" + config_.name + "': duplicate node name");
   }
   std::set<std::string> link_names;
+  std::map<std::pair<std::string, std::string>, const TopologyLink*> endpoints;
   for (const TopologyLink& l : config_.links) {
     if (l.link.name.empty()) {
       throw std::invalid_argument("Topology '" + config_.name + "': unnamed link");
@@ -46,9 +58,25 @@ Topology::Topology(TopologyConfig config) : config_(std::move(config)) {
       throw std::invalid_argument("Topology '" + config_.name + "': duplicate link '" +
                                   l.link.name + "'");
     }
-    if (nodes.count(l.from) == 0 || nodes.count(l.to) == 0) {
+    // A typo'd endpoint must fail HERE, naming link and node — not later as
+    // an unexplained "no route" from an unreachable graph.
+    if (nodes.count(l.from) == 0) {
       throw std::invalid_argument("Topology '" + config_.name + "': link '" + l.link.name +
-                                  "' references an undeclared node");
+                                  "' references undeclared node '" + l.from +
+                                  "' (nodes: " + join_nodes(config_.nodes) + ")");
+    }
+    if (nodes.count(l.to) == 0) {
+      throw std::invalid_argument("Topology '" + config_.name + "': link '" + l.link.name +
+                                  "' references undeclared node '" + l.to +
+                                  "' (nodes: " + join_nodes(config_.nodes) + ")");
+    }
+    // Two links over the same directed pair: BFS would always take the
+    // first, silently stranding the second — a config mistake, not a graph.
+    const auto [it, inserted] = endpoints.emplace(std::make_pair(l.from, l.to), &l);
+    if (!inserted) {
+      throw std::invalid_argument("Topology '" + config_.name + "': links '" +
+                                  it->second->link.name + "' and '" + l.link.name +
+                                  "' duplicate the pair " + l.from + " -> " + l.to);
     }
     if (!l.link.capacity.is_positive()) {
       throw std::invalid_argument("Topology '" + config_.name + "': link '" + l.link.name +
@@ -63,14 +91,29 @@ Topology::Topology(TopologyConfig config) : config_(std::move(config)) {
   }
 }
 
-std::vector<LinkConfig> Topology::route(const std::string& from,
-                                        const std::string& to) const {
+std::vector<std::size_t> Topology::route_indices(const std::string& from,
+                                                 const std::string& to) const {
   const auto known = [&](const std::string& node) {
     return std::find(config_.nodes.begin(), config_.nodes.end(), node) !=
            config_.nodes.end();
   };
-  if (!known(from) || !known(to)) {
-    throw std::invalid_argument("Topology '" + config_.name + "': unknown route endpoint");
+  // Name WHICH endpoint is unknown and what would have been accepted — a
+  // one-character typo in a tenant spec should be fixable from the message.
+  if (!known(from)) {
+    throw std::invalid_argument("Topology '" + config_.name +
+                                "': unknown route source '" + from +
+                                "' (nodes: " + join_nodes(config_.nodes) + ")");
+  }
+  if (!known(to)) {
+    throw std::invalid_argument("Topology '" + config_.name +
+                                "': unknown route destination '" + to +
+                                "' (nodes: " + join_nodes(config_.nodes) + ")");
+  }
+  // A self-route has no hops; letting the empty vector escape explodes far
+  // from the cause (profile_path's "need at least one hop", Path's ctor).
+  if (from == to) {
+    throw std::invalid_argument("Topology '" + config_.name + "': self-route '" + from +
+                                "' -> '" + to + "' has no hops");
   }
 
   // BFS over directed links; predecessor stored as the link index taken to
@@ -89,18 +132,27 @@ std::vector<LinkConfig> Topology::route(const std::string& from,
       frontier.push_back(l.to);
     }
   }
-  if (from != to && visited.count(to) == 0) {
+  if (visited.count(to) == 0) {
     throw std::invalid_argument("Topology '" + config_.name + "': no route " + from +
                                 " -> " + to);
   }
 
-  std::vector<LinkConfig> hops;
+  std::vector<std::size_t> indices;
   for (std::string node = to; node != from;) {
-    const TopologyLink& l = config_.links[via.at(node)];
-    hops.push_back(l.link);
-    node = l.from;
+    const std::size_t i = via.at(node);
+    indices.push_back(i);
+    node = config_.links[i].from;
   }
-  std::reverse(hops.begin(), hops.end());
+  std::reverse(indices.begin(), indices.end());
+  return indices;
+}
+
+std::vector<LinkConfig> Topology::route(const std::string& from,
+                                        const std::string& to) const {
+  std::vector<LinkConfig> hops;
+  for (const std::size_t i : route_indices(from, to)) {
+    hops.push_back(config_.links[i].link);
+  }
   return hops;
 }
 
@@ -179,12 +231,56 @@ TopologyConfig topology_preset(const std::string& name) {
     };
     return cfg;
   }
+  if (name == "diamond") {
+    // Two parallel 2-hop branches between one source and one sink — the
+    // smallest graph where routing is a CHOICE.  BFS tie-break (declaration
+    // order) sends the canonical route over the north branch; the south
+    // branch only carries flows whose (src, dst) pins an interior node,
+    // which is exactly what the branched-routing goldens exercise.
+    TopologyConfig cfg;
+    cfg.name = "diamond";
+    cfg.nodes = {"src", "north", "south", "dst"};
+    cfg.source = "src";
+    cfg.sink = "dst";
+    cfg.links = {
+        hop("src", "north", "north-in", 25.0, 0.5, units::Bytes::megabytes(50.0)),
+        hop("north", "dst", "north-out", 25.0, 0.5, units::Bytes::megabytes(50.0)),
+        hop("src", "south", "south-in", 25.0, 0.5, units::Bytes::megabytes(50.0)),
+        hop("south", "dst", "south-out", 25.0, 0.5, units::Bytes::megabytes(50.0)),
+    };
+    return cfg;
+  }
+  if (name == "dual_facility_fanout") {
+    // The facility-contention graph: three instruments funnel through one
+    // site DTN onto a shared 50 Gbps WAN uplink, which fans out to two HPC
+    // facilities with asymmetric ingest shares (25 vs 40 Gbps).  Every
+    // tenant crosses the shared site-wan hop — the natural place admission
+    // scheduling gates — while the dst choice (fac_a vs fac_b) reproduces
+    // the multi-site "choose WHICH facility" dispatch decision.  The
+    // canonical route lands on the smaller fac_a ingest, the conservative
+    // default.
+    TopologyConfig cfg;
+    cfg.name = "dual_facility_fanout";
+    cfg.nodes = {"ins0", "ins1", "ins2", "site_dtn", "wan_hub", "fac_a", "fac_b"};
+    cfg.source = "ins0";
+    cfg.sink = "fac_a";
+    cfg.links = {
+        hop("ins0", "site_dtn", "ins0-nic", 40.0, 0.1, units::Bytes::megabytes(50.0)),
+        hop("ins1", "site_dtn", "ins1-nic", 40.0, 0.1, units::Bytes::megabytes(50.0)),
+        hop("ins2", "site_dtn", "ins2-nic", 40.0, 0.1, units::Bytes::megabytes(50.0)),
+        hop("site_dtn", "wan_hub", "site-wan", 50.0, 4.0, units::Bytes::megabytes(50.0)),
+        hop("wan_hub", "fac_a", "fac-a-ingest", 25.0, 0.5, units::Bytes::megabytes(50.0)),
+        hop("wan_hub", "fac_b", "fac-b-ingest", 40.0, 0.5, units::Bytes::megabytes(50.0)),
+    };
+    return cfg;
+  }
   throw std::invalid_argument("unknown topology preset '" + name +
                               "' (see topology_preset_names())");
 }
 
 std::vector<std::string> topology_preset_names() {
-  return {"aps_to_alcf", "edge_dtn_wan_hpc", "lcls_to_nersc_esnet"};
+  return {"aps_to_alcf", "diamond", "dual_facility_fanout", "edge_dtn_wan_hpc",
+          "lcls_to_nersc_esnet"};
 }
 
 }  // namespace sss::simnet

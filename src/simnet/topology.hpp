@@ -20,6 +20,13 @@
 //   edge_dtn_wan_hpc     — a generic balanced 3-hop chain (25 Gbps each)
 //                          used by the bottleneck-placement sweeps: resize
 //                          any single hop to move the saturation point.
+//   diamond              — two parallel 2-hop branches between one source
+//                          and one sink; the branched-routing golden (BFS
+//                          tie-break picks the first-declared branch).
+//   dual_facility_fanout — three instruments funneling through a shared
+//                          site DTN + WAN hub that fans out to two HPC
+//                          facilities; the facility-contention scenarios'
+//                          multi-source / multi-sink graph.
 #pragma once
 
 #include <string>
@@ -47,9 +54,12 @@ struct TopologyConfig {
 
 class Topology {
  public:
-  // Validates the graph: non-empty, unique node and link names, every link
-  // endpoint a declared node, positive capacities.  Throws
-  // std::invalid_argument on violations.
+  // Validates the graph: non-empty, unique node and link names, unique
+  // (from, to) pairs (a duplicated pair is always a config typo — the
+  // second link would be unroutable, BFS takes the first), every link
+  // endpoint a declared node (named in the error — a typo'd endpoint must
+  // not surface later as a mystifying "no route"), positive capacities.
+  // Throws std::invalid_argument on violations.
   explicit Topology(TopologyConfig config);
 
   [[nodiscard]] const TopologyConfig& config() const { return config_; }
@@ -59,9 +69,17 @@ class Topology {
 
   // Hop configs along the fewest-hop route `from` -> `to` (BFS over the
   // directed links; ties broken by link declaration order, so routing is
-  // deterministic).  Throws if either node is unknown or no route exists.
+  // deterministic).  Throws std::invalid_argument naming the offending
+  // endpoint (with the declared node list) when a node is unknown, on
+  // self-routes (`from == to` has no hops to run a flow over), and when no
+  // directed route exists.
   [[nodiscard]] std::vector<LinkConfig> route(const std::string& from,
                                               const std::string& to) const;
+  // Same route as link INDICES into config().links — the form per-flow
+  // routing uses to map a tenant's route onto the one shared set of live
+  // links, so flows crossing the same hop contend on the same Link object.
+  [[nodiscard]] std::vector<std::size_t> route_indices(const std::string& from,
+                                                       const std::string& to) const;
   // The canonical source -> sink route.
   [[nodiscard]] std::vector<LinkConfig> canonical_route() const;
 

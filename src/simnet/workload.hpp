@@ -38,6 +38,7 @@
 #include "simnet/link.hpp"
 #include "simnet/metrics.hpp"
 #include "simnet/path.hpp"
+#include "simnet/scheduler.hpp"
 #include "simnet/simulation.hpp"
 #include "simnet/tcp_flow.hpp"
 #include "stats/rng.hpp"
@@ -149,12 +150,32 @@ struct WorkloadConfig {
   CalibrationKnobs calibration;
   // Storage-layer workload knobs (ignored by the simulators).
   StorageKnobs storage;
+  // --- facility mode (branched topology + per-tenant routing) ---------------
+  // Topology preset name (simnet/topology.hpp).  Non-empty routes the
+  // workload over the preset's graph: without tenants, the canonical
+  // source -> sink route replaces path_hops; with tenants, every tenant's
+  // flows route independently over SHARED live links (one Link per topology
+  // edge), so flows crossing the same hop contend on the same queue.
+  // Mutually exclusive with path_hops.
+  std::string topology;
+  // Facility tenants (requires `topology`).  Non-empty switches the
+  // orchestrator to per-tenant routing: each tenant spawns its own client
+  // population (inheriting unset knobs from this config) between its
+  // (src, dst) topology nodes.
+  std::vector<TenantSpec> tenants;
+  // Admission scheduling for facility mode (policy kNone = transfers start
+  // at their arrival instants, the classic behaviour).
+  SchedulerConfig scheduler;
 
   // Table 2 configuration for a given (concurrency, parallel flows) cell.
   [[nodiscard]] static WorkloadConfig paper_table2(int concurrency, int parallel_flows,
                                                    SpawnMode mode);
 
-  // The forward path's hop configs: path_hops when set, else {link}.
+  // True when this is a facility workload (per-tenant routing over a
+  // branched topology; see `tenants` above).
+  [[nodiscard]] bool facility_mode() const { return !tenants.empty(); }
+  // The forward path's hop configs: the topology's canonical route when
+  // `topology` is set, else path_hops when set, else {link}.
   [[nodiscard]] std::vector<LinkConfig> effective_hops() const;
   // Capacity of the slowest hop — the path's effective bandwidth ceiling.
   [[nodiscard]] units::DataRate bottleneck_capacity() const;
@@ -248,6 +269,12 @@ class Workload {
 
  private:
   struct Cell;
+
+  // prepare() halves: the legacy single-route world (owning forward/reverse
+  // Paths) and the facility world (shared live links + per-tenant routes +
+  // admission scheduler).
+  void prepare_legacy(Cell& cell);
+  void prepare_facility(Cell& cell);
 
   WorkloadConfig config_;
   Arena arena_;

@@ -221,11 +221,12 @@ TEST(PlanJsonRoundTrip, EveryGridScenarioRunsIdenticallyFromItsPlanFile) {
     expect_same_output(expected, actual, spec->name);
     std::remove(path.c_str());
   }
-  // All 21 run-producing scenarios carry plans (18 sweeps + the 3
-  // calibration scenarios whose plans carry the fit knobs); the remaining
-  // 6 are the analyze-only escape hatch (analytic/live scenarios).
-  EXPECT_EQ(grid_scenarios, 21u);
-  EXPECT_EQ(ScenarioRegistry::global().size(), 27u);
+  // All 24 run-producing scenarios carry plans (18 sweeps + the 3
+  // calibration scenarios whose plans carry the fit knobs + the 3 facility
+  // contention scenarios); the remaining 6 are the analyze-only escape
+  // hatch (analytic/live scenarios).
+  EXPECT_EQ(grid_scenarios, 24u);
+  EXPECT_EQ(ScenarioRegistry::global().size(), 30u);
 }
 
 TEST(PlanJson, RejectsMalformedDocuments) {

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <string>
 
 namespace sss::serve {
@@ -274,6 +276,30 @@ TEST(FrameReaderTest, SingleByteMutationsNeverCrashOrMisframe) {
                     reader.error() == ErrorCode::kBadLength)
             << "mutation at " << pos;
       }
+    }
+  }
+}
+
+TEST(ProtocolTest, NonFiniteUtilizationBytesDecodeTransparently) {
+  // The wire layer transports IEEE-754 bit patterns verbatim: a NaN or Inf
+  // utilization is NOT a framing error (the frame is well-formed), it is a
+  // request-level error for decide() to reject.  The decode must surface
+  // the hostile value instead of silently normalizing it.
+  for (const double hostile : {std::numeric_limits<double>::quiet_NaN(),
+                               std::numeric_limits<double>::infinity(),
+                               -std::numeric_limits<double>::infinity()}) {
+    DecideRequest request = sample_request();
+    request.operating_utilization = hostile;
+    std::string wire;
+    append_decide_request(wire, request);
+
+    const auto decoded =
+        decode_decide_request(bytes_of(wire) + kHeaderSize, kDecideRequestSize);
+    ASSERT_TRUE(decoded.has_value());
+    if (std::isnan(hostile)) {
+      EXPECT_TRUE(std::isnan(decoded->operating_utilization));
+    } else {
+      EXPECT_EQ(decoded->operating_utilization, hostile);
     }
   }
 }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -318,6 +319,79 @@ TEST(DecideTest, TooManyPathHopsIsMalformed) {
   request.path_hops = kMaxPathHops + 1;
   const DecideResponse response = decide(snapshot, request);
   EXPECT_EQ(response.status, static_cast<std::uint32_t>(ErrorCode::kMalformedRequest));
+}
+
+TEST(DecideTest, NonFiniteUtilizationIsMalformed) {
+  ServiceSnapshot snapshot(1, {profile_from_report_json(make_report("aps"), "aps")});
+  for (const double hostile : {std::numeric_limits<double>::quiet_NaN(),
+                               std::numeric_limits<double>::infinity(),
+                               -std::numeric_limits<double>::infinity()}) {
+    DecideRequest request = request_for("aps");
+    request.operating_utilization = hostile;
+    const DecideResponse response = decide(snapshot, request);
+    EXPECT_EQ(response.status, static_cast<std::uint32_t>(ErrorCode::kMalformedRequest));
+  }
+}
+
+TEST(DecideTest, AbsurdTransferSizeIsMalformed) {
+  ServiceSnapshot snapshot(1, {profile_from_report_json(make_report("aps"), "aps")});
+  DecideRequest request = request_for("aps");
+  request.transfer_size_bytes = kMaxTransferSizeBytes + 1;
+  const DecideResponse response = decide(snapshot, request);
+  EXPECT_EQ(response.status, static_cast<std::uint32_t>(ErrorCode::kMalformedRequest));
+  // The bound itself is still a (silly but well-formed) request.
+  request.transfer_size_bytes = kMaxTransferSizeBytes;
+  EXPECT_EQ(decide(snapshot, request).status, 0u);
+}
+
+// A profile sitting just on the local/stream boundary: 10 Gbps effective
+// link, t_local = 1.0 s, one-hop streaming = 0.89 s.  Deepening the path
+// composes the per-hop overhead (alpha 0.9 -> 0.69 at 4 hops), pushing
+// streaming past local — the decision the server must price, not ignore.
+trace::JsonValue make_boundary_report() {
+  trace::JsonValue report = make_report("edge");
+  report["model_parameters"]["alpha"] = trace::JsonValue(0.9);
+  report["model_parameters"]["bandwidth_bytes_per_s"] = trace::JsonValue(1.25e9);
+  report["model_parameters"]["s_unit_bytes"] = trace::JsonValue(1.0e9);
+  report["model_parameters"]["r_local_flop_per_s"] = trace::JsonValue(1.0e9);
+  report["model_parameters"]["r_remote_flop_per_s"] = trace::JsonValue(1.0e13);
+  return report;
+}
+
+TEST(DecideTest, PathHopsMovesTheLocalStreamBoundary) {
+  ServiceSnapshot snapshot(1, {profile_from_report_json(make_boundary_report(), "edge")});
+  DecideRequest request = request_for("edge");
+
+  request.path_hops = 1;
+  const DecideResponse shallow = decide(snapshot, request);
+  ASSERT_EQ(shallow.status, 0u);
+  EXPECT_EQ(shallow.decision, WireDecision::kStream);
+
+  request.path_hops = 4;
+  const DecideResponse deep = decide(snapshot, request);
+  ASSERT_EQ(deep.status, 0u);
+  EXPECT_EQ(deep.decision, WireDecision::kLocal);
+  EXPECT_EQ(deep.path_hops, 4u);
+  // The deeper path prices strictly slower streaming and a strictly worse
+  // measured-worst-case basis (each extra hop is one more queue).
+  EXPECT_GT(deep.t_stream_s, shallow.t_stream_s);
+  EXPECT_GT(deep.t_worst_transfer_s, shallow.t_worst_transfer_s);
+  // Local processing is path-independent.
+  EXPECT_DOUBLE_EQ(deep.t_local_s, shallow.t_local_s);
+}
+
+TEST(DecideTest, ZeroAndOneHopRequestsAreIdentical) {
+  ServiceSnapshot snapshot(1, {profile_from_report_json(make_boundary_report(), "edge")});
+  DecideRequest request = request_for("edge");
+  request.path_hops = 0;  // "the calibrated path"
+  const DecideResponse zero = decide(snapshot, request);
+  request.path_hops = 1;
+  const DecideResponse one = decide(snapshot, request);
+  EXPECT_EQ(zero.decision, one.decision);
+  EXPECT_DOUBLE_EQ(zero.t_stream_s, one.t_stream_s);
+  EXPECT_DOUBLE_EQ(zero.t_stage_s, one.t_stage_s);
+  EXPECT_DOUBLE_EQ(zero.t_worst_transfer_s, one.t_worst_transfer_s);
+  EXPECT_DOUBLE_EQ(zero.sss, one.sss);
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+// Tests for the facility transfer-admission scheduler: policy disciplines
+// (FIFO order, fair-share round-robin, EDF, burst backoff), slot
+// accounting, and the Jain fairness reduction.
+#include "simnet/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory_resource>
+#include <optional>
+#include <vector>
+
+namespace sss::simnet {
+namespace {
+
+constexpr double kNoRetry = -1.0;
+
+SchedulerConfig config_for(SchedPolicy policy, int slots) {
+  SchedulerConfig cfg;
+  cfg.policy = policy;
+  cfg.slots = slots;
+  return cfg;
+}
+
+std::vector<std::uint32_t> drain(TransferScheduler& sched, double now) {
+  std::vector<std::uint32_t> order;
+  while (true) {
+    double retry_at = kNoRetry;
+    const std::optional<std::uint32_t> id = sched.try_dispatch(now, &retry_at);
+    if (!id.has_value()) break;
+    order.push_back(*id);
+    sched.release();  // free the slot immediately: order is what we test
+  }
+  return order;
+}
+
+TEST(TransferScheduler, PolicyNamesRoundTrip) {
+  for (SchedPolicy p : {SchedPolicy::kNone, SchedPolicy::kFifo, SchedPolicy::kFairShare,
+                        SchedPolicy::kEdf, SchedPolicy::kBackoff}) {
+    EXPECT_EQ(sched_policy_from_string(to_string(p)), p);
+  }
+  EXPECT_EQ(sched_policy_from_string("nope"), std::nullopt);
+}
+
+TEST(TransferScheduler, FifoAdmitsInArrivalOrderAcrossTenants) {
+  TransferScheduler sched(config_for(SchedPolicy::kFifo, 1), 3,
+                          std::pmr::get_default_resource());
+  // Client ids are assigned in arrival order, so FIFO == ascending id.
+  sched.submit(0, 0, 10.0);
+  sched.submit(1, 1, 10.0);
+  sched.submit(2, 0, 10.0);
+  sched.submit(3, 2, 10.0);
+  EXPECT_EQ(drain(sched, 0.0),
+            (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(TransferScheduler, FairShareRoundRobinsTenantHeads) {
+  TransferScheduler sched(config_for(SchedPolicy::kFairShare, 1), 3,
+                          std::pmr::get_default_resource());
+  // Tenant 0 bursts four transfers; tenants 1 and 2 have one each.  The
+  // cursor interleaves them instead of letting the burst monopolize.
+  sched.submit(0, 0, 10.0);
+  sched.submit(1, 0, 10.0);
+  sched.submit(2, 0, 10.0);
+  sched.submit(3, 0, 10.0);
+  sched.submit(4, 1, 10.0);
+  sched.submit(5, 2, 10.0);
+  EXPECT_EQ(drain(sched, 0.0),
+            (std::vector<std::uint32_t>{0, 4, 5, 1, 2, 3}));
+}
+
+TEST(TransferScheduler, EdfPicksEarliestDeadlineHead) {
+  TransferScheduler sched(config_for(SchedPolicy::kEdf, 1), 3,
+                          std::pmr::get_default_resource());
+  sched.submit(0, 0, 60.0);
+  sched.submit(1, 1, 5.0);
+  sched.submit(2, 2, 30.0);
+  sched.submit(3, 1, 6.0);
+  EXPECT_EQ(drain(sched, 0.0),
+            (std::vector<std::uint32_t>{1, 3, 2, 0}));
+}
+
+TEST(TransferScheduler, EdfBreaksDeadlineTiesByClientId) {
+  TransferScheduler sched(config_for(SchedPolicy::kEdf, 1), 2,
+                          std::pmr::get_default_resource());
+  sched.submit(0, 1, 5.0);
+  sched.submit(1, 0, 5.0);
+  EXPECT_EQ(drain(sched, 0.0), (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(TransferScheduler, SlotsGateConcurrentAdmissions) {
+  TransferScheduler sched(config_for(SchedPolicy::kFifo, 2), 1,
+                          std::pmr::get_default_resource());
+  sched.submit(0, 0, 10.0);
+  sched.submit(1, 0, 10.0);
+  sched.submit(2, 0, 10.0);
+
+  double retry_at = kNoRetry;
+  EXPECT_EQ(sched.try_dispatch(0.0, &retry_at), std::optional<std::uint32_t>(0));
+  EXPECT_EQ(sched.try_dispatch(0.0, &retry_at), std::optional<std::uint32_t>(1));
+  EXPECT_EQ(sched.active(), 2u);
+  EXPECT_EQ(sched.pending(), 1u);
+
+  // Slot exhaustion is NOT a timing obstacle: retry_at stays untouched
+  // (the completion will re-pump).
+  retry_at = kNoRetry;
+  EXPECT_EQ(sched.try_dispatch(0.0, &retry_at), std::nullopt);
+  EXPECT_EQ(retry_at, kNoRetry);
+
+  sched.release();
+  EXPECT_EQ(sched.try_dispatch(0.0, &retry_at), std::optional<std::uint32_t>(2));
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(TransferScheduler, BackoffSpacesAdmissionsAndReportsRetryTime) {
+  SchedulerConfig cfg = config_for(SchedPolicy::kBackoff, 4);
+  cfg.backoff_s = 0.5;
+  TransferScheduler sched(cfg, 1, std::pmr::get_default_resource());
+  sched.submit(0, 0, 10.0);
+  sched.submit(1, 0, 10.0);
+
+  double retry_at = kNoRetry;
+  EXPECT_EQ(sched.try_dispatch(0.0, &retry_at), std::optional<std::uint32_t>(0));
+
+  // Too soon: the spacing gate reports WHEN to retry.
+  retry_at = kNoRetry;
+  EXPECT_EQ(sched.try_dispatch(0.1, &retry_at), std::nullopt);
+  EXPECT_DOUBLE_EQ(retry_at, 0.5);
+
+  EXPECT_EQ(sched.try_dispatch(0.5, &retry_at), std::optional<std::uint32_t>(1));
+}
+
+TEST(TransferScheduler, BurstWindowCapsAdmissionsPerWindow) {
+  SchedulerConfig cfg = config_for(SchedPolicy::kBackoff, 8);
+  cfg.burst_window_s = 1.0;
+  cfg.burst_limit = 2;
+  TransferScheduler sched(cfg, 1, std::pmr::get_default_resource());
+  for (std::uint32_t id = 0; id < 3; ++id) sched.submit(id, 0, 10.0);
+
+  double retry_at = kNoRetry;
+  EXPECT_EQ(sched.try_dispatch(0.0, &retry_at), std::optional<std::uint32_t>(0));
+  EXPECT_EQ(sched.try_dispatch(0.2, &retry_at), std::optional<std::uint32_t>(1));
+
+  // Window full: the third admission must wait until the first timestamp
+  // ages out of the sliding window.
+  retry_at = kNoRetry;
+  EXPECT_EQ(sched.try_dispatch(0.4, &retry_at), std::nullopt);
+  EXPECT_DOUBLE_EQ(retry_at, 1.0);
+  EXPECT_EQ(sched.try_dispatch(1.0, &retry_at), std::optional<std::uint32_t>(2));
+}
+
+TEST(JainFairness, KnownValues) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({1.0, 1.0, 1.0, 1.0}), 1.0);
+  // One tenant gets everything: index collapses to 1/n.
+  EXPECT_DOUBLE_EQ(jain_fairness({1.0, 0.0, 0.0, 0.0}), 0.25);
+  // (1+3)^2 / (2 * (1+9)) = 16/20.
+  EXPECT_DOUBLE_EQ(jain_fairness({1.0, 3.0}), 0.8);
+}
+
+}  // namespace
+}  // namespace sss::simnet

@@ -1,0 +1,143 @@
+// Tests for multi-source / multi-sink routing: named validation errors
+// (which endpoint, which candidates), self-route rejection, duplicate-edge
+// and undeclared-node diagnostics, and the branched-preset route goldens
+// that per-flow facility routing depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simnet/topology.hpp"
+
+namespace sss::simnet {
+namespace {
+
+std::vector<std::string> hop_names(const std::vector<LinkConfig>& hops) {
+  std::vector<std::string> names;
+  names.reserve(hops.size());
+  for (const LinkConfig& hop : hops) names.push_back(hop.name);
+  return names;
+}
+
+std::string message_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(TopologyRouting, UnknownEndpointsAreNamedWithCandidates) {
+  const Topology topo(topology_preset("diamond"));
+
+  const std::string src_err =
+      message_of([&] { (void)topo.route("zz", "dst"); });
+  EXPECT_NE(src_err.find("unknown route source 'zz'"), std::string::npos) << src_err;
+  // The candidate node list makes the typo obvious without a docs lookup.
+  EXPECT_NE(src_err.find("src"), std::string::npos) << src_err;
+  EXPECT_NE(src_err.find("north"), std::string::npos) << src_err;
+
+  const std::string dst_err =
+      message_of([&] { (void)topo.route("src", "nowhere"); });
+  EXPECT_NE(dst_err.find("unknown route destination 'nowhere'"), std::string::npos)
+      << dst_err;
+  EXPECT_NE(dst_err.find("south"), std::string::npos) << dst_err;
+}
+
+TEST(TopologyRouting, SelfRouteIsRejectedAtTheSource) {
+  const Topology topo(topology_preset("diamond"));
+  const std::string err = message_of([&] { (void)topo.route("src", "src"); });
+  EXPECT_NE(err.find("self-route"), std::string::npos) << err;
+  EXPECT_NE(err.find("'src'"), std::string::npos) << err;
+}
+
+TEST(TopologyRouting, NoDirectedRouteIsAnError) {
+  // The diamond is directed: nothing flows dst -> src.
+  const Topology topo(topology_preset("diamond"));
+  EXPECT_THROW((void)topo.route("dst", "src"), std::invalid_argument);
+}
+
+TEST(TopologyRouting, LinkToUndeclaredNodeNamesLinkAndNode) {
+  TopologyConfig cfg = topology_preset("diamond");
+  cfg.links[0].from = "ghost";
+  const std::string err = message_of([&] { Topology t{cfg}; (void)t; });
+  EXPECT_NE(err.find(cfg.links[0].link.name), std::string::npos) << err;
+  EXPECT_NE(err.find("'ghost'"), std::string::npos) << err;
+  EXPECT_NE(err.find("undeclared"), std::string::npos) << err;
+}
+
+TEST(TopologyRouting, DuplicateEdgeNamesBothLinks) {
+  TopologyConfig cfg = topology_preset("diamond");
+  TopologyLink dup = cfg.links[0];
+  dup.link.name = "second-edge";
+  cfg.links.push_back(dup);
+  const std::string err = message_of([&] { Topology t{cfg}; (void)t; });
+  EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+  EXPECT_NE(err.find(cfg.links[0].link.name), std::string::npos) << err;
+  EXPECT_NE(err.find("second-edge"), std::string::npos) << err;
+}
+
+// --- branched-preset route goldens -----------------------------------------
+
+TEST(TopologyRouting, DiamondRoutesGolden) {
+  const Topology topo(topology_preset("diamond"));
+  // BFS tie-break is declaration order, so the canonical route takes the
+  // north branch; both branches stay individually routable.
+  EXPECT_EQ(hop_names(topo.canonical_route()),
+            (std::vector<std::string>{"north-in", "north-out"}));
+  EXPECT_EQ(hop_names(topo.route("src", "north")),
+            (std::vector<std::string>{"north-in"}));
+  EXPECT_EQ(hop_names(topo.route("south", "dst")),
+            (std::vector<std::string>{"south-out"}));
+}
+
+TEST(TopologyRouting, DualFacilityFanoutRoutesGolden) {
+  const Topology topo(topology_preset("dual_facility_fanout"));
+  EXPECT_EQ(hop_names(topo.route("ins0", "fac_a")),
+            (std::vector<std::string>{"ins0-nic", "site-wan", "fac-a-ingest"}));
+  EXPECT_EQ(hop_names(topo.route("ins1", "fac_a")),
+            (std::vector<std::string>{"ins1-nic", "site-wan", "fac-a-ingest"}));
+  EXPECT_EQ(hop_names(topo.route("ins2", "fac_b")),
+            (std::vector<std::string>{"ins2-nic", "site-wan", "fac-b-ingest"}));
+  // Instrument NICs fan IN to one site uplink: every pair of tenant routes
+  // shares exactly the site-wan hop (plus the ingest when the facility is
+  // shared) — the contention structure the facility scenarios measure.
+  const std::vector<std::size_t> a = topo.route_indices("ins0", "fac_a");
+  const std::vector<std::size_t> b = topo.route_indices("ins1", "fac_a");
+  std::vector<std::size_t> shared;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(shared));
+  ASSERT_EQ(shared.size(), 2u);
+  EXPECT_EQ(topo.config().links[shared[0]].link.name, "site-wan");
+  EXPECT_EQ(topo.config().links[shared[1]].link.name, "fac-a-ingest");
+}
+
+TEST(TopologyRouting, RouteIndicesMatchRouteConfigs) {
+  const Topology topo(topology_preset("dual_facility_fanout"));
+  const std::vector<LinkConfig> hops = topo.route("ins1", "fac_b");
+  const std::vector<std::size_t> indices = topo.route_indices("ins1", "fac_b");
+  ASSERT_EQ(hops.size(), indices.size());
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    EXPECT_EQ(topo.config().links[indices[i]].link.name, hops[i].name);
+  }
+}
+
+TEST(TopologyRouting, PresetCatalogListsBranchedPresets) {
+  const std::vector<std::string> names = topology_preset_names();
+  EXPECT_EQ(names, (std::vector<std::string>{"aps_to_alcf", "diamond",
+                                             "dual_facility_fanout",
+                                             "edge_dtn_wan_hpc",
+                                             "lcls_to_nersc_esnet"}));
+  for (const std::string& name : names) {
+    const Topology topo(topology_preset(name));
+    EXPECT_FALSE(topo.canonical_route().empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sss::simnet

@@ -75,7 +75,9 @@ TEST(TopologyPresets, CatalogRoutesEndToEnd) {
   for (const std::string& name : topology_preset_names()) {
     const Topology topo(topology_preset(name));
     const auto hops = topo.canonical_route();
-    EXPECT_GE(hops.size(), 3u) << name;
+    // Chains model >= 3-hop instrument->DTN->WAN->HPC paths; the branched
+    // presets (diamond) may take a 2-hop canonical branch.
+    EXPECT_GE(hops.size(), 2u) << name;
     for (const LinkConfig& hop : hops) {
       EXPECT_TRUE(hop.capacity.is_positive()) << name << "/" << hop.name;
     }
